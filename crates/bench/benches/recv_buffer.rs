@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the receive buffer: insertion,
+//! gap scanning, delivery, and discard — the per-data-message costs on
+//! the receive path.
+
+use ar_core::{DataMessage, ParticipantId, RecvBuffer, RingId, Round, Seq, ServiceType};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn msg(seq: u64) -> DataMessage {
+    DataMessage {
+        ring_id: RingId::new(ParticipantId::new(0), 1),
+        seq: Seq::new(seq),
+        pid: ParticipantId::new(1),
+        round: Round::new(1),
+        service: ServiceType::Agreed,
+        after_token: false,
+        payload: Bytes::from_static(&[0u8; 64]),
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recvbuf/insert");
+    for n in [256u64, 4096] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("in_order", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut buf = RecvBuffer::new(Seq::ZERO);
+                for s in 1..=n {
+                    buf.insert(msg(s));
+                }
+                buf
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reverse_order", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut buf = RecvBuffer::new(Seq::ZERO);
+                for s in (1..=n).rev() {
+                    buf.insert(msg(s));
+                }
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_missing_scan(c: &mut Criterion) {
+    // Every other message missing in a 4096 window: the worst realistic
+    // rtr-building scan.
+    let mut buf = RecvBuffer::new(Seq::ZERO);
+    for s in (2..=4096u64).step_by(2) {
+        buf.insert(msg(s));
+    }
+    c.bench_function("recvbuf/missing_up_to_half_gaps", |b| {
+        b.iter(|| buf.missing_up_to(std::hint::black_box(Seq::new(4096))))
+    });
+}
+
+fn bench_deliver_and_discard(c: &mut Criterion) {
+    c.bench_function("recvbuf/deliver_then_discard_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut buf = RecvBuffer::new(Seq::ZERO);
+                for s in 1..=1024u64 {
+                    buf.insert(msg(s));
+                }
+                buf
+            },
+            |mut buf| {
+                let d = buf.deliver_ready(Seq::new(1024));
+                buf.discard_up_to(Seq::new(1024));
+                (d.len(), buf)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_missing_scan,
+    bench_deliver_and_discard
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark of a full simulated run on the 8-host ring —
+//! protocol + simulator end to end, original vs accelerated.
+
+use ar_bench::figset::{scenario, Net};
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::{run_ring, ImplProfile, LoadMode, SimDuration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_short_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_round/sim_20ms_window");
+    g.sample_size(10);
+    for variant in [ProtocolVariant::Original, ProtocolVariant::Accelerated] {
+        let mut s = scenario(
+            Net::Gigabit,
+            ImplProfile::daemon(),
+            variant,
+            ServiceType::Agreed,
+            1350,
+        );
+        s.base.load = LoadMode::OpenLoop {
+            aggregate_bps: 400_000_000,
+        };
+        s.base.warmup = SimDuration::from_millis(5);
+        s.base.duration = SimDuration::from_millis(20);
+        g.bench_with_input(
+            BenchmarkId::new("1g_400mbps", format!("{variant}")),
+            &s.base,
+            |b, cfg| b.iter(|| run_ring(std::hint::black_box(cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_short_sim);
+criterion_main!(benches);

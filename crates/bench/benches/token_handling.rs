@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for token handling — the critical path of
+//! the protocol. Compares the original configuration (all sends before
+//! the token) to the accelerated one, across batch sizes.
+
+use ar_core::wire::Message;
+use ar_core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType, Token};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fresh_holder(cfg: ProtocolConfig, pending: usize) -> (Participant, Token) {
+    let members: Vec<ParticipantId> = (0..8).map(ParticipantId::new).collect();
+    let ring_id = RingId::new(members[0], 1);
+    let mut p = Participant::new(members[1], cfg, ring_id, members).unwrap();
+    for _ in 0..pending {
+        p.submit(Bytes::from(vec![0u8; 1350]), ServiceType::Agreed)
+            .unwrap();
+    }
+    let mut tok = Token::initial(ring_id, ar_core::Seq::ZERO);
+    tok.round = ar_core::Round::new(1);
+    (p, tok)
+}
+
+fn bench_token_handling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_handling");
+    for (name, cfg) in [
+        ("original", ProtocolConfig::original()),
+        ("accelerated", ProtocolConfig::accelerated()),
+    ] {
+        for batch in [1usize, 10, 30] {
+            g.throughput(Throughput::Elements(batch as u64));
+            g.bench_with_input(
+                BenchmarkId::new(name, batch),
+                &(cfg, batch),
+                |b, &(cfg, batch)| {
+                    b.iter_batched(
+                        || fresh_holder(cfg, batch),
+                        |(mut p, tok)| p.handle_message(Message::Token(tok)),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_idle_token(c: &mut Criterion) {
+    // An idle hop: nothing to send, nothing to retransmit — the
+    // steady-state cost that bounds idle rotation speed.
+    c.bench_function("token_handling/idle_hop", |b| {
+        b.iter_batched(
+            || fresh_holder(ProtocolConfig::accelerated(), 0),
+            |(mut p, tok)| p.handle_message(Message::Token(tok)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_token_handling, bench_idle_token);
+criterion_main!(benches);

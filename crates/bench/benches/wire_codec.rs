@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the wire codec: the per-message
+//! encode/decode costs that bound a single-threaded daemon's message
+//! rate.
+
+use ar_core::wire::{decode, encode, Message};
+use ar_core::{DataMessage, ParticipantId, RingId, Round, Seq, ServiceType, Token};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn data_msg(payload_len: usize) -> Message {
+    Message::Data(DataMessage {
+        ring_id: RingId::new(ParticipantId::new(0), 1),
+        seq: Seq::new(123_456),
+        pid: ParticipantId::new(5),
+        round: Round::new(99_999),
+        service: ServiceType::Agreed,
+        after_token: true,
+        payload: Bytes::from(vec![0xAB; payload_len]),
+    })
+}
+
+fn token_msg(rtr_len: usize) -> Message {
+    Message::Token(Token {
+        ring_id: RingId::new(ParticipantId::new(0), 1),
+        round: Round::new(424_242),
+        seq: Seq::new(1_000_000),
+        aru: Seq::new(999_990),
+        aru_setter: Some(ParticipantId::new(3)),
+        fcc: 160,
+        rtr: (0..rtr_len as u64).map(|i| Seq::new(999_000 + i)).collect(),
+    })
+}
+
+fn bench_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/data");
+    for len in [64usize, 1350, 8850] {
+        let msg = data_msg(len);
+        let encoded = encode(&msg);
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", len), &msg, |b, m| {
+            b.iter(|| encode(std::hint::black_box(m)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", len), &encoded, |b, e| {
+            b.iter(|| decode(std::hint::black_box(e)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_token(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/token");
+    for rtr in [0usize, 16, 256] {
+        let msg = token_msg(rtr);
+        let encoded = encode(&msg);
+        g.bench_with_input(BenchmarkId::new("encode", rtr), &msg, |b, m| {
+            b.iter(|| encode(std::hint::black_box(m)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", rtr), &encoded, |b, e| {
+            b.iter(|| decode(std::hint::black_box(e)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_data, bench_token);
+criterion_main!(benches);

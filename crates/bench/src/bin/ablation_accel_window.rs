@@ -1,0 +1,50 @@
+//! Ablation: sweep the accelerated window from 0 (the original
+//! protocol's send pattern) upward, on both networks with the daemon
+//! profile, measuring maximum throughput and latency at a fixed
+//! moderate load. Shows where the paper's "pass the token early"
+//! benefit comes from and that it saturates beyond a point.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::sweep::{latency_curve, max_throughput};
+use ar_bench::table::{write_csv, Table};
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    println!("Ablation — accelerated window sweep (daemon profile)\n");
+    let mut table = Table::new([
+        "net",
+        "accel_window",
+        "max_mbps",
+        "mean_us_at_load",
+        "load_mbps",
+    ]);
+    for (net, windows, probe_mbps) in [
+        (Net::Gigabit, &[0u32, 1, 2, 5, 10, 20, 30][..], 600u64),
+        (Net::TenGigabit, &[0, 2, 5, 10, 20, 40, 60][..], 2000),
+    ] {
+        for &w in windows {
+            let mut s = scenario(
+                net,
+                ImplProfile::daemon(),
+                ProtocolVariant::Accelerated,
+                ServiceType::Agreed,
+                1350,
+            );
+            s.base.protocol.accelerated_window = w;
+            let max = max_throughput(&s.base);
+            let probe = &latency_curve(&s.base, &[probe_mbps])[0];
+            table.row([
+                format!("{net:?}"),
+                w.to_string(),
+                format!("{:.1}", max.achieved_mbps()),
+                format!("{:.1}", probe.latency_us()),
+                probe_mbps.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    if let Ok(p) = write_csv(&table, "ablation_accel_window") {
+        println!("\nwrote {}", p.display());
+    }
+}

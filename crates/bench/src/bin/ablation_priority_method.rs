@@ -1,0 +1,33 @@
+//! Ablation: priority-switching method 1 (aggressive) vs method 2
+//! (conservative) for the accelerated protocol (Section III-C). The
+//! paper's prototypes use method 1 for peak performance; Spread ships
+//! method 2 for stability. The difference only matters when the token
+//! can arrive before the data backlog is drained, i.e. at high load on
+//! the processing-bound 10-gigabit network.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::harness::run_figure;
+use ar_core::{PriorityMethod, ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for method in [PriorityMethod::Aggressive, PriorityMethod::Conservative] {
+        let mut s = scenario(
+            Net::TenGigabit,
+            ImplProfile::daemon(),
+            ProtocolVariant::Accelerated,
+            ServiceType::Agreed,
+            1350,
+        );
+        s.base.protocol.priority_method = method;
+        s.label = format!("{method}");
+        scenarios.push(s);
+    }
+    run_figure(
+        "ablation_priority_method",
+        "Ablation — priority-switching method 1 vs 2 (accelerated, daemon, 10-gigabit)",
+        &scenarios,
+        &[500, 1000, 1500, 2000, 2500, 3000],
+    );
+}

@@ -1,0 +1,38 @@
+//! Ablation: personal-window sweep (library profile, 1-gigabit). The
+//! paper controls the library prototype's throughput with the personal
+//! window (§IV-A); this sweep regenerates that relationship and shows
+//! the latency cost of oversized windows.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::sweep::max_throughput;
+use ar_bench::table::{write_csv, Table};
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    println!("Ablation — personal window sweep (library, 1-gigabit, saturating)\n");
+    let mut table = Table::new(["personal_window", "achieved_mbps", "mean_us", "rotations"]);
+    for pw in [1u32, 2, 5, 10, 20, 30, 60, 120] {
+        let mut s = scenario(
+            Net::Gigabit,
+            ImplProfile::library(),
+            ProtocolVariant::Accelerated,
+            ServiceType::Agreed,
+            1350,
+        );
+        s.base.protocol.personal_window = pw;
+        s.base.protocol.global_window = (pw * 8).max(s.base.protocol.global_window);
+        s.base.protocol.accelerated_window = s.base.protocol.accelerated_window.min(pw);
+        let r = max_throughput(&s.base);
+        table.row([
+            pw.to_string(),
+            format!("{:.1}", r.achieved_mbps()),
+            format!("{:.1}", r.mean_latency_us()),
+            r.token_rotations.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Ok(p) = write_csv(&table, "ablation_windows") {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,54 @@
+//! Calibration probe: prints maximum throughput and two latency points
+//! for every (network × implementation × variant) combination, to check
+//! the simulator's cost model against the paper's reported numbers.
+//!
+//! Paper targets (1350-byte payloads unless noted):
+//!   1G  max: >920 Mbps all implementations (accelerated);
+//!       original supports ~500 Mbps (Agreed) before latency climbs.
+//!   10G max (accelerated): spread 2.3 Gbps, daemon 3.3, library 4.6;
+//!       with 8850-byte payloads: 5.3 / 6.0 / 7.3 Gbps.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::sweep::{latency_curve, max_throughput};
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    for net in [Net::Gigabit, Net::TenGigabit] {
+        for payload in [1350usize, 8850] {
+            if payload == 8850 && net == Net::Gigabit {
+                continue;
+            }
+            println!("== {net:?} payload={payload} ==");
+            for profile in ImplProfile::all() {
+                for variant in [ProtocolVariant::Original, ProtocolVariant::Accelerated] {
+                    let s = scenario(net, profile, variant, ServiceType::Agreed, payload);
+                    let max = max_throughput(&s.base);
+                    let rates = match net {
+                        Net::Gigabit => vec![100, 400],
+                        Net::TenGigabit => vec![500, 1500],
+                    };
+                    let curve = latency_curve(&s.base, &rates);
+                    print!(
+                        "{:22} max {:7.1} Mbps (drops sw {} sock {} rtx {} rej {})",
+                        s.label,
+                        max.achieved_mbps(),
+                        max.switch_drops,
+                        max.socket_drops,
+                        max.retransmissions,
+                        max.submit_rejected
+                    );
+                    for p in &curve {
+                        print!(
+                            "  @{}M {:6.0}us({:4.0}M)",
+                            p.offered_mbps,
+                            p.latency_us(),
+                            p.achieved_mbps()
+                        );
+                    }
+                    println!();
+                }
+            }
+        }
+    }
+}

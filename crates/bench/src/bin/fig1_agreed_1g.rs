@@ -1,0 +1,17 @@
+//! Figure 1: Agreed delivery latency vs. throughput on a 1-gigabit
+//! network — six curves (library/daemon/spread × original/accelerated),
+//! 1350-byte payloads, 8 hosts.
+
+use ar_bench::figset::{six_curves, Net};
+use ar_bench::harness::run_figure;
+use ar_core::ServiceType;
+
+fn main() {
+    let scenarios = six_curves(Net::Gigabit, ServiceType::Agreed);
+    run_figure(
+        "fig1_agreed_1g",
+        "Fig. 1 — Agreed delivery latency vs. throughput, 1-gigabit network",
+        &scenarios,
+        &[100, 200, 300, 400, 500, 600, 700, 800, 900],
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 2: Safe delivery latency vs. throughput on a 1-gigabit
+//! network — six curves, 1350-byte payloads, 8 hosts.
+
+use ar_bench::figset::{six_curves, Net};
+use ar_bench::harness::run_figure;
+use ar_core::ServiceType;
+
+fn main() {
+    let scenarios = six_curves(Net::Gigabit, ServiceType::Safe);
+    run_figure(
+        "fig2_safe_1g",
+        "Fig. 2 — Safe delivery latency vs. throughput, 1-gigabit network",
+        &scenarios,
+        &[100, 200, 300, 400, 500, 600, 700, 800, 900],
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 4: throughput vs. Agreed delivery latency for 1350-byte and
+//! 8850-byte payloads on a 10-gigabit network — accelerated protocol,
+//! three implementations. Large UDP datagrams (kernel-level
+//! fragmentation) amortize per-message processing and raise maximum
+//! throughput substantially.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::harness::run_figure;
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for profile in ImplProfile::all() {
+        for payload in [1350usize, 8850] {
+            let mut s = scenario(
+                Net::TenGigabit,
+                profile,
+                ProtocolVariant::Accelerated,
+                ServiceType::Agreed,
+                payload,
+            );
+            s.label = format!("{}/{}B", profile.name, payload);
+            scenarios.push(s);
+        }
+    }
+    run_figure(
+        "fig4_large_agreed_10g",
+        "Fig. 4 — Agreed latency, 1350 vs 8850-byte payloads, 10-gigabit network",
+        &scenarios,
+        &[500, 1000, 2000, 3000, 4000, 5000, 6000, 7000],
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 5: Safe delivery latency vs. throughput on a 10-gigabit
+//! network — six curves, 1350-byte payloads, 8 hosts.
+
+use ar_bench::figset::{six_curves, Net};
+use ar_bench::harness::run_figure;
+use ar_core::ServiceType;
+
+fn main() {
+    let scenarios = six_curves(Net::TenGigabit, ServiceType::Safe);
+    run_figure(
+        "fig5_safe_10g",
+        "Fig. 5 — Safe delivery latency vs. throughput, 10-gigabit network",
+        &scenarios,
+        &[250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500],
+    );
+}

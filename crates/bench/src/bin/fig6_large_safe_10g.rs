@@ -1,0 +1,31 @@
+//! Figure 6: throughput vs. Safe delivery latency for 1350-byte and
+//! 8850-byte payloads on a 10-gigabit network — accelerated protocol,
+//! three implementations.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::harness::run_figure;
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for profile in ImplProfile::all() {
+        for payload in [1350usize, 8850] {
+            let mut s = scenario(
+                Net::TenGigabit,
+                profile,
+                ProtocolVariant::Accelerated,
+                ServiceType::Safe,
+                payload,
+            );
+            s.label = format!("{}/{}B", profile.name, payload);
+            scenarios.push(s);
+        }
+    }
+    run_figure(
+        "fig6_large_safe_10g",
+        "Fig. 6 — Safe latency, 1350 vs 8850-byte payloads, 10-gigabit network",
+        &scenarios,
+        &[500, 1000, 2000, 3000, 4000, 5000, 6000, 7000],
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 7: Safe delivery latency at low throughputs on a 10-gigabit
+//! network. The paper's crossover: at very low load the *original*
+//! protocol has lower Safe latency (raising the aru costs the
+//! accelerated protocol up to an extra round), but once throughput
+//! reaches ~4-5% of capacity the accelerated protocol wins.
+
+use ar_bench::figset::{six_curves, Net};
+use ar_bench::harness::run_figure;
+use ar_core::ServiceType;
+
+fn main() {
+    let scenarios = six_curves(Net::TenGigabit, ServiceType::Safe);
+    run_figure(
+        "fig7_safe_low_tput_10g",
+        "Fig. 7 — Safe delivery latency at low throughputs, 10-gigabit network",
+        &scenarios,
+        &[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
+    );
+}

@@ -1,0 +1,36 @@
+//! The maximum-throughput summary reported in the text of §IV:
+//! saturating senders, every network × implementation × variant
+//! combination, 1350-byte payloads everywhere plus 8850-byte payloads
+//! on the 10-gigabit network.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::harness::run_max_table;
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::ImplProfile;
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for (net, payloads) in [
+        (Net::Gigabit, &[1350usize][..]),
+        (Net::TenGigabit, &[1350, 8850][..]),
+    ] {
+        for &payload in payloads {
+            for profile in ImplProfile::all() {
+                for variant in [ProtocolVariant::Original, ProtocolVariant::Accelerated] {
+                    let mut s =
+                        scenario(net, profile, variant, ServiceType::Agreed, payload);
+                    s.label = format!(
+                        "{:?}/{}B/{}/{}",
+                        net, payload, profile.name, variant
+                    );
+                    scenarios.push(s);
+                }
+            }
+        }
+    }
+    run_max_table(
+        "max_throughput_table",
+        "§IV — maximum throughput (Agreed, saturating senders)",
+        &scenarios,
+    );
+}

@@ -1,0 +1,68 @@
+//! Throughput over time across a membership change: the classic group
+//! communication demo. One host crashes mid-run; the plot (printed as
+//! a table, written as CSV) shows steady throughput, the gap while the
+//! survivors detect the loss and re-form the ring, and the recovery.
+
+use ar_bench::table::{write_csv, Table};
+use ar_core::{ProtocolConfig, ServiceType, TimeoutConfig};
+use ar_sim::{
+    find_disruption, FaultPlan, ImplProfile, LoadMode, NetworkConfig, RingSim, RingSimConfig,
+    SimDuration, SimTime,
+};
+
+fn main() {
+    let crash_at = SimDuration::from_millis(150);
+    let cfg = RingSimConfig {
+        n_hosts: 8,
+        protocol: ProtocolConfig::accelerated(),
+        timeouts: TimeoutConfig::default(),
+        net: NetworkConfig::gigabit(),
+        profile: ImplProfile::daemon(),
+        payload_bytes: 1350,
+        service: ServiceType::Agreed,
+        load: LoadMode::OpenLoop {
+            aggregate_bps: 300_000_000,
+        },
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::ZERO,
+        seed: 42,
+        faults: FaultPlan::none().crash(SimTime::ZERO + crash_at, 7),
+        verify_order: true,
+    };
+    println!(
+        "8 hosts at 300 Mbps aggregate; host 7 crashes at {} — deliveries at host 0 per 10 ms:\n",
+        crash_at
+    );
+    let sim = RingSim::new(cfg).with_series(SimDuration::from_millis(10));
+    let (report, series) = sim.run_full();
+    let series = series.expect("enabled");
+    let mut table = Table::new(["t_ms", "mbps_at_host0"]);
+    for (t, bps) in series.points_bps(1350 * 8) {
+        table.row([
+            format!("{:.0}", t.as_nanos() as f64 / 1e6),
+            format!("{:.1}", bps / 1e6),
+        ]);
+    }
+    print!("{}", table.render());
+    match find_disruption(series.counts(), 0.5) {
+        Some(d) => println!(
+            "\ndisruption: gap of {} buckets (~{} ms) starting at bucket {}; \
+             throughput before {:.0}/bucket, after {:.0}/bucket \
+             (7/8 of the load survives the crashed sender)",
+            d.gap_buckets,
+            d.gap_buckets * 10,
+            d.gap_start,
+            d.before_mean,
+            d.after_mean
+        ),
+        None => println!("\nno disruption detected (unexpected)"),
+    }
+    println!(
+        "membership changes are brief: total-order delivery resumed; \
+         retransmissions during recovery: {}",
+        report.retransmissions
+    );
+    if let Ok(p) = write_csv(&table, "membership_timeline") {
+        println!("wrote {}", p.display());
+    }
+}

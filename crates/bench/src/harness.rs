@@ -1,0 +1,66 @@
+//! Shared driver for the figure binaries: run a set of scenarios over
+//! a rate sweep, print the series, write the CSV.
+
+use crate::figset::Scenario;
+use crate::sweep::{latency_curve, max_throughput};
+use crate::table::{write_csv, Table};
+
+/// Runs `scenarios` at each offered rate and renders one long-format
+/// table: `curve, offered_mbps, achieved_mbps, mean_us, p50_us, p99_us,
+/// drops, retransmissions`.
+pub fn run_figure(name: &str, title: &str, scenarios: &[Scenario], rates_mbps: &[u64]) -> Table {
+    println!("{title}");
+    println!("(simulated reproduction; series = {} curves)\n", scenarios.len());
+    let mut table = Table::new([
+        "curve",
+        "offered_mbps",
+        "achieved_mbps",
+        "mean_us",
+        "p50_us",
+        "p99_us",
+        "drops",
+        "rtx",
+    ]);
+    for s in scenarios {
+        for p in latency_curve(&s.base, rates_mbps) {
+            table.row([
+                s.label.clone(),
+                format!("{:.0}", p.offered_mbps),
+                format!("{:.1}", p.achieved_mbps()),
+                format!("{:.1}", p.latency_us()),
+                format!("{:.1}", p.report.latency.p50.as_micros_f64()),
+                format!("{:.1}", p.report.latency.p99.as_micros_f64()),
+                format!("{}", p.report.switch_drops + p.report.socket_drops),
+                format!("{}", p.report.retransmissions),
+            ]);
+        }
+    }
+    finish(name, table)
+}
+
+/// Runs every scenario with saturating senders and renders the
+/// maximum-throughput table.
+pub fn run_max_table(name: &str, title: &str, scenarios: &[Scenario]) -> Table {
+    println!("{title}\n");
+    let mut table = Table::new(["curve", "max_mbps", "mean_us", "drops", "rtx"]);
+    for s in scenarios {
+        let r = max_throughput(&s.base);
+        table.row([
+            s.label.clone(),
+            format!("{:.1}", r.achieved_mbps()),
+            format!("{:.1}", r.mean_latency_us()),
+            format!("{}", r.switch_drops + r.socket_drops),
+            format!("{}", r.retransmissions),
+        ]);
+    }
+    finish(name, table)
+}
+
+fn finish(name: &str, table: Table) -> Table {
+    print!("{}", table.render());
+    match write_csv(&table, name) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write CSV: {e}"),
+    }
+    table
+}

@@ -1,0 +1,31 @@
+//! # ar-bench — the paper's evaluation, regenerated
+//!
+//! One runnable binary per figure of "Fast Total Ordering for Modern
+//! Data Centers" (Babay & Amir, ICDCS 2016), plus the maximum-throughput
+//! table, ablation sweeps, and Criterion micro-benchmarks.
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `fig1_agreed_1g` | Fig. 1 — Agreed latency vs throughput, 1-gigabit |
+//! | `fig2_safe_1g` | Fig. 2 — Safe latency vs throughput, 1-gigabit |
+//! | `fig3_agreed_10g` | Fig. 3 — Agreed latency vs throughput, 10-gigabit |
+//! | `fig4_large_agreed_10g` | Fig. 4 — 1350 vs 8850-byte payloads, Agreed, 10-gigabit |
+//! | `fig5_safe_10g` | Fig. 5 — Safe latency vs throughput, 10-gigabit |
+//! | `fig6_large_safe_10g` | Fig. 6 — 1350 vs 8850-byte payloads, Safe, 10-gigabit |
+//! | `fig7_safe_low_tput_10g` | Fig. 7 — Safe latency at low throughput (crossover) |
+//! | `max_throughput_table` | §IV text — maximum throughput per implementation |
+//! | `ablation_accel_window` | design ablation: accelerated-window sweep |
+//! | `ablation_priority_method` | design ablation: priority method 1 vs 2 |
+//! | `ablation_windows` | design ablation: personal/global window sweep |
+//!
+//! Each binary prints the series it regenerates as an aligned table and
+//! writes a CSV under `results/`.
+
+pub mod figset;
+pub mod harness;
+pub mod sweep;
+pub mod table;
+
+pub use figset::{scenario, Scenario};
+pub use sweep::{latency_curve, max_throughput, CurvePoint};
+pub use table::{write_csv, Table};

@@ -1,0 +1,88 @@
+//! Parameter sweeps: latency-vs-throughput curves and maximum
+//! throughput, matching the paper's measurement methodology (§IV-A).
+
+use ar_sim::{run_ring, LoadMode, RingSimConfig, SimReport};
+
+/// One measured point of a latency-vs-throughput curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered aggregate load in Mbps.
+    pub offered_mbps: f64,
+    /// The full simulation report at that load.
+    pub report: SimReport,
+}
+
+impl CurvePoint {
+    /// Achieved goodput in Mbps.
+    pub fn achieved_mbps(&self) -> f64 {
+        self.report.achieved_mbps()
+    }
+
+    /// Mean delivery latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.report.mean_latency_us()
+    }
+}
+
+/// Runs the system at each offered load and records average delivery
+/// latency — the paper's throughput/latency profile methodology.
+pub fn latency_curve(base: &RingSimConfig, rates_mbps: &[u64]) -> Vec<CurvePoint> {
+    rates_mbps
+        .iter()
+        .map(|&mbps| {
+            let mut cfg = base.clone();
+            cfg.load = LoadMode::OpenLoop {
+                aggregate_bps: mbps * 1_000_000,
+            };
+            CurvePoint {
+                offered_mbps: mbps as f64,
+                report: run_ring(&cfg),
+            }
+        })
+        .collect()
+}
+
+/// Runs the system with saturating senders and reports the maximum
+/// sustained goodput.
+pub fn max_throughput(base: &RingSimConfig) -> SimReport {
+    let mut cfg = base.clone();
+    cfg.load = LoadMode::Saturating;
+    run_ring(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figset::{scenario, Net};
+    use ar_core::{ProtocolVariant, ServiceType};
+    use ar_sim::{ImplProfile, SimDuration};
+
+    fn quick_base() -> RingSimConfig {
+        let mut s = scenario(
+            Net::Gigabit,
+            ImplProfile::library(),
+            ProtocolVariant::Accelerated,
+            ServiceType::Agreed,
+            1350,
+        );
+        s.base.duration = SimDuration::from_millis(30);
+        s.base.warmup = SimDuration::from_millis(15);
+        s.base
+    }
+
+    #[test]
+    fn curve_has_one_point_per_rate() {
+        let points = latency_curve(&quick_base(), &[100, 200]);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].achieved_mbps() > 80.0);
+        assert!(points[1].achieved_mbps() > points[0].achieved_mbps());
+        assert!(points[0].latency_us() > 0.0);
+    }
+
+    #[test]
+    fn max_throughput_exceeds_modest_open_loop() {
+        let base = quick_base();
+        let max = max_throughput(&base);
+        assert!(max.achieved_mbps() > 500.0, "{max:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! The outputs of the sans-io protocol state machine.
+//!
+//! The protocol core never performs I/O. Handling an input (a received
+//! message, an application submission, a timer expiry) produces a list
+//! of [`Action`]s that the embedding environment — the discrete-event
+//! simulator, the UDP runtime, or a test harness — executes **in
+//! order**. The ordering is semantically meaningful: the acceleration of
+//! the protocol is precisely that [`Action::SendToken`] appears *before*
+//! the post-token [`Action::Multicast`]s in the action list.
+
+use crate::message::{CommitToken, DataMessage, Delivery, JoinMessage, Token};
+use crate::types::{ParticipantId, RingId};
+
+/// Logical timers the protocol asks its environment to run.
+///
+/// The core names the timer; the environment supplies the duration (see
+/// [`crate::participant::TimeoutConfig`]) and calls back with
+/// [`crate::participant::Participant::handle_timer`] on expiry. Setting
+/// a timer that is already armed re-arms it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// No token seen for too long: the ring has failed; shift to Gather.
+    TokenLoss,
+    /// The token we forwarded may have been lost; retransmit it.
+    TokenRetransmit,
+    /// Periodic re-multicast of our join message while gathering.
+    Join,
+    /// Consensus not reached in time; declare unresponsive participants
+    /// failed and restart the gather.
+    ConsensusTimeout,
+    /// The commit token did not complete its rotations; restart the
+    /// gather.
+    CommitTimeout,
+}
+
+/// Whether a configuration-change delivery is transitional or regular
+/// (Extended Virtual Synchrony).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigChangeKind {
+    /// The transitional configuration: the members of the old ring that
+    /// continue together into the new ring. Messages that could not be
+    /// delivered with full old-ring guarantees are delivered in this
+    /// configuration.
+    Transitional,
+    /// The regular configuration: the new ring is installed and normal
+    /// operation resumes.
+    Regular,
+}
+
+/// A configuration change delivered to the application (a "view change"
+/// in virtual-synchrony terms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigChange {
+    /// Transitional or regular.
+    pub kind: ConfigChangeKind,
+    /// The identifier of the configuration being delivered.
+    pub ring_id: RingId,
+    /// Its members, in ring order.
+    pub members: Vec<ParticipantId>,
+}
+
+/// An output of the protocol state machine, to be executed by the
+/// embedding environment in list order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Unicast the regular token to the successor.
+    SendToken {
+        /// The successor to send to.
+        to: ParticipantId,
+        /// The updated token.
+        token: Token,
+    },
+    /// Multicast a data message to all ring members.
+    Multicast(DataMessage),
+    /// Deliver an ordered message to the application.
+    Deliver(Delivery),
+    /// Deliver a configuration change to the application.
+    DeliverConfigChange(ConfigChange),
+    /// Multicast a membership join message.
+    MulticastJoin(JoinMessage),
+    /// Unicast the membership commit token to the successor on the
+    /// forming ring.
+    SendCommit {
+        /// The successor on the new ring.
+        to: ParticipantId,
+        /// The commit token.
+        token: CommitToken,
+    },
+    /// Arm (or re-arm) a logical timer.
+    SetTimer(TimerKind),
+    /// Disarm a logical timer.
+    CancelTimer(TimerKind),
+}
+
+impl Action {
+    /// Short name of the action variant, for logs and assertions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Action::SendToken { .. } => "send-token",
+            Action::Multicast(_) => "multicast",
+            Action::Deliver(_) => "deliver",
+            Action::DeliverConfigChange(_) => "config-change",
+            Action::MulticastJoin(_) => "join",
+            Action::SendCommit { .. } => "send-commit",
+            Action::SetTimer(_) => "set-timer",
+            Action::CancelTimer(_) => "cancel-timer",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RingId, Seq};
+
+    #[test]
+    fn action_names() {
+        let t = Token::initial(RingId::default(), Seq::ZERO);
+        let a = Action::SendToken {
+            to: ParticipantId::new(1),
+            token: t,
+        };
+        assert_eq!(a.name(), "send-token");
+        assert_eq!(Action::SetTimer(TimerKind::TokenLoss).name(), "set-timer");
+    }
+}

@@ -1,0 +1,326 @@
+//! Protocol configuration: flow-control windows, the accelerated window,
+//! and the priority-switching method.
+
+use serde::{Deserialize, Serialize};
+
+/// Which protocol the configuration describes.
+///
+/// The paper's key observation is that the original Totem Ring protocol
+/// is the degenerate point of the Accelerated Ring design space: with an
+/// accelerated window of zero and the conservative priority-switching
+/// method, the accelerated protocol *is* the original protocol
+/// (Section III-D). We keep the variant explicit so benchmarks and logs
+/// can name which protocol they measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ProtocolVariant {
+    /// The original Totem single-ring ordering protocol: all multicasts
+    /// complete before the token is passed.
+    Original,
+    /// The Accelerated Ring protocol: up to `accelerated_window`
+    /// messages may be multicast after passing the token.
+    #[default]
+    Accelerated,
+}
+
+impl core::fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolVariant::Original => f.write_str("original"),
+            ProtocolVariant::Accelerated => f.write_str("accelerated"),
+        }
+    }
+}
+
+/// The two methods of deciding when to raise the token's processing
+/// priority again after handling a token (Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PriorityMethod {
+    /// Method 1: raise token priority as soon as *any* data message the
+    /// immediate predecessor sent in the next round is processed.
+    /// Maximizes token speed; used by the paper's prototypes.
+    #[default]
+    Aggressive,
+    /// Method 2: wait for a data message the predecessor sent in the
+    /// next round *after* passing the token (its post-token phase).
+    /// Slightly slower token, fewer unprocessed-data pile-ups; used by
+    /// the production Spread implementation. With an accelerated window
+    /// of zero this method reproduces the original Ring protocol.
+    Conservative,
+}
+
+impl core::fmt::Display for PriorityMethod {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PriorityMethod::Aggressive => f.write_str("method-1 (aggressive)"),
+            PriorityMethod::Conservative => f.write_str("method-2 (conservative)"),
+        }
+    }
+}
+
+/// Tunable parameters of the ordering protocol.
+///
+/// The defaults correspond to the paper's accelerated configuration for
+/// an 8-participant data-center ring; [`ProtocolConfig::original`]
+/// produces the baseline Totem Ring configuration.
+///
+/// ```
+/// use ar_core::{ProtocolConfig, ProtocolVariant};
+///
+/// let cfg = ProtocolConfig::accelerated()
+///     .with_personal_window(40)
+///     .with_accelerated_window(25);
+/// assert_eq!(cfg.variant, ProtocolVariant::Accelerated);
+/// assert_eq!(cfg.personal_window, 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Which protocol this configuration describes.
+    pub variant: ProtocolVariant,
+    /// Maximum number of *new* messages one participant may initiate in
+    /// a single token round (`Personal_window`).
+    pub personal_window: u32,
+    /// Maximum number of multicasts (new + retransmissions) that may be
+    /// initiated ring-wide in a single round (`Global_window`).
+    pub global_window: u32,
+    /// Maximum number of messages a participant may multicast *after*
+    /// passing the token (`Accelerated_window`). Zero disables
+    /// acceleration and recovers the original protocol's send pattern.
+    pub accelerated_window: u32,
+    /// Maximum gap between the highest assigned sequence number and the
+    /// global all-received-up-to (`Max_seq_gap`). Bounds the number of
+    /// undelivered messages buffered anywhere in the ring.
+    pub max_seq_gap: u64,
+    /// When the token becomes high-priority again after being handled.
+    pub priority_method: PriorityMethod,
+}
+
+impl ProtocolConfig {
+    /// The accelerated protocol with the paper's default tuning for an
+    /// 8-participant ring.
+    pub fn accelerated() -> ProtocolConfig {
+        ProtocolConfig {
+            variant: ProtocolVariant::Accelerated,
+            personal_window: 30,
+            global_window: 200,
+            accelerated_window: 20,
+            max_seq_gap: 1000,
+            priority_method: PriorityMethod::Aggressive,
+        }
+    }
+
+    /// The original Totem Ring protocol baseline: no post-token
+    /// multicasting and the conservative priority method. Per the paper
+    /// (Section III-D), this configuration behaves identically to the
+    /// original Ring protocol.
+    pub fn original() -> ProtocolConfig {
+        ProtocolConfig {
+            variant: ProtocolVariant::Original,
+            personal_window: 30,
+            global_window: 200,
+            accelerated_window: 0,
+            max_seq_gap: 1000,
+            priority_method: PriorityMethod::Conservative,
+        }
+    }
+
+    /// Sets `personal_window`.
+    #[must_use]
+    pub fn with_personal_window(mut self, w: u32) -> Self {
+        self.personal_window = w;
+        self
+    }
+
+    /// Sets `global_window`.
+    #[must_use]
+    pub fn with_global_window(mut self, w: u32) -> Self {
+        self.global_window = w;
+        self
+    }
+
+    /// Sets `accelerated_window`. Note that a non-zero accelerated
+    /// window on a [`ProtocolVariant::Original`] configuration is
+    /// rejected by [`validate`](Self::validate).
+    #[must_use]
+    pub fn with_accelerated_window(mut self, w: u32) -> Self {
+        self.accelerated_window = w;
+        self
+    }
+
+    /// Sets `max_seq_gap`.
+    #[must_use]
+    pub fn with_max_seq_gap(mut self, gap: u64) -> Self {
+        self.max_seq_gap = gap;
+        self
+    }
+
+    /// Sets the priority-switching method.
+    #[must_use]
+    pub fn with_priority_method(mut self, m: PriorityMethod) -> Self {
+        self.priority_method = m;
+        self
+    }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any window is zero where it must not
+    /// be, if the personal window exceeds the global window, or if an
+    /// `Original` variant carries a non-zero accelerated window.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.personal_window == 0 {
+            return Err(ConfigError::ZeroWindow("personal_window"));
+        }
+        if self.global_window == 0 {
+            return Err(ConfigError::ZeroWindow("global_window"));
+        }
+        if self.max_seq_gap == 0 {
+            return Err(ConfigError::ZeroWindow("max_seq_gap"));
+        }
+        if self.personal_window > self.global_window {
+            return Err(ConfigError::PersonalExceedsGlobal {
+                personal: self.personal_window,
+                global: self.global_window,
+            });
+        }
+        if self.variant == ProtocolVariant::Original && self.accelerated_window != 0 {
+            return Err(ConfigError::OriginalWithAcceleration(
+                self.accelerated_window,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::accelerated()
+    }
+}
+
+/// Errors produced by [`ProtocolConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A window parameter that must be positive was zero.
+    ZeroWindow(&'static str),
+    /// `personal_window` exceeded `global_window`.
+    PersonalExceedsGlobal {
+        /// The personal window value.
+        personal: u32,
+        /// The global window value.
+        global: u32,
+    },
+    /// An `Original`-variant configuration had a non-zero accelerated
+    /// window.
+    OriginalWithAcceleration(u32),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroWindow(name) => write!(f, "{name} must be positive"),
+            ConfigError::PersonalExceedsGlobal { personal, global } => write!(
+                f,
+                "personal_window ({personal}) exceeds global_window ({global})"
+            ),
+            ConfigError::OriginalWithAcceleration(w) => write!(
+                f,
+                "original protocol variant cannot have accelerated_window = {w}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ProtocolConfig::accelerated().validate().unwrap();
+        ProtocolConfig::original().validate().unwrap();
+        ProtocolConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_is_accelerated() {
+        assert_eq!(
+            ProtocolConfig::default().variant,
+            ProtocolVariant::Accelerated
+        );
+    }
+
+    #[test]
+    fn original_has_zero_accel_window_and_conservative_priority() {
+        let cfg = ProtocolConfig::original();
+        assert_eq!(cfg.accelerated_window, 0);
+        assert_eq!(cfg.priority_method, PriorityMethod::Conservative);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = ProtocolConfig::accelerated()
+            .with_personal_window(5)
+            .with_global_window(50)
+            .with_accelerated_window(3)
+            .with_max_seq_gap(77)
+            .with_priority_method(PriorityMethod::Conservative);
+        assert_eq!(cfg.personal_window, 5);
+        assert_eq!(cfg.global_window, 50);
+        assert_eq!(cfg.accelerated_window, 3);
+        assert_eq!(cfg.max_seq_gap, 77);
+        assert_eq!(cfg.priority_method, PriorityMethod::Conservative);
+    }
+
+    #[test]
+    fn zero_windows_are_rejected() {
+        assert_eq!(
+            ProtocolConfig::accelerated()
+                .with_personal_window(0)
+                .validate(),
+            Err(ConfigError::ZeroWindow("personal_window"))
+        );
+        assert_eq!(
+            ProtocolConfig::accelerated()
+                .with_global_window(0)
+                .validate(),
+            Err(ConfigError::ZeroWindow("global_window"))
+        );
+        assert_eq!(
+            ProtocolConfig::accelerated().with_max_seq_gap(0).validate(),
+            Err(ConfigError::ZeroWindow("max_seq_gap"))
+        );
+    }
+
+    #[test]
+    fn personal_window_must_fit_global() {
+        let cfg = ProtocolConfig::accelerated()
+            .with_personal_window(100)
+            .with_global_window(50);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::PersonalExceedsGlobal { .. })
+        ));
+    }
+
+    #[test]
+    fn original_variant_rejects_acceleration() {
+        let cfg = ProtocolConfig::original().with_accelerated_window(4);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::OriginalWithAcceleration(4))
+        );
+    }
+
+    #[test]
+    fn config_error_display() {
+        assert!(ConfigError::ZeroWindow("personal_window")
+            .to_string()
+            .contains("personal_window"));
+        assert!(ConfigError::OriginalWithAcceleration(3)
+            .to_string()
+            .contains("accelerated_window"));
+    }
+}

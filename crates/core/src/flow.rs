@@ -1,0 +1,166 @@
+//! Flow-control arithmetic (Section III-A.1 of the paper).
+//!
+//! On receiving the token, a participant computes the maximum number of
+//! *new* messages it may initiate this round as the minimum of four
+//! limits: the application backlog, the personal window, what remains of
+//! the global window after the previous round's traffic and this round's
+//! retransmissions, and the maximum allowed gap between the highest
+//! assigned sequence number and the global all-received-up-to.
+
+use crate::config::ProtocolConfig;
+use crate::types::Seq;
+
+/// The inputs to the flow-control decision, gathered from the received
+/// token and local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowInputs {
+    /// Messages the application has waiting to be ordered.
+    pub backlog: usize,
+    /// The `fcc` field of the received token: multicasts sent ring-wide
+    /// during the last rotation.
+    pub token_fcc: u32,
+    /// Retransmissions this participant is sending this round.
+    pub num_retrans: u32,
+    /// The `seq` field of the received token: the highest sequence
+    /// number assigned so far.
+    pub token_seq: Seq,
+    /// The participant's estimate of the highest sequence number known
+    /// to have been received by all members (the `Global_aru`); the
+    /// stability watermark is a sound estimate.
+    pub global_aru: Seq,
+}
+
+/// Computes the maximum number of new messages that may be initiated
+/// this round.
+///
+/// ```
+/// use ar_core::flow::{allowed_new_messages, FlowInputs};
+/// use ar_core::{ProtocolConfig, Seq};
+///
+/// let cfg = ProtocolConfig::accelerated()
+///     .with_personal_window(10)
+///     .with_global_window(40)
+///     .with_max_seq_gap(100);
+/// let inputs = FlowInputs {
+///     backlog: 25,
+///     token_fcc: 20,
+///     num_retrans: 5,
+///     token_seq: Seq::new(50),
+///     global_aru: Seq::new(45),
+/// };
+/// // min(25 backlog, 10 personal, 40-20-5=15 global, 45+100-50=95 gap) = 10
+/// assert_eq!(allowed_new_messages(&cfg, inputs), 10);
+/// ```
+pub fn allowed_new_messages(cfg: &ProtocolConfig, inputs: FlowInputs) -> u32 {
+    let backlog = u32::try_from(inputs.backlog).unwrap_or(u32::MAX);
+    let personal = cfg.personal_window;
+    let global = cfg
+        .global_window
+        .saturating_sub(inputs.token_fcc)
+        .saturating_sub(inputs.num_retrans);
+    let gap_limit = inputs
+        .global_aru
+        .as_u64()
+        .saturating_add(cfg.max_seq_gap)
+        .saturating_sub(inputs.token_seq.as_u64());
+    let gap = u32::try_from(gap_limit).unwrap_or(u32::MAX);
+    backlog.min(personal).min(global).min(gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::accelerated()
+            .with_personal_window(10)
+            .with_global_window(40)
+            .with_max_seq_gap(100)
+    }
+
+    fn base_inputs() -> FlowInputs {
+        FlowInputs {
+            backlog: 1000,
+            token_fcc: 0,
+            num_retrans: 0,
+            token_seq: Seq::ZERO,
+            global_aru: Seq::ZERO,
+        }
+    }
+
+    #[test]
+    fn personal_window_binds() {
+        assert_eq!(allowed_new_messages(&cfg(), base_inputs()), 10);
+    }
+
+    #[test]
+    fn backlog_binds_when_small() {
+        let inputs = FlowInputs {
+            backlog: 3,
+            ..base_inputs()
+        };
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 3);
+    }
+
+    #[test]
+    fn global_window_accounts_for_fcc_and_retransmissions() {
+        let inputs = FlowInputs {
+            token_fcc: 35,
+            num_retrans: 3,
+            ..base_inputs()
+        };
+        // 40 - 35 - 3 = 2
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 2);
+    }
+
+    #[test]
+    fn global_window_saturates_at_zero() {
+        let inputs = FlowInputs {
+            token_fcc: 50,
+            ..base_inputs()
+        };
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 0);
+    }
+
+    #[test]
+    fn seq_gap_binds_when_stability_lags() {
+        let inputs = FlowInputs {
+            token_seq: Seq::new(95),
+            global_aru: Seq::ZERO,
+            ..base_inputs()
+        };
+        // 0 + 100 - 95 = 5
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 5);
+    }
+
+    #[test]
+    fn seq_gap_saturates_at_zero() {
+        let inputs = FlowInputs {
+            token_seq: Seq::new(500),
+            global_aru: Seq::ZERO,
+            ..base_inputs()
+        };
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 0);
+    }
+
+    #[test]
+    fn empty_backlog_sends_nothing() {
+        let inputs = FlowInputs {
+            backlog: 0,
+            ..base_inputs()
+        };
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 0);
+    }
+
+    #[test]
+    fn huge_backlog_does_not_overflow() {
+        let inputs = FlowInputs {
+            backlog: usize::MAX,
+            global_aru: Seq::new(u64::MAX - 50),
+            token_seq: Seq::new(u64::MAX - 40),
+            ..base_inputs()
+        };
+        // Saturating arithmetic everywhere; personal window binds.
+        assert_eq!(allowed_new_messages(&cfg(), inputs), 10);
+    }
+}

@@ -1,0 +1,226 @@
+//! Token-versus-data processing priority (Section III-C of the paper).
+//!
+//! When both a token and data messages are queued for processing, the
+//! protocol must decide which to handle first. Processing the token too
+//! early requests spurious retransmissions (the predecessor's messages
+//! were sent, just not yet processed) and lets unprocessed data pile up;
+//! processing it too late squanders the acceleration. The
+//! [`PriorityTracker`] implements the paper's two switching methods:
+//!
+//! * after a token is processed, data messages get high priority;
+//! * the token regains high priority when the participant processes a
+//!   data message that its immediate ring predecessor initiated in the
+//!   *next* round — any such message under
+//!   [`PriorityMethod::Aggressive`] (method 1), or only one the
+//!   predecessor multicast after passing the token (its post-token
+//!   phase) under [`PriorityMethod::Conservative`] (method 2).
+//!
+//! Priority is a *preference*, not an exclusion: a host with an empty
+//! high-priority queue processes the other kind immediately. The choice
+//! affects performance only, never correctness.
+
+use crate::config::PriorityMethod;
+use crate::message::DataMessage;
+use crate::types::{ParticipantId, Round};
+
+/// Which message kind is currently preferred for processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Prefer token messages.
+    TokenHigh,
+    /// Prefer data messages.
+    DataHigh,
+}
+
+/// Tracks the current processing priority for one participant.
+#[derive(Debug, Clone)]
+pub struct PriorityTracker {
+    method: PriorityMethod,
+    mode: PriorityMode,
+    predecessor: ParticipantId,
+    ring_size: u64,
+    last_token_round: Round,
+}
+
+impl PriorityTracker {
+    /// Creates a tracker for a participant whose immediate ring
+    /// predecessor is `predecessor` on a ring of `ring_size` members.
+    ///
+    /// The tracker starts in [`PriorityMode::TokenHigh`] so the first
+    /// token of a configuration is handled immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero.
+    pub fn new(method: PriorityMethod, predecessor: ParticipantId, ring_size: usize) -> Self {
+        assert!(ring_size > 0, "ring cannot be empty");
+        PriorityTracker {
+            method,
+            mode: PriorityMode::TokenHigh,
+            predecessor,
+            ring_size: ring_size as u64,
+            last_token_round: Round::ZERO,
+        }
+    }
+
+    /// Current preference.
+    pub fn mode(&self) -> PriorityMode {
+        self.mode
+    }
+
+    /// The switching method in force.
+    pub fn method(&self) -> PriorityMethod {
+        self.method
+    }
+
+    /// Records that the token for `round` was processed: data messages
+    /// become high-priority.
+    pub fn on_token_processed(&mut self, round: Round) {
+        self.last_token_round = round;
+        self.mode = PriorityMode::DataHigh;
+    }
+
+    /// Records that a ring configuration change installed a new
+    /// predecessor and ring size; resets to token-high for the first
+    /// token of the new ring.
+    pub fn reconfigure(&mut self, predecessor: ParticipantId, ring_size: usize) {
+        assert!(ring_size > 0, "ring cannot be empty");
+        self.predecessor = predecessor;
+        self.ring_size = ring_size as u64;
+        self.mode = PriorityMode::TokenHigh;
+        self.last_token_round = Round::ZERO;
+    }
+
+    /// Records that a data message was processed, possibly raising the
+    /// token's priority.
+    ///
+    /// With the token round incrementing once per hop, the predecessor
+    /// initiates its next-round messages with round
+    /// `last_token_round + ring_size - 1`.
+    pub fn on_data_processed(&mut self, msg: &DataMessage) {
+        if self.mode == PriorityMode::TokenHigh {
+            return;
+        }
+        if msg.pid != self.predecessor {
+            return;
+        }
+        let next_round_of_pred = self.last_token_round.advance(self.ring_size - 1);
+        if msg.round < next_round_of_pred {
+            return;
+        }
+        match self.method {
+            PriorityMethod::Aggressive => self.mode = PriorityMode::TokenHigh,
+            PriorityMethod::Conservative => {
+                if msg.after_token {
+                    self.mode = PriorityMode::TokenHigh;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RingId, Seq, ServiceType};
+    use bytes::Bytes;
+
+    const PRED: ParticipantId = ParticipantId::new(7);
+    const OTHER: ParticipantId = ParticipantId::new(3);
+    const RING_SIZE: usize = 8;
+
+    fn data(pid: ParticipantId, round: u64, after_token: bool) -> DataMessage {
+        DataMessage {
+            ring_id: RingId::new(ParticipantId::new(0), 1),
+            seq: Seq::new(1),
+            pid,
+            round: Round::new(round),
+            service: ServiceType::Agreed,
+            after_token,
+            payload: Bytes::new(),
+        }
+    }
+
+    fn tracker(method: PriorityMethod) -> PriorityTracker {
+        let mut t = PriorityTracker::new(method, PRED, RING_SIZE);
+        // Simulate having processed the token for round 10.
+        t.on_token_processed(Round::new(10));
+        t
+    }
+
+    #[test]
+    fn starts_token_high() {
+        let t = PriorityTracker::new(PriorityMethod::Aggressive, PRED, RING_SIZE);
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    fn token_processing_lowers_token_priority() {
+        let t = tracker(PriorityMethod::Aggressive);
+        assert_eq!(t.mode(), PriorityMode::DataHigh);
+    }
+
+    #[test]
+    fn aggressive_raises_on_any_next_round_predecessor_message() {
+        let mut t = tracker(PriorityMethod::Aggressive);
+        // Predecessor's next round = 10 + 8 - 1 = 17.
+        t.on_data_processed(&data(PRED, 16, false));
+        assert_eq!(t.mode(), PriorityMode::DataHigh, "old round ignored");
+        t.on_data_processed(&data(PRED, 17, false));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    fn aggressive_ignores_non_predecessor() {
+        let mut t = tracker(PriorityMethod::Aggressive);
+        t.on_data_processed(&data(OTHER, 17, true));
+        assert_eq!(t.mode(), PriorityMode::DataHigh);
+    }
+
+    #[test]
+    fn conservative_waits_for_post_token_message() {
+        let mut t = tracker(PriorityMethod::Conservative);
+        t.on_data_processed(&data(PRED, 17, false));
+        assert_eq!(
+            t.mode(),
+            PriorityMode::DataHigh,
+            "pre-token message does not switch method 2"
+        );
+        t.on_data_processed(&data(PRED, 17, true));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    fn later_rounds_also_trigger() {
+        let mut t = tracker(PriorityMethod::Aggressive);
+        t.on_data_processed(&data(PRED, 30, false));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    fn already_token_high_is_stable() {
+        let mut t = tracker(PriorityMethod::Aggressive);
+        t.on_data_processed(&data(PRED, 17, false));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+        // Further data does not flip it back.
+        t.on_data_processed(&data(PRED, 17, false));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    fn reconfigure_resets_state() {
+        let mut t = tracker(PriorityMethod::Aggressive);
+        t.reconfigure(OTHER, 3);
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+        t.on_token_processed(Round::new(5));
+        // New predecessor's next round = 5 + 3 - 1 = 7.
+        t.on_data_processed(&data(OTHER, 7, false));
+        assert_eq!(t.mode(), PriorityMode::TokenHigh);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring cannot be empty")]
+    fn empty_ring_rejected() {
+        let _ = PriorityTracker::new(PriorityMethod::Aggressive, PRED, 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! The received-message buffer: ordered storage of data messages,
+//! local-aru tracking, delivery gating, and stability-driven discard.
+//!
+//! Every participant keeps one [`RecvBuffer`] per configuration. The
+//! buffer owns the three watermarks the protocol reasons about:
+//!
+//! * `local_aru` — the highest sequence number such that this
+//!   participant has received *every* message with a lower-or-equal
+//!   sequence number;
+//! * `delivered_up_to` — the prefix already handed to the application;
+//! * `discarded_up_to` — the prefix removed after becoming stable
+//!   (received by all members), i.e. the garbage-collection frontier.
+//!
+//! Invariant: `discarded_up_to <= delivered_up_to <= local_aru`.
+
+use std::collections::BTreeMap;
+
+use crate::message::{DataMessage, Delivery};
+use crate::types::Seq;
+
+/// Outcome of inserting a received data message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The message was new and has been stored.
+    New,
+    /// A message with this sequence number is already buffered (or was
+    /// already delivered and discarded); the duplicate was dropped.
+    Duplicate,
+}
+
+/// Ordered buffer of received data messages for one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RecvBuffer {
+    msgs: BTreeMap<Seq, DataMessage>,
+    local_aru: Seq,
+    delivered_up_to: Seq,
+    discarded_up_to: Seq,
+    duplicates: u64,
+}
+
+impl RecvBuffer {
+    /// Creates an empty buffer whose watermarks start at `start`
+    /// (`Seq::ZERO` for a fresh configuration; the recovered watermark
+    /// after a membership change).
+    pub fn new(start: Seq) -> RecvBuffer {
+        RecvBuffer {
+            msgs: BTreeMap::new(),
+            local_aru: start,
+            delivered_up_to: start,
+            discarded_up_to: start,
+            duplicates: 0,
+        }
+    }
+
+    /// The highest sequence number up to which this participant has
+    /// received everything.
+    pub fn local_aru(&self) -> Seq {
+        self.local_aru
+    }
+
+    /// The delivery frontier: all messages with `seq <=` this value have
+    /// been delivered to the application.
+    pub fn delivered_up_to(&self) -> Seq {
+        self.delivered_up_to
+    }
+
+    /// The garbage-collection frontier.
+    pub fn discarded_up_to(&self) -> Seq {
+        self.discarded_up_to
+    }
+
+    /// Number of duplicate receptions dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// The highest sequence number received so far (not necessarily
+    /// contiguously), or the discard frontier if the buffer is empty.
+    pub fn highest_received(&self) -> Seq {
+        self.msgs
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(self.discarded_up_to)
+            .max(self.local_aru)
+    }
+
+    /// Inserts a received message, advancing `local_aru` over any gap it
+    /// fills.
+    pub fn insert(&mut self, msg: DataMessage) -> InsertOutcome {
+        let seq = msg.seq;
+        if seq <= self.discarded_up_to || seq <= self.local_aru || self.msgs.contains_key(&seq) {
+            self.duplicates += 1;
+            return InsertOutcome::Duplicate;
+        }
+        self.msgs.insert(seq, msg);
+        while self.msgs.contains_key(&self.local_aru.next()) {
+            self.local_aru = self.local_aru.next();
+        }
+        InsertOutcome::New
+    }
+
+    /// Returns the buffered message with sequence number `seq`, if it is
+    /// still held (for answering retransmission requests).
+    pub fn get(&self, seq: Seq) -> Option<&DataMessage> {
+        self.msgs.get(&seq)
+    }
+
+    /// True if the message with sequence number `seq` has been received
+    /// (whether still buffered or already discarded as stable).
+    pub fn has(&self, seq: Seq) -> bool {
+        seq <= self.local_aru || self.msgs.contains_key(&seq)
+    }
+
+    /// Sequence numbers missing between `local_aru` (exclusive) and
+    /// `limit` (inclusive).
+    ///
+    /// The Accelerated Ring protocol calls this with the `seq` of the
+    /// token received in the *previous* round, so that messages that
+    /// were ordered but possibly not yet multicast (the predecessor's
+    /// post-token phase) are never requested spuriously.
+    pub fn missing_up_to(&self, limit: Seq) -> Vec<Seq> {
+        let mut missing = Vec::new();
+        let mut next = self.local_aru.next();
+        if next > limit {
+            return missing;
+        }
+        for (&have, _) in self.msgs.range(next..=limit) {
+            while next < have {
+                missing.push(next);
+                next = next.next();
+            }
+            next = have.next();
+        }
+        while next <= limit {
+            missing.push(next);
+            next = next.next();
+        }
+        missing
+    }
+
+    /// Delivers every message that is now deliverable and returns the
+    /// deliveries in total order.
+    ///
+    /// A message is deliverable once all messages with lower sequence
+    /// numbers have been received and delivered, and — if it requires
+    /// `Safe` service — once its sequence number is `<= safe_up_to`
+    /// (stability). A non-deliverable `Safe` message blocks everything
+    /// after it, preserving the total order.
+    pub fn deliver_ready(&mut self, safe_up_to: Seq) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while self.delivered_up_to < self.local_aru {
+            let next = self.delivered_up_to.next();
+            let msg = self
+                .msgs
+                .get(&next)
+                .expect("message below local_aru must be buffered");
+            if msg.service.requires_stability() && next > safe_up_to {
+                break;
+            }
+            out.push(Delivery::from_data(msg));
+            self.delivered_up_to = next;
+        }
+        out
+    }
+
+    /// Discards every buffered message with `seq <= up_to` (they are
+    /// stable: received by all members and no longer needed for
+    /// retransmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if asked to discard past the delivery
+    /// frontier — stability never outruns delivery in a correct run.
+    pub fn discard_up_to(&mut self, up_to: Seq) {
+        if up_to <= self.discarded_up_to {
+            return;
+        }
+        debug_assert!(
+            up_to <= self.delivered_up_to,
+            "discarding undelivered messages ({up_to} > {})",
+            self.delivered_up_to
+        );
+        self.msgs = self.msgs.split_off(&up_to.next());
+        self.discarded_up_to = up_to;
+    }
+
+    /// Iterates over the buffered messages in sequence order (used by
+    /// the recovery protocol to re-multicast old-ring messages).
+    pub fn iter(&self) -> impl Iterator<Item = &DataMessage> {
+        self.msgs.values()
+    }
+
+    /// Delivers every message up to `up_to` regardless of Safe-service
+    /// stability, stopping early at a gap.
+    ///
+    /// Used at the end of membership recovery: once every continuing
+    /// member of the old configuration holds the same message set, the
+    /// remaining messages are delivered in the *transitional*
+    /// configuration, where Safe semantics are relative to the
+    /// transitional membership (Extended Virtual Synchrony).
+    pub fn deliver_all_up_to(&mut self, up_to: Seq) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while self.delivered_up_to < up_to {
+            let next = self.delivered_up_to.next();
+            let Some(msg) = self.msgs.get(&next) else {
+                break;
+            };
+            out.push(Delivery::from_data(msg));
+            self.delivered_up_to = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ParticipantId, RingId, Round, ServiceType};
+    use bytes::Bytes;
+
+    fn msg(seq: u64, service: ServiceType) -> DataMessage {
+        DataMessage {
+            ring_id: RingId::new(ParticipantId::new(0), 1),
+            seq: Seq::new(seq),
+            pid: ParticipantId::new(1),
+            round: Round::new(1),
+            service,
+            after_token: false,
+            payload: Bytes::from_static(b"m"),
+        }
+    }
+
+    #[test]
+    fn aru_advances_contiguously() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        assert_eq!(b.insert(msg(1, ServiceType::Agreed)), InsertOutcome::New);
+        assert_eq!(b.local_aru(), Seq::new(1));
+        assert_eq!(b.insert(msg(3, ServiceType::Agreed)), InsertOutcome::New);
+        assert_eq!(b.local_aru(), Seq::new(1), "gap at 2 blocks aru");
+        assert_eq!(b.insert(msg(2, ServiceType::Agreed)), InsertOutcome::New);
+        assert_eq!(b.local_aru(), Seq::new(3), "filling the gap jumps aru");
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_dropped() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, ServiceType::Agreed));
+        assert_eq!(
+            b.insert(msg(1, ServiceType::Agreed)),
+            InsertOutcome::Duplicate
+        );
+        assert_eq!(b.duplicates(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn delivery_of_agreed_prefix() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, ServiceType::Agreed));
+        b.insert(msg(2, ServiceType::Agreed));
+        b.insert(msg(4, ServiceType::Agreed));
+        let d = b.deliver_ready(Seq::ZERO);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].seq, Seq::new(1));
+        assert_eq!(d[1].seq, Seq::new(2));
+        assert_eq!(b.delivered_up_to(), Seq::new(2));
+        // Nothing more until the gap at 3 fills.
+        assert!(b.deliver_ready(Seq::ZERO).is_empty());
+    }
+
+    #[test]
+    fn safe_message_waits_for_stability_and_blocks_later_agreed() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, ServiceType::Safe));
+        b.insert(msg(2, ServiceType::Agreed));
+        // Not stable yet: nothing delivered, not even the Agreed at 2.
+        assert!(b.deliver_ready(Seq::ZERO).is_empty());
+        // Stability reaches 1: both flow out, in order.
+        let d = b.deliver_ready(Seq::new(1));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].seq, Seq::new(1));
+        assert_eq!(d[0].service, ServiceType::Safe);
+        assert_eq!(d[1].seq, Seq::new(2));
+    }
+
+    #[test]
+    fn missing_up_to_reports_gaps_only_below_limit() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(2, ServiceType::Agreed));
+        b.insert(msg(5, ServiceType::Agreed));
+        assert_eq!(
+            b.missing_up_to(Seq::new(6)),
+            vec![Seq::new(1), Seq::new(3), Seq::new(4), Seq::new(6)]
+        );
+        assert_eq!(b.missing_up_to(Seq::new(2)), vec![Seq::new(1)]);
+        assert_eq!(b.missing_up_to(Seq::ZERO), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn missing_up_to_empty_when_contiguous() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, ServiceType::Agreed));
+        b.insert(msg(2, ServiceType::Agreed));
+        assert!(b.missing_up_to(Seq::new(2)).is_empty());
+    }
+
+    #[test]
+    fn discard_removes_stable_prefix_but_keeps_rest() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        for s in 1..=4 {
+            b.insert(msg(s, ServiceType::Agreed));
+        }
+        b.deliver_ready(Seq::ZERO);
+        b.discard_up_to(Seq::new(2));
+        assert_eq!(b.discarded_up_to(), Seq::new(2));
+        assert!(b.get(Seq::new(2)).is_none());
+        assert!(b.get(Seq::new(3)).is_some());
+        assert!(b.has(Seq::new(1)), "discarded messages still count as received");
+        // Re-inserting a discarded message is a duplicate.
+        assert_eq!(
+            b.insert(msg(1, ServiceType::Agreed)),
+            InsertOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn discard_is_idempotent_and_monotonic() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, ServiceType::Agreed));
+        b.deliver_ready(Seq::ZERO);
+        b.discard_up_to(Seq::new(1));
+        b.discard_up_to(Seq::new(1));
+        b.discard_up_to(Seq::ZERO);
+        assert_eq!(b.discarded_up_to(), Seq::new(1));
+    }
+
+    #[test]
+    fn highest_received_tracks_max() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        assert_eq!(b.highest_received(), Seq::ZERO);
+        b.insert(msg(7, ServiceType::Agreed));
+        assert_eq!(b.highest_received(), Seq::new(7));
+        b.insert(msg(3, ServiceType::Agreed));
+        assert_eq!(b.highest_received(), Seq::new(7));
+    }
+
+    #[test]
+    fn starts_at_nonzero_watermark_after_recovery() {
+        let mut b = RecvBuffer::new(Seq::new(10));
+        assert_eq!(
+            b.insert(msg(10, ServiceType::Agreed)),
+            InsertOutcome::Duplicate,
+            "messages at or below the start watermark are old"
+        );
+        assert_eq!(b.insert(msg(11, ServiceType::Agreed)), InsertOutcome::New);
+        assert_eq!(b.local_aru(), Seq::new(11));
+        let d = b.deliver_ready(Seq::ZERO);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].seq, Seq::new(11));
+    }
+
+    #[test]
+    fn iter_yields_messages_in_sequence_order() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(3, ServiceType::Agreed));
+        b.insert(msg(1, ServiceType::Agreed));
+        b.insert(msg(2, ServiceType::Agreed));
+        let seqs: Vec<u64> = b.iter().map(|m| m.seq.as_u64()).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+}

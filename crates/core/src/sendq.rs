@@ -1,0 +1,176 @@
+//! Queue of application messages waiting to be ordered.
+//!
+//! Messages submitted by the application wait here until the participant
+//! holds the token and flow control admits them. The queue enforces a
+//! bounded capacity so that a slow ring pushes back on the application
+//! (the paper's daemons block clients the same way) instead of growing
+//! without bound.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use crate::types::ServiceType;
+
+/// Default capacity of the pending-send queue, in messages.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A payload waiting to be ordered, with its requested service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingMessage {
+    /// The application payload.
+    pub payload: Bytes,
+    /// The delivery service requested for this message.
+    pub service: ServiceType,
+}
+
+/// Error returned when the pending queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The queue's capacity, for the caller's diagnostics.
+    pub capacity: usize,
+}
+
+impl core::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "send queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Bounded FIFO of messages awaiting ordering.
+#[derive(Debug, Clone)]
+pub struct SendQueue {
+    queue: VecDeque<PendingMessage>,
+    capacity: usize,
+    bytes_queued: usize,
+}
+
+impl SendQueue {
+    /// Creates a queue with the default capacity.
+    pub fn new() -> SendQueue {
+        SendQueue::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a queue bounded at `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> SendQueue {
+        assert!(capacity > 0, "send queue capacity must be positive");
+        SendQueue {
+            queue: VecDeque::new(),
+            capacity,
+            bytes_queued: 0,
+        }
+    }
+
+    /// Enqueues a message for ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the queue is at capacity; the caller
+    /// should retry after deliveries drain the ring (backpressure).
+    pub fn push(&mut self, payload: Bytes, service: ServiceType) -> Result<(), QueueFull> {
+        if self.queue.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.bytes_queued += payload.len();
+        self.queue.push_back(PendingMessage { payload, service });
+        Ok(())
+    }
+
+    /// Dequeues the next message to order, if any.
+    pub fn pop(&mut self) -> Option<PendingMessage> {
+        let m = self.queue.pop_front()?;
+        self.bytes_queued -= m.payload.len();
+        Some(m)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total payload bytes queued.
+    pub fn bytes_queued(&self) -> usize {
+        self.bytes_queued
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining slots before the queue refuses submissions.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+}
+
+impl Default for SendQueue {
+    fn default() -> Self {
+        SendQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = SendQueue::new();
+        q.push(Bytes::from_static(b"a"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"b"), ServiceType::Safe).unwrap();
+        assert_eq!(q.pop().unwrap().payload, Bytes::from_static(b"a"));
+        assert_eq!(q.pop().unwrap().service, ServiceType::Safe);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = SendQueue::with_capacity(2);
+        q.push(Bytes::from_static(b"1"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"2"), ServiceType::Agreed).unwrap();
+        let err = q
+            .push(Bytes::from_static(b"3"), ServiceType::Agreed)
+            .unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(q.remaining(), 0);
+        // Popping frees a slot.
+        q.pop();
+        assert_eq!(q.remaining(), 1);
+        q.push(Bytes::from_static(b"3"), ServiceType::Agreed).unwrap();
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = SendQueue::new();
+        q.push(Bytes::from_static(b"abc"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"de"), ServiceType::Agreed).unwrap();
+        assert_eq!(q.bytes_queued(), 5);
+        q.pop();
+        assert_eq!(q.bytes_queued(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SendQueue::with_capacity(0);
+    }
+
+    #[test]
+    fn queue_full_error_displays_capacity() {
+        assert!(QueueFull { capacity: 7 }.to_string().contains('7'));
+    }
+}

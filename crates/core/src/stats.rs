@@ -1,0 +1,62 @@
+//! Protocol statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by a participant across its lifetime.
+///
+/// All counters are cumulative; callers that want per-interval rates
+/// should snapshot and diff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParticipantStats {
+    /// Tokens handled (duplicates excluded).
+    pub tokens_handled: u64,
+    /// Duplicate or stale tokens dropped.
+    pub tokens_dropped: u64,
+    /// Tokens retransmitted after a retransmission timeout.
+    pub tokens_retransmitted: u64,
+    /// New data messages initiated by this participant.
+    pub messages_initiated: u64,
+    /// Of those, messages multicast during the post-token phase.
+    pub messages_sent_after_token: u64,
+    /// Retransmissions answered by this participant.
+    pub retransmissions_sent: u64,
+    /// Retransmission requests this participant placed on the token.
+    pub retransmissions_requested: u64,
+    /// Data messages received and buffered (duplicates excluded).
+    pub messages_received: u64,
+    /// Duplicate data messages dropped.
+    pub duplicates_dropped: u64,
+    /// Data messages from foreign (old or unknown) rings dropped.
+    pub foreign_dropped: u64,
+    /// Messages delivered to the application.
+    pub messages_delivered: u64,
+    /// Of those, messages delivered with Safe service.
+    pub safe_delivered: u64,
+    /// Messages discarded after becoming stable.
+    pub messages_discarded: u64,
+    /// Configuration changes delivered (regular configurations
+    /// installed).
+    pub config_changes: u64,
+    /// Membership gather phases entered.
+    pub gathers_started: u64,
+}
+
+impl ParticipantStats {
+    /// Creates zeroed counters.
+    pub fn new() -> ParticipantStats {
+        ParticipantStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let s = ParticipantStats::new();
+        assert_eq!(s.tokens_handled, 0);
+        assert_eq!(s.messages_delivered, 0);
+        assert_eq!(s, ParticipantStats::default());
+    }
+}

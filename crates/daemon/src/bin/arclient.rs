@@ -1,0 +1,139 @@
+//! `arclient` — interactive client for an Accelerated Ring daemon
+//! (the `spuser` analog).
+//!
+//! ```text
+//! usage: arclient <daemon-host:port> <name>
+//!
+//! commands:
+//!   join <group>
+//!   leave <group>
+//!   send <group>[,<group>...] <text>        (agreed delivery)
+//!   sends <group>[,<group>...] <text>       (safe delivery)
+//!   quit
+//! ```
+//!
+//! Incoming messages and membership changes print as they arrive.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ar_core::ServiceType;
+use ar_daemon::{ClientEvent, RemoteClient};
+use bytes::Bytes;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: arclient <daemon-host:port> <name>");
+        return ExitCode::from(2);
+    }
+    let addr = match args[1].parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("arclient: invalid address '{}'", args[1]);
+            return ExitCode::from(2);
+        }
+    };
+    let mut client = match RemoteClient::connect(addr, &args[2]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("arclient: cannot connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("connected as {}", client.member_id());
+
+    let stdin = std::io::stdin();
+    print_prompt();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        // Print any queued events first.
+        for ev in client.drain() {
+            print_event(&ev);
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            print_prompt();
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let verb = parts.next().unwrap_or("");
+        match verb {
+            "quit" | "exit" => break,
+            "join" => match parts.next() {
+                Some(g) => {
+                    if let Err(e) = client.join(g) {
+                        eprintln!("join failed: {e}");
+                    }
+                }
+                None => eprintln!("usage: join <group>"),
+            },
+            "leave" => match parts.next() {
+                Some(g) => {
+                    if let Err(e) = client.leave(g) {
+                        eprintln!("leave failed: {e}");
+                    }
+                }
+                None => eprintln!("usage: leave <group>"),
+            },
+            "send" | "sends" => {
+                let service = if verb == "sends" {
+                    ServiceType::Safe
+                } else {
+                    ServiceType::Agreed
+                };
+                match (parts.next(), parts.next()) {
+                    (Some(groups), Some(text)) => {
+                        let gs: Vec<&str> = groups.split(',').collect();
+                        if let Err(e) =
+                            client.multicast(&gs, service, Bytes::from(text.to_string()))
+                        {
+                            eprintln!("send failed: {e}");
+                        }
+                    }
+                    _ => eprintln!("usage: {verb} <group>[,<group>...] <text>"),
+                }
+            }
+            other => eprintln!("unknown command '{other}' (join/leave/send/sends/quit)"),
+        }
+        // Give events a moment to arrive, then print them.
+        std::thread::sleep(Duration::from_millis(100));
+        for ev in client.drain() {
+            print_event(&ev);
+        }
+        print_prompt();
+    }
+    println!("bye");
+    ExitCode::SUCCESS
+}
+
+fn print_prompt() {
+    print!("> ");
+    let _ = std::io::stdout().flush();
+}
+
+fn print_event(ev: &ClientEvent) {
+    match ev {
+        ClientEvent::Message {
+            sender,
+            groups,
+            service,
+            payload,
+        } => {
+            println!(
+                "[{service}] {sender} -> {}: {}",
+                groups.join(","),
+                String::from_utf8_lossy(payload)
+            );
+        }
+        ClientEvent::Membership { group, members } => {
+            let names: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            println!("[membership] {group}: {{{}}}", names.join(", "));
+        }
+        ClientEvent::NetworkChange { daemons } => {
+            let names: Vec<String> = daemons.iter().map(|d| d.to_string()).collect();
+            println!("[network] daemons: {{{}}}", names.join(", "));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `ard` — the Accelerated Ring daemon.
+//!
+//! Runs one ring participant from a deployment file (see
+//! [`ar_daemon::deployconf`]) and serves local and remote clients,
+//! playing the role of the `spread` daemon binary.
+//!
+//! ```text
+//! usage: ard <config-file> <daemon-id>
+//!
+//! # terminal 1              # terminal 2
+//! ard ar.conf 0             ard ar.conf 1
+//! ```
+
+use std::process::ExitCode;
+
+use ar_core::Participant;
+use ar_daemon::{spawn_daemon, Deployment};
+use ar_net::UdpTransport;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: ard <config-file> <daemon-id>");
+        return ExitCode::from(2);
+    }
+    let deployment = match Deployment::load(&args[1]) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ard: {}: {e}", args[1]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let id: u16 = match args[2].parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("ard: daemon id must be a small integer");
+            return ExitCode::from(2);
+        }
+    };
+    let pid = ar_core::ParticipantId::new(id);
+    let Some(entry) = deployment.daemon(pid) else {
+        eprintln!("ard: daemon {id} is not in {}", args[1]);
+        return ExitCode::FAILURE;
+    };
+
+    let transport = match UdpTransport::bind(pid, deployment.peer_map()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ard: cannot bind protocol sockets: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let members = deployment.members();
+    let ring_seq = 1;
+    let ring_id = ar_core::RingId::new(members[0], ring_seq);
+    let participant = match Participant::new(pid, deployment.protocol, ring_id, members.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ard: daemon {pid} on ring of {} ({} protocol, token {}, data {})",
+        members.len(),
+        deployment.protocol.variant,
+        entry.addrs.token,
+        entry.addrs.data,
+    );
+
+    let handle = spawn_daemon(participant, transport);
+    let listener = match entry.client_addr {
+        Some(addr) => match handle.listen(addr) {
+            Ok(l) => {
+                println!("ard: accepting clients on {}", l.local_addr());
+                Some(l)
+            }
+            Err(e) => {
+                eprintln!("ard: cannot listen for clients on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            println!("ard: no client listener configured (protocol-only daemon)");
+            None
+        }
+    };
+
+    // Run until interrupted.
+    println!("ard: running; press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+        let _ = &listener;
+    }
+}

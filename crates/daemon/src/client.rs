@@ -1,0 +1,182 @@
+//! The client library: connect to a daemon, join groups, multicast,
+//! receive ordered messages and membership notifications.
+
+use std::time::Duration;
+
+use ar_core::ServiceType;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::daemon::Command;
+use crate::proto::{MemberId, MAX_GROUPS, MAX_NAME};
+
+/// Events a client receives from its daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A totally ordered message addressed to one of the client's
+    /// groups (or to the client directly).
+    Message {
+        /// The sending client.
+        sender: MemberId,
+        /// The groups the message was addressed to.
+        groups: Vec<String>,
+        /// The delivery service it was sent with.
+        service: ServiceType,
+        /// The application payload.
+        payload: Bytes,
+    },
+    /// The membership of a group the client belongs to changed.
+    Membership {
+        /// The group whose membership changed.
+        group: String,
+        /// The complete new membership, in canonical order.
+        members: Vec<MemberId>,
+    },
+    /// The set of connected daemons changed (ring configuration
+    /// change).
+    NetworkChange {
+        /// Daemons in the new regular configuration.
+        daemons: Vec<ar_core::ParticipantId>,
+    },
+}
+
+/// Errors from client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The requested name is already connected at this daemon.
+    DuplicateName,
+    /// The name is empty or longer than [`MAX_NAME`].
+    InvalidName,
+    /// Too many groups for one multicast (max [`MAX_GROUPS`]).
+    TooManyGroups,
+    /// A group name is empty or longer than [`MAX_NAME`].
+    InvalidGroup,
+    /// The daemon has shut down.
+    DaemonDown,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::DuplicateName => f.write_str("client name already in use"),
+            ClientError::InvalidName => write!(f, "client name must be 1..={MAX_NAME} bytes"),
+            ClientError::TooManyGroups => write!(f, "at most {MAX_GROUPS} groups per message"),
+            ClientError::InvalidGroup => write!(f, "group name must be 1..={MAX_NAME} bytes"),
+            ClientError::DaemonDown => f.write_str("daemon has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected client session.
+///
+/// Dropping the connection leaves all joined groups (via the total
+/// order) and unregisters from the daemon.
+#[derive(Debug)]
+pub struct DaemonClient {
+    pub(crate) me: MemberId,
+    pub(crate) cmd_tx: Sender<Command>,
+    pub(crate) events: Receiver<ClientEvent>,
+}
+
+impl DaemonClient {
+    /// This client's globally unique identifier.
+    pub fn member_id(&self) -> &MemberId {
+        &self.me
+    }
+
+    /// The client's private name at its daemon.
+    pub fn name(&self) -> &str {
+        &self.me.client
+    }
+
+    fn check_group(group: &str) -> Result<(), ClientError> {
+        if group.is_empty() || group.len() > MAX_NAME {
+            return Err(ClientError::InvalidGroup);
+        }
+        Ok(())
+    }
+
+    /// Joins a group; the membership change is totally ordered, and a
+    /// [`ClientEvent::Membership`] arrives once it takes effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::InvalidGroup`] or
+    /// [`ClientError::DaemonDown`].
+    pub fn join(&self, group: &str) -> Result<(), ClientError> {
+        Self::check_group(group)?;
+        self.cmd_tx
+            .send(Command::Join {
+                client: self.me.client.clone(),
+                group: group.to_string(),
+            })
+            .map_err(|_| ClientError::DaemonDown)
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// As for [`join`](Self::join).
+    pub fn leave(&self, group: &str) -> Result<(), ClientError> {
+        Self::check_group(group)?;
+        self.cmd_tx
+            .send(Command::Leave {
+                client: self.me.client.clone(),
+                group: group.to_string(),
+            })
+            .map_err(|_| ClientError::DaemonDown)
+    }
+
+    /// Multicasts `payload` to every member of every group in `groups`
+    /// with the requested service. Open-group semantics: the sender
+    /// need not be a member. Multi-group multicast: each recipient
+    /// receives the message exactly once, at a single position in the
+    /// total order, even if it belongs to several target groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::TooManyGroups`],
+    /// [`ClientError::InvalidGroup`], or [`ClientError::DaemonDown`].
+    pub fn multicast(
+        &self,
+        groups: &[&str],
+        service: ServiceType,
+        payload: Bytes,
+    ) -> Result<(), ClientError> {
+        if groups.len() > MAX_GROUPS {
+            return Err(ClientError::TooManyGroups);
+        }
+        for g in groups {
+            Self::check_group(g)?;
+        }
+        self.cmd_tx
+            .send(Command::Multicast {
+                client: self.me.client.clone(),
+                groups: groups.iter().map(|g| g.to_string()).collect(),
+                service,
+                payload,
+            })
+            .map_err(|_| ClientError::DaemonDown)
+    }
+
+    /// Receives the next event, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<ClientEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any already-queued events without waiting.
+    pub fn drain(&self) -> Vec<ClientEvent> {
+        self.events.try_iter().collect()
+    }
+}
+
+impl Drop for DaemonClient {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Command::Unregister {
+            client: self.me.client.clone(),
+        });
+    }
+}

@@ -1,0 +1,718 @@
+//! The daemon: one protocol participant serving many local clients.
+//!
+//! The daemon thread owns the protocol runtime and the group table. All
+//! client interaction happens over channels (standing in for the
+//! paper's IPC sockets): clients submit commands; the daemon pushes
+//! ordered messages and membership events back. Everything that must be
+//! consistent across daemons — group joins and leaves as well as data —
+//! travels through the ring's total order.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ar_core::{ConfigChangeKind, Participant, ParticipantId, ServiceType};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use ar_net::{AppEvent, Runtime, Transport};
+
+use crate::client::{ClientError, ClientEvent, DaemonClient};
+use crate::group::GroupTable;
+use crate::packing::{decode_bundle, BundleEntry, Packer, Reassembler, DEFAULT_BUNDLE_BUDGET};
+use crate::proto::{Envelope, MemberId, MAX_NAME};
+
+/// Commands from client sessions to the daemon thread.
+#[derive(Debug)]
+pub(crate) enum Command {
+    Register {
+        name: String,
+        events: Sender<ClientEvent>,
+        ack: Sender<Result<(), ClientError>>,
+    },
+    Unregister {
+        client: String,
+    },
+    Join {
+        client: String,
+        group: String,
+    },
+    Leave {
+        client: String,
+        group: String,
+    },
+    Multicast {
+        client: String,
+        groups: Vec<String>,
+        service: ServiceType,
+        payload: Bytes,
+    },
+}
+
+/// Handle to a running daemon.
+///
+/// Dropping the handle shuts the daemon down and joins its thread.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    pid: ParticipantId,
+    cmd_tx: Sender<Command>,
+    shutdown_tx: Sender<()>,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Byte budget for packing client messages into one protocol
+    /// payload (Spread's small-message packing; §IV-A.3 of the paper).
+    /// Client messages larger than the budget are fragmented.
+    pub bundle_budget: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            bundle_budget: DEFAULT_BUNDLE_BUDGET,
+        }
+    }
+}
+
+/// Spawns a daemon thread serving the given participant over the given
+/// transport, with default tuning.
+pub fn spawn_daemon<T: Transport + Send + 'static>(
+    part: Participant,
+    transport: T,
+) -> DaemonHandle {
+    spawn_daemon_with(part, transport, DaemonConfig::default())
+}
+
+/// Spawns a daemon with explicit tuning.
+pub fn spawn_daemon_with<T: Transport + Send + 'static>(
+    part: Participant,
+    transport: T,
+    config: DaemonConfig,
+) -> DaemonHandle {
+    let pid = part.pid();
+    let (cmd_tx, cmd_rx) = unbounded::<Command>();
+    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let join = std::thread::spawn(move || {
+        DaemonLoop::new(part, transport, config, cmd_rx, shutdown_rx).run()
+    });
+    DaemonHandle {
+        pid,
+        cmd_tx,
+        shutdown_tx,
+        join: Some(join),
+    }
+}
+
+impl DaemonHandle {
+    /// The daemon's participant identifier.
+    pub fn pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    /// The command channel (used by the TCP session layer to register
+    /// remote clients through the same path as in-process ones).
+    pub(crate) fn command_sender(&self) -> Sender<Command> {
+        self.cmd_tx.clone()
+    }
+
+    /// Connects a new client with the given private name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::InvalidName`],
+    /// [`ClientError::DuplicateName`], or [`ClientError::DaemonDown`].
+    pub fn connect(&self, name: &str) -> Result<DaemonClient, ClientError> {
+        if name.is_empty() || name.len() > MAX_NAME {
+            return Err(ClientError::InvalidName);
+        }
+        let (events_tx, events_rx) = unbounded();
+        let (ack_tx, ack_rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::Register {
+                name: name.to_string(),
+                events: events_tx,
+                ack: ack_tx,
+            })
+            .map_err(|_| ClientError::DaemonDown)?;
+        ack_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| ClientError::DaemonDown)??;
+        Ok(DaemonClient {
+            me: MemberId::new(self.pid, name),
+            cmd_tx: self.cmd_tx.clone(),
+            events: events_rx,
+        })
+    }
+
+    /// Stops the daemon and returns its loop result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the daemon loop hit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_now()
+    }
+
+    fn shutdown_now(&mut self) -> io::Result<()> {
+        let _ = self.shutdown_tx.send(());
+        match self.join.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("daemon thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_now();
+    }
+}
+
+struct DaemonLoop<T: Transport> {
+    rt: Runtime<T>,
+    pid: ParticipantId,
+    cmd_rx: Receiver<Command>,
+    shutdown_rx: Receiver<()>,
+    sessions: HashMap<String, Sender<ClientEvent>>,
+    groups: GroupTable,
+    /// Per-service packers bundling small messages together (a bundle
+    /// travels as one protocol payload with one service level).
+    packers: HashMap<ServiceType, Packer>,
+    /// Rebuilds fragmented large messages from the ordered stream.
+    reassembler: Reassembler,
+    /// Bundles waiting for protocol queue space (backpressure).
+    outbox: VecDeque<(Bytes, ServiceType)>,
+    bundle_budget: usize,
+    next_msg_id: u64,
+}
+
+impl<T: Transport> DaemonLoop<T> {
+    fn new(
+        part: Participant,
+        transport: T,
+        config: DaemonConfig,
+        cmd_rx: Receiver<Command>,
+        shutdown_rx: Receiver<()>,
+    ) -> DaemonLoop<T> {
+        let pid = part.pid();
+        DaemonLoop {
+            rt: Runtime::new(part, transport),
+            pid,
+            cmd_rx,
+            shutdown_rx,
+            sessions: HashMap::new(),
+            groups: GroupTable::new(),
+            packers: HashMap::new(),
+            reassembler: Reassembler::new(),
+            outbox: VecDeque::new(),
+            bundle_budget: config.bundle_budget,
+            next_msg_id: 0,
+        }
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let events = self.rt.start()?;
+        self.dispatch(events);
+        loop {
+            if self.shutdown_rx.try_recv().is_ok() {
+                return Ok(());
+            }
+            // Drain a burst of commands first so messages submitted
+            // together pack together.
+            while let Ok(cmd) = self.cmd_rx.try_recv() {
+                self.handle_command(cmd);
+            }
+            self.drain_packers();
+            self.flush_outbox();
+            let events = self.rt.step()?;
+            self.dispatch(events);
+        }
+    }
+
+    fn packer(&mut self, service: ServiceType) -> &mut Packer {
+        let budget = self.bundle_budget;
+        self.packers
+            .entry(service)
+            .or_insert_with(|| Packer::new(budget))
+    }
+
+    fn submit_envelope(&mut self, env: Envelope, service: ServiceType) {
+        self.packer(service).push(env);
+    }
+
+    fn drain_packers(&mut self) {
+        // Deterministic order over the small service set.
+        for service in [
+            ServiceType::Reliable,
+            ServiceType::Fifo,
+            ServiceType::Causal,
+            ServiceType::Agreed,
+            ServiceType::Safe,
+        ] {
+            if let Some(p) = self.packers.get_mut(&service) {
+                while let Some(bundle) = p.next_bundle() {
+                    self.outbox.push_back((bundle, service));
+                }
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self) {
+        while let Some((bytes, service)) = self.outbox.front() {
+            match self.rt.submit(bytes.clone(), *service) {
+                Ok(()) => {
+                    self.outbox.pop_front();
+                }
+                Err(_) => break, // protocol backpressure: retry next loop
+            }
+        }
+    }
+
+    fn handle_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::Register { name, events, ack } => {
+                let result = match self.sessions.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        Err(ClientError::DuplicateName)
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(events);
+                        Ok(())
+                    }
+                };
+                let _ = ack.send(result);
+            }
+            Command::Unregister { client } => {
+                self.sessions.remove(&client);
+                // Ordered leaves for every group the client was in.
+                let me = MemberId::new(self.pid, client);
+                for group in self.groups.group_names() {
+                    if self.groups.is_member(&group, &me) {
+                        self.submit_envelope(
+                            Envelope::Leave {
+                                member: me.clone(),
+                                group,
+                            },
+                            ServiceType::Agreed,
+                        );
+                    }
+                }
+            }
+            Command::Join { client, group } => {
+                let member = MemberId::new(self.pid, client);
+                self.submit_envelope(Envelope::Join { member, group }, ServiceType::Agreed);
+            }
+            Command::Leave { client, group } => {
+                let member = MemberId::new(self.pid, client);
+                self.submit_envelope(Envelope::Leave { member, group }, ServiceType::Agreed);
+            }
+            Command::Multicast {
+                client,
+                groups,
+                service,
+                payload,
+            } => {
+                let sender = MemberId::new(self.pid, client);
+                let msg_id = self.next_msg_id;
+                self.next_msg_id += 1;
+                self.packer(service).push_data(sender, groups, payload, msg_id);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, events: Vec<AppEvent>) {
+        for ev in events {
+            match ev {
+                AppEvent::Delivered(d) => {
+                    let Ok(entries) = decode_bundle(&d.payload) else {
+                        continue; // not ours / corrupt: skip
+                    };
+                    for entry in entries {
+                        match entry {
+                            BundleEntry::Whole(env) => self.apply_envelope(env, d.service),
+                            BundleEntry::Fragment(f) => {
+                                if let Some((sender, groups, payload)) =
+                                    self.reassembler.feed(f)
+                                {
+                                    self.apply_envelope(
+                                        Envelope::Data {
+                                            sender,
+                                            groups,
+                                            payload,
+                                        },
+                                        d.service,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                AppEvent::ConfigChanged(c) => {
+                    if c.kind == ConfigChangeKind::Regular {
+                        self.reassembler.retain_daemons(&c.members);
+                        let changed = self.groups.retain_daemons(&c.members);
+                        for g in changed {
+                            self.notify_membership(&g);
+                        }
+                        let note = ClientEvent::NetworkChange {
+                            daemons: c.members.clone(),
+                        };
+                        for tx in self.sessions.values() {
+                            let _ = tx.send(note.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_envelope(&mut self, env: Envelope, service: ServiceType) {
+        match env {
+            Envelope::Data {
+                sender,
+                groups,
+                payload,
+            } => {
+                let recipients = self.groups.local_recipients(self.pid, &groups);
+                for r in recipients {
+                    if let Some(tx) = self.sessions.get(&r.client) {
+                        let _ = tx.send(ClientEvent::Message {
+                            sender: sender.clone(),
+                            groups: groups.clone(),
+                            service,
+                            payload: payload.clone(),
+                        });
+                    }
+                }
+            }
+            Envelope::Join { member, group } => {
+                if self.groups.join(&group, member) {
+                    self.notify_membership(&group);
+                }
+            }
+            Envelope::Leave { member, group } => {
+                let was_local = member.daemon == self.pid;
+                let leaver = member.clone();
+                if self.groups.leave(&group, &member) {
+                    self.notify_membership(&group);
+                    // The leaver itself also learns the leave took
+                    // effect (it is no longer in the table).
+                    if was_local {
+                        if let Some(tx) = self.sessions.get(&leaver.client) {
+                            let _ = tx.send(ClientEvent::Membership {
+                                group: group.clone(),
+                                members: self.groups.members(&group),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends the group's complete membership to every *local* member.
+    fn notify_membership(&mut self, group: &str) {
+        let members = self.groups.members(group);
+        for m in &members {
+            if m.daemon != self.pid {
+                continue;
+            }
+            if let Some(tx) = self.sessions.get(&m.client) {
+                let _ = tx.send(ClientEvent::Membership {
+                    group: group.to_string(),
+                    members: members.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::{ProtocolConfig, RingId};
+    use ar_net::LoopbackNet;
+    use std::time::Instant;
+
+    fn ring_of_daemons(n: u16) -> Vec<DaemonHandle> {
+        let net = LoopbackNet::new();
+        let members: Vec<ParticipantId> = (0..n).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        members
+            .iter()
+            .map(|&p| {
+                let part =
+                    Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
+                        .unwrap();
+                spawn_daemon(part, net.endpoint(p))
+            })
+            .collect()
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F, secs: u64) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn join_multicast_deliver_across_daemons() {
+        let daemons = ring_of_daemons(2);
+        let alice = daemons[0].connect("alice").unwrap();
+        let bob = daemons[1].connect("bob").unwrap();
+        alice.join("chat").unwrap();
+        bob.join("chat").unwrap();
+
+        // Wait until both see a 2-member group.
+        let mut alice_members = 0;
+        assert!(wait_for(
+            || {
+                for ev in alice.drain() {
+                    if let ClientEvent::Membership { members, .. } = ev {
+                        alice_members = members.len();
+                    }
+                }
+                alice_members == 2
+            },
+            10
+        ));
+
+        bob.multicast(&["chat"], ServiceType::Agreed, Bytes::from_static(b"hi"))
+            .unwrap();
+        let mut got = None;
+        assert!(wait_for(
+            || {
+                for ev in alice.drain() {
+                    if let ClientEvent::Message { payload, sender, .. } = ev {
+                        got = Some((payload, sender));
+                    }
+                }
+                got.is_some()
+            },
+            10
+        ));
+        let (payload, sender) = got.unwrap();
+        assert_eq!(payload, Bytes::from_static(b"hi"));
+        assert_eq!(sender.client, "bob");
+    }
+
+    #[test]
+    fn open_group_semantics_sender_not_a_member() {
+        let daemons = ring_of_daemons(2);
+        let member = daemons[0].connect("member").unwrap();
+        let outsider = daemons[1].connect("outsider").unwrap();
+        member.join("g").unwrap();
+        assert!(wait_for(
+            || member
+                .drain()
+                .iter()
+                .any(|e| matches!(e, ClientEvent::Membership { .. })),
+            10
+        ));
+        outsider
+            .multicast(&["g"], ServiceType::Agreed, Bytes::from_static(b"open"))
+            .unwrap();
+        assert!(wait_for(
+            || member
+                .drain()
+                .iter()
+                .any(|e| matches!(e, ClientEvent::Message { .. })),
+            10
+        ));
+        // The outsider, not being a member, receives nothing.
+        assert!(outsider
+            .drain()
+            .iter()
+            .all(|e| !matches!(e, ClientEvent::Message { .. })));
+    }
+
+    #[test]
+    fn multi_group_multicast_delivers_once() {
+        let daemons = ring_of_daemons(2);
+        let c = daemons[0].connect("c").unwrap();
+        c.join("g1").unwrap();
+        c.join("g2").unwrap();
+        assert!(wait_for(
+            || {
+                c.drain()
+                    .iter()
+                    .filter(|e| matches!(e, ClientEvent::Membership { .. }))
+                    .count()
+                    >= 1
+                    && {
+                        std::thread::sleep(Duration::from_millis(100));
+                        true
+                    }
+            },
+            10
+        ));
+        let sender = daemons[1].connect("s").unwrap();
+        sender
+            .multicast(
+                &["g1", "g2"],
+                ServiceType::Agreed,
+                Bytes::from_static(b"once"),
+            )
+            .unwrap();
+        // Exactly one copy arrives despite two matching groups.
+        let mut count = 0;
+        wait_for(
+            || {
+                count += c
+                    .drain()
+                    .iter()
+                    .filter(|e| matches!(e, ClientEvent::Message { .. }))
+                    .count();
+                count >= 1
+            },
+            10,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        count += c
+            .drain()
+            .iter()
+            .filter(|e| matches!(e, ClientEvent::Message { .. }))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn large_message_is_fragmented_and_reassembled() {
+        // 100 KiB payload: far beyond the bundle budget and beyond the
+        // protocol's maximum payload, so it must travel as fragments
+        // and arrive intact.
+        let daemons = ring_of_daemons(2);
+        let rx = daemons[0].connect("rx").unwrap();
+        rx.join("big").unwrap();
+        assert!(wait_for(
+            || rx
+                .drain()
+                .iter()
+                .any(|e| matches!(e, ClientEvent::Membership { .. })),
+            10
+        ));
+        let tx = daemons[1].connect("tx").unwrap();
+        let payload: Vec<u8> = (0..100 * 1024).map(|i| (i % 251) as u8).collect();
+        tx.multicast(&["big"], ServiceType::Agreed, Bytes::from(payload.clone()))
+            .unwrap();
+        let mut got = None;
+        assert!(wait_for(
+            || {
+                for ev in rx.drain() {
+                    if let ClientEvent::Message { payload, .. } = ev {
+                        got = Some(payload);
+                    }
+                }
+                got.is_some()
+            },
+            20
+        ));
+        assert_eq!(got.unwrap(), Bytes::from(payload));
+    }
+
+    #[test]
+    fn small_messages_pack_into_shared_bundles() {
+        // Ten tiny messages submitted in one burst must reach the
+        // receiver as ten distinct client messages (packing is
+        // transparent), in submission order.
+        let daemons = ring_of_daemons(2);
+        let rx = daemons[0].connect("rx").unwrap();
+        rx.join("g").unwrap();
+        assert!(wait_for(
+            || rx
+                .drain()
+                .iter()
+                .any(|e| matches!(e, ClientEvent::Membership { .. })),
+            10
+        ));
+        let tx = daemons[1].connect("tx").unwrap();
+        for k in 0..10 {
+            tx.multicast(&["g"], ServiceType::Agreed, Bytes::from(format!("tiny-{k}")))
+                .unwrap();
+        }
+        let mut texts = Vec::new();
+        assert!(wait_for(
+            || {
+                for ev in rx.drain() {
+                    if let ClientEvent::Message { payload, .. } = ev {
+                        texts.push(String::from_utf8_lossy(&payload).into_owned());
+                    }
+                }
+                texts.len() >= 10
+            },
+            20
+        ));
+        let expected: Vec<String> = (0..10).map(|k| format!("tiny-{k}")).collect();
+        assert_eq!(texts, expected);
+    }
+
+    #[test]
+    fn duplicate_client_name_rejected() {
+        let daemons = ring_of_daemons(1);
+        let _a = daemons[0].connect("same").unwrap();
+        assert_eq!(
+            daemons[0].connect("same").unwrap_err(),
+            ClientError::DuplicateName
+        );
+        // A different name is fine.
+        let _b = daemons[0].connect("other").unwrap();
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let daemons = ring_of_daemons(1);
+        assert_eq!(daemons[0].connect("").unwrap_err(), ClientError::InvalidName);
+        let long = "x".repeat(MAX_NAME + 1);
+        assert_eq!(
+            daemons[0].connect(&long).unwrap_err(),
+            ClientError::InvalidName
+        );
+    }
+
+    #[test]
+    fn disconnect_leaves_groups() {
+        let daemons = ring_of_daemons(2);
+        let watcher = daemons[0].connect("watcher").unwrap();
+        watcher.join("g").unwrap();
+        {
+            let temp = daemons[1].connect("temp").unwrap();
+            temp.join("g").unwrap();
+            // Wait for watcher to see both members.
+            let mut n = 0;
+            assert!(wait_for(
+                || {
+                    for ev in watcher.drain() {
+                        if let ClientEvent::Membership { members, .. } = ev {
+                            n = members.len();
+                        }
+                    }
+                    n == 2
+                },
+                10
+            ));
+        } // temp drops: ordered leave
+        let mut n = usize::MAX;
+        assert!(wait_for(
+            || {
+                for ev in watcher.drain() {
+                    if let ClientEvent::Membership { members, .. } = ev {
+                        n = members.len();
+                    }
+                }
+                n == 1
+            },
+            10
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! The group membership table.
+//!
+//! Every daemon maintains the same table by applying the totally
+//! ordered stream of [`Envelope::Join`]/[`Envelope::Leave`] messages
+//! (and ring configuration changes) in delivery order — so all daemons
+//! agree on every group's membership at every point of the total order.
+//!
+//! [`Envelope::Join`]: crate::proto::Envelope::Join
+//! [`Envelope::Leave`]: crate::proto::Envelope::Leave
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ar_core::ParticipantId;
+
+use crate::proto::MemberId;
+
+/// The membership of all groups, as agreed through the total order.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTable {
+    groups: BTreeMap<String, BTreeSet<MemberId>>,
+}
+
+impl GroupTable {
+    /// Creates an empty table.
+    pub fn new() -> GroupTable {
+        GroupTable::default()
+    }
+
+    /// Applies a join; returns true if the membership changed.
+    pub fn join(&mut self, group: &str, member: MemberId) -> bool {
+        self.groups
+            .entry(group.to_string())
+            .or_default()
+            .insert(member)
+    }
+
+    /// Applies a leave; returns true if the membership changed. Empty
+    /// groups are removed.
+    pub fn leave(&mut self, group: &str, member: &MemberId) -> bool {
+        let Some(members) = self.groups.get_mut(group) else {
+            return false;
+        };
+        let removed = members.remove(member);
+        if members.is_empty() {
+            self.groups.remove(group);
+        }
+        removed
+    }
+
+    /// Members of `group`, in canonical order (empty slice if the group
+    /// does not exist).
+    pub fn members(&self, group: &str) -> Vec<MemberId> {
+        self.groups
+            .get(group)
+            .map(|m| m.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// True if `member` belongs to `group`.
+    pub fn is_member(&self, group: &str, member: &MemberId) -> bool {
+        self.groups
+            .get(group)
+            .is_some_and(|m| m.contains(member))
+    }
+
+    /// All group names with at least one member.
+    pub fn group_names(&self) -> Vec<String> {
+        self.groups.keys().cloned().collect()
+    }
+
+    /// Number of non-empty groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Removes every member whose daemon is *not* in `daemons` (applied
+    /// on a regular configuration change: clients of partitioned or
+    /// crashed daemons leave all groups). Returns the names of groups
+    /// whose membership changed.
+    pub fn retain_daemons(&mut self, daemons: &[ParticipantId]) -> Vec<String> {
+        let mut changed = Vec::new();
+        self.groups.retain(|name, members| {
+            let before = members.len();
+            members.retain(|m| daemons.contains(&m.daemon));
+            if members.len() != before {
+                changed.push(name.clone());
+            }
+            !members.is_empty()
+        });
+        changed.sort();
+        changed
+    }
+
+    /// Removes every group membership of `member` (applied when a local
+    /// client disconnects). Returns the affected group names.
+    pub fn remove_member_everywhere(&mut self, member: &MemberId) -> Vec<String> {
+        let mut changed = Vec::new();
+        self.groups.retain(|name, members| {
+            if members.remove(member) {
+                changed.push(name.clone());
+            }
+            !members.is_empty()
+        });
+        changed.sort();
+        changed
+    }
+
+    /// The distinct local clients (at daemon `local`) that belong to
+    /// any of `groups` — the delivery set for a multi-group multicast
+    /// (each client receives the message once even if it is in several
+    /// target groups).
+    pub fn local_recipients(&self, local: ParticipantId, groups: &[String]) -> Vec<MemberId> {
+        let mut out: BTreeSet<MemberId> = BTreeSet::new();
+        for g in groups {
+            if let Some(members) = self.groups.get(g) {
+                for m in members {
+                    if m.daemon == local {
+                        out.insert(m.clone());
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: u16, c: &str) -> MemberId {
+        MemberId::new(ParticipantId::new(d), c)
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let mut t = GroupTable::new();
+        assert!(t.join("chat", m(0, "a")));
+        assert!(!t.join("chat", m(0, "a")), "duplicate join is a no-op");
+        assert!(t.join("chat", m(1, "b")));
+        assert_eq!(t.members("chat").len(), 2);
+        assert!(t.is_member("chat", &m(0, "a")));
+        assert!(t.leave("chat", &m(0, "a")));
+        assert!(!t.leave("chat", &m(0, "a")));
+        assert_eq!(t.members("chat"), vec![m(1, "b")]);
+    }
+
+    #[test]
+    fn empty_groups_disappear() {
+        let mut t = GroupTable::new();
+        t.join("g", m(0, "a"));
+        t.leave("g", &m(0, "a"));
+        assert!(t.is_empty());
+        assert!(t.members("g").is_empty());
+    }
+
+    #[test]
+    fn leave_unknown_group_is_noop() {
+        let mut t = GroupTable::new();
+        assert!(!t.leave("nope", &m(0, "a")));
+    }
+
+    #[test]
+    fn retain_daemons_drops_partitioned_clients() {
+        let mut t = GroupTable::new();
+        t.join("g1", m(0, "a"));
+        t.join("g1", m(1, "b"));
+        t.join("g2", m(1, "c"));
+        let changed = t.retain_daemons(&[ParticipantId::new(0)]);
+        assert_eq!(changed, vec!["g1".to_string(), "g2".to_string()]);
+        assert_eq!(t.members("g1"), vec![m(0, "a")]);
+        assert!(t.members("g2").is_empty());
+    }
+
+    #[test]
+    fn remove_member_everywhere_covers_all_groups() {
+        let mut t = GroupTable::new();
+        t.join("g1", m(0, "a"));
+        t.join("g2", m(0, "a"));
+        t.join("g2", m(0, "b"));
+        let changed = t.remove_member_everywhere(&m(0, "a"));
+        assert_eq!(changed, vec!["g1".to_string(), "g2".to_string()]);
+        assert!(t.members("g1").is_empty());
+        assert_eq!(t.members("g2"), vec![m(0, "b")]);
+    }
+
+    #[test]
+    fn local_recipients_dedup_across_groups() {
+        let mut t = GroupTable::new();
+        let local = ParticipantId::new(0);
+        t.join("g1", m(0, "a"));
+        t.join("g2", m(0, "a"));
+        t.join("g2", m(0, "b"));
+        t.join("g2", m(1, "remote"));
+        let rcpt = t.local_recipients(local, &["g1".into(), "g2".into()]);
+        assert_eq!(rcpt, vec![m(0, "a"), m(0, "b")], "deduped, local only");
+    }
+
+    #[test]
+    fn members_are_canonically_ordered() {
+        let mut t = GroupTable::new();
+        t.join("g", m(1, "z"));
+        t.join("g", m(0, "a"));
+        t.join("g", m(0, "b"));
+        assert_eq!(t.members("g"), vec![m(0, "a"), m(0, "b"), m(1, "z")]);
+    }
+}

@@ -1,0 +1,316 @@
+//! The client/daemon envelope protocol.
+//!
+//! Everything a client sends — application multicasts, group joins and
+//! leaves — travels through the ring's total order as an [`Envelope`]
+//! encoded into the protocol payload. Because group membership changes
+//! are themselves totally ordered with respect to data messages, every
+//! daemon applies them in the same order and group views stay
+//! consistent (the classic Spread design).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ar_core::ParticipantId;
+
+/// Maximum length of a client or group name, in bytes.
+pub const MAX_NAME: usize = 64;
+
+/// Maximum number of groups one message may target.
+pub const MAX_GROUPS: usize = 32;
+
+/// A globally unique member identifier: the client's private name
+/// scoped by its daemon — rendered `#client#P3`, like Spread's private
+/// group names.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberId {
+    /// The daemon the client is connected to.
+    pub daemon: ParticipantId,
+    /// The client's name, unique at its daemon.
+    pub client: String,
+}
+
+impl MemberId {
+    /// Creates a member identifier.
+    pub fn new(daemon: ParticipantId, client: impl Into<String>) -> MemberId {
+        MemberId {
+            daemon,
+            client: client.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for MemberId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "#{}#{}", self.client, self.daemon)
+    }
+}
+
+/// A totally ordered client/daemon message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// Application data multicast to one or more groups (open-group
+    /// semantics: the sender need not be a member of any of them).
+    Data {
+        /// The sending client.
+        sender: MemberId,
+        /// Target groups.
+        groups: Vec<String>,
+        /// The application payload.
+        payload: Bytes,
+    },
+    /// `member` joins `group`.
+    Join {
+        /// The joining client.
+        member: MemberId,
+        /// The group being joined.
+        group: String,
+    },
+    /// `member` leaves `group`.
+    Leave {
+        /// The leaving client.
+        member: MemberId,
+        /// The group being left.
+        group: String,
+    },
+}
+
+/// Errors decoding an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Input ended early.
+    Truncated,
+    /// Unknown envelope kind byte.
+    UnknownKind(u8),
+    /// A name exceeded [`MAX_NAME`] or a group list exceeded
+    /// [`MAX_GROUPS`].
+    LimitExceeded(&'static str),
+    /// A name was not valid UTF-8.
+    BadName,
+}
+
+impl core::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EnvelopeError::Truncated => f.write_str("envelope truncated"),
+            EnvelopeError::UnknownKind(k) => write!(f, "unknown envelope kind {k}"),
+            EnvelopeError::LimitExceeded(what) => write!(f, "{what} limit exceeded"),
+            EnvelopeError::BadName => f.write_str("name is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Encodes an envelope into bytes suitable for a protocol payload.
+///
+/// # Panics
+///
+/// Panics if a name exceeds [`MAX_NAME`] or the group list exceeds
+/// [`MAX_GROUPS`] — enforce limits at the API boundary.
+pub fn encode(env: &Envelope) -> Bytes {
+    let mut buf = BytesMut::new();
+    match env {
+        Envelope::Data {
+            sender,
+            groups,
+            payload,
+        } => {
+            assert!(groups.len() <= MAX_GROUPS, "too many groups");
+            buf.put_u8(1);
+            put_member(&mut buf, sender);
+            buf.put_u16(groups.len() as u16);
+            for g in groups {
+                put_name(&mut buf, g);
+            }
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        Envelope::Join { member, group } => {
+            buf.put_u8(2);
+            put_member(&mut buf, member);
+            put_name(&mut buf, group);
+        }
+        Envelope::Leave { member, group } => {
+            buf.put_u8(3);
+            put_member(&mut buf, member);
+            put_name(&mut buf, group);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an envelope from a delivered payload.
+///
+/// # Errors
+///
+/// Returns an [`EnvelopeError`] on malformed input.
+pub fn decode(mut buf: &[u8]) -> Result<Envelope, EnvelopeError> {
+    let kind = take_u8(&mut buf)?;
+    match kind {
+        1 => {
+            let sender = take_member(&mut buf)?;
+            let n = take_u16(&mut buf)? as usize;
+            if n > MAX_GROUPS {
+                return Err(EnvelopeError::LimitExceeded("groups"));
+            }
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                groups.push(take_name(&mut buf)?);
+            }
+            let len = take_u32(&mut buf)? as usize;
+            if buf.len() < len {
+                return Err(EnvelopeError::Truncated);
+            }
+            let payload = Bytes::copy_from_slice(&buf[..len]);
+            Ok(Envelope::Data {
+                sender,
+                groups,
+                payload,
+            })
+        }
+        2 => Ok(Envelope::Join {
+            member: take_member(&mut buf)?,
+            group: take_name(&mut buf)?,
+        }),
+        3 => Ok(Envelope::Leave {
+            member: take_member(&mut buf)?,
+            group: take_name(&mut buf)?,
+        }),
+        other => Err(EnvelopeError::UnknownKind(other)),
+    }
+}
+
+fn put_member(buf: &mut BytesMut, m: &MemberId) {
+    buf.put_u16(m.daemon.as_u16());
+    put_name(buf, &m.client);
+}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    assert!(name.len() <= MAX_NAME, "name too long");
+    buf.put_u8(name.len() as u8);
+    buf.put_slice(name.as_bytes());
+}
+
+fn take_member(buf: &mut &[u8]) -> Result<MemberId, EnvelopeError> {
+    let daemon = ParticipantId::new(take_u16(buf)?);
+    let client = take_name(buf)?;
+    Ok(MemberId { daemon, client })
+}
+
+fn take_name(buf: &mut &[u8]) -> Result<String, EnvelopeError> {
+    let len = take_u8(buf)? as usize;
+    if len > MAX_NAME {
+        return Err(EnvelopeError::LimitExceeded("name"));
+    }
+    if buf.len() < len {
+        return Err(EnvelopeError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| EnvelopeError::BadName)?;
+    let out = s.to_string();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, EnvelopeError> {
+    if buf.is_empty() {
+        return Err(EnvelopeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u16(buf: &mut &[u8]) -> Result<u16, EnvelopeError> {
+    if buf.len() < 2 {
+        return Err(EnvelopeError::Truncated);
+    }
+    Ok(buf.get_u16())
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, EnvelopeError> {
+    if buf.len() < 4 {
+        return Err(EnvelopeError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member() -> MemberId {
+        MemberId::new(ParticipantId::new(3), "alice")
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let env = Envelope::Data {
+            sender: member(),
+            groups: vec!["chat".into(), "audit".into()],
+            payload: Bytes::from_static(b"hello"),
+        };
+        assert_eq!(decode(&encode(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn join_leave_roundtrip() {
+        for env in [
+            Envelope::Join {
+                member: member(),
+                group: "chat".into(),
+            },
+            Envelope::Leave {
+                member: member(),
+                group: "chat".into(),
+            },
+        ] {
+            assert_eq!(decode(&encode(&env)).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn empty_groups_and_payload_roundtrip() {
+        let env = Envelope::Data {
+            sender: member(),
+            groups: vec![],
+            payload: Bytes::new(),
+        };
+        assert_eq!(decode(&encode(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let enc = encode(&Envelope::Join {
+            member: member(),
+            group: "g".into(),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(decode(&[9]).unwrap_err(), EnvelopeError::UnknownKind(9));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        // kind=2 (join), daemon=0, client name of length 2 with invalid
+        // UTF-8.
+        let raw = [2u8, 0, 0, 2, 0xFF, 0xFE, 1, b'g'];
+        assert_eq!(decode(&raw).unwrap_err(), EnvelopeError::BadName);
+    }
+
+    #[test]
+    fn member_id_displays_like_spread_private_names() {
+        assert_eq!(member().to_string(), "#alice#P3");
+    }
+
+    #[test]
+    #[should_panic(expected = "name too long")]
+    fn oversized_name_panics_on_encode() {
+        let env = Envelope::Join {
+            member: MemberId::new(ParticipantId::new(0), "x".repeat(MAX_NAME + 1)),
+            group: "g".into(),
+        };
+        let _ = encode(&env);
+    }
+}

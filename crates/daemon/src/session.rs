@@ -1,0 +1,742 @@
+//! Remote client sessions over TCP.
+//!
+//! Spread's client/daemon split lets applications link a small client
+//! library and talk to a colocated daemon over IPC (or TCP). This
+//! module provides that: a daemon can listen on a TCP address; remote
+//! clients connect with [`RemoteClient::connect`] and get the same API
+//! as in-process clients (join/leave/multicast/receive).
+//!
+//! The session wire protocol is length-framed: `u32` big-endian frame
+//! length, then a kind byte and fields. It is deliberately independent
+//! of the ring protocol's wire format.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use ar_core::ServiceType;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::client::{ClientError, ClientEvent};
+use crate::daemon::{Command, DaemonHandle};
+use crate::proto::{MemberId, MAX_GROUPS, MAX_NAME};
+
+/// Frames larger than this are rejected (64 MiB).
+const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Client-to-daemon session messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// Handshake: the client's private name.
+    Hello {
+        /// Requested private name.
+        name: String,
+    },
+    /// Join a group.
+    Join {
+        /// Group name.
+        group: String,
+    },
+    /// Leave a group.
+    Leave {
+        /// Group name.
+        group: String,
+    },
+    /// Multicast to groups.
+    Multicast {
+        /// Target groups.
+        groups: Vec<String>,
+        /// Delivery service.
+        service: ServiceType,
+        /// Payload.
+        payload: Bytes,
+    },
+}
+
+/// Daemon-to-client session messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerReply {
+    /// Handshake accepted.
+    Welcome {
+        /// The daemon id the client is attached to.
+        daemon: u16,
+    },
+    /// Handshake rejected.
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An application event.
+    Event(ClientEvent),
+}
+
+// ---- codec ----------------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take_str(buf: &mut &[u8]) -> io::Result<String> {
+    if buf.len() < 2 {
+        return Err(bad("truncated string length"));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.len() < len {
+        return Err(bad("truncated string"));
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| bad("invalid utf-8"))?;
+    let out = s.to_string();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Encodes a client request frame (without the length prefix).
+pub fn encode_request(req: &ClientRequest) -> Bytes {
+    let mut buf = BytesMut::new();
+    match req {
+        ClientRequest::Hello { name } => {
+            buf.put_u8(1);
+            put_str(&mut buf, name);
+        }
+        ClientRequest::Join { group } => {
+            buf.put_u8(2);
+            put_str(&mut buf, group);
+        }
+        ClientRequest::Leave { group } => {
+            buf.put_u8(3);
+            put_str(&mut buf, group);
+        }
+        ClientRequest::Multicast {
+            groups,
+            service,
+            payload,
+        } => {
+            buf.put_u8(4);
+            buf.put_u8(service.as_u8());
+            buf.put_u16(groups.len() as u16);
+            for g in groups {
+                put_str(&mut buf, g);
+            }
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a client request frame.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed frames.
+pub fn decode_request(mut buf: &[u8]) -> io::Result<ClientRequest> {
+    if buf.is_empty() {
+        return Err(bad("empty frame"));
+    }
+    let kind = buf.get_u8();
+    match kind {
+        1 => Ok(ClientRequest::Hello {
+            name: take_str(&mut buf)?,
+        }),
+        2 => Ok(ClientRequest::Join {
+            group: take_str(&mut buf)?,
+        }),
+        3 => Ok(ClientRequest::Leave {
+            group: take_str(&mut buf)?,
+        }),
+        4 => {
+            if buf.is_empty() {
+                return Err(bad("truncated service"));
+            }
+            let service = ServiceType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad service"))?;
+            if buf.len() < 2 {
+                return Err(bad("truncated group count"));
+            }
+            let n = buf.get_u16() as usize;
+            if n > MAX_GROUPS {
+                return Err(bad("too many groups"));
+            }
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                groups.push(take_str(&mut buf)?);
+            }
+            if buf.len() < 4 {
+                return Err(bad("truncated payload length"));
+            }
+            let len = buf.get_u32() as usize;
+            if buf.len() < len {
+                return Err(bad("truncated payload"));
+            }
+            Ok(ClientRequest::Multicast {
+                groups,
+                service,
+                payload: Bytes::copy_from_slice(&buf[..len]),
+            })
+        }
+        _ => Err(bad("unknown request kind")),
+    }
+}
+
+/// Encodes a server reply frame (without the length prefix).
+pub fn encode_reply(reply: &ServerReply) -> Bytes {
+    let mut buf = BytesMut::new();
+    match reply {
+        ServerReply::Welcome { daemon } => {
+            buf.put_u8(1);
+            buf.put_u16(*daemon);
+        }
+        ServerReply::Refused { reason } => {
+            buf.put_u8(2);
+            put_str(&mut buf, reason);
+        }
+        ServerReply::Event(ev) => {
+            buf.put_u8(3);
+            match ev {
+                ClientEvent::Message {
+                    sender,
+                    groups,
+                    service,
+                    payload,
+                } => {
+                    buf.put_u8(1);
+                    buf.put_u16(sender.daemon.as_u16());
+                    put_str(&mut buf, &sender.client);
+                    buf.put_u8(service.as_u8());
+                    buf.put_u16(groups.len() as u16);
+                    for g in groups {
+                        put_str(&mut buf, g);
+                    }
+                    buf.put_u32(payload.len() as u32);
+                    buf.put_slice(payload);
+                }
+                ClientEvent::Membership { group, members } => {
+                    buf.put_u8(2);
+                    put_str(&mut buf, group);
+                    buf.put_u16(members.len() as u16);
+                    for m in members {
+                        buf.put_u16(m.daemon.as_u16());
+                        put_str(&mut buf, &m.client);
+                    }
+                }
+                ClientEvent::NetworkChange { daemons } => {
+                    buf.put_u8(3);
+                    buf.put_u16(daemons.len() as u16);
+                    for d in daemons {
+                        buf.put_u16(d.as_u16());
+                    }
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a server reply frame.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed frames.
+pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
+    use ar_core::ParticipantId;
+    if buf.is_empty() {
+        return Err(bad("empty frame"));
+    }
+    match buf.get_u8() {
+        1 => {
+            if buf.len() < 2 {
+                return Err(bad("truncated welcome"));
+            }
+            Ok(ServerReply::Welcome {
+                daemon: buf.get_u16(),
+            })
+        }
+        2 => Ok(ServerReply::Refused {
+            reason: take_str(&mut buf)?,
+        }),
+        3 => {
+            if buf.is_empty() {
+                return Err(bad("truncated event"));
+            }
+            match buf.get_u8() {
+                1 => {
+                    if buf.len() < 2 {
+                        return Err(bad("truncated sender"));
+                    }
+                    let daemon = ParticipantId::new(buf.get_u16());
+                    let client = take_str(&mut buf)?;
+                    if buf.is_empty() {
+                        return Err(bad("truncated service"));
+                    }
+                    let service =
+                        ServiceType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad service"))?;
+                    if buf.len() < 2 {
+                        return Err(bad("truncated groups"));
+                    }
+                    let n = buf.get_u16() as usize;
+                    let mut groups = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        groups.push(take_str(&mut buf)?);
+                    }
+                    if buf.len() < 4 {
+                        return Err(bad("truncated payload len"));
+                    }
+                    let len = buf.get_u32() as usize;
+                    if buf.len() < len {
+                        return Err(bad("truncated payload"));
+                    }
+                    Ok(ServerReply::Event(ClientEvent::Message {
+                        sender: MemberId::new(daemon, client),
+                        groups,
+                        service,
+                        payload: Bytes::copy_from_slice(&buf[..len]),
+                    }))
+                }
+                2 => {
+                    let group = take_str(&mut buf)?;
+                    if buf.len() < 2 {
+                        return Err(bad("truncated member count"));
+                    }
+                    let n = buf.get_u16() as usize;
+                    let mut members = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        if buf.len() < 2 {
+                            return Err(bad("truncated member"));
+                        }
+                        let d = ParticipantId::new(buf.get_u16());
+                        let c = take_str(&mut buf)?;
+                        members.push(MemberId::new(d, c));
+                    }
+                    Ok(ServerReply::Event(ClientEvent::Membership { group, members }))
+                }
+                3 => {
+                    if buf.len() < 2 {
+                        return Err(bad("truncated daemon count"));
+                    }
+                    let n = buf.get_u16() as usize;
+                    let mut daemons = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        if buf.len() < 2 {
+                            return Err(bad("truncated daemon id"));
+                        }
+                        daemons.push(ParticipantId::new(buf.get_u16()));
+                    }
+                    Ok(ServerReply::Event(ClientEvent::NetworkChange { daemons }))
+                }
+                _ => Err(bad("unknown event kind")),
+            }
+        }
+        _ => Err(bad("unknown reply kind")),
+    }
+}
+
+// ---- framing ----------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_be_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidData` for oversized frames.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(bad("frame too large"));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    Ok(frame)
+}
+
+// ---- server side --------------------------------------------------------------
+
+/// Handle to a daemon's TCP client listener; dropping it stops
+/// accepting new connections (existing sessions continue).
+#[derive(Debug)]
+pub struct ListenerHandle {
+    local_addr: SocketAddr,
+    _accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl ListenerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl DaemonHandle {
+    /// Starts accepting remote clients on `addr` (TCP).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error binding the listener.
+    pub fn listen(&self, addr: SocketAddr) -> io::Result<ListenerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let cmd_tx = self.command_sender();
+        let daemon_id = self.pid().as_u16();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let cmd_tx = cmd_tx.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_session(stream, cmd_tx, daemon_id);
+                });
+            }
+        });
+        Ok(ListenerHandle {
+            local_addr,
+            _accept_thread: accept_thread,
+        })
+    }
+}
+
+fn serve_session(
+    mut stream: TcpStream,
+    cmd_tx: Sender<Command>,
+    daemon_id: u16,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Handshake.
+    let frame = read_frame(&mut stream)?;
+    let ClientRequest::Hello { name } = decode_request(&frame)? else {
+        let _ = write_frame(
+            &mut stream,
+            &encode_reply(&ServerReply::Refused {
+                reason: "expected hello".into(),
+            }),
+        );
+        return Ok(());
+    };
+    if name.is_empty() || name.len() > MAX_NAME {
+        let _ = write_frame(
+            &mut stream,
+            &encode_reply(&ServerReply::Refused {
+                reason: ClientError::InvalidName.to_string(),
+            }),
+        );
+        return Ok(());
+    }
+    let (events_tx, events_rx) = unbounded::<ClientEvent>();
+    let (ack_tx, ack_rx) = bounded(1);
+    if cmd_tx
+        .send(Command::Register {
+            name: name.clone(),
+            events: events_tx,
+            ack: ack_tx,
+        })
+        .is_err()
+    {
+        return Ok(());
+    }
+    match ack_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            let _ = write_frame(
+                &mut stream,
+                &encode_reply(&ServerReply::Refused {
+                    reason: e.to_string(),
+                }),
+            );
+            return Ok(());
+        }
+        Err(_) => return Ok(()),
+    }
+    write_frame(
+        &mut stream,
+        &encode_reply(&ServerReply::Welcome { daemon: daemon_id }),
+    )?;
+
+    // Writer thread: events → socket.
+    let mut write_half = stream.try_clone()?;
+    let writer = std::thread::spawn(move || -> io::Result<()> {
+        loop {
+            match events_rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(ev) => write_frame(&mut write_half, &encode_reply(&ServerReply::Event(ev)))?,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    });
+
+    // Reader loop: socket → commands. Connection close unregisters.
+    let result = (|| -> io::Result<()> {
+        loop {
+            let frame = read_frame(&mut stream)?;
+            match decode_request(&frame)? {
+                ClientRequest::Hello { .. } => return Err(bad("duplicate hello")),
+                ClientRequest::Join { group } => {
+                    let _ = cmd_tx.send(Command::Join {
+                        client: name.clone(),
+                        group,
+                    });
+                }
+                ClientRequest::Leave { group } => {
+                    let _ = cmd_tx.send(Command::Leave {
+                        client: name.clone(),
+                        group,
+                    });
+                }
+                ClientRequest::Multicast {
+                    groups,
+                    service,
+                    payload,
+                } => {
+                    let _ = cmd_tx.send(Command::Multicast {
+                        client: name.clone(),
+                        groups,
+                        service,
+                        payload,
+                    });
+                }
+            }
+        }
+    })();
+    let _ = cmd_tx.send(Command::Unregister {
+        client: name.clone(),
+    });
+    drop(stream);
+    let _ = writer.join();
+    // EOF (client closed) is a normal end of session.
+    match result {
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+        other => other,
+    }
+}
+
+// ---- client side ----------------------------------------------------------------
+
+/// A client connected to a (possibly remote) daemon over TCP, with the
+/// same surface as the in-process [`crate::DaemonClient`].
+#[derive(Debug)]
+pub struct RemoteClient {
+    me: MemberId,
+    stream: TcpStream,
+    events: Receiver<ClientEvent>,
+}
+
+impl RemoteClient {
+    /// Connects and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors, or `InvalidData`/`ConnectionRefused`
+    /// if the daemon refuses the name.
+    pub fn connect(addr: SocketAddr, name: &str) -> io::Result<RemoteClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(
+            &mut stream,
+            &encode_request(&ClientRequest::Hello {
+                name: name.to_string(),
+            }),
+        )?;
+        let frame = read_frame(&mut stream)?;
+        let daemon = match decode_reply(&frame)? {
+            ServerReply::Welcome { daemon } => daemon,
+            ServerReply::Refused { reason } => {
+                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+            ServerReply::Event(_) => return Err(bad("event before welcome")),
+        };
+        // Reader thread: socket → event channel.
+        let (events_tx, events_rx) = unbounded();
+        let mut read_half = stream.try_clone()?;
+        std::thread::spawn(move || {
+            while let Ok(frame) = read_frame(&mut read_half) {
+                match decode_reply(&frame) {
+                    Ok(ServerReply::Event(ev)) => {
+                        if events_tx.send(ev).is_err() {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        });
+        Ok(RemoteClient {
+            me: MemberId::new(ar_core::ParticipantId::new(daemon), name),
+            stream,
+            events: events_rx,
+        })
+    }
+
+    /// This client's globally unique identifier.
+    pub fn member_id(&self) -> &MemberId {
+        &self.me
+    }
+
+    /// Joins a group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn join(&mut self, group: &str) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&ClientRequest::Join {
+                group: group.to_string(),
+            }),
+        )
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn leave(&mut self, group: &str) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&ClientRequest::Leave {
+                group: group.to_string(),
+            }),
+        )
+    }
+
+    /// Multicasts `payload` to `groups` with the given service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn multicast(
+        &mut self,
+        groups: &[&str],
+        service: ServiceType,
+        payload: Bytes,
+    ) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&ClientRequest::Multicast {
+                groups: groups.iter().map(|g| g.to_string()).collect(),
+                service,
+                payload,
+            }),
+        )
+    }
+
+    /// Receives the next event, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<ClientEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Drains queued events without waiting.
+    pub fn drain(&self) -> Vec<ClientEvent> {
+        self.events.try_iter().collect()
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        // The reader thread holds a clone of the stream; shutting the
+        // socket down (not just dropping our handle) wakes it and lets
+        // the daemon observe the disconnect immediately.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::ParticipantId;
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            ClientRequest::Hello {
+                name: "alice".into(),
+            },
+            ClientRequest::Join { group: "g".into() },
+            ClientRequest::Leave { group: "g".into() },
+            ClientRequest::Multicast {
+                groups: vec!["a".into(), "b".into()],
+                service: ServiceType::Safe,
+                payload: Bytes::from_static(b"payload"),
+            },
+        ] {
+            let enc = encode_request(&req);
+            assert_eq!(decode_request(&enc).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let replies = [
+            ServerReply::Welcome { daemon: 3 },
+            ServerReply::Refused {
+                reason: "nope".into(),
+            },
+            ServerReply::Event(ClientEvent::Message {
+                sender: MemberId::new(ParticipantId::new(1), "bob"),
+                groups: vec!["g".into()],
+                service: ServiceType::Agreed,
+                payload: Bytes::from_static(b"hi"),
+            }),
+            ServerReply::Event(ClientEvent::Membership {
+                group: "g".into(),
+                members: vec![
+                    MemberId::new(ParticipantId::new(0), "a"),
+                    MemberId::new(ParticipantId::new(1), "b"),
+                ],
+            }),
+            ServerReply::Event(ClientEvent::NetworkChange {
+                daemons: vec![ParticipantId::new(0), ParticipantId::new(1)],
+            }),
+        ];
+        for reply in replies {
+            let enc = encode_reply(&reply);
+            assert_eq!(decode_reply(&enc).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[7]).is_err());
+        // Truncations.
+        let enc = encode_request(&ClientRequest::Multicast {
+            groups: vec!["g".into()],
+            service: ServiceType::Agreed,
+            payload: Bytes::from_static(b"xyz"),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode_request(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn framing_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello frame");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # ar-net — real transports for the Accelerated Ring protocol
+//!
+//! The sans-io protocol core (`ar-core`) needs an environment that
+//! moves bytes and runs timers. This crate provides the real-world
+//! environments:
+//!
+//! * [`Transport`] — the dual-channel transport abstraction (token
+//!   channel + data channel, mirroring the paper's two sockets on two
+//!   ports, Section III-D);
+//! * [`UdpTransport`] — UDP over two sockets, with logical multicast by
+//!   unicast fanout (Spread's no-IP-multicast fallback mode);
+//! * [`LoopbackNet`] / [`LoopbackTransport`] — an in-process channel
+//!   hub for concurrent tests and examples;
+//! * [`Runtime`] — the single-threaded daemon main loop: receive with
+//!   the protocol's current priority preference, handle, execute
+//!   actions, fire timers;
+//! * [`spawn`] / [`NodeHandle`] — one-thread-per-participant wrapper
+//!   with channel-based submit/deliver.
+//!
+//! ## Example: a ring of three on in-process transports
+//!
+//! ```
+//! use ar_core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
+//! use ar_net::{spawn, AppEvent, LoopbackNet};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let net = LoopbackNet::new();
+//! let members: Vec<ParticipantId> = (0..3).map(ParticipantId::new).collect();
+//! let ring_id = RingId::new(members[0], 1);
+//! let nodes: Vec<_> = members.iter().map(|&p| {
+//!     let part = Participant::new(p, ProtocolConfig::accelerated(),
+//!                                 ring_id, members.clone()).unwrap();
+//!     spawn(part, net.endpoint(p))
+//! }).collect();
+//! nodes[1].submit(Bytes::from_static(b"hello"), ServiceType::Agreed).unwrap();
+//! let ev = nodes[2].recv_event(Duration::from_secs(5));
+//! assert!(matches!(ev, Some(AppEvent::Delivered(_))));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod loopback;
+pub mod lossy;
+pub mod node;
+pub mod runtime;
+pub mod transport;
+pub mod udp;
+
+pub use loopback::{LoopbackNet, LoopbackTransport};
+pub use lossy::LossyTransport;
+pub use node::{spawn, NodeHandle};
+pub use runtime::{AppEvent, Runtime};
+pub use transport::Transport;
+pub use udp::{PeerAddrs, PeerMap, UdpTransport};

@@ -1,0 +1,282 @@
+//! In-process loopback transport: a hub of crossbeam channels.
+//!
+//! Useful for multi-threaded integration tests and examples that want a
+//! real concurrent ring without touching the network stack. Each
+//! endpoint owns two receivers (token channel, data channel), matching
+//! the dual-socket design of the UDP transport.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use ar_core::{Message, ParticipantId};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::transport::{is_token_channel, Transport};
+
+struct Hub {
+    /// Per-participant (token_tx, data_tx).
+    peers: HashMap<ParticipantId, (Sender<Message>, Sender<Message>)>,
+}
+
+/// A shared in-process network that endpoints attach to.
+///
+/// ```
+/// use ar_net::loopback::LoopbackNet;
+/// use ar_core::ParticipantId;
+///
+/// let net = LoopbackNet::new();
+/// let a = net.endpoint(ParticipantId::new(0));
+/// let b = net.endpoint(ParticipantId::new(1));
+/// # let _ = (a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopbackNet {
+    hub: Arc<Mutex<Hub>>,
+}
+
+impl Default for LoopbackNet {
+    fn default() -> Self {
+        LoopbackNet::new()
+    }
+}
+
+impl std::fmt::Debug for Hub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hub({} peers)", self.peers.len())
+    }
+}
+
+impl LoopbackNet {
+    /// Creates an empty network.
+    pub fn new() -> LoopbackNet {
+        LoopbackNet {
+            hub: Arc::new(Mutex::new(Hub {
+                peers: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Attaches an endpoint for `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is already attached.
+    pub fn endpoint(&self, pid: ParticipantId) -> LoopbackTransport {
+        let (token_tx, token_rx) = unbounded();
+        let (data_tx, data_rx) = unbounded();
+        let mut hub = self.hub.lock();
+        let prev = hub.peers.insert(pid, (token_tx, data_tx));
+        assert!(prev.is_none(), "{pid} already attached");
+        LoopbackTransport {
+            pid,
+            hub: Arc::clone(&self.hub),
+            token_rx,
+            data_rx,
+        }
+    }
+
+    /// Detaches an endpoint (its queued messages are dropped once the
+    /// transport is also dropped).
+    pub fn detach(&self, pid: ParticipantId) {
+        self.hub.lock().peers.remove(&pid);
+    }
+
+    /// Number of attached endpoints.
+    pub fn len(&self) -> usize {
+        self.hub.lock().peers.len()
+    }
+
+    /// True if no endpoints are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One endpoint of a [`LoopbackNet`].
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    pid: ParticipantId,
+    hub: Arc<Mutex<Hub>>,
+    token_rx: Receiver<Message>,
+    data_rx: Receiver<Message>,
+}
+
+impl LoopbackTransport {
+    fn try_channel(rx: &Receiver<Message>) -> io::Result<Option<Message>> {
+        match rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn local_pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()> {
+        let hub = self.hub.lock();
+        if let Some((token_tx, data_tx)) = hub.peers.get(&to) {
+            let tx = if is_token_channel(msg) { token_tx } else { data_tx };
+            let _ = tx.send(msg.clone()); // receiver gone = peer down; drop
+        }
+        Ok(())
+    }
+
+    fn multicast(&mut self, msg: &Message) -> io::Result<()> {
+        let hub = self.hub.lock();
+        for (&pid, (token_tx, data_tx)) in hub.peers.iter() {
+            if pid == self.pid {
+                continue;
+            }
+            let tx = if is_token_channel(msg) { token_tx } else { data_tx };
+            let _ = tx.send(msg.clone());
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
+        let (first, second) = if prefer_token {
+            (&self.token_rx, &self.data_rx)
+        } else {
+            (&self.data_rx, &self.token_rx)
+        };
+        if let Some(m) = Self::try_channel(first)? {
+            return Ok(Some(m));
+        }
+        if let Some(m) = Self::try_channel(second)? {
+            return Ok(Some(m));
+        }
+        // Nothing waiting: block on both up to the deadline, then apply
+        // the preference once more.
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            crossbeam::channel::select! {
+                recv(self.token_rx) -> m => {
+                    if let Ok(m) = m { return Ok(Some(m)); }
+                }
+                recv(self.data_rx) -> m => {
+                    if let Ok(m) = m { return Ok(Some(m)); }
+                }
+                default(remaining) => return Ok(None),
+            }
+        }
+    }
+}
+
+impl Drop for LoopbackTransport {
+    fn drop(&mut self) {
+        self.hub.lock().peers.remove(&self.pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::{RingId, Seq, Token};
+
+    fn pid(v: u16) -> ParticipantId {
+        ParticipantId::new(v)
+    }
+
+    fn token_msg() -> Message {
+        Message::Token(Token::initial(RingId::default(), Seq::ZERO))
+    }
+
+    fn data_msg() -> Message {
+        Message::Data(ar_core::DataMessage {
+            ring_id: RingId::default(),
+            seq: Seq::new(1),
+            pid: pid(0),
+            round: ar_core::Round::new(1),
+            service: ar_core::ServiceType::Agreed,
+            after_token: false,
+            payload: bytes::Bytes::from_static(b"x"),
+        })
+    }
+
+    #[test]
+    fn unicast_reaches_only_target() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = net.endpoint(pid(1));
+        let mut c = net.endpoint(pid(2));
+        a.send_to(pid(1), &token_msg()).unwrap();
+        assert!(b
+            .recv(true, Duration::from_millis(10))
+            .unwrap()
+            .is_some());
+        assert!(c.recv(true, Duration::from_millis(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn multicast_reaches_everyone_but_sender() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = net.endpoint(pid(1));
+        let mut c = net.endpoint(pid(2));
+        a.multicast(&data_msg()).unwrap();
+        assert!(b.recv(false, Duration::from_millis(10)).unwrap().is_some());
+        assert!(c.recv(false, Duration::from_millis(10)).unwrap().is_some());
+        assert!(a.recv(false, Duration::from_millis(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn priority_prefers_requested_channel() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = net.endpoint(pid(1));
+        a.send_to(pid(1), &data_msg()).unwrap();
+        a.send_to(pid(1), &token_msg()).unwrap();
+        // Data arrived first, but token preference pulls the token.
+        let m = b.recv(true, Duration::from_millis(10)).unwrap().unwrap();
+        assert!(matches!(m, Message::Token(_)));
+        let m = b.recv(true, Duration::from_millis(10)).unwrap().unwrap();
+        assert!(matches!(m, Message::Data(_)));
+    }
+
+    #[test]
+    fn recv_times_out_when_idle() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let start = Instant::now();
+        assert!(a.recv(true, Duration::from_millis(20)).unwrap().is_none());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn send_to_unknown_peer_is_dropped_silently() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        a.send_to(pid(9), &token_msg()).unwrap();
+    }
+
+    #[test]
+    fn drop_detaches_endpoint() {
+        let net = LoopbackNet::new();
+        {
+            let _a = net.endpoint(pid(0));
+            assert_eq!(net.len(), 1);
+        }
+        assert_eq!(net.len(), 0);
+        // Re-attach after drop is allowed.
+        let _a2 = net.endpoint(pid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn duplicate_attach_panics() {
+        let net = LoopbackNet::new();
+        let _a = net.endpoint(pid(0));
+        let _b = net.endpoint(pid(0));
+    }
+}

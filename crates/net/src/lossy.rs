@@ -1,0 +1,180 @@
+//! A loss-injecting transport wrapper for resilience testing.
+//!
+//! Wraps any [`Transport`] and drops outbound messages with a seeded,
+//! per-message probability — deterministic given the seed, independent
+//! of timing. Useful for exercising the protocol's retransmission and
+//! membership machinery over otherwise reliable transports (e.g. the
+//! in-process loopback).
+
+use std::io;
+use std::time::Duration;
+
+use ar_core::{Message, ParticipantId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transport::Transport;
+
+/// Transport wrapper that randomly drops outbound messages.
+#[derive(Debug)]
+pub struct LossyTransport<T: Transport> {
+    inner: T,
+    rng: StdRng,
+    drop_prob: f64,
+    dropped: u64,
+    sent: u64,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner`, dropping each outbound message (each copy, for
+    /// multicasts counts once per send call) with probability
+    /// `drop_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is outside `[0, 1)` — a transport that
+    /// drops everything can never make progress.
+    pub fn new(inner: T, drop_prob: f64, seed: u64) -> LossyTransport<T> {
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1)"
+        );
+        LossyTransport {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob,
+            dropped: 0,
+            sent: 0,
+        }
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages passed through so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn drop_now(&mut self) -> bool {
+        if self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob {
+            self.dropped += 1;
+            true
+        } else {
+            self.sent += 1;
+            false
+        }
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn local_pid(&self) -> ParticipantId {
+        self.inner.local_pid()
+    }
+
+    fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()> {
+        if self.drop_now() {
+            return Ok(());
+        }
+        self.inner.send_to(to, msg)
+    }
+
+    fn multicast(&mut self, msg: &Message) -> io::Result<()> {
+        if self.drop_now() {
+            return Ok(());
+        }
+        self.inner.multicast(msg)
+    }
+
+    fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
+        self.inner.recv(prefer_token, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackNet;
+    use ar_core::{RingId, Seq, Token};
+
+    fn pid(v: u16) -> ParticipantId {
+        ParticipantId::new(v)
+    }
+
+    fn token_msg() -> Message {
+        Message::Token(Token::initial(RingId::default(), Seq::ZERO))
+    }
+
+    #[test]
+    fn zero_loss_passes_everything() {
+        let net = LoopbackNet::new();
+        let mut a = LossyTransport::new(net.endpoint(pid(0)), 0.0, 1);
+        let mut b = net.endpoint(pid(1));
+        for _ in 0..50 {
+            a.send_to(pid(1), &token_msg()).unwrap();
+        }
+        assert_eq!(a.sent(), 50);
+        assert_eq!(a.dropped(), 0);
+        let mut got = 0;
+        while b
+            .recv(true, Duration::from_millis(5))
+            .unwrap()
+            .is_some()
+        {
+            got += 1;
+        }
+        assert_eq!(got, 50);
+    }
+
+    #[test]
+    fn half_loss_drops_roughly_half() {
+        let net = LoopbackNet::new();
+        let mut a = LossyTransport::new(net.endpoint(pid(0)), 0.5, 42);
+        for _ in 0..400 {
+            a.send_to(pid(1), &token_msg()).unwrap();
+        }
+        let dropped = a.dropped();
+        assert!((120..280).contains(&dropped), "dropped {dropped} of 400");
+        assert_eq!(a.sent() + a.dropped(), 400);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let net = LoopbackNet::new();
+            let mut t = LossyTransport::new(net.endpoint(pid(0)), 0.3, seed);
+            for _ in 0..100 {
+                t.send_to(pid(1), &token_msg()).unwrap();
+            }
+            t.dropped()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn recv_is_unaffected() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = LossyTransport::new(net.endpoint(pid(1)), 0.99, 1);
+        a.send_to(pid(1), &token_msg()).unwrap();
+        assert!(b
+            .recv(true, Duration::from_millis(100))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn full_loss_rejected() {
+        let net = LoopbackNet::new();
+        let _ = LossyTransport::new(net.endpoint(pid(0)), 1.0, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! A threaded wrapper around the runtime: one OS thread per
+//! participant, with channel-based submit and delivery, for
+//! applications and tests that want a concurrent ring.
+
+use std::io;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ar_core::{Participant, ServiceType};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use crate::runtime::{AppEvent, Runtime};
+use crate::transport::Transport;
+
+/// Capacity of the submit channel (backpressure boundary between the
+/// application thread and the protocol thread).
+const SUBMIT_CAPACITY: usize = 1024;
+
+/// Handle to a participant running on its own thread.
+///
+/// Dropping the handle shuts the node down and joins the thread.
+#[derive(Debug)]
+pub struct NodeHandle {
+    submit_tx: Sender<(Bytes, ServiceType)>,
+    events_rx: Receiver<AppEvent>,
+    shutdown_tx: Sender<()>,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+/// Spawns a node thread driving `part` over `transport`.
+pub fn spawn<T: Transport + Send + 'static>(part: Participant, transport: T) -> NodeHandle {
+    let (submit_tx, submit_rx) = bounded::<(Bytes, ServiceType)>(SUBMIT_CAPACITY);
+    let (events_tx, events_rx) = unbounded::<AppEvent>();
+    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let join = std::thread::spawn(move || -> io::Result<()> {
+        let mut rt = Runtime::new(part, transport);
+        for ev in rt.start()? {
+            let _ = events_tx.send(ev);
+        }
+        loop {
+            if shutdown_rx.try_recv().is_ok() {
+                return Ok(());
+            }
+            // Drain submissions (stop early on protocol backpressure).
+            while let Ok((payload, service)) = submit_rx.try_recv() {
+                if rt.submit(payload, service).is_err() {
+                    break;
+                }
+            }
+            for ev in rt.step()? {
+                let _ = events_tx.send(ev);
+            }
+        }
+    });
+    NodeHandle {
+        submit_tx,
+        events_rx,
+        shutdown_tx,
+        join: Some(join),
+    }
+}
+
+impl NodeHandle {
+    /// Submits a message for totally ordered multicast.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back if the node has shut down or the
+    /// submit channel is full (backpressure).
+    pub fn submit(&self, payload: Bytes, service: ServiceType) -> Result<(), Bytes> {
+        match self.submit_tx.try_send((payload, service)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full((p, _)) | TrySendError::Disconnected((p, _))) => Err(p),
+        }
+    }
+
+    /// Receives the next application event, waiting up to `timeout`.
+    pub fn recv_event(&self, timeout: Duration) -> Option<AppEvent> {
+        self.events_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any already-queued events without waiting.
+    pub fn drain_events(&self) -> Vec<AppEvent> {
+        self.events_rx.try_iter().collect()
+    }
+
+    /// Stops the node thread and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the node loop hit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_now()
+    }
+
+    fn shutdown_now(&mut self) -> io::Result<()> {
+        let _ = self.shutdown_tx.send(());
+        match self.join.take() {
+            Some(h) => h.join().unwrap_or_else(|_| {
+                Err(io::Error::other("node thread panicked"))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackNet;
+    use ar_core::{ParticipantId, ProtocolConfig, RingId};
+    use std::time::Instant;
+
+    #[test]
+    fn threaded_ring_delivers_everywhere() {
+        let net = LoopbackNet::new();
+        let members: Vec<ParticipantId> = (0..4).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        let nodes: Vec<NodeHandle> = members
+            .iter()
+            .map(|&p| {
+                let part =
+                    Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
+                        .unwrap();
+                spawn(part, net.endpoint(p))
+            })
+            .collect();
+        for (i, n) in nodes.iter().enumerate() {
+            n.submit(Bytes::from(format!("msg-{i}")), ServiceType::Agreed)
+                .unwrap();
+        }
+        let mut logs: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while logs.iter().any(|l| l.len() < 4) && Instant::now() < deadline {
+            for (i, n) in nodes.iter().enumerate() {
+                while let Some(ev) = n.recv_event(Duration::from_millis(10)) {
+                    if let AppEvent::Delivered(d) = ev {
+                        logs[i].push(d.seq.as_u64());
+                    }
+                }
+            }
+        }
+        for log in &logs {
+            assert_eq!(log.len(), 4, "{logs:?}");
+            assert_eq!(log, &logs[0], "same total order everywhere");
+        }
+        for n in nodes {
+            n.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_via_drop() {
+        let net = LoopbackNet::new();
+        let p = ParticipantId::new(0);
+        let part = Participant::new(
+            p,
+            ProtocolConfig::accelerated(),
+            RingId::new(p, 1),
+            vec![p],
+        )
+        .unwrap();
+        let node = spawn(part, net.endpoint(p));
+        drop(node); // must not hang or panic
+    }
+}

@@ -1,0 +1,217 @@
+//! The single-threaded event loop that drives a [`Participant`] over a
+//! [`Transport`] with real (wall-clock) timers — the daemon main loop
+//! of the paper's implementations.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use ar_core::{
+    Action, ConfigChange, Delivery, Message, Participant, PriorityMode, ServiceType, TimerKind,
+};
+use bytes::Bytes;
+
+use crate::transport::Transport;
+
+/// Events surfaced to the embedding application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppEvent {
+    /// An ordered message was delivered.
+    Delivered(Delivery),
+    /// A configuration change (transitional or regular) was delivered.
+    ConfigChanged(ConfigChange),
+}
+
+/// Upper bound on one receive wait, so timers stay responsive even when
+/// the computed deadline is far away.
+const MAX_POLL: Duration = Duration::from_millis(5);
+
+/// A protocol participant bound to a transport and a clock.
+#[derive(Debug)]
+pub struct Runtime<T: Transport> {
+    part: Participant,
+    transport: T,
+    timers: [Option<Instant>; 5],
+    events: Vec<AppEvent>,
+}
+
+fn kind_idx(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::TokenLoss => 0,
+        TimerKind::TokenRetransmit => 1,
+        TimerKind::Join => 2,
+        TimerKind::ConsensusTimeout => 3,
+        TimerKind::CommitTimeout => 4,
+    }
+}
+
+const KINDS: [TimerKind; 5] = [
+    TimerKind::TokenLoss,
+    TimerKind::TokenRetransmit,
+    TimerKind::Join,
+    TimerKind::ConsensusTimeout,
+    TimerKind::CommitTimeout,
+];
+
+impl<T: Transport> Runtime<T> {
+    /// Wraps a participant and transport; call
+    /// [`start`](Runtime::start) before stepping.
+    pub fn new(part: Participant, transport: T) -> Runtime<T> {
+        Runtime {
+            part,
+            transport,
+            timers: [None; 5],
+            events: Vec::new(),
+        }
+    }
+
+    /// The wrapped participant (for inspection).
+    pub fn participant(&self) -> &Participant {
+        &self.part
+    }
+
+    /// The transport (for inspection).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Begins operation (the ring representative injects the first
+    /// token).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if sending fails.
+    pub fn start(&mut self) -> io::Result<Vec<AppEvent>> {
+        let actions = self.part.start();
+        self.execute(actions)?;
+        Ok(std::mem::take(&mut self.events))
+    }
+
+    /// Submits an application message for ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the queue-full error on backpressure.
+    pub fn submit(&mut self, payload: Bytes, service: ServiceType) -> Result<(), ar_core::QueueFull> {
+        self.part.submit(payload, service)
+    }
+
+    /// Runs one iteration: waits (briefly) for a message, handles it
+    /// and any expired timers, and returns application events.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the transport.
+    pub fn step(&mut self) -> io::Result<Vec<AppEvent>> {
+        let now = Instant::now();
+        let next_deadline = self.timers.iter().flatten().min().copied();
+        let wait = match next_deadline {
+            Some(d) if d <= now => Duration::ZERO,
+            Some(d) => (d - now).min(MAX_POLL),
+            None => MAX_POLL,
+        };
+        let prefer_token = self.part.priority_mode() == PriorityMode::TokenHigh;
+        if let Some(msg) = self.transport.recv(prefer_token, wait)? {
+            let actions = self.part.handle_message(msg);
+            self.execute(actions)?;
+        }
+        // Fire expired timers.
+        let now = Instant::now();
+        for kind in KINDS {
+            let idx = kind_idx(kind);
+            if matches!(self.timers[idx], Some(d) if d <= now) {
+                self.timers[idx] = None;
+                let actions = self.part.handle_timer(kind);
+                self.execute(actions)?;
+            }
+        }
+        Ok(std::mem::take(&mut self.events))
+    }
+
+    fn execute(&mut self, actions: Vec<Action>) -> io::Result<()> {
+        for action in actions {
+            match action {
+                Action::Multicast(m) => self.transport.multicast(&Message::Data(m))?,
+                Action::SendToken { to, token } => {
+                    self.transport.send_to(to, &Message::Token(token))?
+                }
+                Action::MulticastJoin(j) => self.transport.multicast(&Message::Join(j))?,
+                Action::SendCommit { to, token } => {
+                    self.transport.send_to(to, &Message::Commit(token))?
+                }
+                Action::Deliver(d) => self.events.push(AppEvent::Delivered(d)),
+                Action::DeliverConfigChange(c) => self.events.push(AppEvent::ConfigChanged(c)),
+                Action::SetTimer(kind) => {
+                    let dur = self.timer_duration(kind);
+                    self.timers[kind_idx(kind)] = Some(Instant::now() + dur);
+                }
+                Action::CancelTimer(kind) => self.timers[kind_idx(kind)] = None,
+            }
+        }
+        Ok(())
+    }
+
+    fn timer_duration(&self, kind: TimerKind) -> Duration {
+        let t = self.part.timeouts();
+        Duration::from_nanos(match kind {
+            TimerKind::TokenLoss => t.token_loss,
+            TimerKind::TokenRetransmit => t.token_retransmit,
+            TimerKind::Join => t.join,
+            TimerKind::ConsensusTimeout => t.consensus,
+            TimerKind::CommitTimeout => t.commit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackNet;
+    use ar_core::{ParticipantId, ProtocolConfig, RingId};
+
+    fn pids(n: u16) -> Vec<ParticipantId> {
+        (0..n).map(ParticipantId::new).collect()
+    }
+
+    fn build_ring(n: u16) -> Vec<Runtime<crate::loopback::LoopbackTransport>> {
+        let net = LoopbackNet::new();
+        let members = pids(n);
+        let ring_id = RingId::new(members[0], 1);
+        members
+            .iter()
+            .map(|&p| {
+                let part =
+                    Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
+                        .unwrap();
+                Runtime::new(part, net.endpoint(p))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_node_ring_delivers_in_total_order_single_thread() {
+        let mut ring = build_ring(3);
+        ring[1]
+            .submit(Bytes::from_static(b"one"), ServiceType::Agreed)
+            .unwrap();
+        ring[2]
+            .submit(Bytes::from_static(b"two"), ServiceType::Safe)
+            .unwrap();
+        for rt in ring.iter_mut() {
+            rt.start().unwrap();
+        }
+        let mut logs: Vec<Vec<(u64, Bytes)>> = vec![Vec::new(); 3];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while logs.iter().any(|l| l.len() < 2) && Instant::now() < deadline {
+            for (i, rt) in ring.iter_mut().enumerate() {
+                for ev in rt.step().unwrap() {
+                    if let AppEvent::Delivered(d) = ev {
+                        logs[i].push((d.seq.as_u64(), d.payload));
+                    }
+                }
+            }
+        }
+        assert_eq!(logs[0].len(), 2, "{logs:?}");
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The transport abstraction the runtime drives the protocol over.
+
+use std::io;
+use std::time::Duration;
+
+use ar_core::{Message, ParticipantId};
+
+/// A bidirectional transport for one protocol participant.
+///
+/// Implementations maintain **two logical channels** — one for token
+/// (and commit-token) messages, one for data (and join) messages — so
+/// the receiver can honor the protocol's priority preference
+/// (Section III-C/III-D of the paper: separate sockets and ports).
+pub trait Transport {
+    /// This endpoint's participant identifier.
+    fn local_pid(&self) -> ParticipantId;
+
+    /// Sends a message to a single peer on the appropriate channel
+    /// (token channel for `Token`/`Commit`, data channel otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the underlying send fails; transient
+    /// full-buffer conditions should be handled inside the transport
+    /// (messages may be dropped — the protocol recovers).
+    fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()>;
+
+    /// Multicasts a message to every peer (logical multicast; may be
+    /// implemented as unicast fanout).
+    ///
+    /// # Errors
+    ///
+    /// As for [`send_to`](Self::send_to).
+    fn multicast(&mut self, msg: &Message) -> io::Result<()>;
+
+    /// Receives the next message, preferring the token channel when
+    /// `prefer_token` is true (and the data channel otherwise), waiting
+    /// up to `timeout`. Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the underlying receive fails for a
+    /// reason other than timeout.
+    fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>>;
+}
+
+/// Routes a message kind to the channel it travels on.
+///
+/// Token and commit-token messages use the token channel; data and join
+/// messages use the data channel.
+pub fn is_token_channel(msg: &Message) -> bool {
+    matches!(msg, Message::Token(_) | Message::Commit(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::{CommitToken, JoinMessage, RingId, Seq, Token};
+
+    #[test]
+    fn channel_routing() {
+        let ring = RingId::default();
+        assert!(is_token_channel(&Message::Token(Token::initial(
+            ring,
+            Seq::ZERO
+        ))));
+        assert!(is_token_channel(&Message::Commit(CommitToken::new(
+            ring,
+            &[ParticipantId::new(0)]
+        ))));
+        assert!(!is_token_channel(&Message::Join(JoinMessage {
+            sender: ParticipantId::new(0),
+            proc_set: vec![],
+            fail_set: vec![],
+            ring_seq: 0,
+        })));
+    }
+}

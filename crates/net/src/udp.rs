@@ -1,0 +1,303 @@
+//! UDP transport: the paper's dual-socket design over real sockets.
+//!
+//! Each participant binds **two** UDP sockets — one for token (and
+//! commit-token) messages, one for data (and join) messages — on
+//! distinct ports, exactly as Section III-D describes: "we accomplish
+//! this by sending token and data messages on different ports and using
+//! different sockets for receiving the two message types".
+//!
+//! Multicast is *logical*: data messages are fanned out by unicast to
+//! every peer. The paper's implementations use IP-multicast when
+//! available, with unicast fanout as Spread's built-in fallback; we
+//! implement the fallback because it works on any network (including
+//! loopback test setups) with no multicast routing or socket-option
+//! requirements. The protocol is agnostic to the difference.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use ar_core::{Message, ParticipantId};
+
+use crate::transport::{is_token_channel, Transport};
+
+/// Address book for a UDP deployment: each participant's token and
+/// data socket addresses.
+#[derive(Debug, Clone, Default)]
+pub struct PeerMap {
+    peers: BTreeMap<ParticipantId, PeerAddrs>,
+}
+
+/// One participant's socket addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerAddrs {
+    /// Where the peer receives token and commit-token messages.
+    pub token: SocketAddr,
+    /// Where the peer receives data and join messages.
+    pub data: SocketAddr,
+}
+
+impl PeerMap {
+    /// Creates an empty map.
+    pub fn new() -> PeerMap {
+        PeerMap::default()
+    }
+
+    /// A localhost address book for `n` participants starting at
+    /// `base_port`: participant `i` receives tokens on
+    /// `base_port + 2*i` and data on `base_port + 2*i + 1`.
+    pub fn localhost(n: u16, base_port: u16) -> PeerMap {
+        let mut map = PeerMap::new();
+        for i in 0..n {
+            let token_port = base_port + 2 * i;
+            map.insert(
+                ParticipantId::new(i),
+                PeerAddrs {
+                    token: SocketAddr::from(([127, 0, 0, 1], token_port)),
+                    data: SocketAddr::from(([127, 0, 0, 1], token_port + 1)),
+                },
+            );
+        }
+        map
+    }
+
+    /// Adds or replaces a participant's addresses.
+    pub fn insert(&mut self, pid: ParticipantId, addrs: PeerAddrs) -> &mut PeerMap {
+        self.peers.insert(pid, addrs);
+        self
+    }
+
+    /// Looks up a participant's addresses.
+    pub fn get(&self, pid: ParticipantId) -> Option<PeerAddrs> {
+        self.peers.get(&pid).copied()
+    }
+
+    /// Number of participants in the map.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Iterates over all participants and addresses.
+    pub fn iter(&self) -> impl Iterator<Item = (ParticipantId, PeerAddrs)> + '_ {
+        self.peers.iter().map(|(&p, &a)| (p, a))
+    }
+}
+
+/// A dual-socket UDP transport for one participant.
+#[derive(Debug)]
+pub struct UdpTransport {
+    pid: ParticipantId,
+    token_sock: UdpSocket,
+    data_sock: UdpSocket,
+    peers: PeerMap,
+    buf: Vec<u8>,
+}
+
+/// Largest datagram we send or receive (the 64 KiB UDP maximum, which
+/// the paper's large-message experiments rely on).
+const MAX_DATAGRAM: usize = 65_507;
+
+impl UdpTransport {
+    /// Binds the participant's two sockets per `peers[pid]` and
+    /// connects the transport to the address book.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pid` is missing from the map or a socket
+    /// cannot be bound.
+    pub fn bind(pid: ParticipantId, peers: PeerMap) -> io::Result<UdpTransport> {
+        let addrs = peers.get(pid).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{pid} not present in peer map"),
+            )
+        })?;
+        let token_sock = UdpSocket::bind(addrs.token)?;
+        let data_sock = UdpSocket::bind(addrs.data)?;
+        token_sock.set_nonblocking(true)?;
+        data_sock.set_nonblocking(true)?;
+        Ok(UdpTransport {
+            pid,
+            token_sock,
+            data_sock,
+            peers,
+            buf: vec![0u8; MAX_DATAGRAM],
+        })
+    }
+
+    fn send_encoded(&self, to: ParticipantId, msg: &Message, bytes: &[u8]) -> io::Result<()> {
+        let Some(addrs) = self.peers.get(to) else {
+            return Ok(()); // unknown peer: silently dropped, like the network would
+        };
+        let (sock, addr) = if is_token_channel(msg) {
+            (&self.token_sock, addrs.token)
+        } else {
+            (&self.data_sock, addrs.data)
+        };
+        match sock.send_to(bytes, addr) {
+            Ok(_) => Ok(()),
+            // Full buffers and unreachable peers are "loss"; the
+            // protocol's retransmission machinery recovers.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_recv_sock(sock: &UdpSocket, buf: &mut [u8]) -> io::Result<Option<Message>> {
+        match sock.recv_from(buf) {
+            Ok((n, _)) => match ar_core::wire::decode(&buf[..n]) {
+                Ok(msg) => Ok(Some(msg)),
+                Err(_) => Ok(None), // malformed datagram: drop
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()> {
+        let bytes = ar_core::wire::encode(msg);
+        self.send_encoded(to, msg, &bytes)
+    }
+
+    fn multicast(&mut self, msg: &Message) -> io::Result<()> {
+        let bytes = ar_core::wire::encode(msg);
+        let targets: Vec<ParticipantId> = self
+            .peers
+            .iter()
+            .map(|(p, _)| p)
+            .filter(|&p| p != self.pid)
+            .collect();
+        for p in targets {
+            self.send_encoded(p, msg, &bytes)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Non-blocking sweep in preference order.
+            let order: [&UdpSocket; 2] = if prefer_token {
+                [&self.token_sock, &self.data_sock]
+            } else {
+                [&self.data_sock, &self.token_sock]
+            };
+            for sock in order {
+                if let Some(m) = Self::try_recv_sock(sock, &mut self.buf)? {
+                    return Ok(Some(m));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            // Brief sleep instead of poll(2): keeps the implementation
+            // dependency-free; granularity is fine for protocol timers.
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::{RingId, Seq, Token};
+
+    fn pid(v: u16) -> ParticipantId {
+        ParticipantId::new(v)
+    }
+
+    /// Binds transports on OS-assigned ports by probing a base port.
+    fn bind_pair(base: u16) -> (UdpTransport, UdpTransport) {
+        for attempt in 0..50u16 {
+            let map = PeerMap::localhost(2, base + attempt * 16);
+            match (
+                UdpTransport::bind(pid(0), map.clone()),
+                UdpTransport::bind(pid(1), map),
+            ) {
+                (Ok(a), Ok(b)) => return (a, b),
+                _ => continue,
+            }
+        }
+        panic!("could not find free ports");
+    }
+
+    fn token_msg() -> Message {
+        Message::Token(Token::initial(RingId::default(), Seq::ZERO))
+    }
+
+    fn data_msg() -> Message {
+        Message::Data(ar_core::DataMessage {
+            ring_id: RingId::default(),
+            seq: Seq::new(1),
+            pid: pid(0),
+            round: ar_core::Round::new(1),
+            service: ar_core::ServiceType::Agreed,
+            after_token: false,
+            payload: bytes::Bytes::from_static(b"udp"),
+        })
+    }
+
+    #[test]
+    fn unicast_roundtrip() {
+        let (mut a, mut b) = bind_pair(42000);
+        a.send_to(pid(1), &token_msg()).unwrap();
+        let got = b.recv(true, Duration::from_millis(500)).unwrap().unwrap();
+        assert_eq!(got, token_msg());
+    }
+
+    #[test]
+    fn multicast_fanout_roundtrip() {
+        let (mut a, mut b) = bind_pair(43000);
+        a.multicast(&data_msg()).unwrap();
+        let got = b.recv(false, Duration::from_millis(500)).unwrap().unwrap();
+        assert_eq!(got, data_msg());
+    }
+
+    #[test]
+    fn priority_prefers_token_socket() {
+        let (mut a, mut b) = bind_pair(44000);
+        a.send_to(pid(1), &data_msg()).unwrap();
+        a.send_to(pid(1), &token_msg()).unwrap();
+        // Give both datagrams time to land.
+        std::thread::sleep(Duration::from_millis(50));
+        let first = b.recv(true, Duration::from_millis(500)).unwrap().unwrap();
+        assert!(matches!(first, Message::Token(_)), "{first:?}");
+    }
+
+    #[test]
+    fn recv_timeout_when_idle() {
+        let (mut a, _b) = bind_pair(45000);
+        let got = a.recv(true, Duration::from_millis(20)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn bind_requires_presence_in_map() {
+        let map = PeerMap::localhost(1, 46000);
+        let err = UdpTransport::bind(pid(5), map).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn peer_map_localhost_layout() {
+        let map = PeerMap::localhost(3, 50000);
+        assert_eq!(map.len(), 3);
+        let p1 = map.get(pid(1)).unwrap();
+        assert_eq!(p1.token.port(), 50002);
+        assert_eq!(p1.data.port(), 50003);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fault injection: crashes, partitions, and merges on a schedule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A scheduled fault event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Host `host` crashes (stops processing and sending forever).
+    Crash {
+        /// The host index to crash.
+        host: usize,
+    },
+    /// The network splits into components; hosts can only reach hosts
+    /// in their own component.
+    Partition {
+        /// Component id per host (hosts with equal ids can communicate).
+        component_of: Vec<u8>,
+    },
+    /// All partitions heal; every (non-crashed) host can reach every
+    /// other.
+    Heal,
+}
+
+/// A time-ordered schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash of `host` at `at`.
+    #[must_use]
+    pub fn crash(mut self, at: SimTime, host: usize) -> Self {
+        self.events.push((at, FaultEvent::Crash { host }));
+        self.sort();
+        self
+    }
+
+    /// Adds a partition at `at`; `component_of[i]` names host `i`'s
+    /// side.
+    #[must_use]
+    pub fn partition(mut self, at: SimTime, component_of: Vec<u8>) -> Self {
+        self.events.push((at, FaultEvent::Partition { component_of }));
+        self.sort();
+        self
+    }
+
+    /// Heals all partitions at `at`.
+    #[must_use]
+    pub fn heal(mut self, at: SimTime) -> Self {
+        self.events.push((at, FaultEvent::Heal));
+        self.sort();
+        self
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by_key(|(t, _)| *t);
+    }
+
+    /// The scheduled events in time order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Live connectivity state derived from a [`FaultPlan`]'s applied
+/// events.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    crashed: Vec<bool>,
+    component_of: Vec<u8>,
+}
+
+impl Connectivity {
+    /// Full connectivity over `n` hosts.
+    pub fn full(n: usize) -> Connectivity {
+        Connectivity {
+            crashed: vec![false; n],
+            component_of: vec![0; n],
+        }
+    }
+
+    /// Applies one fault event.
+    pub fn apply(&mut self, ev: &FaultEvent) {
+        match ev {
+            FaultEvent::Crash { host } => self.crashed[*host] = true,
+            FaultEvent::Partition { component_of } => {
+                assert_eq!(
+                    component_of.len(),
+                    self.component_of.len(),
+                    "partition vector must cover every host"
+                );
+                self.component_of.clone_from(component_of);
+            }
+            FaultEvent::Heal => self.component_of.iter_mut().for_each(|c| *c = 0),
+        }
+    }
+
+    /// True if host `i` has crashed.
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// True if a frame from `from` can reach `to`.
+    pub fn can_reach(&self, from: usize, to: usize) -> bool {
+        !self.crashed[from]
+            && !self.crashed[to]
+            && self.component_of[from] == self.component_of[to]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_time_sorted() {
+        let plan = FaultPlan::none()
+            .heal(SimTime::from_nanos(30))
+            .crash(SimTime::from_nanos(10), 2)
+            .partition(SimTime::from_nanos(20), vec![0, 0, 1, 1]);
+        let times: Vec<u64> = plan.events().iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn connectivity_tracks_crashes_and_partitions() {
+        let mut c = Connectivity::full(4);
+        assert!(c.can_reach(0, 3));
+        c.apply(&FaultEvent::Crash { host: 3 });
+        assert!(!c.can_reach(0, 3));
+        assert!(c.is_crashed(3));
+        c.apply(&FaultEvent::Partition {
+            component_of: vec![0, 0, 1, 1],
+        });
+        assert!(c.can_reach(0, 1));
+        assert!(!c.can_reach(1, 2));
+        c.apply(&FaultEvent::Heal);
+        assert!(c.can_reach(1, 2));
+        assert!(!c.can_reach(0, 3), "crash is permanent");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every host")]
+    fn partition_vector_must_match() {
+        let mut c = Connectivity::full(2);
+        c.apply(&FaultEvent::Partition {
+            component_of: vec![0],
+        });
+    }
+}

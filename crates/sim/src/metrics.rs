@@ -1,0 +1,169 @@
+//! Measurement: latency statistics and the per-run report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Online latency recorder. Samples are kept (in nanoseconds) so exact
+/// percentiles can be computed at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sum: u128,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sum += u128::from(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Computes the summary statistics (sorts the samples).
+    pub fn summarize(&mut self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let pick = |q: f64| -> SimDuration {
+            let idx = ((n as f64 - 1.0) * q) as usize;
+            SimDuration::from_nanos(self.samples[idx.min(n - 1)])
+        };
+        LatencySummary {
+            count: n as u64,
+            mean: SimDuration::from_nanos((self.sum / n as u128) as u64),
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: SimDuration::from_nanos(*self.samples.last().expect("non-empty")),
+        }
+    }
+}
+
+/// Summary statistics over recorded latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+/// The result of one simulated benchmark run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Offered aggregate application load, payload bits per second
+    /// (`u64::MAX` rate runs report the configured value as 0).
+    pub offered_bps: u64,
+    /// Achieved aggregate goodput: unique payload bits delivered per
+    /// participant per second of measurement time (averaged over
+    /// participants).
+    pub achieved_bps: f64,
+    /// Delivery latency (submission to delivery, across all
+    /// participants and messages in the measurement window).
+    pub latency: LatencySummary,
+    /// Messages delivered per participant (average).
+    pub delivered_per_participant: f64,
+    /// Token rotations completed during measurement.
+    pub token_rotations: u64,
+    /// Frames dropped at switch output ports.
+    pub switch_drops: u64,
+    /// Datagrams dropped at full host sockets.
+    pub socket_drops: u64,
+    /// Retransmissions multicast (all participants).
+    pub retransmissions: u64,
+    /// Application submissions rejected by backpressure.
+    pub submit_rejected: u64,
+    /// Total simulated events processed (sanity/performance metric).
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Achieved goodput in megabits per second.
+    pub fn achieved_mbps(&self) -> f64 {
+        self.achieved_bps / 1e6
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean.as_micros_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summarizes_to_zero() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        let s = r.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_statistics_are_exact_on_small_sets() {
+        let mut r = LatencyRecorder::new();
+        for us in [1u64, 2, 3, 4, 5] {
+            r.record(SimDuration::from_micros(us));
+        }
+        let s = r.summarize();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, SimDuration::from_micros(3));
+        assert_eq!(s.p50, SimDuration::from_micros(3));
+        assert_eq!(s.max, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn percentiles_on_larger_sets() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_nanos(i));
+        }
+        let s = r.summarize();
+        assert_eq!(s.p50.as_nanos(), 50);
+        assert_eq!(s.p90.as_nanos(), 90);
+        assert_eq!(s.p99.as_nanos(), 99);
+        assert_eq!(s.max.as_nanos(), 100);
+    }
+
+    #[test]
+    fn report_convenience_units() {
+        let report = SimReport {
+            achieved_bps: 920e6,
+            latency: LatencySummary {
+                mean: SimDuration::from_micros(720),
+                ..LatencySummary::default()
+            },
+            ..SimReport::default()
+        };
+        assert!((report.achieved_mbps() - 920.0).abs() < 1e-9);
+        assert!((report.mean_latency_us() - 720.0).abs() < 1e-9);
+    }
+}

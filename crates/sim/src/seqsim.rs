@@ -1,0 +1,319 @@
+//! A fixed-sequencer total-order protocol on the same simulated
+//! substrate — the related-work baseline (§V of the paper).
+//!
+//! The paper compares token-based ordering against sequencer-based
+//! systems (JGroups' SEQUENCER, ISIS). The canonical fixed-sequencer
+//! design: every sender forwards its message to a distinguished
+//! *sequencer* host, which assigns the global sequence number and
+//! multicasts the message to everyone. Receivers deliver in sequence
+//! order.
+//!
+//! The interesting comparison points this model reproduces:
+//!
+//! * on a network-bound fabric (1-gigabit) the sequencer's links carry
+//!   every message twice (inbound unicast + outbound multicast on a
+//!   full-duplex link), so throughput approaches line rate, but
+//!   latency pays an extra network + processing hop;
+//! * on a processing-bound fabric (10-gigabit) the sequencer's CPU must
+//!   receive *and* re-multicast every message in the system, making the
+//!   coordinator the bottleneck — the ring protocols distribute that
+//!   work around all members.
+//!
+//! Loss handling is out of scope for this baseline (the comparison
+//! benches run lossless, like the paper's §V measurements); overload is
+//! modeled by bounded queues with tail drop.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::EventQueue;
+use crate::metrics::{LatencyRecorder, SimReport};
+use crate::netcfg::NetworkConfig;
+use crate::profile::ImplProfile;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of a sequencer-protocol run.
+#[derive(Debug, Clone)]
+pub struct SequencerSimConfig {
+    /// Number of hosts; host 0 is the sequencer (and also sends).
+    pub n_hosts: usize,
+    /// Network parameters (links, switch, buffers).
+    pub net: NetworkConfig,
+    /// CPU cost model.
+    pub profile: ImplProfile,
+    /// Application payload bytes per message.
+    pub payload_bytes: usize,
+    /// Aggregate offered load in payload bits/second.
+    pub aggregate_bps: u64,
+    /// Measurement window.
+    pub duration: SimDuration,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// RNG seed (phase jitter).
+    pub seed: u64,
+}
+
+impl SequencerSimConfig {
+    /// The paper's 8-host setup at a given load.
+    pub fn eight_hosts(net: NetworkConfig, profile: ImplProfile, aggregate_bps: u64) -> Self {
+        SequencerSimConfig {
+            n_hosts: 8,
+            net,
+            profile,
+            payload_bytes: 1350,
+            aggregate_bps,
+            duration: SimDuration::from_millis(300),
+            warmup: SimDuration::from_millis(120),
+            seed: 42,
+        }
+    }
+}
+
+/// Maximum messages queued at the sequencer before tail drop
+/// (overload model).
+const SEQUENCER_QUEUE_LIMIT: usize = 8192;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// A sender injects one message.
+    Submit { host: usize },
+    /// A forwarded message fully arrives at the sequencer NIC.
+    AtSequencer { submit_ns: u64 },
+    /// The sequencer CPU picks up queued work.
+    SequencerCpu,
+    /// A sequenced multicast fully arrives at a receiver.
+    AtReceiver { host: usize, submit_ns: u64, seq: u64 },
+    /// A receiver CPU picks up queued work.
+    ReceiverCpu { host: usize },
+}
+
+/// Runs the sequencer baseline and reports throughput/latency.
+pub fn run_sequencer(cfg: &SequencerSimConfig) -> SimReport {
+    assert!(cfg.n_hosts >= 2, "need a sequencer and at least one other");
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let n = cfg.n_hosts;
+    let wire_bytes = cfg.profile.data_wire_bytes(cfg.payload_bytes);
+    let ser = cfg.net.serialization(wire_bytes);
+    let hop = cfg.net.propagation + cfg.net.switch_latency + cfg.net.propagation;
+
+    // Per-host send interval.
+    let per_host_bps = cfg.aggregate_bps / n as u64;
+    let interval = SimDuration::from_nanos(
+        (cfg.payload_bytes as u128 * 8 * 1_000_000_000 / per_host_bps.max(1) as u128) as u64,
+    );
+    for h in 0..n {
+        let phase = rng.gen_range(0..interval.as_nanos().max(1));
+        q.schedule(SimTime::ZERO + SimDuration::from_nanos(phase), Ev::Submit { host: h });
+    }
+
+    // Sequencer state.
+    let mut seq_inbox: VecDeque<u64> = VecDeque::new(); // submit timestamps
+    let mut seq_cpu_free = SimTime::ZERO;
+    let mut seq_cpu_pending = false;
+    let mut seq_nic_free = SimTime::ZERO;
+    let mut next_seq: u64 = 0;
+    let mut seq_drops: u64 = 0;
+
+    // Per-sender NIC (for the forward leg) and per-receiver CPU.
+    let mut snd_nic_free = vec![SimTime::ZERO; n];
+    let mut rcv_inbox: Vec<VecDeque<(u64, u64)>> = vec![VecDeque::new(); n];
+    let mut rcv_cpu_free = vec![SimTime::ZERO; n];
+    let mut rcv_cpu_pending = vec![false; n];
+
+    let measure_start = SimTime::ZERO + cfg.warmup;
+    let measure_end = measure_start + cfg.duration;
+    let mut latencies = LatencyRecorder::new();
+    let mut delivered_total: u64 = 0;
+
+    let proc = cfg.profile.proc_data(cfg.payload_bytes);
+    let send = cfg.profile.send_data(cfg.payload_bytes);
+    let deliver = cfg.profile.deliver(cfg.payload_bytes);
+
+    while let Some((t, ev)) = q.pop() {
+        if t >= measure_end {
+            break;
+        }
+        match ev {
+            Ev::Submit { host } => {
+                // Forward to the sequencer (senders other than host 0
+                // pay a network hop; the sequencer's own messages go
+                // straight to its inbox).
+                if host == 0 {
+                    if seq_inbox.len() < SEQUENCER_QUEUE_LIMIT {
+                        seq_inbox.push_back(t.as_nanos());
+                        if !seq_cpu_pending {
+                            seq_cpu_pending = true;
+                            q.schedule(seq_cpu_free.max(t), Ev::SequencerCpu);
+                        }
+                    } else {
+                        seq_drops += 1;
+                    }
+                } else {
+                    let start = snd_nic_free[host].max(t);
+                    snd_nic_free[host] = start + ser;
+                    q.schedule(
+                        snd_nic_free[host] + hop,
+                        Ev::AtSequencer {
+                            submit_ns: t.as_nanos(),
+                        },
+                    );
+                }
+                // Next injection (±1% jitter).
+                let jr = (interval.as_nanos() / 100).max(1);
+                let jitter = rng.gen_range(0..=2 * jr);
+                q.schedule(
+                    t + SimDuration::from_nanos(interval.as_nanos() - jr + jitter),
+                    Ev::Submit { host },
+                );
+            }
+            Ev::AtSequencer { submit_ns } => {
+                if seq_inbox.len() < SEQUENCER_QUEUE_LIMIT {
+                    seq_inbox.push_back(submit_ns);
+                    if !seq_cpu_pending {
+                        seq_cpu_pending = true;
+                        q.schedule(seq_cpu_free.max(t), Ev::SequencerCpu);
+                    }
+                } else {
+                    seq_drops += 1;
+                }
+            }
+            Ev::SequencerCpu => {
+                seq_cpu_pending = false;
+                let Some(submit_ns) = seq_inbox.pop_front() else {
+                    continue;
+                };
+                // Receive + assign seq + multicast.
+                let cursor = t + proc + send;
+                let seq = next_seq;
+                next_seq += 1;
+                // Multicast: one serialization on the sequencer uplink,
+                // the switch replicates; receivers get it one hop later.
+                let tx_start = seq_nic_free.max(cursor);
+                seq_nic_free = tx_start + ser;
+                for h in 0..n {
+                    if h != 0 {
+                        q.schedule(
+                            seq_nic_free + hop,
+                            Ev::AtReceiver {
+                                host: h,
+                                submit_ns,
+                                seq,
+                            },
+                        );
+                    }
+                }
+                // The sequencer delivers locally.
+                let done = cursor + deliver;
+                seq_cpu_free = done;
+                if done >= measure_start && done < measure_end {
+                    delivered_total += 1;
+                    latencies.record(done.since(SimTime::from_nanos(submit_ns)));
+                }
+                if !seq_inbox.is_empty() {
+                    seq_cpu_pending = true;
+                    q.schedule(seq_cpu_free, Ev::SequencerCpu);
+                }
+            }
+            Ev::AtReceiver {
+                host,
+                submit_ns,
+                seq,
+            } => {
+                rcv_inbox[host].push_back((submit_ns, seq));
+                if !rcv_cpu_pending[host] {
+                    rcv_cpu_pending[host] = true;
+                    q.schedule(rcv_cpu_free[host].max(t), Ev::ReceiverCpu { host });
+                }
+            }
+            Ev::ReceiverCpu { host } => {
+                rcv_cpu_pending[host] = false;
+                let Some((submit_ns, _seq)) = rcv_inbox[host].pop_front() else {
+                    continue;
+                };
+                // Multicasts arrive in seq order on a FIFO fabric, so
+                // in-order delivery needs no reordering buffer here.
+                let done = rcv_cpu_free[host].max(q.now()) + proc + deliver;
+                rcv_cpu_free[host] = done;
+                if done >= measure_start && done < measure_end {
+                    delivered_total += 1;
+                    latencies.record(done.since(SimTime::from_nanos(submit_ns)));
+                }
+                if !rcv_inbox[host].is_empty() {
+                    rcv_cpu_pending[host] = true;
+                    q.schedule(rcv_cpu_free[host], Ev::ReceiverCpu { host });
+                }
+            }
+        }
+    }
+
+    let secs = cfg.duration.as_secs_f64();
+    let per_participant = delivered_total as f64 / n as f64;
+    SimReport {
+        offered_bps: cfg.aggregate_bps,
+        achieved_bps: per_participant * (cfg.payload_bytes as f64 * 8.0) / secs,
+        latency: latencies.summarize(),
+        delivered_per_participant: per_participant,
+        token_rotations: 0,
+        switch_drops: 0,
+        socket_drops: seq_drops,
+        retransmissions: 0,
+        submit_rejected: 0,
+        events_processed: q.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(net: NetworkConfig, mbps: u64) -> SequencerSimConfig {
+        let mut c = SequencerSimConfig::eight_hosts(net, ImplProfile::daemon(), mbps * 1_000_000);
+        c.duration = SimDuration::from_millis(60);
+        c.warmup = SimDuration::from_millis(30);
+        c
+    }
+
+    #[test]
+    fn sequencer_carries_modest_load() {
+        let r = run_sequencer(&base(NetworkConfig::gigabit(), 200));
+        assert!(r.achieved_bps > 150e6, "{r:?}");
+        assert!(r.latency.count > 0);
+        assert!(r.latency.mean > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sequencer_latency_exceeds_direct_multicast_floor() {
+        // Two network hops + sequencer processing: the latency floor is
+        // strictly above one hop + processing.
+        let r = run_sequencer(&base(NetworkConfig::gigabit(), 100));
+        let one_hop = NetworkConfig::gigabit().serialization(1410)
+            + NetworkConfig::gigabit().propagation;
+        assert!(r.latency.mean.as_nanos() > 2 * one_hop.as_nanos());
+    }
+
+    #[test]
+    fn sequencer_saturates_below_ring_on_10g() {
+        // Push hard: the coordinator CPU caps throughput well below
+        // what the ring's distributed ordering achieves (~3.3 Gbps for
+        // the daemon profile).
+        let r = run_sequencer(&base(NetworkConfig::ten_gigabit(), 6000));
+        assert!(
+            r.achieved_bps < 3.0e9,
+            "sequencer bottleneck: {:.0} Mbps",
+            r.achieved_mbps()
+        );
+        assert!(r.socket_drops > 0, "overload drops at the coordinator");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_sequencer(&base(NetworkConfig::gigabit(), 300));
+        let b = run_sequencer(&base(NetworkConfig::gigabit(), 300));
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+}

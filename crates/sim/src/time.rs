@@ -1,0 +1,215 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// ```
+/// use ar_sim::time::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_micros(5);
+/// assert_eq!(t.as_nanos(), 5_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`since` called with a later instant"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+impl core::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The time to serialize `bytes` onto a link of `bits_per_sec`,
+    /// rounded up to the next nanosecond.
+    pub fn serialization(bytes: usize, bits_per_sec: u64) -> SimDuration {
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+        SimDuration(ns as u64)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        }
+    }
+}
+
+impl core::ops::Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros_f64(), 1000.0);
+        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_nanos(100) + SimDuration::from_nanos(50);
+        assert_eq!(t.as_nanos(), 150);
+        assert_eq!(t.since(SimTime::from_nanos(100)).as_nanos(), 50);
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_nanos(7);
+        assert_eq!(t2.as_nanos(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::ZERO.since(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn serialization_time_1g() {
+        // 1500 bytes at 1 Gbps = 12 microseconds.
+        let d = SimDuration::serialization(1500, 1_000_000_000);
+        assert_eq!(d.as_nanos(), 12_000);
+    }
+
+    #[test]
+    fn serialization_time_10g() {
+        let d = SimDuration::serialization(1500, 10_000_000_000);
+        assert_eq!(d.as_nanos(), 1_200);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps = 8/3 s = 2.66..s → rounds up.
+        let d = SimDuration::serialization(1, 3);
+        assert_eq!(d.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn duration_ordering_and_scaling() {
+        assert!(SimDuration::from_micros(1) < SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_micros(2) * 3,
+            SimDuration::from_micros(6)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulate the paper's 8-server data-center cluster and compare the
+//! original Ring protocol with the Accelerated Ring protocol on a
+//! 1-gigabit network (Spread implementation profile, 1350-byte
+//! messages) — a miniature of the paper's Figure 1 plus the maximum
+//! throughput numbers.
+//!
+//! Run with: `cargo run --release --example datacenter_sim`
+
+use accelerated_ring::core::{ProtocolConfig, ServiceType, TimeoutConfig};
+use accelerated_ring::sim::{
+    run_ring, FaultPlan, ImplProfile, LoadMode, NetworkConfig, RingSimConfig, SimDuration,
+};
+
+fn base(protocol: ProtocolConfig, load: LoadMode) -> RingSimConfig {
+    RingSimConfig {
+        n_hosts: 8,
+        protocol,
+        timeouts: TimeoutConfig::default(),
+        net: NetworkConfig::gigabit(),
+        profile: ImplProfile::spread(),
+        payload_bytes: 1350,
+        service: ServiceType::Agreed,
+        load,
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(120),
+        seed: 42,
+        faults: FaultPlan::none(),
+        verify_order: false,
+    }
+}
+
+fn main() {
+    println!("8 hosts, 1-gigabit switch, Spread profile, 1350-byte Agreed messages\n");
+    println!(
+        "{:>12}  {:>22}  {:>22}",
+        "offered", "original", "accelerated"
+    );
+    println!(
+        "{:>12}  {:>22}  {:>22}",
+        "(Mbps)", "achieved / latency", "achieved / latency"
+    );
+    println!("{}", "-".repeat(62));
+    for mbps in [100u64, 300, 500, 700, 800, 900] {
+        let load = LoadMode::OpenLoop {
+            aggregate_bps: mbps * 1_000_000,
+        };
+        let orig = run_ring(&base(ProtocolConfig::original(), load));
+        let acc = run_ring(&base(ProtocolConfig::accelerated(), load));
+        println!(
+            "{mbps:>12}  {:>10.0}M / {:>6.0}us  {:>10.0}M / {:>6.0}us",
+            orig.achieved_mbps(),
+            orig.mean_latency_us(),
+            acc.achieved_mbps(),
+            acc.mean_latency_us(),
+        );
+    }
+
+    let orig_max = run_ring(&base(ProtocolConfig::original(), LoadMode::Saturating));
+    let acc_max = run_ring(&base(ProtocolConfig::accelerated(), LoadMode::Saturating));
+    println!(
+        "\nmaximum throughput: original {:.0} Mbps, accelerated {:.0} Mbps ({:+.0}%)",
+        orig_max.achieved_mbps(),
+        acc_max.achieved_mbps(),
+        100.0 * (acc_max.achieved_bps / orig_max.achieved_bps - 1.0),
+    );
+    println!(
+        "token rotations in the measurement window: original {}, accelerated {}",
+        orig_max.token_rotations, acc_max.token_rotations
+    );
+    println!(
+        "\nthe accelerated protocol keeps latency flat while the original's climbs,\n\
+         and practically saturates the 1-gigabit network — the paper's Figure 1."
+    );
+}

@@ -1,0 +1,49 @@
+//! # Accelerated Ring
+//!
+//! A from-scratch Rust reproduction of the **Accelerated Ring** protocol
+//! ("Fast Total Ordering for Modern Data Centers", Babay & Amir,
+//! ICDCS 2016): a privilege-based token-ring protocol for reliable,
+//! totally ordered multicast in data-center networks.
+//!
+//! The key idea of the protocol is that a ring participant may pass the
+//! token to its successor *before* it finishes multicasting its messages
+//! for the round. The token is updated to reflect every message the
+//! participant will send during the round, so the successor can start
+//! multicasting immediately; the predecessor flushes its remaining
+//! (post-token) messages in parallel. This accelerates the token rotation
+//! and overlaps sending, improving throughput *and* latency at once.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`core`] ([`ar_core`]) — the sans-io protocol state machine: ordering,
+//!   flow control, retransmission, Agreed/Safe delivery, and the
+//!   Totem-style membership algorithm (Extended Virtual Synchrony).
+//! * [`sim`] ([`ar_sim`]) — a discrete-event network/host simulator used to
+//!   reproduce the paper's 1-gigabit and 10-gigabit evaluation.
+//! * [`net`] ([`ar_net`]) — real transports: UDP multicast/unicast with the
+//!   paper's dual-socket priority scheme, plus an in-process loopback.
+//! * [`daemon`] ([`ar_daemon`]) — a Spread-style client/daemon architecture
+//!   with groups, open-group semantics and multi-group multicast.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use accelerated_ring::core::{ProtocolConfig, ProtocolVariant};
+//!
+//! // The accelerated protocol versus the original Totem Ring baseline
+//! // differ in configuration: the original never multicasts after the
+//! // token and uses the conservative priority-switching method.
+//! let accel = ProtocolConfig::accelerated();
+//! let orig = ProtocolConfig::original();
+//! assert!(accel.accelerated_window > 0);
+//! assert_eq!(orig.accelerated_window, 0);
+//! assert_eq!(orig.variant, ProtocolVariant::Original);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harnesses that regenerate each figure of the paper.
+
+pub use ar_core as core;
+pub use ar_daemon as daemon;
+pub use ar_net as net;
+pub use ar_sim as sim;

@@ -1,0 +1,193 @@
+//! Property tests for the daemon layer: the group table against a
+//! model, and the packing/fragmentation codec.
+
+use accelerated_ring::core::{ParticipantId, ServiceType};
+use accelerated_ring::daemon::packing::{
+    decode_bundle, encode_bundle, BundleEntry, Packer, Reassembler,
+};
+use accelerated_ring::daemon::proto::{decode, encode, Envelope};
+use accelerated_ring::daemon::{GroupTable, MemberId};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arb_member() -> impl Strategy<Value = MemberId> {
+    (0u16..4, prop_oneof!["[a-d]", Just("x".to_string())])
+        .prop_map(|(d, c)| MemberId::new(ParticipantId::new(d), c))
+}
+
+fn arb_group() -> impl Strategy<Value = String> {
+    prop_oneof![Just("g1".to_string()), Just("g2".to_string()), "[p-s]"]
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join(String, MemberId),
+    Leave(String, MemberId),
+    RetainDaemons(Vec<u16>),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_group(), arb_member()).prop_map(|(g, m)| Op::Join(g, m)),
+        (arb_group(), arb_member()).prop_map(|(g, m)| Op::Leave(g, m)),
+        prop::collection::vec(0u16..4, 0..4).prop_map(Op::RetainDaemons),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The group table matches a naive model under arbitrary
+    /// join/leave/config-change sequences.
+    #[test]
+    fn group_table_matches_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut table = GroupTable::new();
+        let mut model: BTreeMap<String, BTreeSet<MemberId>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Join(g, m) => {
+                    let t = table.join(&g, m.clone());
+                    let mo = model.entry(g).or_default().insert(m);
+                    prop_assert_eq!(t, mo);
+                }
+                Op::Leave(g, m) => {
+                    let t = table.leave(&g, &m);
+                    let mo = model.get_mut(&g).map(|s| s.remove(&m)).unwrap_or(false);
+                    model.retain(|_, s| !s.is_empty());
+                    prop_assert_eq!(t, mo);
+                }
+                Op::RetainDaemons(ds) => {
+                    let daemons: Vec<ParticipantId> =
+                        ds.iter().map(|&d| ParticipantId::new(d)).collect();
+                    table.retain_daemons(&daemons);
+                    for s in model.values_mut() {
+                        s.retain(|m| daemons.contains(&m.daemon));
+                    }
+                    model.retain(|_, s| !s.is_empty());
+                }
+            }
+            // Compare the full state.
+            let table_groups: BTreeSet<String> = table.group_names().into_iter().collect();
+            let model_groups: BTreeSet<String> = model.keys().cloned().collect();
+            prop_assert_eq!(&table_groups, &model_groups);
+            for g in &model_groups {
+                let t: Vec<MemberId> = table.members(g);
+                let m: Vec<MemberId> = model[g].iter().cloned().collect();
+                prop_assert_eq!(t, m);
+            }
+        }
+    }
+
+    /// Envelope codec round-trips arbitrary well-formed envelopes.
+    #[test]
+    fn envelope_roundtrip(
+        member in arb_member(),
+        groups in prop::collection::vec(arb_group(), 0..5),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        kind in 0u8..3,
+    ) {
+        let env = match kind {
+            0 => Envelope::Data {
+                sender: member,
+                groups,
+                payload: Bytes::from(payload),
+            },
+            1 => Envelope::Join {
+                member,
+                group: groups.first().cloned().unwrap_or_else(|| "g".into()),
+            },
+            _ => Envelope::Leave {
+                member,
+                group: groups.first().cloned().unwrap_or_else(|| "g".into()),
+            },
+        };
+        prop_assert_eq!(decode(&encode(&env)).unwrap(), env);
+    }
+
+    /// Bundles round-trip, and bundle decoding never panics on noise.
+    #[test]
+    fn bundle_roundtrip_and_robustness(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..8),
+        noise in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let entries: Vec<BundleEntry> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                BundleEntry::Whole(Envelope::Data {
+                    sender: MemberId::new(ParticipantId::new(0), format!("c{i}")),
+                    groups: vec!["g".into()],
+                    payload: Bytes::from(p),
+                })
+            })
+            .collect();
+        let enc = encode_bundle(&entries);
+        prop_assert_eq!(decode_bundle(&enc).unwrap(), entries);
+        let _ = decode_bundle(&noise); // must not panic
+    }
+
+    /// Fragmentation reassembles any payload exactly, for any budget.
+    #[test]
+    fn fragmentation_reassembles_exactly(
+        len in 1usize..40_000,
+        budget in 200usize..4096,
+        seed in any::<u8>(),
+    ) {
+        let payload: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let payload = Bytes::from(payload);
+        let sender = MemberId::new(ParticipantId::new(1), "frag");
+        let mut p = Packer::new(budget);
+        p.push_data(sender.clone(), vec!["g".into()], payload.clone(), 5);
+        let mut r = Reassembler::new();
+        let mut whole: Option<Bytes> = None;
+        let mut got_whole_envelope = false;
+        while let Some(b) = p.next_bundle() {
+            for e in decode_bundle(&b).unwrap() {
+                match e {
+                    BundleEntry::Whole(Envelope::Data { payload, .. }) => {
+                        whole = Some(payload);
+                        got_whole_envelope = true;
+                    }
+                    BundleEntry::Whole(_) => unreachable!("only data queued"),
+                    BundleEntry::Fragment(f) => {
+                        if let Some((s, gs, rebuilt)) = r.feed(f) {
+                            prop_assert_eq!(&s, &sender);
+                            prop_assert_eq!(gs, vec!["g".to_string()]);
+                            whole = Some(rebuilt);
+                        }
+                    }
+                }
+            }
+        }
+        let rebuilt = whole.expect("message came out");
+        prop_assert_eq!(rebuilt, payload.clone());
+        if got_whole_envelope {
+            prop_assert!(payload.len() <= budget, "small messages stay whole");
+        }
+        prop_assert_eq!(r.in_progress(), 0);
+    }
+}
+
+#[test]
+fn service_levels_keep_separate_bundles() {
+    // Packing never mixes service levels: a bundle is submitted with
+    // one service, so Safe data must not ride in an Agreed bundle.
+    // (Structural check of the daemon design: packers are per-service.)
+    let mut agreed = Packer::new(1350);
+    let mut safe = Packer::new(1350);
+    let m = MemberId::new(ParticipantId::new(0), "c");
+    agreed.push(Envelope::Data {
+        sender: m.clone(),
+        groups: vec!["g".into()],
+        payload: Bytes::from_static(b"a"),
+    });
+    safe.push(Envelope::Data {
+        sender: m,
+        groups: vec!["g".into()],
+        payload: Bytes::from_static(b"s"),
+    });
+    assert_eq!(decode_bundle(&agreed.next_bundle().unwrap()).unwrap().len(), 1);
+    assert_eq!(decode_bundle(&safe.next_bundle().unwrap()).unwrap().len(), 1);
+    let _ = ServiceType::Safe;
+}

@@ -1,0 +1,176 @@
+//! End-to-end test: three Spread-style daemons over *real UDP sockets*
+//! on localhost, with clients joining groups and exchanging totally
+//! ordered messages — the full stack the paper ships (protocol +
+//! daemon architecture + dual-socket UDP transport).
+
+use std::time::{Duration, Instant};
+
+use accelerated_ring::core::{
+    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
+};
+use accelerated_ring::daemon::{spawn_daemon, ClientEvent, DaemonHandle};
+use accelerated_ring::net::{PeerMap, UdpTransport};
+use bytes::Bytes;
+
+fn udp_daemons(n: u16, base_port: u16) -> Option<Vec<DaemonHandle>> {
+    // Probe for a free port range (tests may run concurrently).
+    for attempt in 0..20u16 {
+        let base = base_port + attempt * 64;
+        let map = PeerMap::localhost(n, base);
+        let members: Vec<ParticipantId> = (0..n).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        let mut transports = Vec::new();
+        let mut ok = true;
+        for &p in &members {
+            match UdpTransport::bind(p, map.clone()) {
+                Ok(t) => transports.push(t),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let daemons = members
+            .iter()
+            .zip(transports)
+            .map(|(&p, t)| {
+                let part =
+                    Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
+                        .expect("valid ring");
+                spawn_daemon(part, t)
+            })
+            .collect();
+        return Some(daemons);
+    }
+    None
+}
+
+fn wait_for<F: FnMut() -> bool>(mut f: F, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn udp_ring_total_order_across_daemons() {
+    let Some(daemons) = udp_daemons(3, 47100) else {
+        eprintln!("skipping: no free UDP port range");
+        return;
+    };
+    let clients: Vec<_> = daemons
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.connect(&format!("c{i}")).expect("connect"))
+        .collect();
+    for c in &clients {
+        c.join("orders").expect("join");
+    }
+    // Wait until every client sees the full group.
+    let mut sizes = vec![0usize; clients.len()];
+    assert!(
+        wait_for(
+            || {
+                for (i, c) in clients.iter().enumerate() {
+                    for ev in c.drain() {
+                        if let ClientEvent::Membership { members, .. } = ev {
+                            sizes[i] = members.len();
+                        }
+                    }
+                }
+                sizes.iter().all(|&s| s == 3)
+            },
+            30
+        ),
+        "group formed over UDP: {sizes:?}"
+    );
+
+    // Every client multicasts; everyone must deliver all 9 messages in
+    // the identical order.
+    for (i, c) in clients.iter().enumerate() {
+        for k in 0..3 {
+            c.multicast(
+                &["orders"],
+                ServiceType::Agreed,
+                Bytes::from(format!("c{i}-m{k}")),
+            )
+            .expect("multicast");
+        }
+    }
+    let mut logs: Vec<Vec<String>> = vec![Vec::new(); clients.len()];
+    assert!(
+        wait_for(
+            || {
+                for (i, c) in clients.iter().enumerate() {
+                    for ev in c.drain() {
+                        if let ClientEvent::Message { payload, .. } = ev {
+                            logs[i].push(String::from_utf8_lossy(&payload).into_owned());
+                        }
+                    }
+                }
+                logs.iter().all(|l| l.len() >= 9)
+            },
+            30
+        ),
+        "all messages delivered over UDP: {:?}",
+        logs.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    assert_eq!(logs[0].len(), 9);
+    assert_eq!(logs[0], logs[1], "identical order at c0 and c1");
+    assert_eq!(logs[1], logs[2], "identical order at c1 and c2");
+
+    drop(clients);
+    for d in daemons {
+        d.shutdown().expect("clean shutdown");
+    }
+}
+
+#[test]
+fn udp_safe_delivery_round_trip() {
+    let Some(daemons) = udp_daemons(2, 48900) else {
+        eprintln!("skipping: no free UDP port range");
+        return;
+    };
+    let a = daemons[0].connect("a").expect("connect");
+    let b = daemons[1].connect("b").expect("connect");
+    a.join("g").expect("join");
+    b.join("g").expect("join");
+    assert!(wait_for(
+        || {
+            let mut n = 0;
+            for ev in a.drain() {
+                if let ClientEvent::Membership { members, .. } = ev {
+                    n = members.len();
+                }
+            }
+            n == 2
+        },
+        30
+    ));
+    b.multicast(&["g"], ServiceType::Safe, Bytes::from_static(b"stable"))
+        .expect("multicast");
+    assert!(
+        wait_for(
+            || a.drain().iter().any(|e| matches!(
+                e,
+                ClientEvent::Message {
+                    service: ServiceType::Safe,
+                    ..
+                }
+            )),
+            30
+        ),
+        "safe message delivered over UDP"
+    );
+    drop((a, b));
+    for d in daemons {
+        d.shutdown().expect("clean shutdown");
+    }
+}

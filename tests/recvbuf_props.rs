@@ -1,0 +1,119 @@
+//! Property tests of the receive buffer against a reference model:
+//! arbitrary insertion orders, delivery points, and discard points.
+
+use accelerated_ring::core::{
+    DataMessage, ParticipantId, RecvBuffer, RingId, Round, Seq, ServiceType,
+};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn msg(seq: u64, service: ServiceType) -> DataMessage {
+    DataMessage {
+        ring_id: RingId::new(ParticipantId::new(0), 1),
+        seq: Seq::new(seq),
+        pid: ParticipantId::new(1),
+        round: Round::new(1),
+        service,
+        after_token: false,
+        payload: Bytes::from(seq.to_be_bytes().to_vec()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// local_aru always equals the longest contiguous received prefix,
+    /// regardless of insertion order and duplicates.
+    #[test]
+    fn local_aru_matches_model(
+        seqs in prop::collection::vec(1u64..64, 0..80),
+    ) {
+        let mut buf = RecvBuffer::new(Seq::ZERO);
+        let mut have: BTreeSet<u64> = BTreeSet::new();
+        for s in seqs {
+            buf.insert(msg(s, ServiceType::Agreed));
+            have.insert(s);
+            let mut aru = 0;
+            while have.contains(&(aru + 1)) {
+                aru += 1;
+            }
+            prop_assert_eq!(buf.local_aru().as_u64(), aru);
+        }
+    }
+
+    /// missing_up_to reports exactly the gaps below the limit.
+    #[test]
+    fn missing_matches_model(
+        seqs in prop::collection::btree_set(1u64..64, 0..40),
+        limit in 0u64..80,
+    ) {
+        let mut buf = RecvBuffer::new(Seq::ZERO);
+        for &s in &seqs {
+            buf.insert(msg(s, ServiceType::Agreed));
+        }
+        let expected: Vec<u64> =
+            (1..=limit).filter(|s| !seqs.contains(s)).collect();
+        let got: Vec<u64> = buf
+            .missing_up_to(Seq::new(limit))
+            .into_iter()
+            .map(|s| s.as_u64())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Deliveries come out in exact sequence order, never beyond the
+    /// contiguous prefix, and Safe messages never before the given
+    /// stability watermark.
+    #[test]
+    fn delivery_respects_order_and_stability(
+        inserts in prop::collection::vec((1u64..48, prop::bool::ANY), 0..60),
+        watermarks in prop::collection::vec(0u64..48, 1..6),
+    ) {
+        let mut buf = RecvBuffer::new(Seq::ZERO);
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut max_watermark = 0u64;
+        let mut i = 0;
+        for (s, safe) in inserts {
+            let service = if safe { ServiceType::Safe } else { ServiceType::Agreed };
+            buf.insert(msg(s, service));
+            // Periodically advance the watermark and deliver.
+            if i < watermarks.len() {
+                max_watermark = max_watermark.max(watermarks[i]);
+                i += 1;
+            }
+            for d in buf.deliver_ready(Seq::new(max_watermark)) {
+                if d.service == ServiceType::Safe {
+                    prop_assert!(d.seq.as_u64() <= max_watermark,
+                        "safe {} beyond watermark {}", d.seq, max_watermark);
+                }
+                delivered.push(d.seq.as_u64());
+            }
+        }
+        // Strictly increasing, contiguous from 1.
+        for (k, &s) in delivered.iter().enumerate() {
+            prop_assert_eq!(s, k as u64 + 1);
+        }
+        prop_assert_eq!(buf.delivered_up_to().as_u64(), delivered.len() as u64);
+    }
+
+    /// Discard never loses undelivered data and `has` stays truthful.
+    #[test]
+    fn discard_preserves_retransmission_truth(
+        n in 1u64..40,
+        discard_at in 0u64..40,
+    ) {
+        let mut buf = RecvBuffer::new(Seq::ZERO);
+        for s in 1..=n {
+            buf.insert(msg(s, ServiceType::Agreed));
+        }
+        let _ = buf.deliver_ready(Seq::ZERO);
+        let cut = discard_at.min(n);
+        buf.discard_up_to(Seq::new(cut));
+        for s in 1..=n {
+            prop_assert!(buf.has(Seq::new(s)), "seq {s} still counted as received");
+            let held = buf.get(Seq::new(s)).is_some();
+            prop_assert_eq!(held, s > cut, "seq {} held iff beyond discard point", s);
+        }
+    }
+}

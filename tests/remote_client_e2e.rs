@@ -1,0 +1,111 @@
+//! End-to-end test of the remote (TCP) client sessions: two daemons on
+//! loopback transports, clients connecting over real TCP sockets.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use accelerated_ring::core::{
+    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
+};
+use accelerated_ring::daemon::{spawn_daemon, ClientEvent, RemoteClient};
+use accelerated_ring::net::LoopbackNet;
+use bytes::Bytes;
+
+fn wait_for<F: FnMut() -> bool>(mut f: F, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn tcp_clients_join_and_exchange_ordered_messages() {
+    let net = LoopbackNet::new();
+    let members: Vec<ParticipantId> = (0..2).map(ParticipantId::new).collect();
+    let ring_id = RingId::new(members[0], 1);
+    let daemons: Vec<_> = members
+        .iter()
+        .map(|&p| {
+            let part = Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
+                .unwrap();
+            spawn_daemon(part, net.endpoint(p))
+        })
+        .collect();
+    // Listen on OS-assigned ports.
+    let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let l0 = daemons[0].listen(any).expect("listen d0");
+    let l1 = daemons[1].listen(any).expect("listen d1");
+
+    let mut alice = RemoteClient::connect(l0.local_addr(), "alice").expect("connect alice");
+    let mut bob = RemoteClient::connect(l1.local_addr(), "bob").expect("connect bob");
+    assert_eq!(alice.member_id().client, "alice");
+
+    alice.join("room").unwrap();
+    bob.join("room").unwrap();
+    // Both see a 2-member group.
+    let mut n = 0;
+    assert!(
+        wait_for(
+            || {
+                for ev in alice.drain() {
+                    if let ClientEvent::Membership { members, .. } = ev {
+                        n = members.len();
+                    }
+                }
+                n == 2
+            },
+            20
+        ),
+        "membership over TCP"
+    );
+
+    bob.multicast(&["room"], ServiceType::Agreed, Bytes::from_static(b"over-tcp"))
+        .unwrap();
+    let mut got = None;
+    assert!(wait_for(
+        || {
+            for ev in alice.drain() {
+                if let ClientEvent::Message { payload, sender, .. } = ev {
+                    got = Some((payload, sender));
+                }
+            }
+            got.is_some()
+        },
+        20
+    ));
+    let (payload, sender) = got.unwrap();
+    assert_eq!(payload, Bytes::from_static(b"over-tcp"));
+    assert_eq!(sender.client, "bob");
+
+    // Duplicate names are refused at connect time.
+    let err = RemoteClient::connect(l0.local_addr(), "alice").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+
+    // Disconnecting a client leaves its groups (watcher sees a
+    // 1-member group).
+    drop(bob);
+    let mut n = usize::MAX;
+    assert!(
+        wait_for(
+            || {
+                for ev in alice.drain() {
+                    if let ClientEvent::Membership { members, .. } = ev {
+                        n = members.len();
+                    }
+                }
+                n == 1
+            },
+            20
+        ),
+        "tcp disconnect leaves groups"
+    );
+
+    drop(alice);
+    for d in daemons {
+        d.shutdown().expect("clean shutdown");
+    }
+}

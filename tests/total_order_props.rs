@@ -1,0 +1,189 @@
+//! Property-based tests of the ordering protocol's core guarantees
+//! under randomized workloads, configurations, and message loss.
+
+mod common;
+
+use accelerated_ring::core::{PriorityMethod, ProtocolConfig, ProtocolVariant, ServiceType};
+use bytes::Bytes;
+use common::{assert_identical_logs, assert_safety, LossyNet};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ProtocolConfig> {
+    (1u32..8, 0u32..6, prop::bool::ANY, prop::bool::ANY).prop_map(
+        |(personal, accel, aggressive, original)| {
+            let (variant, accel) = if original {
+                (ProtocolVariant::Original, 0)
+            } else {
+                (ProtocolVariant::Accelerated, accel)
+            };
+            ProtocolConfig {
+                variant,
+                personal_window: personal,
+                global_window: personal * 8,
+                accelerated_window: accel,
+                max_seq_gap: 64,
+                priority_method: if aggressive {
+                    PriorityMethod::Aggressive
+                } else {
+                    PriorityMethod::Conservative
+                },
+            }
+        },
+    )
+}
+
+/// A workload: which participant sends how many messages with which
+/// service.
+fn arb_workload(n: usize) -> impl Strategy<Value = Vec<(usize, ServiceType)>> {
+    prop::collection::vec(
+        (0..n, prop_oneof![Just(ServiceType::Agreed), Just(ServiceType::Safe)]),
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without loss, every participant delivers every message, in the
+    /// identical order, regardless of configuration or workload.
+    #[test]
+    fn lossless_runs_deliver_identically(
+        n in 2u16..6,
+        cfg in arb_config(),
+        workload_seed in arb_workload(5),
+        seed in any::<u64>(),
+    ) {
+        let mut net = LossyNet::new(n, cfg, 0.0, seed);
+        let mut count = 0;
+        for (who, service) in &workload_seed {
+            let who = who % n as usize;
+            net.submit(who, Bytes::from(format!("m{count}")), *service);
+            count += 1;
+        }
+        net.start();
+        let ok = net.drive_until_delivered(count, 64);
+        prop_assert!(ok, "did not converge: {:?}",
+                     net.logs.iter().map(Vec::len).collect::<Vec<_>>());
+        assert_safety(&net);
+        assert_identical_logs(&net);
+        prop_assert_eq!(net.delivered(0), count);
+    }
+
+    /// With loss, safety invariants always hold, and with the
+    /// escalation budget the runs still converge to full delivery.
+    #[test]
+    fn lossy_runs_preserve_safety(
+        n in 2u16..6,
+        cfg in arb_config(),
+        workload_seed in arb_workload(5),
+        loss in 0.01f64..0.25,
+        seed in any::<u64>(),
+    ) {
+        let mut net = LossyNet::new(n, cfg, loss, seed);
+        let mut count = 0;
+        for (who, service) in &workload_seed {
+            let who = who % n as usize;
+            net.submit(who, Bytes::from(format!("m{count}")), *service);
+            count += 1;
+        }
+        net.start();
+        let converged = net.drive_until_delivered(count, 200);
+        // Safety must hold whether or not we converged (membership
+        // changes may have excluded members in pathological runs).
+        assert_safety(&net);
+        if converged {
+            // If everyone delivered everything, the logs must agree on
+            // the shared ring prefix.
+            for log in &net.logs {
+                prop_assert!(log.len() >= count);
+            }
+        }
+    }
+
+    /// Delivery respects submission order per sender (FIFO), under any
+    /// interleaving.
+    #[test]
+    fn fifo_per_sender(
+        n in 2u16..5,
+        per_sender in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::accelerated().with_personal_window(3);
+        let mut net = LossyNet::new(n, cfg, 0.0, seed);
+        for i in 0..n as usize {
+            for k in 0..per_sender {
+                net.submit(i, Bytes::from(format!("p{i}-{k}")), ServiceType::Agreed);
+            }
+        }
+        net.start();
+        let total = n as usize * per_sender;
+        prop_assert!(net.drive_until_delivered(total, 64));
+        assert_safety(&net);
+        // Check the textual per-sender order explicitly.
+        for log in &net.logs {
+            let mut next_k = vec![0usize; n as usize];
+            for d in log {
+                let text = String::from_utf8_lossy(&d.payload).into_owned();
+                let (sender, k) = parse(&text);
+                prop_assert_eq!(k, next_k[sender], "out of order: {}", text);
+                next_k[sender] += 1;
+            }
+        }
+        fn parse(text: &str) -> (usize, usize) {
+            let rest = text.strip_prefix('p').unwrap();
+            let (s, k) = rest.split_once('-').unwrap();
+            (s.parse().unwrap(), k.parse().unwrap())
+        }
+    }
+
+    /// Safe messages are never delivered before every participant has
+    /// received them: in a lossless run, by the time any participant
+    /// delivers a Safe message, every other participant has it buffered
+    /// or delivered.
+    #[test]
+    fn safe_stability_invariant(
+        n in 2u16..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::accelerated().with_personal_window(2);
+        let mut net = LossyNet::new(n, cfg, 0.0, seed);
+        net.submit(0, Bytes::from_static(b"safe-1"), ServiceType::Safe);
+        net.submit(1 % n as usize, Bytes::from_static(b"safe-2"), ServiceType::Safe);
+        net.start();
+        prop_assert!(net.drive_until_delivered(2, 64));
+        // After convergence every log contains both, in the same order.
+        assert_identical_logs(&net);
+        assert_safety(&net);
+    }
+}
+
+#[test]
+fn large_mixed_run_is_consistent() {
+    // A fixed, heavier smoke test outside proptest: 6 participants,
+    // 120 messages, mixed services, light loss.
+    let cfg = ProtocolConfig::accelerated()
+        .with_personal_window(5)
+        .with_accelerated_window(3);
+    let mut net = LossyNet::new(6, cfg, 0.02, 12345);
+    let mut count = 0;
+    for round in 0..20 {
+        for i in 0..6 {
+            let service = if (round + i) % 3 == 0 {
+                ServiceType::Safe
+            } else {
+                ServiceType::Agreed
+            };
+            net.submit(i, Bytes::from(format!("r{round}-p{i}")), service);
+            count += 1;
+        }
+    }
+    net.start();
+    assert!(
+        net.drive_until_delivered(count, 300),
+        "converged: {:?}",
+        net.logs.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    assert_safety(&net);
+    assert_identical_logs(&net);
+    assert_eq!(net.delivered(0), count);
+}
