@@ -17,12 +17,8 @@ fn main() {
         for &payload in payloads {
             for profile in ImplProfile::all() {
                 for variant in [ProtocolVariant::Original, ProtocolVariant::Accelerated] {
-                    let mut s =
-                        scenario(net, profile, variant, ServiceType::Agreed, payload);
-                    s.label = format!(
-                        "{:?}/{}B/{}/{}",
-                        net, payload, profile.name, variant
-                    );
+                    let mut s = scenario(net, profile, variant, ServiceType::Agreed, payload);
+                    s.label = format!("{:?}/{}B/{}/{}", net, payload, profile.name, variant);
                     scenarios.push(s);
                 }
             }

@@ -29,7 +29,11 @@ fn main() {
         Some("spread") => ImplProfile::spread(),
         _ => ImplProfile::daemon(),
     };
-    let net_name = if net.link_bps > 5_000_000_000 { "10g" } else { "1g" };
+    let net_name = if net.link_bps > 5_000_000_000 {
+        "10g"
+    } else {
+        "1g"
+    };
     println!(
         "tuning accelerated-ring windows: {} network, {} profile\n",
         net_name, profile.name
@@ -89,10 +93,11 @@ fn main() {
     // Phase 2: sweep the accelerated window for that personal window.
     let mut table2 = Table::new(["personal", "accel", "mbps", "mean_us"]);
     let mut best = (0u32, 0.0f64, 0.0f64);
-    for accel in [0u32]
-        .into_iter()
-        .chain((0..=chosen_personal).step_by((chosen_personal as usize / 8).max(1)).skip(1))
-    {
+    for accel in [0u32].into_iter().chain(
+        (0..=chosen_personal)
+            .step_by((chosen_personal as usize / 8).max(1))
+            .skip(1),
+    ) {
         let r = run_with(chosen_personal, accel);
         table2.row([
             chosen_personal.to_string(),
@@ -113,5 +118,8 @@ fn main() {
         best.1 / 1e6,
         best.2
     );
-    let _ = write_csv(&table2, &format!("tune_windows_{}_{}", net_name, profile.name));
+    let _ = write_csv(
+        &table2,
+        &format!("tune_windows_{}_{}", net_name, profile.name),
+    );
 }

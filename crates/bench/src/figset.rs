@@ -48,7 +48,7 @@ pub fn tuned_protocol(variant: ProtocolVariant, net: Net, payload: usize) -> Pro
         (Net::TenGigabit, false) => (60, 400, 40),
         (Net::TenGigabit, true) => (24, 160, 16),
     };
-    
+
     ProtocolConfig {
         variant,
         personal_window: personal,
@@ -125,9 +125,7 @@ mod tests {
         for net in [Net::Gigabit, Net::TenGigabit] {
             for payload in [1350usize, 8850] {
                 for variant in [ProtocolVariant::Original, ProtocolVariant::Accelerated] {
-                    tuned_protocol(variant, net, payload)
-                        .validate()
-                        .unwrap();
+                    tuned_protocol(variant, net, payload).validate().unwrap();
                 }
             }
         }

@@ -10,7 +10,10 @@ use crate::table::{write_csv, Table};
 /// drops, retransmissions`.
 pub fn run_figure(name: &str, title: &str, scenarios: &[Scenario], rates_mbps: &[u64]) -> Table {
     println!("{title}");
-    println!("(simulated reproduction; series = {} curves)\n", scenarios.len());
+    println!(
+        "(simulated reproduction; series = {} curves)\n",
+        scenarios.len()
+    );
     let mut table = Table::new([
         "curve",
         "offered_mbps",

@@ -1,0 +1,447 @@
+//! Runtime invariant checkers for Extended Virtual Synchrony and the
+//! token retransmission rule.
+//!
+//! These checkers observe a run from the outside — deliveries,
+//! configuration changes, submissions, and tokens on the wire — and
+//! accumulate violations instead of panicking, so a harness can drive a
+//! whole chaotic run to completion and then report every broken
+//! invariant at once. They are used by the nemesis runner in `ar-net`,
+//! by the lossy-network property tests, and are usable against the
+//! simulator's outputs as well.
+
+use std::collections::HashMap;
+
+use crate::actions::{ConfigChange, ConfigChangeKind};
+use crate::message::{Delivery, Token};
+use crate::types::{ParticipantId, RingId, Seq};
+
+/// Checks Extended Virtual Synchrony delivery invariants across a set
+/// of observed processes.
+///
+/// Feed it every delivery ([`EvsChecker::on_delivery`]), every
+/// configuration change ([`EvsChecker::on_config`]), and every local
+/// submission ([`EvsChecker::on_submit`]); then call
+/// [`EvsChecker::check`] (plus [`EvsChecker::check_self_delivery`] for
+/// liveness) at the end of the run.
+///
+/// Invariants checked:
+///
+/// 1. **Agreed order / prefix consistency** — within a ring, every
+///    process delivers strictly increasing sequence numbers, and for
+///    any two processes one ring-restricted delivery sequence is a
+///    prefix of the other.
+/// 2. **Agreement on content** — any two deliveries of `(ring, seq)`
+///    carry the same payload and sender.
+/// 3. **Same-view delivery** — a delivery's ring is the configuration
+///    the process currently has installed (initial or the most recent
+///    regular/transitional configuration change).
+/// 4. **Transitional-configuration rules** — a transitional
+///    configuration's members are a subset of the preceding regular
+///    configuration's members, contain the local process, and a
+///    transitional configuration never directly follows another
+///    transitional configuration.
+/// 5. **Self-delivery** (on demand) — every payload a surviving
+///    process submitted appears in its own delivery log.
+#[derive(Debug)]
+pub struct EvsChecker {
+    n: usize,
+    /// Per-process ring-restricted delivery sequences.
+    per_proc: Vec<ProcState>,
+    /// Payload/sender agreed at each (ring, seq) and the first process
+    /// that delivered it.
+    content: HashMap<(RingId, u64), (Vec<u8>, ParticipantId, usize)>,
+    violations: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct ProcState {
+    /// Deliveries per ring, in observation order.
+    per_ring: HashMap<RingId, Vec<u64>>,
+    /// Rings in the order this process first delivered in them.
+    ring_order: Vec<RingId>,
+    /// The currently installed configuration, if any change was seen.
+    installed: Option<ConfigChange>,
+    /// Kind of the last configuration change (for alternation checks).
+    last_kind: Option<ConfigChangeKind>,
+    /// Members of the last *regular* configuration.
+    last_regular: Option<Vec<ParticipantId>>,
+    /// Payloads submitted locally (for self-delivery).
+    submitted: Vec<Vec<u8>>,
+    /// Payloads delivered locally.
+    delivered_payloads: Vec<Vec<u8>>,
+}
+
+impl EvsChecker {
+    /// A checker over processes `0..n`, where process `i` is
+    /// [`ParticipantId::new`]`(i)` and starts in a common initial ring.
+    pub fn new(n: usize) -> EvsChecker {
+        EvsChecker {
+            n,
+            per_proc: (0..n).map(|_| ProcState::default()).collect(),
+            content: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Records that process `i` submitted `payload` for ordering.
+    pub fn on_submit(&mut self, i: usize, payload: &[u8]) {
+        self.per_proc[i].submitted.push(payload.to_vec());
+    }
+
+    /// Records that process `i` restarted as a fresh incarnation: its
+    /// installed-view history is reset (EVS treats a recovered process
+    /// as a new process), while its delivery logs are kept for the
+    /// cross-process safety checks.
+    pub fn on_restart(&mut self, i: usize) {
+        let st = &mut self.per_proc[i];
+        st.installed = None;
+        st.last_kind = None;
+        st.last_regular = None;
+    }
+
+    /// Records a delivery observed at process `i`.
+    pub fn on_delivery(&mut self, i: usize, d: &Delivery) {
+        let seq = d.seq.as_u64();
+        // 3. Same-view: the delivery's ring must be the installed one.
+        if let Some(installed) = &self.per_proc[i].installed {
+            if installed.ring_id != d.ring_id {
+                self.violations.push(format!(
+                    "P{i}: delivery at seq {seq} in {:?} but installed view is {:?}",
+                    d.ring_id, installed.ring_id
+                ));
+            }
+        }
+        // 2. Content agreement.
+        match self.content.entry((d.ring_id, seq)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (payload, pid, first) = e.get();
+                if payload != &d.payload[..] || *pid != d.pid {
+                    self.violations.push(format!(
+                        "P{i}: content mismatch with P{first} at ({:?}, {seq})",
+                        d.ring_id
+                    ));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((d.payload.to_vec(), d.pid, i));
+            }
+        }
+        // 1. Strictly increasing within the ring.
+        let st = &mut self.per_proc[i];
+        let ring_log = st.per_ring.entry(d.ring_id).or_insert_with(|| {
+            st.ring_order.push(d.ring_id);
+            Vec::new()
+        });
+        if let Some(&prev) = ring_log.last() {
+            if seq <= prev {
+                self.violations.push(format!(
+                    "P{i}: non-increasing seq {seq} after {prev} in {:?}",
+                    d.ring_id
+                ));
+            }
+        }
+        ring_log.push(seq);
+        st.delivered_payloads.push(d.payload.to_vec());
+    }
+
+    /// Records a configuration change observed at process `i`.
+    pub fn on_config(&mut self, i: usize, c: &ConfigChange) {
+        let me = ParticipantId::new(i as u16);
+        let st = &mut self.per_proc[i];
+        match c.kind {
+            ConfigChangeKind::Transitional => {
+                // 4. Subset of the preceding regular configuration.
+                if let Some(reg) = &st.last_regular {
+                    if let Some(p) = c.members.iter().find(|p| !reg.contains(p)) {
+                        self.violations.push(format!(
+                            "P{i}: transitional config {:?} contains {p} absent \
+                             from the preceding regular configuration",
+                            c.ring_id
+                        ));
+                    }
+                }
+                if !c.members.contains(&me) {
+                    self.violations.push(format!(
+                        "P{i}: transitional config {:?} does not contain the \
+                         local process",
+                        c.ring_id
+                    ));
+                }
+                if st.last_kind == Some(ConfigChangeKind::Transitional) {
+                    self.violations.push(format!(
+                        "P{i}: two transitional configurations in a row at {:?}",
+                        c.ring_id
+                    ));
+                }
+            }
+            ConfigChangeKind::Regular => {
+                if !c.members.contains(&me) {
+                    self.violations.push(format!(
+                        "P{i}: regular config {:?} does not contain the local \
+                         process",
+                        c.ring_id
+                    ));
+                }
+                st.last_regular = Some(c.members.clone());
+            }
+        }
+        st.last_kind = Some(c.kind);
+        st.installed = Some(c.clone());
+    }
+
+    /// Checks cross-process prefix consistency and returns every
+    /// violation accumulated so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions if any invariant was
+    /// broken.
+    pub fn check(&mut self) -> Result<(), Vec<String>> {
+        // 1b. Prefix consistency per ring across process pairs.
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let rings: Vec<RingId> = self.per_proc[a]
+                    .ring_order
+                    .iter()
+                    .filter(|r| self.per_proc[b].per_ring.contains_key(r))
+                    .copied()
+                    .collect();
+                for ring in rings {
+                    let la = &self.per_proc[a].per_ring[&ring];
+                    let lb = &self.per_proc[b].per_ring[&ring];
+                    let common = la.len().min(lb.len());
+                    if la[..common] != lb[..common] {
+                        self.violations.push(format!(
+                            "P{a}/P{b}: divergent delivery prefixes in {ring:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.violations))
+        }
+    }
+
+    /// Checks that each process in `survivors` delivered everything it
+    /// submitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns one description per missing self-delivery.
+    pub fn check_self_delivery(&self, survivors: &[usize]) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        for &i in survivors {
+            let st = &self.per_proc[i];
+            for payload in &st.submitted {
+                if !st.delivered_payloads.iter().any(|p| p == payload) {
+                    violations.push(format!(
+                        "P{i}: submitted payload {:?} never self-delivered",
+                        String::from_utf8_lossy(payload)
+                    ));
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Violations accumulated so far (without consuming them).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+/// Checks the paper's retransmission-request bound on tokens in flight:
+/// a token's `rtr` entries never exceed the `seq` of the previous token
+/// on the same ring.
+///
+/// Messages ordered in the current round may still be travelling behind
+/// the token (the Accelerated Ring innovation), so requesting them
+/// would trigger useless retransmissions; the protocol therefore bounds
+/// requests by the previous round's token `seq`. Feed every token
+/// observed on the wire to [`TokenRuleMonitor::on_token`].
+#[derive(Debug, Default)]
+pub struct TokenRuleMonitor {
+    /// Last (round, seq) seen per ring.
+    last: HashMap<RingId, (u64, Seq)>,
+    violations: Vec<String>,
+    tokens_seen: u64,
+}
+
+impl TokenRuleMonitor {
+    /// A monitor with no observed tokens.
+    pub fn new() -> TokenRuleMonitor {
+        TokenRuleMonitor::default()
+    }
+
+    /// Observes one token on the wire.
+    pub fn on_token(&mut self, tok: &Token) {
+        self.tokens_seen += 1;
+        let round = tok.round.as_u64();
+        match self.last.get(&tok.ring_id) {
+            // Only judge strictly newer tokens: a retransmitted token
+            // (same or older round) repeats already-checked state.
+            Some(&(prev_round, prev_seq)) if round > prev_round => {
+                if let Some(&bad) = tok.rtr.iter().find(|&&s| s > prev_seq) {
+                    self.violations.push(format!(
+                        "token round {round} on {:?} requests retransmission \
+                         of {bad} beyond previous token seq {prev_seq}",
+                        tok.ring_id
+                    ));
+                }
+                self.last.insert(tok.ring_id, (round, tok.seq));
+            }
+            Some(_) => {}
+            None => {
+                self.last.insert(tok.ring_id, (round, tok.seq));
+            }
+        }
+    }
+
+    /// Total tokens observed.
+    pub fn tokens_seen(&self) -> u64 {
+        self.tokens_seen
+    }
+
+    /// Returns accumulated violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions if the bound was ever
+    /// exceeded.
+    pub fn check(&mut self) -> Result<(), Vec<String>> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.violations))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Round, ServiceType};
+    use bytes::Bytes;
+
+    fn ring(v: u64) -> RingId {
+        RingId::new(ParticipantId::new(0), v)
+    }
+
+    fn delivery(r: RingId, seq: u64, pid: u16, payload: &'static [u8]) -> Delivery {
+        Delivery {
+            ring_id: r,
+            seq: Seq::new(seq),
+            pid: ParticipantId::new(pid),
+            service: ServiceType::Agreed,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let mut ck = EvsChecker::new(2);
+        for i in 0..2 {
+            ck.on_submit(i, b"a");
+            ck.on_delivery(i, &delivery(ring(1), 1, 0, b"a"));
+            ck.on_delivery(i, &delivery(ring(1), 2, 1, b"b"));
+        }
+        ck.check().unwrap();
+        ck.check_self_delivery(&[0]).unwrap();
+    }
+
+    #[test]
+    fn content_mismatch_detected() {
+        let mut ck = EvsChecker::new(2);
+        ck.on_delivery(0, &delivery(ring(1), 1, 0, b"a"));
+        ck.on_delivery(1, &delivery(ring(1), 1, 0, b"DIFFERENT"));
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("content mismatch")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn non_increasing_seq_detected() {
+        let mut ck = EvsChecker::new(1);
+        ck.on_delivery(0, &delivery(ring(1), 5, 0, b"a"));
+        ck.on_delivery(0, &delivery(ring(1), 5, 0, b"a"));
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("non-increasing")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_prefix_detected() {
+        let mut ck = EvsChecker::new(2);
+        ck.on_delivery(0, &delivery(ring(1), 1, 0, b"a"));
+        ck.on_delivery(1, &delivery(ring(1), 2, 1, b"b"));
+        let errs = ck.check().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("divergent")), "{errs:?}");
+    }
+
+    #[test]
+    fn transitional_must_shrink_regular() {
+        let mut ck = EvsChecker::new(1);
+        let members: Vec<ParticipantId> = (0..2).map(ParticipantId::new).collect();
+        ck.on_config(
+            0,
+            &ConfigChange {
+                kind: ConfigChangeKind::Regular,
+                ring_id: ring(1),
+                members: members[..1].to_vec(),
+            },
+        );
+        ck.on_config(
+            0,
+            &ConfigChange {
+                kind: ConfigChangeKind::Transitional,
+                ring_id: ring(2),
+                members: members.clone(),
+            },
+        );
+        let errs = ck.check().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("transitional")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_self_delivery_detected() {
+        let mut ck = EvsChecker::new(1);
+        ck.on_submit(0, b"lost");
+        let errs = ck.check_self_delivery(&[0]).unwrap_err();
+        assert!(errs[0].contains("never self-delivered"), "{errs:?}");
+    }
+
+    #[test]
+    fn token_rule_monitor_bounds_rtr() {
+        let mut mon = TokenRuleMonitor::new();
+        let r = ring(1);
+        let mut t1 = Token::initial(r, Seq::ZERO);
+        t1.round = Round::new(1);
+        t1.seq = Seq::new(4);
+        mon.on_token(&t1);
+        let mut t2 = Token::initial(r, Seq::ZERO);
+        t2.round = Round::new(2);
+        t2.seq = Seq::new(8);
+        t2.rtr = vec![Seq::new(3)];
+        mon.on_token(&t2);
+        mon.check().unwrap();
+        let mut t3 = Token::initial(r, Seq::ZERO);
+        t3.round = Round::new(3);
+        t3.seq = Seq::new(9);
+        t3.rtr = vec![Seq::new(9)]; // beyond t2.seq = 8
+        mon.on_token(&t3);
+        let errs = mon.check().unwrap_err();
+        assert!(errs[0].contains("beyond previous token seq"), "{errs:?}");
+        assert_eq!(mon.tokens_seen(), 3);
+    }
+}

@@ -58,7 +58,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod actions;
+pub mod checker;
 pub mod config;
+pub mod fault;
 pub mod flow;
 pub mod membership;
 pub mod message;
@@ -72,7 +74,9 @@ pub mod types;
 pub mod wire;
 
 pub use actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
+pub use checker::{EvsChecker, TokenRuleMonitor};
 pub use config::{ConfigError, PriorityMethod, ProtocolConfig, ProtocolVariant};
+pub use fault::{Connectivity, FaultEvent, FaultSchedule};
 pub use message::{CommitToken, DataMessage, Delivery, JoinMessage, MemberInfo, Token};
 pub use participant::{Mode, NewParticipantError, Participant, TimeoutConfig};
 pub use priority::PriorityMode;

@@ -211,8 +211,7 @@ impl Participant {
         }
         match self.mode {
             Mode::Operational => {
-                let stale = self.ring.contains(j.sender)
-                    && j.ring_seq < self.ring.id().ring_seq();
+                let stale = self.ring.contains(j.sender) && j.ring_seq < self.ring.id().ring_seq();
                 if stale {
                     return Vec::new();
                 }
@@ -443,14 +442,10 @@ impl Participant {
     // ----- recovery ---------------------------------------------------------
 
     fn enter_recovery(&mut self, c: &CommitToken) -> Vec<Action> {
-        let new_ring = RingInfo::new(c.ring_id, c.member_ids(), self.pid)
-            .expect("commit membership is valid");
+        let new_ring =
+            RingInfo::new(c.ring_id, c.member_ids(), self.pid).expect("commit membership is valid");
         let my_old = self.ring.id();
-        let group: Vec<_> = c
-            .memb
-            .iter()
-            .filter(|m| m.old_ring_id == my_old)
-            .collect();
+        let group: Vec<_> = c.memb.iter().filter(|m| m.old_ring_id == my_old).collect();
         let my_group_high = group
             .iter()
             .map(|m| m.high_seq)
@@ -472,19 +467,11 @@ impl Participant {
     /// are still missing (bounded per token visit).
     fn recovery_burst(&mut self, c: &CommitToken) -> Vec<Action> {
         let my_old = self.ring.id();
-        let group: Vec<_> = c
-            .memb
-            .iter()
-            .filter(|m| m.old_ring_id == my_old)
-            .collect();
+        let group: Vec<_> = c.memb.iter().filter(|m| m.old_ring_id == my_old).collect();
         if group.len() <= 1 {
             return Vec::new();
         }
-        let group_low = group
-            .iter()
-            .map(|m| m.my_aru)
-            .min()
-            .unwrap_or(Seq::ZERO);
+        let group_low = group.iter().map(|m| m.my_aru).min().unwrap_or(Seq::ZERO);
         let group_high = self
             .memb
             .rec
@@ -852,8 +839,14 @@ mod tests {
         net.run(10_000);
         assert_eq!(net.deliveries[0].len(), 2, "{:?}", net.deliveries[0]);
         assert_eq!(net.deliveries[0].len(), net.deliveries[1].len());
-        let order0: Vec<_> = net.deliveries[0].iter().map(|d| d.payload.clone()).collect();
-        let order1: Vec<_> = net.deliveries[1].iter().map(|d| d.payload.clone()).collect();
+        let order0: Vec<_> = net.deliveries[0]
+            .iter()
+            .map(|d| d.payload.clone())
+            .collect();
+        let order1: Vec<_> = net.deliveries[1]
+            .iter()
+            .map(|d| d.payload.clone())
+            .collect();
         assert_eq!(order0, order1, "identical total order");
     }
 
@@ -919,14 +912,24 @@ mod tests {
         // regular config changes).
         assert_eq!(net.deliveries[0].len(), 1, "{:?}", net.deliveries[0]);
         assert_eq!(net.deliveries[1].len(), 1);
-        assert_eq!(net.deliveries[0][0].payload, Bytes::from_static(b"safe-msg"));
+        assert_eq!(
+            net.deliveries[0][0].payload,
+            Bytes::from_static(b"safe-msg")
+        );
         for i in 0..2 {
             let kinds: Vec<_> = net.configs[i].iter().map(|c| c.kind).collect();
             assert_eq!(
                 kinds,
                 vec![ConfigChangeKind::Transitional, ConfigChangeKind::Regular]
             );
-            assert_eq!(net.configs[i][0].members, [pid(0), pid(1), pid(2)].iter().filter(|p| net.configs[i][0].members.contains(p)).copied().collect::<Vec<_>>());
+            assert_eq!(
+                net.configs[i][0].members,
+                [pid(0), pid(1), pid(2)]
+                    .iter()
+                    .filter(|p| net.configs[i][0].members.contains(p))
+                    .copied()
+                    .collect::<Vec<_>>()
+            );
             assert_eq!(net.configs[i][1].members, vec![pid(0), pid(1)]);
         }
     }
@@ -996,8 +999,7 @@ mod tests {
     fn stale_join_from_ring_member_is_ignored() {
         let cfg = ProtocolConfig::accelerated();
         let members = vec![pid(0), pid(1)];
-        let mut p =
-            Participant::new(pid(0), cfg, RingId::new(pid(0), 5), members.clone()).unwrap();
+        let mut p = Participant::new(pid(0), cfg, RingId::new(pid(0), 5), members.clone()).unwrap();
         let j = JoinMessage {
             sender: pid(1),
             proc_set: vec![pid(0), pid(1)],
@@ -1028,8 +1030,7 @@ mod tests {
     fn consensus_timeout_alone_forms_singleton_ring() {
         let cfg = ProtocolConfig::accelerated();
         let members = vec![pid(0), pid(1)];
-        let mut p =
-            Participant::new(pid(0), cfg, RingId::new(pid(0), 1), members).unwrap();
+        let mut p = Participant::new(pid(0), cfg, RingId::new(pid(0), 1), members).unwrap();
         let _ = p.handle_timer(TimerKind::TokenLoss);
         assert_eq!(p.mode(), Mode::Gather);
         // Nobody answers; the consensus timeout fails P1 and we form a
@@ -1048,8 +1049,7 @@ mod tests {
     fn commit_timeout_restarts_gather() {
         let cfg = ProtocolConfig::accelerated();
         let members = vec![pid(0), pid(1)];
-        let mut p =
-            Participant::new(pid(0), cfg, RingId::new(pid(0), 1), members).unwrap();
+        let mut p = Participant::new(pid(0), cfg, RingId::new(pid(0), 1), members).unwrap();
         let _ = p.handle_timer(TimerKind::TokenLoss);
         let gathers_before = p.stats().gathers_started;
         let actions = p.handle_timer(TimerKind::CommitTimeout);
@@ -1064,8 +1064,7 @@ mod tests {
     fn duplicate_commit_token_is_dropped() {
         let cfg = ProtocolConfig::accelerated();
         let members = vec![pid(0), pid(1)];
-        let mut p =
-            Participant::new(pid(1), cfg, RingId::new(pid(0), 1), members.clone()).unwrap();
+        let mut p = Participant::new(pid(1), cfg, RingId::new(pid(0), 1), members.clone()).unwrap();
         let _ = p.handle_timer(TimerKind::TokenLoss); // gather
         let new_ring = RingId::new(pid(0), 2);
         let mut ct = CommitToken::new(new_ring, &members);
@@ -1121,9 +1120,7 @@ mod tests {
         // other side's joins arrive, exactly as in Totem), so fire the
         // full timer set for several rounds.
         for _ in 0..12 {
-            if (0..4).all(|i| {
-                net.parts[i].is_operational() && net.parts[i].ring().size() == 4
-            }) {
+            if (0..4).all(|i| net.parts[i].is_operational() && net.parts[i].ring().size() == 4) {
                 break;
             }
             for i in 0..4 {
@@ -1171,8 +1168,7 @@ mod tests {
         net.run_actions(3, a);
         net.run(50_000);
         for _ in 0..8 {
-            if (0..4).all(|i| net.parts[i].is_operational() && net.parts[i].ring().size() == 4)
-            {
+            if (0..4).all(|i| net.parts[i].is_operational() && net.parts[i].ring().size() == 4) {
                 break;
             }
             for i in 0..4 {
@@ -1202,9 +1198,15 @@ mod tests {
         let delivered_after = net
             .deliveries
             .iter()
-            .filter(|log| log.iter().any(|d| d.payload == Bytes::from_static(b"after")))
+            .filter(|log| {
+                log.iter()
+                    .any(|d| d.payload == Bytes::from_static(b"after"))
+            })
             .count();
-        assert!(delivered_after >= 3, "newcomer's message delivered ring-wide");
+        assert!(
+            delivered_after >= 3,
+            "newcomer's message delivered ring-wide"
+        );
     }
 
     #[test]
@@ -1220,7 +1222,11 @@ mod tests {
         }
         net.run(100_000);
         for i in 0..3 {
-            assert!(net.parts[i].is_operational(), "P{i}: {:?}", net.parts[i].mode());
+            assert!(
+                net.parts[i].is_operational(),
+                "P{i}: {:?}",
+                net.parts[i].mode()
+            );
             assert_eq!(net.parts[i].ring().members(), &[pid(0), pid(1), pid(2)]);
         }
         assert_eq!(net.parts[0].ring().id(), net.parts[1].ring().id());

@@ -188,7 +188,10 @@ impl CommitToken {
     pub fn new(ring_id: RingId, members: &[ParticipantId]) -> CommitToken {
         CommitToken {
             ring_id,
-            memb: members.iter().map(|&p| MemberInfo::placeholder(p)).collect(),
+            memb: members
+                .iter()
+                .map(|&p| MemberInfo::placeholder(p))
+                .collect(),
             hop: 0,
         }
     }

@@ -438,7 +438,8 @@ impl Participant {
         // the round; multicast only the overflow beyond the accelerated
         // window.
         let ring_id = self.ring.id();
-        let mut accel_q: std::collections::VecDeque<DataMessage> = std::collections::VecDeque::new();
+        let mut accel_q: std::collections::VecDeque<DataMessage> =
+            std::collections::VecDeque::new();
         let mut seq = tok.seq;
         for _ in 0..allowed {
             let pm = self
@@ -772,7 +773,10 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, Action::Multicast(_)))
             .count();
-        assert_eq!(post_mcast, 0, "original protocol never multicasts after the token");
+        assert_eq!(
+            post_mcast, 0,
+            "original protocol never multicasts after the token"
+        );
         assert_eq!(multicasts(&actions).len(), 4);
     }
 
@@ -898,7 +902,11 @@ mod tests {
             payload: Bytes::new(),
         };
         let actions = ring[0].handle_message(Message::Data(msg));
-        assert_eq!(ring[0].mode(), Mode::Gather, "foreign traffic ⇒ merge attempt");
+        assert_eq!(
+            ring[0].mode(),
+            Mode::Gather,
+            "foreign traffic ⇒ merge attempt"
+        );
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::MulticastJoin(_))));
@@ -936,7 +944,10 @@ mod tests {
         let t2 = first_token(&a1);
         // P1 cannot request it yet: the rtr limit is the seq of the
         // token from the *previous* round (acceleration rule).
-        assert!(t2.rtr.is_empty(), "must not request possibly-unsent messages");
+        assert!(
+            t2.rtr.is_empty(),
+            "must not request possibly-unsent messages"
+        );
         assert_eq!(t2.aru, Seq::ZERO, "aru lowered to local");
         // Round 2: P0 passes the token again.
         let a0b = ring[0].handle_message(Message::Token(t2));
@@ -1042,9 +1053,13 @@ mod tests {
 
     #[test]
     fn submit_backpressure_when_queue_full() {
-        let mut p =
-            Participant::new(ParticipantId::new(0), ProtocolConfig::accelerated(), ring_id(), pids(1))
-                .unwrap();
+        let mut p = Participant::new(
+            ParticipantId::new(0),
+            ProtocolConfig::accelerated(),
+            ring_id(),
+            pids(1),
+        )
+        .unwrap();
         // Fill the queue to capacity.
         let cap = crate::sendq::DEFAULT_CAPACITY;
         for _ in 0..cap {
@@ -1055,9 +1070,13 @@ mod tests {
 
     #[test]
     fn singleton_ring_self_delivers() {
-        let mut p =
-            Participant::new(ParticipantId::new(0), ProtocolConfig::accelerated(), ring_id(), pids(1))
-                .unwrap();
+        let mut p = Participant::new(
+            ParticipantId::new(0),
+            ProtocolConfig::accelerated(),
+            ring_id(),
+            pids(1),
+        )
+        .unwrap();
         p.submit(Bytes::from_static(b"solo"), ServiceType::Agreed)
             .unwrap();
         let actions = p.start();
@@ -1071,10 +1090,15 @@ mod tests {
 
     #[test]
     fn singleton_safe_delivery_takes_two_rounds() {
-        let mut p =
-            Participant::new(ParticipantId::new(0), ProtocolConfig::accelerated(), ring_id(), pids(1))
-                .unwrap();
-        p.submit(Bytes::from_static(b"s"), ServiceType::Safe).unwrap();
+        let mut p = Participant::new(
+            ParticipantId::new(0),
+            ProtocolConfig::accelerated(),
+            ring_id(),
+            pids(1),
+        )
+        .unwrap();
+        p.submit(Bytes::from_static(b"s"), ServiceType::Safe)
+            .unwrap();
         let a1 = p.start();
         assert!(deliveries(&a1).is_empty());
         let t = first_token(&a1);
@@ -1121,7 +1145,10 @@ mod tests {
         };
         ring[0].handle_message(Message::Data(msg));
         let acts = ring[0].handle_timer(TimerKind::TokenRetransmit);
-        assert!(acts.is_empty(), "progress seen, no retransmission: {acts:?}");
+        assert!(
+            acts.is_empty(),
+            "progress seen, no retransmission: {acts:?}"
+        );
     }
 
     #[test]

@@ -326,7 +326,10 @@ mod tests {
         assert_eq!(b.discarded_up_to(), Seq::new(2));
         assert!(b.get(Seq::new(2)).is_none());
         assert!(b.get(Seq::new(3)).is_some());
-        assert!(b.has(Seq::new(1)), "discarded messages still count as received");
+        assert!(
+            b.has(Seq::new(1)),
+            "discarded messages still count as received"
+        );
         // Re-inserting a discarded message is a duplicate.
         assert_eq!(
             b.insert(msg(1, ServiceType::Agreed)),

@@ -130,7 +130,8 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let mut q = SendQueue::new();
-        q.push(Bytes::from_static(b"a"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"a"), ServiceType::Agreed)
+            .unwrap();
         q.push(Bytes::from_static(b"b"), ServiceType::Safe).unwrap();
         assert_eq!(q.pop().unwrap().payload, Bytes::from_static(b"a"));
         assert_eq!(q.pop().unwrap().service, ServiceType::Safe);
@@ -140,8 +141,10 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let mut q = SendQueue::with_capacity(2);
-        q.push(Bytes::from_static(b"1"), ServiceType::Agreed).unwrap();
-        q.push(Bytes::from_static(b"2"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"1"), ServiceType::Agreed)
+            .unwrap();
+        q.push(Bytes::from_static(b"2"), ServiceType::Agreed)
+            .unwrap();
         let err = q
             .push(Bytes::from_static(b"3"), ServiceType::Agreed)
             .unwrap_err();
@@ -150,14 +153,17 @@ mod tests {
         // Popping frees a slot.
         q.pop();
         assert_eq!(q.remaining(), 1);
-        q.push(Bytes::from_static(b"3"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"3"), ServiceType::Agreed)
+            .unwrap();
     }
 
     #[test]
     fn byte_accounting() {
         let mut q = SendQueue::new();
-        q.push(Bytes::from_static(b"abc"), ServiceType::Agreed).unwrap();
-        q.push(Bytes::from_static(b"de"), ServiceType::Agreed).unwrap();
+        q.push(Bytes::from_static(b"abc"), ServiceType::Agreed)
+            .unwrap();
+        q.push(Bytes::from_static(b"de"), ServiceType::Agreed)
+            .unwrap();
         assert_eq!(q.bytes_queued(), 5);
         q.pop();
         assert_eq!(q.bytes_queued(), 2);

@@ -161,9 +161,7 @@ pub fn encoded_len(msg: &Message) -> usize {
     match msg {
         Message::Data(d) => DATA_HEADER_LEN + d.payload.len(),
         Message::Token(t) => 1 + RING_ID_LEN + 8 + 8 + 8 + 3 + 4 + 4 + 8 * t.rtr.len(),
-        Message::Join(j) => {
-            1 + 2 + 8 + 4 + 2 * j.proc_set.len() + 4 + 2 * j.fail_set.len()
-        }
+        Message::Join(j) => 1 + 2 + 8 + 4 + 2 * j.proc_set.len() + 4 + 2 * j.fail_set.len(),
         Message::Commit(c) => 1 + RING_ID_LEN + 4 + 4 + c.memb.len() * MEMBER_INFO_LEN,
     }
 }
@@ -267,8 +265,8 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, WireError> {
             let pid = ParticipantId::new(take_u16(buf)?);
             let round = Round::new(take_u64(buf)?);
             let service_raw = take_u8(buf)?;
-            let service = ServiceType::from_u8(service_raw)
-                .ok_or(WireError::InvalidService(service_raw))?;
+            let service =
+                ServiceType::from_u8(service_raw).ok_or(WireError::InvalidService(service_raw))?;
             let flags = take_u8(buf)?;
             if flags > 1 {
                 return Err(WireError::InvalidFlags(flags));
@@ -521,10 +519,7 @@ mod tests {
 
     #[test]
     fn commit_roundtrip() {
-        let mut c = CommitToken::new(
-            ring(),
-            &[ParticipantId::new(0), ParticipantId::new(1)],
-        );
+        let mut c = CommitToken::new(ring(), &[ParticipantId::new(0), ParticipantId::new(1)]);
         c.memb[0] = MemberInfo {
             pid: ParticipantId::new(0),
             old_ring_id: RingId::new(ParticipantId::new(0), 5),

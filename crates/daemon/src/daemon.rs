@@ -68,12 +68,17 @@ pub struct DaemonConfig {
     /// payload (Spread's small-message packing; §IV-A.3 of the paper).
     /// Client messages larger than the budget are fragmented.
     pub bundle_budget: usize,
+    /// On shutdown, keep stepping the protocol for at most this long
+    /// while already-submitted client messages drain out (packers,
+    /// outbox, and the protocol send queue). Zero returns immediately.
+    pub drain_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             bundle_budget: DEFAULT_BUNDLE_BUDGET,
+            drain_timeout: Duration::from_millis(500),
         }
     }
 }
@@ -189,7 +194,12 @@ struct DaemonLoop<T: Transport> {
     /// Bundles waiting for protocol queue space (backpressure).
     outbox: VecDeque<(Bytes, ServiceType)>,
     bundle_budget: usize,
+    drain_timeout: Duration,
     next_msg_id: u64,
+    /// Daemons in the last installed regular configuration, to detect
+    /// merges (newly added daemons) that require a group-state
+    /// re-announcement.
+    ring_daemons: Vec<ParticipantId>,
 }
 
 impl<T: Transport> DaemonLoop<T> {
@@ -212,7 +222,9 @@ impl<T: Transport> DaemonLoop<T> {
             reassembler: Reassembler::new(),
             outbox: VecDeque::new(),
             bundle_budget: config.bundle_budget,
+            drain_timeout: config.drain_timeout,
             next_msg_id: 0,
+            ring_daemons: Vec::new(),
         }
     }
 
@@ -221,7 +233,7 @@ impl<T: Transport> DaemonLoop<T> {
         self.dispatch(events);
         loop {
             if self.shutdown_rx.try_recv().is_ok() {
-                return Ok(());
+                return self.drain();
             }
             // Drain a burst of commands first so messages submitted
             // together pack together.
@@ -229,6 +241,28 @@ impl<T: Transport> DaemonLoop<T> {
                 self.handle_command(cmd);
             }
             self.drain_packers();
+            self.flush_outbox();
+            let events = self.rt.step()?;
+            self.dispatch(events);
+        }
+    }
+
+    /// Graceful shutdown: flush everything clients already handed us —
+    /// packed bundles, the backpressured outbox, and the protocol send
+    /// queue — by continuing to step the ring, bounded by the
+    /// configured drain timeout. A daemon killed mid-burst would
+    /// otherwise silently discard ordered-but-unsent client messages.
+    fn drain(&mut self) -> io::Result<()> {
+        let deadline = std::time::Instant::now() + self.drain_timeout;
+        while let Ok(cmd) = self.cmd_rx.try_recv() {
+            self.handle_command(cmd);
+        }
+        self.drain_packers();
+        loop {
+            let idle = self.outbox.is_empty() && self.rt.participant().pending_len() == 0;
+            if idle || std::time::Instant::now() >= deadline {
+                return Ok(());
+            }
             self.flush_outbox();
             let events = self.rt.step()?;
             self.dispatch(events);
@@ -321,7 +355,8 @@ impl<T: Transport> DaemonLoop<T> {
                 let sender = MemberId::new(self.pid, client);
                 let msg_id = self.next_msg_id;
                 self.next_msg_id += 1;
-                self.packer(service).push_data(sender, groups, payload, msg_id);
+                self.packer(service)
+                    .push_data(sender, groups, payload, msg_id);
             }
         }
     }
@@ -337,9 +372,7 @@ impl<T: Transport> DaemonLoop<T> {
                         match entry {
                             BundleEntry::Whole(env) => self.apply_envelope(env, d.service),
                             BundleEntry::Fragment(f) => {
-                                if let Some((sender, groups, payload)) =
-                                    self.reassembler.feed(f)
-                                {
+                                if let Some((sender, groups, payload)) = self.reassembler.feed(f) {
                                     self.apply_envelope(
                                         Envelope::Data {
                                             sender,
@@ -359,6 +392,18 @@ impl<T: Transport> DaemonLoop<T> {
                         let changed = self.groups.retain_daemons(&c.members);
                         for g in changed {
                             self.notify_membership(&g);
+                        }
+                        // A merge brought in daemons that never saw our
+                        // local clients' joins (group updates are
+                        // confined to the configuration they were
+                        // ordered in). Re-announce local memberships
+                        // through the merged ring so every daemon's
+                        // group table reconverges; duplicate joins are
+                        // idempotent.
+                        let merged = c.members.iter().any(|m| !self.ring_daemons.contains(m));
+                        self.ring_daemons = c.members.clone();
+                        if merged {
+                            self.reannounce_local_groups();
                         }
                         let note = ClientEvent::NetworkChange {
                             daemons: c.members.clone(),
@@ -413,6 +458,23 @@ impl<T: Transport> DaemonLoop<T> {
                     }
                 }
             }
+        }
+    }
+
+    /// Re-submits an ordered join for every (group, local member)
+    /// pair, so daemons that just merged into our configuration learn
+    /// of our clients' memberships.
+    fn reannounce_local_groups(&mut self) {
+        let mut mine = Vec::new();
+        for group in self.groups.group_names() {
+            for m in self.groups.members(&group) {
+                if m.daemon == self.pid {
+                    mine.push((group.clone(), m));
+                }
+            }
+        }
+        for (group, member) in mine {
+            self.submit_envelope(Envelope::Join { member, group }, ServiceType::Agreed);
         }
     }
 
@@ -494,7 +556,10 @@ mod tests {
         assert!(wait_for(
             || {
                 for ev in alice.drain() {
-                    if let ClientEvent::Message { payload, sender, .. } = ev {
+                    if let ClientEvent::Message {
+                        payload, sender, ..
+                    } = ev
+                    {
                         got = Some((payload, sender));
                     }
                 }
@@ -638,8 +703,12 @@ mod tests {
         ));
         let tx = daemons[1].connect("tx").unwrap();
         for k in 0..10 {
-            tx.multicast(&["g"], ServiceType::Agreed, Bytes::from(format!("tiny-{k}")))
-                .unwrap();
+            tx.multicast(
+                &["g"],
+                ServiceType::Agreed,
+                Bytes::from(format!("tiny-{k}")),
+            )
+            .unwrap();
         }
         let mut texts = Vec::new();
         assert!(wait_for(
@@ -658,6 +727,59 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_drains_submitted_messages() {
+        // A burst of multicasts followed by an immediate shutdown must
+        // still reach the surviving daemon: the drain keeps stepping
+        // the ring until the send queue empties (bounded by the drain
+        // timeout), instead of discarding packed-but-unsent bundles.
+        let net = LoopbackNet::new();
+        let members: Vec<ParticipantId> = (0..2).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        let mk = |p: ParticipantId| {
+            Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone()).unwrap()
+        };
+        let d0 = spawn_daemon(mk(members[0]), net.endpoint(members[0]));
+        let d1 = spawn_daemon(mk(members[1]), net.endpoint(members[1]));
+        let rx = d1.connect("rx").unwrap();
+        rx.join("g").unwrap();
+        assert!(wait_for(
+            || rx
+                .drain()
+                .iter()
+                .any(|e| matches!(e, ClientEvent::Membership { .. })),
+            10
+        ));
+        let tx = d0.connect("tx").unwrap();
+        for k in 0..5 {
+            tx.multicast(
+                &["g"],
+                ServiceType::Agreed,
+                Bytes::from(format!("drain-{k}")),
+            )
+            .unwrap();
+        }
+        drop(tx);
+        d0.shutdown().unwrap();
+        let mut texts = Vec::new();
+        assert!(
+            wait_for(
+                || {
+                    for ev in rx.drain() {
+                        if let ClientEvent::Message { payload, .. } = ev {
+                            texts.push(String::from_utf8_lossy(&payload).into_owned());
+                        }
+                    }
+                    texts.len() >= 5
+                },
+                20
+            ),
+            "got only {texts:?}"
+        );
+        let expected: Vec<String> = (0..5).map(|k| format!("drain-{k}")).collect();
+        assert_eq!(texts, expected);
+    }
+
+    #[test]
     fn duplicate_client_name_rejected() {
         let daemons = ring_of_daemons(1);
         let _a = daemons[0].connect("same").unwrap();
@@ -672,7 +794,10 @@ mod tests {
     #[test]
     fn invalid_names_rejected() {
         let daemons = ring_of_daemons(1);
-        assert_eq!(daemons[0].connect("").unwrap_err(), ClientError::InvalidName);
+        assert_eq!(
+            daemons[0].connect("").unwrap_err(),
+            ClientError::InvalidName
+        );
         let long = "x".repeat(MAX_NAME + 1);
         assert_eq!(
             daemons[0].connect(&long).unwrap_err(),

@@ -131,9 +131,9 @@ impl Deployment {
                     let mut data = None;
                     let mut clients = None;
                     for opt in words {
-                        let (k, v) = opt
-                            .split_once('=')
-                            .ok_or_else(|| err(lineno, format!("expected key=value, got '{opt}'")))?;
+                        let (k, v) = opt.split_once('=').ok_or_else(|| {
+                            err(lineno, format!("expected key=value, got '{opt}'"))
+                        })?;
                         let addr: SocketAddr = v
                             .parse()
                             .map_err(|_| err(lineno, format!("invalid address '{v}'")))?;
@@ -141,13 +141,10 @@ impl Deployment {
                             "token" => token = Some(addr),
                             "data" => data = Some(addr),
                             "clients" => clients = Some(addr),
-                            other => {
-                                return Err(err(lineno, format!("unknown option '{other}'")))
-                            }
+                            other => return Err(err(lineno, format!("unknown option '{other}'"))),
                         }
                     }
-                    let token =
-                        token.ok_or_else(|| err(lineno, "daemon needs token=host:port"))?;
+                    let token = token.ok_or_else(|| err(lineno, "daemon needs token=host:port"))?;
                     let data = data.ok_or_else(|| err(lineno, "daemon needs data=host:port"))?;
                     let entry = DaemonEntry {
                         pid,

@@ -58,9 +58,7 @@ impl GroupTable {
 
     /// True if `member` belongs to `group`.
     pub fn is_member(&self, group: &str, member: &MemberId) -> bool {
-        self.groups
-            .get(group)
-            .is_some_and(|m| m.contains(member))
+        self.groups.get(group).is_some_and(|m| m.contains(member))
     }
 
     /// All group names with at least one member.

@@ -70,8 +70,8 @@ pub mod proto;
 pub mod session;
 
 pub use client::{ClientError, ClientEvent, DaemonClient};
-pub use deployconf::Deployment;
 pub use daemon::{spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonHandle};
+pub use deployconf::Deployment;
 pub use group::GroupTable;
 pub use proto::{Envelope, MemberId};
-pub use session::{ListenerHandle, RemoteClient};
+pub use session::{ListenerHandle, ReconnectPolicy, RemoteClient};

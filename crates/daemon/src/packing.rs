@@ -525,11 +525,22 @@ mod tests {
         assert!(r.feed(f.clone()).is_none());
         assert_eq!(r.in_progress(), 0);
         // Start properly, then feed an inconsistent total.
-        let f0 = Fragment { idx: 0, ..f.clone() };
+        let f0 = Fragment {
+            idx: 0,
+            ..f.clone()
+        };
         assert!(r.feed(f0).is_none());
-        let bad = Fragment { idx: 1, total: 5, ..f };
+        let bad = Fragment {
+            idx: 1,
+            total: 5,
+            ..f
+        };
         assert!(r.feed(bad).is_none());
-        assert_eq!(r.in_progress(), 0, "inconsistent fragment drops the partial");
+        assert_eq!(
+            r.in_progress(),
+            0,
+            "inconsistent fragment drops the partial"
+        );
     }
 
     #[test]

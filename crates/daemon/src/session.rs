@@ -10,8 +10,11 @@
 //! length, then a kind byte and fields. It is deliberately independent
 //! of the ring protocol's wire format.
 
+use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ar_core::ServiceType;
@@ -312,7 +315,10 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                         let c = take_str(&mut buf)?;
                         members.push(MemberId::new(d, c));
                     }
-                    Ok(ServerReply::Event(ClientEvent::Membership { group, members }))
+                    Ok(ServerReply::Event(ClientEvent::Membership {
+                        group,
+                        members,
+                    }))
                 }
                 3 => {
                     if buf.len() < 2 {
@@ -368,17 +374,29 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 // ---- server side --------------------------------------------------------------
 
 /// Handle to a daemon's TCP client listener; dropping it stops
-/// accepting new connections (existing sessions continue).
+/// accepting new connections, closes the listening socket (freeing the
+/// port for a restarted daemon), and joins the accept thread. Existing
+/// sessions continue.
 #[derive(Debug)]
 pub struct ListenerHandle {
     local_addr: SocketAddr,
-    _accept_thread: std::thread::JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ListenerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+}
+
+impl Drop for ListenerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -390,30 +408,43 @@ impl DaemonHandle {
     /// Returns any error binding the listener.
     pub fn listen(&self, addr: SocketAddr) -> io::Result<ListenerHandle> {
         let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the thread can observe the stop flag
+        // (and so the socket closes promptly when the handle drops).
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let cmd_tx = self.command_sender();
         let daemon_id = self.pid().as_u16();
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { break };
-                let cmd_tx = cmd_tx.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_session(stream, cmd_tx, daemon_id);
-                });
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || loop {
+            if stop_flag.load(Ordering::Acquire) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let cmd_tx = cmd_tx.clone();
+                    std::thread::spawn(move || {
+                        // Accepted sockets must not inherit the
+                        // listener's non-blocking mode.
+                        let _ = stream.set_nonblocking(false);
+                        let _ = serve_session(stream, cmd_tx, daemon_id);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return,
             }
         });
         Ok(ListenerHandle {
             local_addr,
-            _accept_thread: accept_thread,
+            stop,
+            accept_thread: Some(accept_thread),
         })
     }
 }
 
-fn serve_session(
-    mut stream: TcpStream,
-    cmd_tx: Sender<Command>,
-    daemon_id: u16,
-) -> io::Result<()> {
+fn serve_session(mut stream: TcpStream, cmd_tx: Sender<Command>, daemon_id: u16) -> io::Result<()> {
     stream.set_nodelay(true)?;
     // Handshake.
     let frame = read_frame(&mut stream)?;
@@ -472,7 +503,15 @@ fn serve_session(
             match events_rx.recv_timeout(Duration::from_millis(200)) {
                 Ok(ev) => write_frame(&mut write_half, &encode_reply(&ServerReply::Event(ev)))?,
                 Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The daemon dropped this session's event channel
+                    // (shutdown or unregister). Close the socket so the
+                    // client observes the disconnect — and can start
+                    // reconnecting — instead of writing into a dead
+                    // session forever.
+                    let _ = write_half.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
             }
         }
     });
@@ -524,58 +563,141 @@ fn serve_session(
 
 // ---- client side ----------------------------------------------------------------
 
+/// Reconnection policy for a [`RemoteClient`]: bounded attempts with
+/// exponential backoff. After a detected disconnect (the daemon
+/// restarted, or the socket died), the next operation transparently
+/// redials, re-runs the handshake, and re-joins every group the client
+/// was in.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Maximum dial attempts per recovery (0 disables reconnection).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on the per-attempt delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// No reconnection: the first socket error is surfaced to the
+    /// caller (the pre-hardening behaviour).
+    pub fn disabled() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 0,
+            ..ReconnectPolicy::default()
+        }
+    }
+}
+
+/// Dials `addr` and performs the hello/welcome handshake.
+fn handshake(addr: SocketAddr, name: &str) -> io::Result<(TcpStream, u16)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &encode_request(&ClientRequest::Hello {
+            name: name.to_string(),
+        }),
+    )?;
+    let frame = read_frame(&mut stream)?;
+    match decode_reply(&frame)? {
+        ServerReply::Welcome { daemon } => Ok((stream, daemon)),
+        ServerReply::Refused { reason } => {
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+        }
+        ServerReply::Event(_) => Err(bad("event before welcome")),
+    }
+}
+
+/// Spawns the reader thread: socket → event channel. Sets `gone` when
+/// the socket dies so the owning client knows to reconnect.
+fn spawn_reader(mut read_half: TcpStream, events_tx: Sender<ClientEvent>, gone: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        while let Ok(frame) = read_frame(&mut read_half) {
+            match decode_reply(&frame) {
+                Ok(ServerReply::Event(ev)) => {
+                    if events_tx.send(ev).is_err() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        gone.store(true, Ordering::Release);
+    });
+}
+
 /// A client connected to a (possibly remote) daemon over TCP, with the
 /// same surface as the in-process [`crate::DaemonClient`].
+///
+/// If the connection drops (e.g. the daemon restarts), the next
+/// operation transparently reconnects per the [`ReconnectPolicy`] and
+/// re-joins the client's groups. Note that a daemon restart is a
+/// membership event: other members see this client leave and re-join.
 #[derive(Debug)]
 pub struct RemoteClient {
     me: MemberId,
+    addr: SocketAddr,
+    name: String,
     stream: TcpStream,
     events: Receiver<ClientEvent>,
+    events_tx: Sender<ClientEvent>,
+    /// Groups this client is in, for re-join after reconnect.
+    joined: BTreeSet<String>,
+    /// Set by the reader thread when the socket dies.
+    gone: Arc<AtomicBool>,
+    policy: ReconnectPolicy,
+    reconnects: u32,
 }
 
 impl RemoteClient {
-    /// Connects and performs the handshake.
+    /// Connects and performs the handshake, with the default
+    /// [`ReconnectPolicy`].
     ///
     /// # Errors
     ///
     /// Returns connection errors, or `InvalidData`/`ConnectionRefused`
-    /// if the daemon refuses the name.
+    /// if the daemon refuses the name. The initial connect is a single
+    /// attempt; the policy governs reconnects only.
     pub fn connect(addr: SocketAddr, name: &str) -> io::Result<RemoteClient> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        write_frame(
-            &mut stream,
-            &encode_request(&ClientRequest::Hello {
-                name: name.to_string(),
-            }),
-        )?;
-        let frame = read_frame(&mut stream)?;
-        let daemon = match decode_reply(&frame)? {
-            ServerReply::Welcome { daemon } => daemon,
-            ServerReply::Refused { reason } => {
-                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
-            }
-            ServerReply::Event(_) => return Err(bad("event before welcome")),
-        };
-        // Reader thread: socket → event channel.
+        RemoteClient::connect_with(addr, name, ReconnectPolicy::default())
+    }
+
+    /// Connects with an explicit reconnection policy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteClient::connect`].
+    pub fn connect_with(
+        addr: SocketAddr,
+        name: &str,
+        policy: ReconnectPolicy,
+    ) -> io::Result<RemoteClient> {
+        let (stream, daemon) = handshake(addr, name)?;
         let (events_tx, events_rx) = unbounded();
-        let mut read_half = stream.try_clone()?;
-        std::thread::spawn(move || {
-            while let Ok(frame) = read_frame(&mut read_half) {
-                match decode_reply(&frame) {
-                    Ok(ServerReply::Event(ev)) => {
-                        if events_tx.send(ev).is_err() {
-                            break;
-                        }
-                    }
-                    _ => break,
-                }
-            }
-        });
+        let gone = Arc::new(AtomicBool::new(false));
+        spawn_reader(stream.try_clone()?, events_tx.clone(), Arc::clone(&gone));
         Ok(RemoteClient {
             me: MemberId::new(ar_core::ParticipantId::new(daemon), name),
+            addr,
+            name: name.to_string(),
             stream,
             events: events_rx,
+            events_tx,
+            joined: BTreeSet::new(),
+            gone,
+            policy,
+            reconnects: 0,
         })
     }
 
@@ -584,53 +706,115 @@ impl RemoteClient {
         &self.me
     }
 
+    /// Successful reconnections performed so far.
+    pub fn reconnects(&self) -> u32 {
+        self.reconnects
+    }
+
+    /// One full dial + handshake + re-join attempt.
+    fn try_reestablish(&mut self) -> io::Result<()> {
+        let (mut stream, daemon) = handshake(self.addr, &self.name)?;
+        for group in &self.joined {
+            write_frame(
+                &mut stream,
+                &encode_request(&ClientRequest::Join {
+                    group: group.clone(),
+                }),
+            )?;
+        }
+        let gone = Arc::new(AtomicBool::new(false));
+        spawn_reader(
+            stream.try_clone()?,
+            self.events_tx.clone(),
+            Arc::clone(&gone),
+        );
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.stream = stream;
+        self.gone = gone;
+        self.me = MemberId::new(ar_core::ParticipantId::new(daemon), &self.name);
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Redials with bounded exponential backoff.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let mut backoff = self.policy.initial_backoff;
+        let mut last_err = io::Error::new(
+            io::ErrorKind::NotConnected,
+            "connection lost and reconnection is disabled",
+        );
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.policy.max_backoff);
+            }
+            match self.try_reestablish() {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Sends one request, reconnecting first if the reader noticed a
+    /// dead socket, and retrying once if the write itself fails.
+    fn send(&mut self, req: &ClientRequest) -> io::Result<()> {
+        if self.gone.load(Ordering::Acquire) {
+            self.reconnect()?;
+        }
+        match write_frame(&mut self.stream, &encode_request(req)) {
+            Ok(()) => Ok(()),
+            Err(_) if self.policy.max_attempts > 0 => {
+                self.reconnect()?;
+                write_frame(&mut self.stream, &encode_request(req))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Joins a group.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Propagates socket errors (after exhausting reconnection
+    /// attempts).
     pub fn join(&mut self, group: &str) -> io::Result<()> {
-        write_frame(
-            &mut self.stream,
-            &encode_request(&ClientRequest::Join {
-                group: group.to_string(),
-            }),
-        )
+        self.joined.insert(group.to_string());
+        self.send(&ClientRequest::Join {
+            group: group.to_string(),
+        })
     }
 
     /// Leaves a group.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Propagates socket errors (after exhausting reconnection
+    /// attempts).
     pub fn leave(&mut self, group: &str) -> io::Result<()> {
-        write_frame(
-            &mut self.stream,
-            &encode_request(&ClientRequest::Leave {
-                group: group.to_string(),
-            }),
-        )
+        self.joined.remove(group);
+        self.send(&ClientRequest::Leave {
+            group: group.to_string(),
+        })
     }
 
     /// Multicasts `payload` to `groups` with the given service.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Propagates socket errors (after exhausting reconnection
+    /// attempts).
     pub fn multicast(
         &mut self,
         groups: &[&str],
         service: ServiceType,
         payload: Bytes,
     ) -> io::Result<()> {
-        write_frame(
-            &mut self.stream,
-            &encode_request(&ClientRequest::Multicast {
-                groups: groups.iter().map(|g| g.to_string()).collect(),
-                service,
-                payload,
-            }),
-        )
+        self.send(&ClientRequest::Multicast {
+            groups: groups.iter().map(|g| g.to_string()).collect(),
+            service,
+            payload,
+        })
     }
 
     /// Receives the next event, waiting up to `timeout`.

@@ -40,15 +40,19 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod loopback;
 pub mod lossy;
+pub mod nemesis;
 pub mod node;
 pub mod runtime;
 pub mod transport;
 pub mod udp;
 
+pub use chaos::{ChaosConfig, ChaosControl, ChaosStats, ChaosTransport, KindStats, MsgKind};
 pub use loopback::{LoopbackNet, LoopbackTransport};
 pub use lossy::LossyTransport;
+pub use nemesis::{NemesisOutcome, NemesisPlan, NemesisRunner};
 pub use node::{spawn, NodeHandle};
 pub use runtime::{AppEvent, Runtime};
 pub use transport::Transport;

@@ -1,24 +1,92 @@
-//! In-process loopback transport: a hub of crossbeam channels.
+//! In-process loopback transport: a hub of per-endpoint mailboxes.
 //!
 //! Useful for multi-threaded integration tests and examples that want a
 //! real concurrent ring without touching the network stack. Each
-//! endpoint owns two receivers (token channel, data channel), matching
-//! the dual-socket design of the UDP transport.
+//! endpoint owns a mailbox with two queues (token, data), matching the
+//! dual-socket design of the UDP transport; a single condition variable
+//! covers both so `recv` can block on either without a `select!`.
 
+use std::collections::VecDeque;
 use std::io;
 use std::time::{Duration, Instant};
 
 use ar_core::{Message, ParticipantId};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::transport::{is_token_channel, Transport};
 
+#[derive(Default)]
+struct MailboxState {
+    token: VecDeque<Message>,
+    data: VecDeque<Message>,
+}
+
+/// One endpoint's inbound queues plus the condvar that signals arrival
+/// on either of them.
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            state: Mutex::new(MailboxState::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, msg: Message) {
+        let mut st = self.state.lock();
+        if is_token_channel(&msg) {
+            st.token.push_back(msg);
+        } else {
+            st.data.push_back(msg);
+        }
+        drop(st);
+        self.available.notify_one();
+    }
+
+    fn take(st: &mut MailboxState, prefer_token: bool) -> Option<Message> {
+        if prefer_token {
+            st.token.pop_front().or_else(|| st.data.pop_front())
+        } else {
+            st.data.pop_front().or_else(|| st.token.pop_front())
+        }
+    }
+
+    fn pop(&self, prefer_token: bool, timeout: Duration) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(m) = Self::take(&mut st, prefer_token) {
+                return Some(m);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            self.available.wait_for(&mut st, remaining);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "Mailbox({} token, {} data)",
+            st.token.len(),
+            st.data.len()
+        )
+    }
+}
+
 struct Hub {
-    /// Per-participant (token_tx, data_tx).
-    peers: HashMap<ParticipantId, (Sender<Message>, Sender<Message>)>,
+    peers: HashMap<ParticipantId, Arc<Mailbox>>,
 }
 
 /// A shared in-process network that endpoints attach to.
@@ -65,16 +133,14 @@ impl LoopbackNet {
     ///
     /// Panics if `pid` is already attached.
     pub fn endpoint(&self, pid: ParticipantId) -> LoopbackTransport {
-        let (token_tx, token_rx) = unbounded();
-        let (data_tx, data_rx) = unbounded();
+        let mailbox = Arc::new(Mailbox::new());
         let mut hub = self.hub.lock();
-        let prev = hub.peers.insert(pid, (token_tx, data_tx));
+        let prev = hub.peers.insert(pid, Arc::clone(&mailbox));
         assert!(prev.is_none(), "{pid} already attached");
         LoopbackTransport {
             pid,
             hub: Arc::clone(&self.hub),
-            token_rx,
-            data_rx,
+            mailbox,
         }
     }
 
@@ -100,18 +166,7 @@ impl LoopbackNet {
 pub struct LoopbackTransport {
     pid: ParticipantId,
     hub: Arc<Mutex<Hub>>,
-    token_rx: Receiver<Message>,
-    data_rx: Receiver<Message>,
-}
-
-impl LoopbackTransport {
-    fn try_channel(rx: &Receiver<Message>) -> io::Result<Option<Message>> {
-        match rx.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Ok(None),
-        }
-    }
+    mailbox: Arc<Mailbox>,
 }
 
 impl Transport for LoopbackTransport {
@@ -120,56 +175,30 @@ impl Transport for LoopbackTransport {
     }
 
     fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()> {
-        let hub = self.hub.lock();
-        if let Some((token_tx, data_tx)) = hub.peers.get(&to) {
-            let tx = if is_token_channel(msg) { token_tx } else { data_tx };
-            let _ = tx.send(msg.clone()); // receiver gone = peer down; drop
+        let target = self.hub.lock().peers.get(&to).cloned();
+        if let Some(mailbox) = target {
+            mailbox.push(msg.clone());
         }
         Ok(())
     }
 
     fn multicast(&mut self, msg: &Message) -> io::Result<()> {
-        let hub = self.hub.lock();
-        for (&pid, (token_tx, data_tx)) in hub.peers.iter() {
-            if pid == self.pid {
-                continue;
-            }
-            let tx = if is_token_channel(msg) { token_tx } else { data_tx };
-            let _ = tx.send(msg.clone());
+        let targets: Vec<Arc<Mailbox>> = {
+            let hub = self.hub.lock();
+            hub.peers
+                .iter()
+                .filter(|(&pid, _)| pid != self.pid)
+                .map(|(_, m)| Arc::clone(m))
+                .collect()
+        };
+        for mailbox in targets {
+            mailbox.push(msg.clone());
         }
         Ok(())
     }
 
     fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
-        let (first, second) = if prefer_token {
-            (&self.token_rx, &self.data_rx)
-        } else {
-            (&self.data_rx, &self.token_rx)
-        };
-        if let Some(m) = Self::try_channel(first)? {
-            return Ok(Some(m));
-        }
-        if let Some(m) = Self::try_channel(second)? {
-            return Ok(Some(m));
-        }
-        // Nothing waiting: block on both up to the deadline, then apply
-        // the preference once more.
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Ok(None);
-            }
-            crossbeam::channel::select! {
-                recv(self.token_rx) -> m => {
-                    if let Ok(m) = m { return Ok(Some(m)); }
-                }
-                recv(self.data_rx) -> m => {
-                    if let Ok(m) = m { return Ok(Some(m)); }
-                }
-                default(remaining) => return Ok(None),
-            }
-        }
+        Ok(self.mailbox.pop(prefer_token, timeout))
     }
 }
 
@@ -211,10 +240,7 @@ mod tests {
         let mut b = net.endpoint(pid(1));
         let mut c = net.endpoint(pid(2));
         a.send_to(pid(1), &token_msg()).unwrap();
-        assert!(b
-            .recv(true, Duration::from_millis(10))
-            .unwrap()
-            .is_some());
+        assert!(b.recv(true, Duration::from_millis(10)).unwrap().is_some());
         assert!(c.recv(true, Duration::from_millis(1)).unwrap().is_none());
     }
 
@@ -278,5 +304,19 @@ mod tests {
         let net = LoopbackNet::new();
         let _a = net.endpoint(pid(0));
         let _b = net.endpoint(pid(0));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = net.endpoint(pid(1));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            a.send_to(pid(1), &token_msg()).unwrap();
+        });
+        let m = b.recv(true, Duration::from_secs(5)).unwrap();
+        assert!(m.is_some(), "blocked recv woke on arrival");
+        t.join().unwrap();
     }
 }

@@ -1,33 +1,33 @@
 //! A loss-injecting transport wrapper for resilience testing.
 //!
-//! Wraps any [`Transport`] and drops outbound messages with a seeded,
+//! Wraps any [`Transport`] and drops messages with a seeded,
 //! per-message probability — deterministic given the seed, independent
-//! of timing. Useful for exercising the protocol's retransmission and
-//! membership machinery over otherwise reliable transports (e.g. the
-//! in-process loopback).
+//! of timing. Loss applies to **both** paths: outbound sends and
+//! inbound receives, modelling a lossy wire rather than a lossy NIC
+//! queue. Per-message-kind counters (token vs data vs membership) are
+//! available through [`LossyTransport::stats`].
+//!
+//! This is a convenience facade over [`crate::chaos::ChaosTransport`]
+//! configured with loss only; reach for the chaos transport directly
+//! when duplication, reordering, delay, or dynamic faults are needed.
 
 use std::io;
 use std::time::Duration;
 
 use ar_core::{Message, ParticipantId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
+use crate::chaos::{ChaosConfig, ChaosStats, ChaosTransport};
 use crate::transport::Transport;
 
-/// Transport wrapper that randomly drops outbound messages.
+/// Transport wrapper that randomly drops messages in both directions.
 #[derive(Debug)]
 pub struct LossyTransport<T: Transport> {
-    inner: T,
-    rng: StdRng,
-    drop_prob: f64,
-    dropped: u64,
-    sent: u64,
+    chaos: ChaosTransport<T>,
 }
 
 impl<T: Transport> LossyTransport<T> {
-    /// Wraps `inner`, dropping each outbound message (each copy, for
-    /// multicasts counts once per send call) with probability
+    /// Wraps `inner`, dropping each message copy (outbound per send
+    /// call, inbound per received message) with probability
     /// `drop_prob`.
     ///
     /// # Panics
@@ -35,72 +35,64 @@ impl<T: Transport> LossyTransport<T> {
     /// Panics if `drop_prob` is outside `[0, 1)` — a transport that
     /// drops everything can never make progress.
     pub fn new(inner: T, drop_prob: f64, seed: u64) -> LossyTransport<T> {
-        assert!(
-            (0.0..1.0).contains(&drop_prob),
-            "drop probability must be in [0, 1)"
-        );
         LossyTransport {
-            inner,
-            rng: StdRng::seed_from_u64(seed),
-            drop_prob,
-            dropped: 0,
-            sent: 0,
+            chaos: ChaosTransport::new(inner, ChaosConfig::quiet(seed).with_loss(drop_prob)),
         }
     }
 
-    /// Messages dropped so far.
+    /// Outbound messages dropped so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.chaos.stats().total_dropped()
     }
 
-    /// Messages passed through so far.
+    /// Outbound messages passed through so far.
     pub fn sent(&self) -> u64 {
-        self.sent
+        self.chaos.stats().total_sent()
+    }
+
+    /// Inbound messages dropped so far.
+    pub fn recv_dropped(&self) -> u64 {
+        self.chaos.stats().total_recv_dropped()
+    }
+
+    /// Inbound messages surfaced so far.
+    pub fn received(&self) -> u64 {
+        self.chaos.stats().total_received()
+    }
+
+    /// Per-message-kind counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.chaos.stats()
     }
 
     /// The wrapped transport.
     pub fn inner(&self) -> &T {
-        &self.inner
-    }
-
-    fn drop_now(&mut self) -> bool {
-        if self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob {
-            self.dropped += 1;
-            true
-        } else {
-            self.sent += 1;
-            false
-        }
+        self.chaos.inner()
     }
 }
 
 impl<T: Transport> Transport for LossyTransport<T> {
     fn local_pid(&self) -> ParticipantId {
-        self.inner.local_pid()
+        self.chaos.local_pid()
     }
 
     fn send_to(&mut self, to: ParticipantId, msg: &Message) -> io::Result<()> {
-        if self.drop_now() {
-            return Ok(());
-        }
-        self.inner.send_to(to, msg)
+        self.chaos.send_to(to, msg)
     }
 
     fn multicast(&mut self, msg: &Message) -> io::Result<()> {
-        if self.drop_now() {
-            return Ok(());
-        }
-        self.inner.multicast(msg)
+        self.chaos.multicast(msg)
     }
 
     fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
-        self.inner.recv(prefer_token, timeout)
+        self.chaos.recv(prefer_token, timeout)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::MsgKind;
     use crate::loopback::LoopbackNet;
     use ar_core::{RingId, Seq, Token};
 
@@ -123,11 +115,7 @@ mod tests {
         assert_eq!(a.sent(), 50);
         assert_eq!(a.dropped(), 0);
         let mut got = 0;
-        while b
-            .recv(true, Duration::from_millis(5))
-            .unwrap()
-            .is_some()
-        {
+        while b.recv(true, Duration::from_millis(5)).unwrap().is_some() {
             got += 1;
         }
         assert_eq!(got, 50);
@@ -160,15 +148,39 @@ mod tests {
     }
 
     #[test]
-    fn recv_is_unaffected() {
+    fn loss_applies_inbound_symmetrically() {
         let net = LoopbackNet::new();
         let mut a = net.endpoint(pid(0));
-        let mut b = LossyTransport::new(net.endpoint(pid(1)), 0.99, 1);
-        a.send_to(pid(1), &token_msg()).unwrap();
-        assert!(b
-            .recv(true, Duration::from_millis(100))
-            .unwrap()
-            .is_some());
+        let mut b = LossyTransport::new(net.endpoint(pid(1)), 0.5, 11);
+        for _ in 0..200 {
+            a.send_to(pid(1), &token_msg()).unwrap();
+        }
+        let mut got = 0u64;
+        while b.recv(true, Duration::from_millis(2)).unwrap().is_some() {
+            got += 1;
+        }
+        assert_eq!(b.received(), got);
+        assert!(b.recv_dropped() > 0, "inbound drops applied");
+        assert_eq!(b.received() + b.recv_dropped(), 200);
+        assert!(
+            (60..140).contains(&b.recv_dropped()),
+            "{}",
+            b.recv_dropped()
+        );
+    }
+
+    #[test]
+    fn per_kind_stats_distinguish_token_traffic() {
+        let net = LoopbackNet::new();
+        let mut a = LossyTransport::new(net.endpoint(pid(0)), 0.3, 9);
+        for _ in 0..100 {
+            a.send_to(pid(1), &token_msg()).unwrap();
+        }
+        let stats = a.stats();
+        let tok = stats.kind(MsgKind::Token);
+        assert_eq!(tok.sent + tok.dropped, 100);
+        assert_eq!(stats.kind(MsgKind::Data).sent, 0);
+        assert_eq!(stats.kind(MsgKind::Join).sent, 0);
     }
 
     #[test]

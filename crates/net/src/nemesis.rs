@@ -1,0 +1,741 @@
+//! The nemesis: replays a [`NemesisPlan`] (crashes, restarts,
+//! partitions, heals) against a ring while checking Extended Virtual
+//! Synchrony invariants.
+//!
+//! Two modes share the plan format:
+//!
+//! * [`NemesisRunner`] — a deterministic, single-threaded harness over
+//!   a **virtual clock**. It owns the [`Participant`]s directly, routes
+//!   their messages through a seeded lossy network governed by the
+//!   plan's [`Connectivity`], fires protocol timers at exact virtual
+//!   deadlines, and feeds every delivery into an [`EvsChecker`] and
+//!   every token into a [`TokenRuleMonitor`]. Given the same plan and
+//!   seed, a run is **bit-identical**: the [`NemesisOutcome::digest`]
+//!   can be compared across repeats.
+//! * live mode — a real multi-threaded ring of daemons wrapped in
+//!   [`crate::chaos::ChaosTransport`]s; [`apply_connectivity`]
+//!   translates the same plan's connectivity matrix onto the
+//!   transports' [`ChaosControl`]s at wall-clock offsets. Threads make
+//!   bit-identical replay impossible there, so live assertions are
+//!   convergence-shaped (see `tests/nemesis_e2e.rs`).
+//!
+//! The plan type itself is [`ar_core::fault::FaultSchedule`], shared
+//! with the simulator's `ar_sim::FaultPlan` (see its
+//! `to_schedule`/`from_schedule`), so one fault scenario can drive all
+//! three harnesses.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use ar_core::checker::{EvsChecker, TokenRuleMonitor};
+use ar_core::fault::{Connectivity, FaultEvent};
+use ar_core::{
+    Action, ConfigChange, Delivery, Message, Participant, ParticipantId, ProtocolConfig, RingId,
+    ServiceType, TimerKind,
+};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chaos::ChaosControl;
+
+/// A crash/restart/partition/heal schedule, shared with the simulator.
+pub use ar_core::fault::FaultSchedule as NemesisPlan;
+
+/// Applies a [`Connectivity`] matrix onto the per-endpoint
+/// [`ChaosControl`]s of a live ring: `controls[i]` belongs to the
+/// endpoint whose pid is `ParticipantId::new(i)`.
+///
+/// Crashed hosts are blackholed; partition edges become outbound
+/// blocks on the sending side (which covers destination-blind token
+/// unicast as well — see [`crate::chaos`] module docs).
+pub fn apply_connectivity(controls: &[ChaosControl], conn: &Connectivity) {
+    for (i, control) in controls.iter().enumerate() {
+        if conn.is_crashed(i) {
+            control.crash();
+            continue;
+        }
+        control.restart();
+        let blocked = (0..controls.len())
+            .filter(|&j| j != i && !conn.can_reach(i, j))
+            .map(|j| ParticipantId::new(j as u16));
+        control.set_blocked_to(blocked);
+    }
+}
+
+const TIMER_KINDS: [TimerKind; 5] = [
+    TimerKind::TokenLoss,
+    TimerKind::TokenRetransmit,
+    TimerKind::Join,
+    TimerKind::ConsensusTimeout,
+    TimerKind::CommitTimeout,
+];
+
+fn kind_idx(kind: TimerKind) -> usize {
+    TIMER_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("known kind")
+}
+
+#[derive(Debug)]
+enum EvKind {
+    /// A message arrives at host `to`.
+    Arrive { to: usize, msg: Message },
+    /// A protocol timer fires at `host` (if `gen` is still current).
+    Timer {
+        host: usize,
+        kind: TimerKind,
+        gen: u64,
+    },
+    /// The `i`-th plan event takes effect.
+    Fault(usize),
+    /// A scheduled application submission at `host`.
+    Submit {
+        host: usize,
+        payload: Vec<u8>,
+        service: ServiceType,
+    },
+}
+
+#[derive(Debug)]
+struct Ev {
+    at: u64,
+    id: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.id) == (other.at, other.id)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+/// What a [`NemesisRunner`] run produced.
+#[derive(Debug)]
+pub struct NemesisOutcome {
+    /// True if every surviving host ended operational on one common
+    /// ring whose members are exactly the survivors.
+    pub converged: bool,
+    /// The ring each surviving host ended on (`None` for crashed
+    /// hosts).
+    pub final_rings: Vec<Option<RingId>>,
+    /// Hosts alive at the end of the run.
+    pub survivors: Vec<usize>,
+    /// Deliveries per host.
+    pub deliveries: Vec<usize>,
+    /// EVS invariant violations (empty on a correct run).
+    pub evs_violations: Vec<String>,
+    /// Token retransmission-bound violations (empty on a correct run).
+    pub token_violations: Vec<String>,
+    /// Tokens observed on the wire.
+    pub tokens_seen: u64,
+    /// Messages dropped by loss or unreachability.
+    pub dropped: u64,
+    /// Virtual time when the run stopped.
+    pub stopped_at: Duration,
+    /// FNV-1a digest of every host's delivery and configuration logs
+    /// plus final rings; equal for equal (plan, seed) runs.
+    pub digest: u64,
+}
+
+impl NemesisOutcome {
+    /// Panics with a readable report unless the run converged with no
+    /// violations.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.evs_violations.is_empty(),
+            "EVS violations: {:#?}",
+            self.evs_violations
+        );
+        assert!(
+            self.token_violations.is_empty(),
+            "token rule violations: {:#?}",
+            self.token_violations
+        );
+        assert!(
+            self.converged,
+            "ring did not converge: final rings {:?}, survivors {:?}",
+            self.final_rings, self.survivors
+        );
+    }
+}
+
+/// Deterministic single-threaded nemesis harness (see module docs).
+#[derive(Debug)]
+pub struct NemesisRunner {
+    n: usize,
+    protocol: ProtocolConfig,
+    parts: Vec<Participant>,
+    clock: u64,
+    next_id: u64,
+    queue: BinaryHeap<Reverse<Ev>>,
+    /// Per-host, per-kind (deadline, generation); a popped timer event
+    /// fires only if its generation is still current.
+    timers: Vec<[Option<(u64, u64)>; 5]>,
+    timer_gen: u64,
+    conn: Connectivity,
+    plan: NemesisPlan,
+    rng: StdRng,
+    drop_prob: f64,
+    link_latency: u64,
+    checker: EvsChecker,
+    monitor: TokenRuleMonitor,
+    /// Delivery logs per host (survives restarts).
+    pub logs: Vec<Vec<Delivery>>,
+    /// Configuration-change logs per host.
+    pub configs: Vec<Vec<ConfigChange>>,
+    dropped: u64,
+    /// Submitted payloads with their submission time and submitter.
+    expected: Vec<(Vec<u8>, u64, usize)>,
+    /// Virtual time each host's current incarnation started (0 unless
+    /// restarted).
+    incarnation: Vec<u64>,
+    pending_submits: usize,
+}
+
+impl NemesisRunner {
+    /// Builds `n` hosts on an established common ring, with per-copy
+    /// loss probability `drop_prob` and the given fault plan. Host `i`
+    /// is `ParticipantId::new(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration is invalid or `drop_prob`
+    /// is outside `[0, 1)`.
+    pub fn new(
+        n: u16,
+        protocol: ProtocolConfig,
+        plan: NemesisPlan,
+        drop_prob: f64,
+        seed: u64,
+    ) -> NemesisRunner {
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1)"
+        );
+        let members: Vec<ParticipantId> = (0..n).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        let parts: Vec<Participant> = members
+            .iter()
+            .map(|&p| Participant::new(p, protocol, ring_id, members.clone()).expect("valid ring"))
+            .collect();
+        let mut runner = NemesisRunner {
+            n: n as usize,
+            protocol,
+            parts,
+            clock: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            timers: vec![[None; 5]; n as usize],
+            timer_gen: 0,
+            conn: Connectivity::full(n as usize),
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob,
+            // 50µs per hop: fast-datacenter-like, far below the 50ms
+            // token-loss timeout so healthy rotations never time out.
+            link_latency: 50_000,
+            checker: EvsChecker::new(n as usize),
+            monitor: TokenRuleMonitor::new(),
+            logs: vec![Vec::new(); n as usize],
+            configs: vec![Vec::new(); n as usize],
+            dropped: 0,
+            expected: Vec::new(),
+            incarnation: vec![0; n as usize],
+            pending_submits: 0,
+            plan,
+        };
+        for i in 0..runner.plan.events().len() {
+            let at = runner.plan.events()[i].0.as_nanos() as u64;
+            runner.push_event(at, EvKind::Fault(i));
+        }
+        runner
+    }
+
+    fn push_event(&mut self, at: u64, kind: EvKind) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(Reverse(Ev { at, id, kind }));
+    }
+
+    /// Submits a payload for ordering at host `i` (tracked for the
+    /// self-delivery check).
+    pub fn submit(&mut self, i: usize, payload: &[u8], service: ServiceType) {
+        self.checker.on_submit(i, payload);
+        self.expected.push((payload.to_vec(), self.clock, i));
+        self.parts[i]
+            .submit(Bytes::from(payload.to_vec()), service)
+            .expect("nemesis workloads fit the send queue");
+    }
+
+    /// Schedules a submission at host `i` for virtual time `at` — the
+    /// way to inject traffic *after* a heal or restart, which is what
+    /// lets separated rings detect each other and merge.
+    pub fn submit_at(&mut self, at: Duration, i: usize, payload: &[u8], service: ServiceType) {
+        self.pending_submits += 1;
+        self.push_event(
+            at.as_nanos() as u64,
+            EvKind::Submit {
+                host: i,
+                payload: payload.to_vec(),
+                service,
+            },
+        );
+    }
+
+    /// Starts every participant.
+    pub fn start(&mut self) {
+        for i in 0..self.n {
+            let actions = self.parts[i].start();
+            self.apply(i, actions);
+        }
+    }
+
+    fn route(&mut self, from: usize, to: usize, msg: Message) {
+        if !self.conn.can_reach(from, to)
+            || (self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob)
+        {
+            self.dropped += 1;
+            return;
+        }
+        // Small deterministic per-copy jitter keeps arrivals from
+        // different senders interleaved rather than lockstep.
+        let jitter = self.rng.gen_range(0..self.link_latency / 10 + 1);
+        let at = self.clock + self.link_latency + jitter;
+        self.push_event(at, EvKind::Arrive { to, msg });
+    }
+
+    fn apply(&mut self, from: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendToken { to, token } => {
+                    self.monitor.on_token(&token);
+                    self.route(from, to.as_u16() as usize, Message::Token(token));
+                }
+                Action::SendCommit { to, token } => {
+                    self.route(from, to.as_u16() as usize, Message::Commit(token));
+                }
+                Action::Multicast(m) => {
+                    for to in 0..self.n {
+                        if to != from {
+                            self.route(from, to, Message::Data(m.clone()));
+                        }
+                    }
+                }
+                Action::MulticastJoin(j) => {
+                    for to in 0..self.n {
+                        if to != from {
+                            self.route(from, to, Message::Join(j.clone()));
+                        }
+                    }
+                }
+                Action::Deliver(d) => {
+                    self.checker.on_delivery(from, &d);
+                    self.logs[from].push(d);
+                }
+                Action::DeliverConfigChange(c) => {
+                    self.checker.on_config(from, &c);
+                    self.configs[from].push(c);
+                }
+                Action::SetTimer(kind) => {
+                    let nanos = self.timer_duration(from, kind);
+                    let at = self.clock + nanos;
+                    self.timer_gen += 1;
+                    let gen = self.timer_gen;
+                    self.timers[from][kind_idx(kind)] = Some((at, gen));
+                    self.push_event(
+                        at,
+                        EvKind::Timer {
+                            host: from,
+                            kind,
+                            gen,
+                        },
+                    );
+                }
+                Action::CancelTimer(kind) => {
+                    self.timers[from][kind_idx(kind)] = None;
+                }
+            }
+        }
+    }
+
+    fn timer_duration(&self, host: usize, kind: TimerKind) -> u64 {
+        let t = self.parts[host].timeouts();
+        match kind {
+            TimerKind::TokenLoss => t.token_loss,
+            TimerKind::TokenRetransmit => t.token_retransmit,
+            TimerKind::Join => t.join,
+            TimerKind::ConsensusTimeout => t.consensus,
+            TimerKind::CommitTimeout => t.commit,
+        }
+    }
+
+    fn handle_fault(&mut self, idx: usize) {
+        let (_, ev) = self.plan.events()[idx].clone();
+        match &ev {
+            FaultEvent::Crash { host } => {
+                // Dead hosts keep their logs; their pending timers are
+                // invalidated so nothing fires while down.
+                self.timers[*host] = [None; 5];
+            }
+            FaultEvent::Restart { host } => {
+                // A restarted host is a fresh incarnation: empty
+                // protocol state, singleton ring, rejoin via membership.
+                let pid = ParticipantId::new(*host as u16);
+                self.parts[*host] =
+                    Participant::new_singleton(pid, self.protocol).expect("valid config");
+                self.checker.on_restart(*host);
+                self.incarnation[*host] = self.clock;
+            }
+            FaultEvent::Partition { .. } | FaultEvent::Heal => {}
+        }
+        self.conn.apply(&ev);
+        if let FaultEvent::Restart { host } = ev {
+            let actions = self.parts[host].start();
+            self.apply(host, actions);
+        }
+    }
+
+    /// Runs until `limit` virtual time elapses or the ring converges
+    /// (whichever is first), then evaluates the checkers.
+    pub fn run(&mut self, limit: Duration) -> NemesisOutcome {
+        let limit = limit.as_nanos() as u64;
+        // Converged-state detection is re-checked at most once per
+        // virtual millisecond to keep the hot loop cheap.
+        let mut next_check = 0u64;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.at > limit {
+                break;
+            }
+            self.clock = self.clock.max(ev.at);
+            match ev.kind {
+                EvKind::Arrive { to, msg } => {
+                    if self.conn.is_crashed(to) {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    let actions = self.parts[to].handle_message(msg);
+                    self.apply(to, actions);
+                }
+                EvKind::Timer { host, kind, gen } => {
+                    if self.conn.is_crashed(host) {
+                        continue;
+                    }
+                    match self.timers[host][kind_idx(kind)] {
+                        Some((_, g)) if g == gen => {
+                            self.timers[host][kind_idx(kind)] = None;
+                            let actions = self.parts[host].handle_timer(kind);
+                            self.apply(host, actions);
+                        }
+                        _ => {} // superseded or cancelled
+                    }
+                }
+                EvKind::Fault(idx) => self.handle_fault(idx),
+                EvKind::Submit {
+                    host,
+                    payload,
+                    service,
+                } => {
+                    self.pending_submits -= 1;
+                    if !self.conn.is_crashed(host) {
+                        self.checker.on_submit(host, &payload);
+                        self.expected.push((payload.clone(), self.clock, host));
+                        self.parts[host]
+                            .submit(Bytes::from(payload), service)
+                            .expect("nemesis workloads fit the send queue");
+                    }
+                }
+            }
+            if self.clock >= next_check {
+                next_check = self.clock + 1_000_000;
+                if self.faults_done() && self.is_converged() {
+                    break;
+                }
+            }
+        }
+        self.outcome()
+    }
+
+    fn faults_done(&self) -> bool {
+        self.pending_submits == 0
+            && self
+                .plan
+                .events()
+                .last()
+                .is_none_or(|(t, _)| self.clock >= t.as_nanos() as u64)
+    }
+
+    fn survivors(&self) -> Vec<usize> {
+        (0..self.n).filter(|&i| !self.conn.is_crashed(i)).collect()
+    }
+
+    fn is_converged(&self) -> bool {
+        let survivors = self.survivors();
+        let Some(&first) = survivors.first() else {
+            return false;
+        };
+        let want = self.parts[first].ring().id();
+        let members: Vec<ParticipantId> = survivors
+            .iter()
+            .map(|&i| ParticipantId::new(i as u16))
+            .collect();
+        let all_partitions_healed = survivors
+            .iter()
+            .all(|&i| survivors.iter().all(|&j| self.conn.can_reach(i, j)));
+        all_partitions_healed
+            && survivors.iter().all(|&i| {
+                self.parts[i].is_operational()
+                    && self.parts[i].ring().id() == want
+                    && self.parts[i].ring().members() == members
+            })
+            && survivors
+                .iter()
+                .all(|&i| self.delivered_everything_expected(i))
+    }
+
+    /// True if host `i` has self-delivered every payload its *current
+    /// incarnation* submitted. EVS confines a message to the
+    /// configuration it was ordered in — a payload ordered in an
+    /// intermediate merge ring is never delivered by hosts outside
+    /// that ring, and submissions from a crashed incarnation die with
+    /// it — so self-delivery is the strongest liveness guarantee the
+    /// harness can demand. Cross-host consistency of whatever *was*
+    /// delivered is enforced separately by the [`EvsChecker`].
+    fn delivered_everything_expected(&self, i: usize) -> bool {
+        self.expected.iter().all(|(payload, at, submitter)| {
+            *submitter != i
+                || *at < self.incarnation[i]
+                || self.logs[i].iter().any(|d| d.payload == payload[..])
+        })
+    }
+
+    fn outcome(&mut self) -> NemesisOutcome {
+        let survivors = self.survivors();
+        let converged = self.is_converged();
+        let final_rings: Vec<Option<RingId>> = (0..self.n)
+            .map(|i| {
+                if self.conn.is_crashed(i) {
+                    None
+                } else {
+                    Some(self.parts[i].ring().id())
+                }
+            })
+            .collect();
+        let evs_violations = match self.checker.check() {
+            Ok(()) => Vec::new(),
+            Err(v) => v,
+        };
+        let token_violations = match self.monitor.check() {
+            Ok(()) => Vec::new(),
+            Err(v) => v,
+        };
+        let digest = self.digest(&final_rings);
+        NemesisOutcome {
+            converged,
+            final_rings,
+            survivors,
+            deliveries: self.logs.iter().map(Vec::len).collect(),
+            evs_violations,
+            token_violations,
+            tokens_seen: self.monitor.tokens_seen(),
+            dropped: self.dropped,
+            stopped_at: Duration::from_nanos(self.clock),
+            digest,
+        }
+    }
+
+    fn digest(&self, final_rings: &[Option<RingId>]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        // Trace-level counters make the digest sensitive to the path
+        // taken, not just the end state: two seeds that happen to
+        // converge identically still produce distinct digests when
+        // their loss patterns differed.
+        eat(&self.dropped.to_le_bytes());
+        eat(&self.monitor.tokens_seen().to_le_bytes());
+        eat(&self.clock.to_le_bytes());
+        for (i, ring) in final_rings.iter().enumerate().take(self.n) {
+            eat(&(i as u64).to_le_bytes());
+            if let Some(r) = ring {
+                eat(&r.representative().as_u16().to_le_bytes());
+                eat(&r.ring_seq().to_le_bytes());
+            }
+            for d in &self.logs[i] {
+                eat(&d.ring_id.ring_seq().to_le_bytes());
+                eat(&d.seq.as_u64().to_le_bytes());
+                eat(&d.pid.as_u16().to_le_bytes());
+                eat(&d.payload);
+            }
+            for c in &self.configs[i] {
+                eat(&[matches!(c.kind, ar_core::ConfigChangeKind::Regular) as u8]);
+                eat(&c.ring_id.ring_seq().to_le_bytes());
+                for m in &c.members {
+                    eat(&m.as_u16().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(runner: &mut NemesisRunner, n: usize, per_host: usize) -> usize {
+        let mut count = 0;
+        for i in 0..n {
+            for k in 0..per_host {
+                runner.submit(i, format!("h{i}-m{k}").as_bytes(), ServiceType::Agreed);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn fault_free_run_converges_clean() {
+        let mut r = NemesisRunner::new(
+            4,
+            ProtocolConfig::accelerated(),
+            NemesisPlan::none(),
+            0.0,
+            1,
+        );
+        let count = workload(&mut r, 4, 3);
+        r.start();
+        let out = r.run(Duration::from_secs(10));
+        out.assert_clean();
+        assert!(out.deliveries.iter().all(|&d| d >= count));
+        r.checker.check_self_delivery(&[0, 1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn crash_shrinks_ring_and_stays_clean() {
+        let plan = NemesisPlan::none().crash(Duration::from_millis(20), 2);
+        let mut r = NemesisRunner::new(4, ProtocolConfig::accelerated(), plan, 0.0, 3);
+        workload(&mut r, 4, 2);
+        r.start();
+        let out = r.run(Duration::from_secs(20));
+        out.assert_clean();
+        assert_eq!(out.survivors, vec![0, 1, 3]);
+        assert!(out.final_rings[2].is_none());
+    }
+
+    #[test]
+    fn partition_heal_reconverges() {
+        let plan = NemesisPlan::none()
+            .partition(Duration::from_millis(30), vec![0, 0, 1, 1])
+            .heal(Duration::from_millis(400));
+        let mut r = NemesisRunner::new(4, ProtocolConfig::accelerated(), plan, 0.0, 5);
+        workload(&mut r, 4, 2);
+        // Post-heal traffic is what lets the two sides hear each other
+        // and merge.
+        r.submit_at(
+            Duration::from_millis(450),
+            0,
+            b"post-heal-0",
+            ServiceType::Agreed,
+        );
+        r.submit_at(
+            Duration::from_millis(450),
+            2,
+            b"post-heal-2",
+            ServiceType::Agreed,
+        );
+        r.start();
+        let out = r.run(Duration::from_secs(30));
+        out.assert_clean();
+        assert_eq!(out.survivors.len(), 4);
+        let rings: Vec<_> = out.final_rings.iter().flatten().collect();
+        assert!(rings.windows(2).all(|w| w[0] == w[1]), "{rings:?}");
+    }
+
+    #[test]
+    fn restart_rejoins_the_ring() {
+        let plan = NemesisPlan::none()
+            .crash(Duration::from_millis(20), 1)
+            .restart(Duration::from_millis(300), 1);
+        let mut r = NemesisRunner::new(3, ProtocolConfig::accelerated(), plan, 0.0, 8);
+        workload(&mut r, 3, 2);
+        r.submit_at(
+            Duration::from_millis(350),
+            0,
+            b"post-restart",
+            ServiceType::Agreed,
+        );
+        r.start();
+        let out = r.run(Duration::from_secs(30));
+        assert!(
+            out.evs_violations.is_empty(),
+            "EVS violations: {:#?}",
+            out.evs_violations
+        );
+        assert_eq!(out.survivors.len(), 3);
+        assert!(
+            out.converged,
+            "restarted host rejoined: {:?}",
+            out.final_rings
+        );
+    }
+
+    #[test]
+    fn digests_are_bit_identical_across_repeats() {
+        let run = |seed: u64| {
+            let plan = NemesisPlan::none()
+                .crash(Duration::from_millis(25), 4)
+                .partition(Duration::from_millis(60), vec![0, 0, 0, 1, 1])
+                .heal(Duration::from_millis(300));
+            let mut r = NemesisRunner::new(5, ProtocolConfig::accelerated(), plan, 0.02, seed);
+            workload(&mut r, 5, 2);
+            r.submit_at(
+                Duration::from_millis(350),
+                0,
+                b"post-heal",
+                ServiceType::Agreed,
+            );
+            r.start();
+            r.run(Duration::from_secs(30)).digest
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds explore different runs");
+    }
+
+    #[test]
+    fn apply_connectivity_maps_matrix_to_controls() {
+        let controls: Vec<ChaosControl> = (0..3).map(|_| ChaosControl::new()).collect();
+        let mut conn = Connectivity::full(3);
+        conn.apply(&FaultEvent::Crash { host: 0 });
+        conn.apply(&FaultEvent::Partition {
+            component_of: vec![0, 1, 2],
+        });
+        apply_connectivity(&controls, &conn);
+        assert!(controls[0].is_crashed());
+        assert!(!controls[1].is_crashed());
+        // Hosts 1 and 2 are in different components: both block each
+        // other outbound.
+        let s_before = controls[1].stats();
+        assert_eq!(s_before.total_sent(), 0);
+        conn.apply(&FaultEvent::Heal);
+        conn.apply(&FaultEvent::Restart { host: 0 });
+        apply_connectivity(&controls, &conn);
+        assert!(!controls[0].is_crashed());
+    }
+}

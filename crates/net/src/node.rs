@@ -97,9 +97,9 @@ impl NodeHandle {
     fn shutdown_now(&mut self) -> io::Result<()> {
         let _ = self.shutdown_tx.send(());
         match self.join.take() {
-            Some(h) => h.join().unwrap_or_else(|_| {
-                Err(io::Error::other("node thread panicked"))
-            }),
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("node thread panicked"))),
             None => Ok(()),
         }
     }
@@ -160,13 +160,8 @@ mod tests {
     fn shutdown_is_idempotent_via_drop() {
         let net = LoopbackNet::new();
         let p = ParticipantId::new(0);
-        let part = Participant::new(
-            p,
-            ProtocolConfig::accelerated(),
-            RingId::new(p, 1),
-            vec![p],
-        )
-        .unwrap();
+        let part =
+            Participant::new(p, ProtocolConfig::accelerated(), RingId::new(p, 1), vec![p]).unwrap();
         let node = spawn(part, net.endpoint(p));
         drop(node); // must not hang or panic
     }

@@ -25,6 +25,10 @@ pub enum AppEvent {
 /// the computed deadline is far away.
 const MAX_POLL: Duration = Duration::from_millis(5);
 
+/// Cap on the retransmission backoff exponent (2^6 = 64x the base
+/// interval; the token-loss timeout clamps the result anyway).
+const MAX_RETRANSMIT_SHIFT: u32 = 6;
+
 /// A protocol participant bound to a transport and a clock.
 #[derive(Debug)]
 pub struct Runtime<T: Transport> {
@@ -32,6 +36,12 @@ pub struct Runtime<T: Transport> {
     transport: T,
     timers: [Option<Instant>; 5],
     events: Vec<AppEvent>,
+    /// Consecutive token-retransmission firings without hearing a
+    /// token. Each firing doubles the retransmit interval (capped by
+    /// the token-loss timeout) so a long outage does not flood a
+    /// recovering peer with duplicate tokens; any received token or
+    /// commit resets the backoff.
+    retransmit_shift: u32,
 }
 
 fn kind_idx(kind: TimerKind) -> usize {
@@ -61,6 +71,7 @@ impl<T: Transport> Runtime<T> {
             transport,
             timers: [None; 5],
             events: Vec::new(),
+            retransmit_shift: 0,
         }
     }
 
@@ -91,7 +102,11 @@ impl<T: Transport> Runtime<T> {
     /// # Errors
     ///
     /// Returns the queue-full error on backpressure.
-    pub fn submit(&mut self, payload: Bytes, service: ServiceType) -> Result<(), ar_core::QueueFull> {
+    pub fn submit(
+        &mut self,
+        payload: Bytes,
+        service: ServiceType,
+    ) -> Result<(), ar_core::QueueFull> {
         self.part.submit(payload, service)
     }
 
@@ -111,6 +126,9 @@ impl<T: Transport> Runtime<T> {
         };
         let prefer_token = self.part.priority_mode() == PriorityMode::TokenHigh;
         if let Some(msg) = self.transport.recv(prefer_token, wait)? {
+            if matches!(msg, Message::Token(_) | Message::Commit(_)) {
+                self.retransmit_shift = 0;
+            }
             let actions = self.part.handle_message(msg);
             self.execute(actions)?;
         }
@@ -120,6 +138,9 @@ impl<T: Transport> Runtime<T> {
             let idx = kind_idx(kind);
             if matches!(self.timers[idx], Some(d) if d <= now) {
                 self.timers[idx] = None;
+                if kind == TimerKind::TokenRetransmit {
+                    self.retransmit_shift = (self.retransmit_shift + 1).min(MAX_RETRANSMIT_SHIFT);
+                }
                 let actions = self.part.handle_timer(kind);
                 self.execute(actions)?;
             }
@@ -154,7 +175,11 @@ impl<T: Transport> Runtime<T> {
         let t = self.part.timeouts();
         Duration::from_nanos(match kind {
             TimerKind::TokenLoss => t.token_loss,
-            TimerKind::TokenRetransmit => t.token_retransmit,
+            TimerKind::TokenRetransmit => t
+                .token_retransmit
+                .checked_shl(self.retransmit_shift)
+                .unwrap_or(u64::MAX)
+                .min(t.token_loss),
             TimerKind::Join => t.join,
             TimerKind::ConsensusTimeout => t.consensus,
             TimerKind::CommitTimeout => t.commit,
@@ -213,5 +238,53 @@ mod tests {
         assert_eq!(logs[0].len(), 2, "{logs:?}");
         assert_eq!(logs[0], logs[1]);
         assert_eq!(logs[1], logs[2]);
+    }
+
+    #[test]
+    fn retransmit_interval_backs_off_and_caps_at_token_loss() {
+        let mut ring = build_ring(2);
+        let rt = &mut ring[0];
+        let t = rt.part.timeouts();
+        let base = Duration::from_nanos(t.token_retransmit);
+        let cap = Duration::from_nanos(t.token_loss);
+        assert_eq!(rt.timer_duration(TimerKind::TokenRetransmit), base);
+        rt.retransmit_shift = 1;
+        assert_eq!(
+            rt.timer_duration(TimerKind::TokenRetransmit),
+            (base * 2).min(cap)
+        );
+        rt.retransmit_shift = MAX_RETRANSMIT_SHIFT;
+        let backed_off = rt.timer_duration(TimerKind::TokenRetransmit);
+        assert!(backed_off <= cap, "{backed_off:?} > {cap:?}");
+        assert!(backed_off >= base * 2);
+        // Other timers are unaffected by the backoff state.
+        assert_eq!(
+            rt.timer_duration(TimerKind::TokenLoss),
+            Duration::from_nanos(t.token_loss)
+        );
+    }
+
+    #[test]
+    fn receiving_a_token_resets_retransmit_backoff() {
+        let net = LoopbackNet::new();
+        let members = pids(2);
+        let ring_id = RingId::new(members[0], 1);
+        let part = Participant::new(
+            members[1],
+            ProtocolConfig::accelerated(),
+            ring_id,
+            members.clone(),
+        )
+        .unwrap();
+        let mut rt = Runtime::new(part, net.endpoint(members[1]));
+        let mut peer = net.endpoint(members[0]);
+        rt.retransmit_shift = 4;
+        peer.send_to(
+            members[1],
+            &Message::Token(ar_core::Token::initial(ring_id, ar_core::Seq::ZERO)),
+        )
+        .unwrap();
+        rt.step().unwrap();
+        assert_eq!(rt.retransmit_shift, 0);
     }
 }

@@ -1,27 +1,17 @@
 //! Fault injection: crashes, partitions, and merges on a schedule.
+//!
+//! The event vocabulary ([`FaultEvent`]) and the reachability state
+//! ([`Connectivity`]) are shared with the real-network chaos harness —
+//! they live in [`ar_core::fault`] and are re-exported here. Only the
+//! schedule type is simulator-specific: [`FaultPlan`] keys events by
+//! [`SimTime`], and converts to/from the harness-neutral
+//! [`FaultSchedule`] so the same plan can drive a live nemesis run.
 
 use serde::{Deserialize, Serialize};
 
-use crate::time::SimTime;
+pub use ar_core::fault::{Connectivity, FaultEvent, FaultSchedule};
 
-/// A scheduled fault event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum FaultEvent {
-    /// Host `host` crashes (stops processing and sending forever).
-    Crash {
-        /// The host index to crash.
-        host: usize,
-    },
-    /// The network splits into components; hosts can only reach hosts
-    /// in their own component.
-    Partition {
-        /// Component id per host (hosts with equal ids can communicate).
-        component_of: Vec<u8>,
-    },
-    /// All partitions heal; every (non-crashed) host can reach every
-    /// other.
-    Heal,
-}
+use crate::time::SimTime;
 
 /// A time-ordered schedule of fault events.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,11 +33,20 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a restart of previously crashed `host` at `at`.
+    #[must_use]
+    pub fn restart(mut self, at: SimTime, host: usize) -> Self {
+        self.events.push((at, FaultEvent::Restart { host }));
+        self.sort();
+        self
+    }
+
     /// Adds a partition at `at`; `component_of[i]` names host `i`'s
     /// side.
     #[must_use]
     pub fn partition(mut self, at: SimTime, component_of: Vec<u8>) -> Self {
-        self.events.push((at, FaultEvent::Partition { component_of }));
+        self.events
+            .push((at, FaultEvent::Partition { component_of }));
         self.sort();
         self
     }
@@ -73,51 +72,33 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
-}
 
-/// Live connectivity state derived from a [`FaultPlan`]'s applied
-/// events.
-#[derive(Debug, Clone)]
-pub struct Connectivity {
-    crashed: Vec<bool>,
-    component_of: Vec<u8>,
-}
-
-impl Connectivity {
-    /// Full connectivity over `n` hosts.
-    pub fn full(n: usize) -> Connectivity {
-        Connectivity {
-            crashed: vec![false; n],
-            component_of: vec![0; n],
+    /// Converts to the harness-neutral schedule shared with the live
+    /// nemesis runner.
+    pub fn to_schedule(&self) -> FaultSchedule {
+        let mut schedule = FaultSchedule::none();
+        for (t, ev) in &self.events {
+            let at = std::time::Duration::from_nanos(t.as_nanos());
+            schedule = match ev.clone() {
+                FaultEvent::Crash { host } => schedule.crash(at, host),
+                FaultEvent::Restart { host } => schedule.restart(at, host),
+                FaultEvent::Partition { component_of } => schedule.partition(at, component_of),
+                FaultEvent::Heal => schedule.heal(at),
+            };
         }
+        schedule
     }
 
-    /// Applies one fault event.
-    pub fn apply(&mut self, ev: &FaultEvent) {
-        match ev {
-            FaultEvent::Crash { host } => self.crashed[*host] = true,
-            FaultEvent::Partition { component_of } => {
-                assert_eq!(
-                    component_of.len(),
-                    self.component_of.len(),
-                    "partition vector must cover every host"
-                );
-                self.component_of.clone_from(component_of);
-            }
-            FaultEvent::Heal => self.component_of.iter_mut().for_each(|c| *c = 0),
-        }
-    }
-
-    /// True if host `i` has crashed.
-    pub fn is_crashed(&self, i: usize) -> bool {
-        self.crashed[i]
-    }
-
-    /// True if a frame from `from` can reach `to`.
-    pub fn can_reach(&self, from: usize, to: usize) -> bool {
-        !self.crashed[from]
-            && !self.crashed[to]
-            && self.component_of[from] == self.component_of[to]
+    /// Builds a plan from a harness-neutral schedule.
+    pub fn from_schedule(schedule: &FaultSchedule) -> FaultPlan {
+        let events = schedule
+            .events()
+            .iter()
+            .map(|(t, ev)| (SimTime::from_nanos(t.as_nanos() as u64), ev.clone()))
+            .collect();
+        let mut plan = FaultPlan { events };
+        plan.sort();
+        plan
     }
 }
 
@@ -136,6 +117,18 @@ mod tests {
     }
 
     #[test]
+    fn schedule_round_trips() {
+        let plan = FaultPlan::none()
+            .crash(SimTime::from_nanos(10), 2)
+            .restart(SimTime::from_nanos(50), 2)
+            .partition(SimTime::from_nanos(20), vec![0, 0, 1, 1])
+            .heal(SimTime::from_nanos(30));
+        let schedule = plan.to_schedule();
+        assert_eq!(schedule.events().len(), 4);
+        assert_eq!(FaultPlan::from_schedule(&schedule), plan);
+    }
+
+    #[test]
     fn connectivity_tracks_crashes_and_partitions() {
         let mut c = Connectivity::full(4);
         assert!(c.can_reach(0, 3));
@@ -149,15 +142,8 @@ mod tests {
         assert!(!c.can_reach(1, 2));
         c.apply(&FaultEvent::Heal);
         assert!(c.can_reach(1, 2));
-        assert!(!c.can_reach(0, 3), "crash is permanent");
-    }
-
-    #[test]
-    #[should_panic(expected = "cover every host")]
-    fn partition_vector_must_match() {
-        let mut c = Connectivity::full(2);
-        c.apply(&FaultEvent::Partition {
-            component_of: vec![0],
-        });
+        assert!(!c.can_reach(0, 3), "crash persists until restart");
+        c.apply(&FaultEvent::Restart { host: 3 });
+        assert!(c.can_reach(0, 3));
     }
 }

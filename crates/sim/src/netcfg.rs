@@ -77,7 +77,10 @@ impl NetworkConfig {
     /// Panics if `p` is not within `[0, 1]`.
     #[must_use]
     pub fn with_random_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.random_loss = p;
         self
     }

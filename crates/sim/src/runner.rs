@@ -23,11 +23,11 @@ use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::events::EventQueue;
 use crate::fault::{Connectivity, FaultEvent, FaultPlan};
 use crate::load::LoadMode;
 use crate::metrics::{LatencyRecorder, SimReport};
 use crate::netcfg::NetworkConfig;
-use crate::events::EventQueue;
 use crate::profile::ImplProfile;
 use crate::time::{SimDuration, SimTime};
 use crate::timeseries::ThroughputSeries;
@@ -328,14 +328,13 @@ impl RingSim {
             self.handle_event(t, ev);
         }
 
-        let start_stats = stats_snapshot
-            .unwrap_or_else(|| self.hosts.iter().map(|h| *h.part.stats()).collect());
+        let start_stats =
+            stats_snapshot.unwrap_or_else(|| self.hosts.iter().map(|h| *h.part.stats()).collect());
         let n = self.hosts.len() as f64;
         let delivered_total: u64 = self.hosts.iter().map(|h| h.delivered_in_window).sum();
         let delivered_per_participant = delivered_total as f64 / n;
         let secs = self.cfg.duration.as_secs_f64();
-        let achieved_bps =
-            delivered_per_participant * (self.cfg.payload_bytes as f64 * 8.0) / secs;
+        let achieved_bps = delivered_per_participant * (self.cfg.payload_bytes as f64 * 8.0) / secs;
         let retransmissions: u64 = self
             .hosts
             .iter()
@@ -343,7 +342,9 @@ impl RingSim {
             .map(|(h, s)| h.part.stats().retransmissions_sent - s.retransmissions_sent)
             .sum();
         let token_rounds = self.hosts[0].part.stats().tokens_handled
-            - self.tokens_at_host0_at_start.min(self.hosts[0].part.stats().tokens_handled);
+            - self
+                .tokens_at_host0_at_start
+                .min(self.hosts[0].part.stats().tokens_handled);
 
         if self.cfg.verify_order {
             self.verify_order_logs();
@@ -422,7 +423,14 @@ impl RingSim {
 
     // ----- network --------------------------------------------------------
 
-    fn transmit(&mut self, from: usize, dest: Dest, wire_bytes: usize, msg: Message, ready: SimTime) {
+    fn transmit(
+        &mut self,
+        from: usize,
+        dest: Dest,
+        wire_bytes: usize,
+        msg: Message,
+        ready: SimTime,
+    ) {
         if self.conn.is_crashed(from) {
             return;
         }
@@ -608,9 +616,7 @@ impl RingSim {
                 Action::Deliver(d) => {
                     cursor += self.cfg.profile.deliver(d.payload.len());
                     if self.cfg.verify_order && d.payload.len() >= MIN_PAYLOAD {
-                        let uid = u64::from_be_bytes(
-                            d.payload[8..16].try_into().expect("8 bytes"),
-                        );
+                        let uid = u64::from_be_bytes(d.payload[8..16].try_into().expect("8 bytes"));
                         self.hosts[host]
                             .order_log
                             .push((d.ring_id, d.seq.as_u64(), uid));
@@ -685,12 +691,15 @@ impl RingSim {
             }
             Err(_) => self.submit_rejected += 1,
         }
-        if let Some(interval) = self.cfg.load.interval(self.hosts.len(), self.cfg.payload_bytes) {
+        if let Some(interval) = self
+            .cfg
+            .load
+            .interval(self.hosts.len(), self.cfg.payload_bytes)
+        {
             // ±1% deterministic jitter keeps hosts from phase-locking.
             let jitter_range = (interval.as_nanos() / 100).max(1);
             let jitter = self.rng.gen_range(0..=2 * jitter_range);
-            let next =
-                t + SimDuration::from_nanos(interval.as_nanos() - jitter_range + jitter);
+            let next = t + SimDuration::from_nanos(interval.as_nanos() - jitter_range + jitter);
             self.q.schedule(next, Ev::Submit { host });
         }
     }
@@ -777,11 +786,7 @@ mod tests {
         };
         let report = run_ring(&cfg);
         let ratio = report.achieved_bps / 300e6;
-        assert!(
-            (0.9..1.1).contains(&ratio),
-            "achieved {} of offered",
-            ratio
-        );
+        assert!((0.9..1.1).contains(&ratio), "achieved {} of offered", ratio);
     }
 
     #[test]
@@ -938,8 +943,7 @@ mod tests {
         };
         cfg.duration = SimDuration::from_millis(250);
         cfg.warmup = SimDuration::from_millis(10);
-        cfg.faults =
-            FaultPlan::none().crash(SimTime::ZERO + SimDuration::from_millis(50), 3);
+        cfg.faults = FaultPlan::none().crash(SimTime::ZERO + SimDuration::from_millis(50), 3);
         let _ = run_ring(&cfg);
     }
 

@@ -84,7 +84,11 @@ enum Ev {
     /// The sequencer CPU picks up queued work.
     SequencerCpu,
     /// A sequenced multicast fully arrives at a receiver.
-    AtReceiver { host: usize, submit_ns: u64, seq: u64 },
+    AtReceiver {
+        host: usize,
+        submit_ns: u64,
+        seq: u64,
+    },
     /// A receiver CPU picks up queued work.
     ReceiverCpu { host: usize },
 }
@@ -107,7 +111,10 @@ pub fn run_sequencer(cfg: &SequencerSimConfig) -> SimReport {
     );
     for h in 0..n {
         let phase = rng.gen_range(0..interval.as_nanos().max(1));
-        q.schedule(SimTime::ZERO + SimDuration::from_nanos(phase), Ev::Submit { host: h });
+        q.schedule(
+            SimTime::ZERO + SimDuration::from_nanos(phase),
+            Ev::Submit { host: h },
+        );
     }
 
     // Sequencer state.
@@ -290,8 +297,8 @@ mod tests {
         // Two network hops + sequencer processing: the latency floor is
         // strictly above one hop + processing.
         let r = run_sequencer(&base(NetworkConfig::gigabit(), 100));
-        let one_hop = NetworkConfig::gigabit().serialization(1410)
-            + NetworkConfig::gigabit().propagation;
+        let one_hop =
+            NetworkConfig::gigabit().serialization(1410) + NetworkConfig::gigabit().propagation;
         assert!(r.latency.mean.as_nanos() > 2 * one_hop.as_nanos());
     }
 

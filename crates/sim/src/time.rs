@@ -207,9 +207,6 @@ mod tests {
     #[test]
     fn duration_ordering_and_scaling() {
         assert!(SimDuration::from_micros(1) < SimDuration::from_millis(1));
-        assert_eq!(
-            SimDuration::from_micros(2) * 3,
-            SimDuration::from_micros(6)
-        );
+        assert_eq!(SimDuration::from_micros(2) * 3, SimDuration::from_micros(6));
     }
 }

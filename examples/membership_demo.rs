@@ -32,13 +32,9 @@ fn main() {
     let mut nodes: Vec<Option<NodeHandle>> = members
         .iter()
         .map(|&pid| {
-            let mut part = Participant::new(
-                pid,
-                ProtocolConfig::accelerated(),
-                ring_id,
-                members.clone(),
-            )
-            .expect("valid ring");
+            let mut part =
+                Participant::new(pid, ProtocolConfig::accelerated(), ring_id, members.clone())
+                    .expect("valid ring");
             part.set_timeouts(timeouts);
             Some(spawn(part, net.endpoint(pid)))
         })
@@ -48,7 +44,10 @@ fn main() {
     for (i, node) in nodes.iter().enumerate() {
         node.as_ref()
             .unwrap()
-            .submit(Bytes::from(format!("pre-crash from P{i}")), ServiceType::Agreed)
+            .submit(
+                Bytes::from(format!("pre-crash from P{i}")),
+                ServiceType::Agreed,
+            )
             .unwrap();
     }
     let mut delivered = vec![0usize; N as usize];
@@ -133,12 +132,7 @@ fn main() {
 }
 
 /// Pumps deliveries until every live node has `expect` of them.
-fn pump(
-    nodes: &[Option<NodeHandle>],
-    delivered: &mut [usize],
-    expect: usize,
-    timeout: Duration,
-) {
+fn pump(nodes: &[Option<NodeHandle>], delivered: &mut [usize], expect: usize, timeout: Duration) {
     let deadline = Instant::now() + timeout;
     while delivered.iter().any(|&d| d < expect) && Instant::now() < deadline {
         for (i, slot) in nodes.iter().enumerate() {

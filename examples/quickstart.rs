@@ -8,9 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use accelerated_ring::core::{
-    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
-};
+use accelerated_ring::core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
 use accelerated_ring::net::{spawn, AppEvent, LoopbackNet};
 use bytes::Bytes;
 
@@ -27,13 +25,9 @@ fn main() {
     let nodes: Vec<_> = members
         .iter()
         .map(|&pid| {
-            let part = Participant::new(
-                pid,
-                ProtocolConfig::accelerated(),
-                ring_id,
-                members.clone(),
-            )
-            .expect("valid ring");
+            let part =
+                Participant::new(pid, ProtocolConfig::accelerated(), ring_id, members.clone())
+                    .expect("valid ring");
             spawn(part, net.endpoint(pid))
         })
         .collect();
@@ -74,10 +68,7 @@ fn main() {
         println!("  #{seq:<3} {text}");
     }
     for (i, log) in logs.iter().enumerate() {
-        assert_eq!(
-            log, &logs[0],
-            "P{i} delivered a different sequence than P0"
-        );
+        assert_eq!(log, &logs[0], "P{i} delivered a different sequence than P0");
     }
     println!("\nall {N} processes delivered the identical sequence of {expected} messages");
 

@@ -13,9 +13,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use accelerated_ring::core::{
-    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
-};
+use accelerated_ring::core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
 use accelerated_ring::daemon::{spawn_daemon, ClientEvent, DaemonClient};
 use accelerated_ring::net::LoopbackNet;
 use bytes::Bytes;
@@ -63,13 +61,9 @@ fn main() {
     let daemons: Vec<_> = members
         .iter()
         .map(|&pid| {
-            let part = Participant::new(
-                pid,
-                ProtocolConfig::accelerated(),
-                ring_id,
-                members.clone(),
-            )
-            .expect("valid ring");
+            let part =
+                Participant::new(pid, ProtocolConfig::accelerated(), ring_id, members.clone())
+                    .expect("valid ring");
             spawn_daemon(part, net.endpoint(pid))
         })
         .collect();
@@ -119,7 +113,11 @@ fn main() {
     // One replica deletes a key — also ordered.
     replicas[0]
         .client
-        .multicast(&[GROUP], ServiceType::Agreed, Bytes::from_static(b"DEL key4"))
+        .multicast(
+            &[GROUP],
+            ServiceType::Agreed,
+            Bytes::from_static(b"DEL key4"),
+        )
         .expect("multicast");
     expected_ops += 1;
 
@@ -130,7 +128,10 @@ fn main() {
         }
     }
 
-    println!("replica 0 state after {} ordered operations:", replicas[0].applied);
+    println!(
+        "replica 0 state after {} ordered operations:",
+        replicas[0].applied
+    );
     for (k, v) in &replicas[0].state {
         println!("  {k} = {v}");
     }

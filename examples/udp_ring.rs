@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use accelerated_ring::core::{Participant, ServiceType, RingId};
+use accelerated_ring::core::{Participant, RingId, ServiceType};
 use accelerated_ring::daemon::{spawn_daemon, ClientEvent, Deployment, RemoteClient};
 use accelerated_ring::net::UdpTransport;
 use bytes::Bytes;
@@ -54,9 +54,7 @@ fn main() {
     let mut clients: Vec<RemoteClient> = listeners
         .iter()
         .enumerate()
-        .map(|(i, l)| {
-            RemoteClient::connect(l.local_addr(), &format!("user{i}")).expect("connect")
-        })
+        .map(|(i, l)| RemoteClient::connect(l.local_addr(), &format!("user{i}")).expect("connect"))
         .collect();
     for c in clients.iter_mut() {
         c.join("chat").expect("join");
@@ -95,7 +93,10 @@ fn main() {
     while logs.iter().any(|l| l.len() < 9) && Instant::now() < deadline {
         for (i, c) in clients.iter().enumerate() {
             for ev in c.drain() {
-                if let ClientEvent::Message { sender, payload, .. } = ev {
+                if let ClientEvent::Message {
+                    sender, payload, ..
+                } = ev
+                {
                     logs[i].push(format!("{sender}: {}", String::from_utf8_lossy(&payload)));
                 }
             }
@@ -109,7 +110,9 @@ fn main() {
         assert_eq!(log.len(), 9, "user{i} saw the whole conversation");
         assert_eq!(log, &logs[0], "user{i} saw the identical order");
     }
-    println!("\nall 3 clients saw the identical 9-message conversation (total order over real UDP)");
+    println!(
+        "\nall 3 clients saw the identical 9-message conversation (total order over real UDP)"
+    );
 
     drop(clients);
     for d in daemons {

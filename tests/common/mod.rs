@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 
 use accelerated_ring::core::{
     Action, ConfigChange, Delivery, Message, Participant, ParticipantId, ProtocolConfig, RingId,
-    ServiceType, TimerKind,
+    ServiceType, TimerKind, TokenRuleMonitor,
 };
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -25,6 +25,10 @@ pub struct LossyNet {
     pub logs: Vec<Vec<Delivery>>,
     /// Per-participant configuration-change logs.
     pub configs: Vec<Vec<ConfigChange>>,
+    /// Watches every token put on the wire and accumulates violations
+    /// of the retransmission-request rule (rtr entries must not exceed
+    /// the previous token's seq).
+    pub monitor: TokenRuleMonitor,
     queue: VecDeque<(usize, Message)>,
     rng: StdRng,
     loss: f64,
@@ -43,6 +47,7 @@ impl LossyNet {
         LossyNet {
             logs: vec![Vec::new(); n as usize],
             configs: vec![Vec::new(); n as usize],
+            monitor: TokenRuleMonitor::new(),
             parts,
             queue: VecDeque::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -87,6 +92,8 @@ impl LossyNet {
                     }
                 }
                 Action::SendToken { to, token } => {
+                    // The rule is judged on what is *sent*, before loss.
+                    self.monitor.on_token(&token);
                     let i = to.as_u16() as usize;
                     if !self.lose() {
                         self.queue.push_back((i, Message::Token(token)));

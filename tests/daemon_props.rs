@@ -187,7 +187,13 @@ fn service_levels_keep_separate_bundles() {
         groups: vec!["g".into()],
         payload: Bytes::from_static(b"s"),
     });
-    assert_eq!(decode_bundle(&agreed.next_bundle().unwrap()).unwrap().len(), 1);
-    assert_eq!(decode_bundle(&safe.next_bundle().unwrap()).unwrap().len(), 1);
+    assert_eq!(
+        decode_bundle(&agreed.next_bundle().unwrap()).unwrap().len(),
+        1
+    );
+    assert_eq!(
+        decode_bundle(&safe.next_bundle().unwrap()).unwrap().len(),
+        1
+    );
     let _ = ServiceType::Safe;
 }

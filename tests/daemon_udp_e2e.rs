@@ -5,9 +5,7 @@
 
 use std::time::{Duration, Instant};
 
-use accelerated_ring::core::{
-    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
-};
+use accelerated_ring::core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
 use accelerated_ring::daemon::{spawn_daemon, ClientEvent, DaemonHandle};
 use accelerated_ring::net::{PeerMap, UdpTransport};
 use bytes::Bytes;

@@ -4,9 +4,7 @@
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use accelerated_ring::core::{
-    Participant, ParticipantId, ProtocolConfig, RingId, ServiceType,
-};
+use accelerated_ring::core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
 use accelerated_ring::daemon::{spawn_daemon, ClientEvent, RemoteClient};
 use accelerated_ring::net::LoopbackNet;
 use bytes::Bytes;
@@ -63,13 +61,20 @@ fn tcp_clients_join_and_exchange_ordered_messages() {
         "membership over TCP"
     );
 
-    bob.multicast(&["room"], ServiceType::Agreed, Bytes::from_static(b"over-tcp"))
-        .unwrap();
+    bob.multicast(
+        &["room"],
+        ServiceType::Agreed,
+        Bytes::from_static(b"over-tcp"),
+    )
+    .unwrap();
     let mut got = None;
     assert!(wait_for(
         || {
             for ev in alice.drain() {
-                if let ClientEvent::Message { payload, sender, .. } = ev {
+                if let ClientEvent::Message {
+                    payload, sender, ..
+                } = ev
+                {
                     got = Some((payload, sender));
                 }
             }

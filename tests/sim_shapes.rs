@@ -119,7 +119,10 @@ fn fig1_shape_spread_original_has_highest_latency_but_accel_closes_gap() {
     let gap_o = spr_o.latency.mean.as_nanos() as f64 / lib_o.latency.mean.as_nanos() as f64;
     let gap_a = spr_a.latency.mean.as_nanos() as f64 / lib_a.latency.mean.as_nanos() as f64;
     assert!(gap_o > 1.2, "spread/library original gap: {gap_o:.2}");
-    assert!(gap_a < gap_o, "accelerated narrows the gap: {gap_a:.2} vs {gap_o:.2}");
+    assert!(
+        gap_a < gap_o,
+        "accelerated narrows the gap: {gap_a:.2} vs {gap_o:.2}"
+    );
 }
 
 #[test]
@@ -163,7 +166,10 @@ fn fig3_shape_implementation_tiers_separate_on_10g() {
         let r = run_ring(&cfg(
             NetworkConfig::ten_gigabit(),
             profile,
-            accel().with_personal_window(60).with_global_window(400).with_accelerated_window(40),
+            accel()
+                .with_personal_window(60)
+                .with_global_window(400)
+                .with_accelerated_window(40),
             ServiceType::Agreed,
             1350,
             LoadMode::Saturating,
@@ -185,7 +191,10 @@ fn fig4_shape_large_payloads_raise_max_throughput() {
         let small = run_ring(&cfg(
             NetworkConfig::ten_gigabit(),
             profile,
-            accel().with_personal_window(60).with_global_window(400).with_accelerated_window(40),
+            accel()
+                .with_personal_window(60)
+                .with_global_window(400)
+                .with_accelerated_window(40),
             ServiceType::Agreed,
             1350,
             LoadMode::Saturating,
@@ -193,7 +202,10 @@ fn fig4_shape_large_payloads_raise_max_throughput() {
         let large = run_ring(&cfg(
             NetworkConfig::ten_gigabit(),
             profile,
-            accel().with_personal_window(24).with_global_window(160).with_accelerated_window(16),
+            accel()
+                .with_personal_window(24)
+                .with_global_window(160)
+                .with_accelerated_window(16),
             ServiceType::Agreed,
             8850,
             LoadMode::Saturating,

@@ -38,15 +38,17 @@ fn arb_data() -> impl Strategy<Value = DataMessage> {
         any::<bool>(),
         prop::collection::vec(any::<u8>(), 0..2048),
     )
-        .prop_map(|(ring_id, seq, pid, round, service, after_token, payload)| DataMessage {
-            ring_id,
-            seq: Seq::new(seq),
-            pid,
-            round: Round::new(round),
-            service,
-            after_token,
-            payload: Bytes::from(payload),
-        })
+        .prop_map(
+            |(ring_id, seq, pid, round, service, after_token, payload)| DataMessage {
+                ring_id,
+                seq: Seq::new(seq),
+                pid,
+                round: Round::new(round),
+                service,
+                after_token,
+                payload: Bytes::from(payload),
+            },
+        )
 }
 
 fn arb_token() -> impl Strategy<Value = Token> {

@@ -1,0 +1,62 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored
+//! serde stub. The stub traits have no required methods, so the derives
+//! emit empty impl blocks. Implemented with the bare `proc_macro` API —
+//! no `syn`/`quote` — because the build environment is offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct or enum a derive is attached to.
+///
+/// Handles leading attributes (`#[...]`), doc comments, and visibility
+/// qualifiers (`pub`, `pub(crate)` …). Returns `None` for generic types
+/// (none exist at this workspace's derive sites) so the derive degrades
+/// to emitting nothing rather than invalid code.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the following [...] group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        let generic = matches!(
+                            iter.peek(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        );
+                        return Some((name.to_string(), generic));
+                    }
+                    return None;
+                }
+                // `pub`, `crate`, etc: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
