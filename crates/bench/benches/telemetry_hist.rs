@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the telemetry histogram — the
+//! structure on every instrumented hot path (token handling in ar-net,
+//! latency recording in ar-sim), so `record` must stay allocation-free
+//! and well under the cost of the work it measures.
+//!
+//! The ISSUE acceptance bar (≤ 100 ns per `record` in release mode) is
+//! asserted directly here with a simple wall-clock check before the
+//! Criterion runs, so `cargo bench --bench telemetry_hist` fails loudly
+//! on a regression rather than just printing a slower number.
+
+use ar_telemetry::{AtomicHistogram, LogLinearHistogram};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budget per `record` call, release mode.
+const RECORD_BUDGET_NS: f64 = 100.0;
+
+fn assert_record_budget() {
+    // Debug builds miss the budget by an order of magnitude and that is
+    // fine; the bar applies to optimized code only.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    let values: Vec<u64> = (0..1_000_000)
+        .map(|_| rng.gen_range(1..100_000_000))
+        .collect();
+    let mut h = LogLinearHistogram::new();
+    let start = std::time::Instant::now();
+    for &v in &values {
+        h.record(v);
+    }
+    let per_record = start.elapsed().as_secs_f64() * 1e9 / values.len() as f64;
+    assert_eq!(h.count(), values.len() as u64);
+    assert!(
+        per_record <= RECORD_BUDGET_NS,
+        "LogLinearHistogram::record took {per_record:.1} ns, budget {RECORD_BUDGET_NS} ns"
+    );
+    println!("record budget check: {per_record:.1} ns per record (budget {RECORD_BUDGET_NS} ns)");
+}
+
+fn bench_record(c: &mut Criterion) {
+    assert_record_budget();
+    let mut rng = StdRng::seed_from_u64(7);
+    let values: Vec<u64> = (0..4096).map(|_| rng.gen_range(1..100_000_000)).collect();
+
+    let mut g = c.benchmark_group("telemetry_hist");
+    g.bench_function("record", |b| {
+        let mut h = LogLinearHistogram::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            h.record(values[i & 4095]);
+            i += 1;
+        });
+    });
+    g.bench_function("record_atomic", |b| {
+        let h = AtomicHistogram::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            h.record(values[i & 4095]);
+            i += 1;
+        });
+    });
+    g.bench_function("value_at_quantile", |b| {
+        let mut h = LogLinearHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        b.iter(|| h.value_at_quantile(0.999));
+    });
+    g.bench_function("snapshot", |b| {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        b.iter_batched(|| (), |_| h.snapshot(), BatchSize::SmallInput);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! `BENCH_<name>.json` emission: a machine-readable companion to the
+//! CSV every figure binary writes.
+//!
+//! The JSON document has a stable shape (validated in CI against
+//! `docs/bench_schema.json` by the `bench_schema_check` binary):
+//!
+//! ```json
+//! {
+//!   "name": "fig1_agreed_1g",
+//!   "schema": 1,
+//!   "points": [
+//!     { "curve": "library/accelerated", "offered_mbps": 600, ... }
+//!   ]
+//! }
+//! ```
+//!
+//! Each point carries the throughput/latency profile plus the
+//! telemetry-derived columns (p90/p99.9, mean token-rotation time) so
+//! downstream plotting does not need to re-run simulations.
+
+use std::path::PathBuf;
+
+use ar_sim::SimReport;
+use ar_telemetry::json::JsonWriter;
+
+/// Version of the BENCH JSON document shape; bump when fields change
+/// incompatibly.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One measured point of a figure, flattened for serialization.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Curve label (implementation/variant, or whatever the figure
+    /// sweeps).
+    pub curve: String,
+    /// Offered aggregate load, Mbps (0 for saturating runs).
+    pub offered_mbps: f64,
+    /// Achieved goodput, Mbps.
+    pub throughput_mbps: f64,
+    /// Mean delivery latency, µs.
+    pub mean_us: f64,
+    /// Median delivery latency, µs.
+    pub p50_us: f64,
+    /// 90th-percentile delivery latency, µs.
+    pub p90_us: f64,
+    /// 99th-percentile delivery latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile delivery latency, µs.
+    pub p999_us: f64,
+    /// Mean token rotation time, µs (0 if the run completed no
+    /// rotations).
+    pub rotation_us: f64,
+    /// Token rotations completed in the measurement window.
+    pub token_rotations: u64,
+    /// Frames/datagrams dropped (switch + socket).
+    pub drops: u64,
+    /// Retransmissions multicast.
+    pub rtx: u64,
+}
+
+impl BenchPoint {
+    /// Flattens one [`SimReport`] into a point on `curve`.
+    pub fn from_report(curve: &str, offered_mbps: f64, report: &SimReport) -> BenchPoint {
+        BenchPoint {
+            curve: curve.to_string(),
+            offered_mbps,
+            throughput_mbps: report.achieved_mbps(),
+            mean_us: report.mean_latency_us(),
+            p50_us: report.latency.p50.as_micros_f64(),
+            p90_us: report.latency.p90.as_micros_f64(),
+            p99_us: report.latency.p99.as_micros_f64(),
+            p999_us: report.latency.p999.as_micros_f64(),
+            rotation_us: report.rotation_us(),
+            token_rotations: report.token_rotations,
+            drops: report.switch_drops + report.socket_drops,
+            rtx: report.retransmissions,
+        }
+    }
+}
+
+/// Renders the BENCH JSON document text for `name`.
+pub fn render_bench_json(name: &str, points: &[BenchPoint]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("name");
+    w.str(name);
+    w.key("schema");
+    w.num_u64(BENCH_SCHEMA_VERSION);
+    w.key("points");
+    w.begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("curve");
+        w.str(&p.curve);
+        w.key("offered_mbps");
+        w.num_f64(p.offered_mbps);
+        w.key("throughput_mbps");
+        w.num_f64(p.throughput_mbps);
+        w.key("mean_us");
+        w.num_f64(p.mean_us);
+        w.key("p50_us");
+        w.num_f64(p.p50_us);
+        w.key("p90_us");
+        w.num_f64(p.p90_us);
+        w.key("p99_us");
+        w.num_f64(p.p99_us);
+        w.key("p999_us");
+        w.num_f64(p.p999_us);
+        w.key("rotation_us");
+        w.num_f64(p.rotation_us);
+        w.key("token_rotations");
+        w.num_u64(p.token_rotations);
+        w.key("drops");
+        w.num_u64(p.drops);
+        w.key("rtx");
+        w.num_u64(p.rtx);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Writes `BENCH_<name>.json` into the current directory (where CI
+/// collects them) and returns the path written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_bench_json(name: &str, points: &[BenchPoint]) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, render_bench_json(name, points))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_telemetry::json::Value;
+
+    fn sample_point() -> BenchPoint {
+        let report = SimReport {
+            achieved_bps: 600e6,
+            token_rotations: 1000,
+            measurement_nanos: 100_000_000,
+            switch_drops: 3,
+            socket_drops: 2,
+            retransmissions: 7,
+            ..SimReport::default()
+        };
+        BenchPoint::from_report("library/accelerated", 600.0, &report)
+    }
+
+    #[test]
+    fn from_report_flattens_the_derived_units() {
+        let p = sample_point();
+        assert!((p.throughput_mbps - 600.0).abs() < 1e-9);
+        // 100 ms / 1000 rotations = 100 µs per rotation.
+        assert!((p.rotation_us - 100.0).abs() < 1e-9);
+        assert_eq!(p.drops, 5);
+        assert_eq!(p.rtx, 7);
+    }
+
+    #[test]
+    fn rendered_document_parses_with_expected_fields() {
+        let text = render_bench_json("fig_test", &[sample_point()]);
+        let v = Value::parse(&text).expect("BENCH JSON parses");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("fig_test"));
+        assert_eq!(
+            v.get("schema").and_then(Value::as_f64),
+            Some(BENCH_SCHEMA_VERSION as f64)
+        );
+        let points = v.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        for field in [
+            "offered_mbps",
+            "throughput_mbps",
+            "mean_us",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "p999_us",
+            "rotation_us",
+            "token_rotations",
+            "drops",
+            "rtx",
+        ] {
+            assert!(p.get(field).and_then(Value::as_f64).is_some(), "{field}");
+        }
+        assert_eq!(
+            p.get("curve").and_then(Value::as_str),
+            Some("library/accelerated")
+        );
+    }
+
+    #[test]
+    fn empty_points_render_an_empty_array() {
+        let text = render_bench_json("empty", &[]);
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(
+            v.get("points")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+    }
+}

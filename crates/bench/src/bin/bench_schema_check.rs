@@ -1,0 +1,61 @@
+//! Validates BENCH result files against the checked-in JSON schema.
+//!
+//! ```text
+//! usage: bench_schema_check <schema.json> <BENCH_file.json>...
+//! ```
+//!
+//! Exits 0 when every file validates, 1 otherwise (printing each
+//! violation). CI runs this over the `BENCH_*.json` files the smoke
+//! binary emits.
+
+use std::process::ExitCode;
+
+use ar_bench::schema::validate;
+use ar_telemetry::json::Value;
+
+const USAGE: &str = "usage: bench_schema_check <schema.json> <BENCH_file.json>...";
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let schema = match load(&args[0]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_schema_check: cannot load schema: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for path in &args[1..] {
+        match load(path) {
+            Ok(doc) => {
+                let errors = validate(&schema, &doc);
+                if errors.is_empty() {
+                    println!("{path}: ok");
+                } else {
+                    failed = true;
+                    for e in &errors {
+                        eprintln!("{path}: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("bench_schema_check: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

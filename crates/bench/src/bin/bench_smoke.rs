@@ -1,0 +1,28 @@
+//! Quick CI smoke run: a two-point Agreed curve on the 1-gigabit
+//! network with a short measurement window. Exercises the whole
+//! figure pipeline (scenario → sweep → table → CSV → BENCH JSON) in a
+//! few seconds so CI can validate `BENCH_bench_smoke.json` against
+//! `docs/bench_schema.json` without paying for a full figure.
+
+use ar_bench::figset::{scenario, Net};
+use ar_bench::harness::run_figure;
+use ar_core::{ProtocolVariant, ServiceType};
+use ar_sim::{ImplProfile, SimDuration};
+
+fn main() {
+    let mut s = scenario(
+        Net::Gigabit,
+        ImplProfile::library(),
+        ProtocolVariant::Accelerated,
+        ServiceType::Agreed,
+        1350,
+    );
+    s.base.duration = SimDuration::from_millis(30);
+    s.base.warmup = SimDuration::from_millis(15);
+    run_figure(
+        "bench_smoke",
+        "CI smoke — Agreed latency vs. throughput, 1-gigabit (short run)",
+        &[s],
+        &[100, 400],
+    );
+}

@@ -1,13 +1,15 @@
 //! Shared driver for the figure binaries: run a set of scenarios over
-//! a rate sweep, print the series, write the CSV.
+//! a rate sweep, print the series, write the CSV and the
+//! `BENCH_<name>.json` companion.
 
+use crate::benchjson::{write_bench_json, BenchPoint};
 use crate::figset::Scenario;
 use crate::sweep::{latency_curve, max_throughput};
 use crate::table::{write_csv, Table};
 
 /// Runs `scenarios` at each offered rate and renders one long-format
-/// table: `curve, offered_mbps, achieved_mbps, mean_us, p50_us, p99_us,
-/// drops, retransmissions`.
+/// table: `curve, offered_mbps, achieved_mbps, mean_us, p50_us, p90_us,
+/// p99_us, p999_us, rot_us, drops, retransmissions`.
 pub fn run_figure(name: &str, title: &str, scenarios: &[Scenario], rates_mbps: &[u64]) -> Table {
     println!("{title}");
     println!(
@@ -20,10 +22,14 @@ pub fn run_figure(name: &str, title: &str, scenarios: &[Scenario], rates_mbps: &
         "achieved_mbps",
         "mean_us",
         "p50_us",
+        "p90_us",
         "p99_us",
+        "p999_us",
+        "rot_us",
         "drops",
         "rtx",
     ]);
+    let mut points = Vec::new();
     for s in scenarios {
         for p in latency_curve(&s.base, rates_mbps) {
             table.row([
@@ -32,38 +38,49 @@ pub fn run_figure(name: &str, title: &str, scenarios: &[Scenario], rates_mbps: &
                 format!("{:.1}", p.achieved_mbps()),
                 format!("{:.1}", p.latency_us()),
                 format!("{:.1}", p.report.latency.p50.as_micros_f64()),
+                format!("{:.1}", p.report.latency.p90.as_micros_f64()),
                 format!("{:.1}", p.report.latency.p99.as_micros_f64()),
+                format!("{:.1}", p.report.latency.p999.as_micros_f64()),
+                format!("{:.1}", p.report.rotation_us()),
                 format!("{}", p.report.switch_drops + p.report.socket_drops),
                 format!("{}", p.report.retransmissions),
             ]);
+            points.push(BenchPoint::from_report(&s.label, p.offered_mbps, &p.report));
         }
     }
-    finish(name, table)
+    finish(name, table, &points)
 }
 
 /// Runs every scenario with saturating senders and renders the
 /// maximum-throughput table.
 pub fn run_max_table(name: &str, title: &str, scenarios: &[Scenario]) -> Table {
     println!("{title}\n");
-    let mut table = Table::new(["curve", "max_mbps", "mean_us", "drops", "rtx"]);
+    let mut table = Table::new(["curve", "max_mbps", "mean_us", "rot_us", "drops", "rtx"]);
+    let mut points = Vec::new();
     for s in scenarios {
         let r = max_throughput(&s.base);
         table.row([
             s.label.clone(),
             format!("{:.1}", r.achieved_mbps()),
             format!("{:.1}", r.mean_latency_us()),
+            format!("{:.1}", r.rotation_us()),
             format!("{}", r.switch_drops + r.socket_drops),
             format!("{}", r.retransmissions),
         ]);
+        points.push(BenchPoint::from_report(&s.label, 0.0, &r));
     }
-    finish(name, table)
+    finish(name, table, &points)
 }
 
-fn finish(name: &str, table: Table) -> Table {
+fn finish(name: &str, table: Table, points: &[BenchPoint]) -> Table {
     print!("{}", table.render());
     match write_csv(&table, name) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\ncould not write CSV: {e}"),
+    }
+    match write_bench_json(name, points) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH JSON: {e}"),
     }
     table
 }

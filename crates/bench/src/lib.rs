@@ -17,15 +17,23 @@
 //! | `ablation_accel_window` | design ablation: accelerated-window sweep |
 //! | `ablation_priority_method` | design ablation: priority method 1 vs 2 |
 //! | `ablation_windows` | design ablation: personal/global window sweep |
+//! | `bench_smoke` | CI smoke: two-point short run of the full pipeline |
+//! | `bench_schema_check` | validates `BENCH_*.json` against `docs/bench_schema.json` |
 //!
-//! Each binary prints the series it regenerates as an aligned table and
-//! writes a CSV under `results/`.
+//! Each binary prints the series it regenerates as an aligned table,
+//! writes a CSV under `results/`, and emits a machine-readable
+//! `BENCH_<name>.json` (see [`benchjson`]) validated in CI against the
+//! checked-in schema.
 
+pub mod benchjson;
 pub mod figset;
 pub mod harness;
+pub mod schema;
 pub mod sweep;
 pub mod table;
 
+pub use benchjson::{render_bench_json, write_bench_json, BenchPoint, BENCH_SCHEMA_VERSION};
 pub use figset::{scenario, Scenario};
+pub use schema::validate as validate_schema;
 pub use sweep::{latency_curve, max_throughput, CurvePoint};
 pub use table::{write_csv, Table};

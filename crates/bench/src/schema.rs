@@ -1,0 +1,184 @@
+//! A minimal JSON-Schema-subset validator for the BENCH result files.
+//!
+//! CI validates every `BENCH_*.json` a figure binary emits against the
+//! checked-in `docs/bench_schema.json`. The workspace vendors no JSON
+//! Schema crate, so this implements exactly the subset that schema
+//! uses: `type` (string or array of strings), `properties`, `required`,
+//! `items`, `minItems`, and `enum` (of strings). Unknown keywords are
+//! ignored, as the spec prescribes.
+
+use ar_telemetry::json::Value;
+
+/// Validates `doc` against `schema`, returning every violation found
+/// (empty = valid). Paths in messages are JSON-pointer-ish
+/// (`/points/3/curve`).
+pub fn validate(schema: &Value, doc: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(schema, doc, "", &mut errors);
+    errors
+}
+
+fn check(schema: &Value, doc: &Value, path: &str, errors: &mut Vec<String>) {
+    let here = || {
+        if path.is_empty() {
+            "/".to_string()
+        } else {
+            path.to_string()
+        }
+    };
+
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            Value::Str(s) => vec![s.as_str()],
+            Value::Arr(a) => a.iter().filter_map(Value::as_str).collect(),
+            _ => Vec::new(),
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|t| type_matches(t, doc)) {
+            errors.push(format!(
+                "{}: expected type {}, got {}",
+                here(),
+                allowed.join("|"),
+                doc.type_name()
+            ));
+            // A type mismatch makes the structural keywords below
+            // meaningless; stop descending.
+            return;
+        }
+    }
+
+    if let Some(allowed) = schema.get("enum").and_then(Value::as_array) {
+        if !allowed.iter().any(|v| v == doc) {
+            errors.push(format!("{}: value not in enum", here()));
+        }
+    }
+
+    if let Some(required) = schema.get("required").and_then(Value::as_array) {
+        if let Some(obj) = doc.as_object() {
+            for name in required.iter().filter_map(Value::as_str) {
+                if !obj.contains_key(name) {
+                    errors.push(format!("{}: missing required property {name:?}", here()));
+                }
+            }
+        }
+    }
+
+    if let Some(props) = schema.get("properties").and_then(Value::as_object) {
+        if let Some(obj) = doc.as_object() {
+            for (name, sub) in props {
+                if let Some(val) = obj.get(name) {
+                    check(sub, val, &format!("{path}/{name}"), errors);
+                }
+            }
+        }
+    }
+
+    if let Some(arr) = doc.as_array() {
+        if let Some(min) = schema.get("minItems").and_then(Value::as_f64) {
+            if (arr.len() as f64) < min {
+                errors.push(format!(
+                    "{}: array has {} items, fewer than minItems {}",
+                    here(),
+                    arr.len(),
+                    min
+                ));
+            }
+        }
+        if let Some(items) = schema.get("items") {
+            for (i, item) in arr.iter().enumerate() {
+                check(items, item, &format!("{path}/{i}"), errors);
+            }
+        }
+    }
+}
+
+fn type_matches(name: &str, doc: &Value) -> bool {
+    match name {
+        "null" => matches!(doc, Value::Null),
+        "boolean" => matches!(doc, Value::Bool(_)),
+        "number" => matches!(doc, Value::Num(_)),
+        "integer" => matches!(doc, Value::Num(n) if *n == n.trunc()),
+        "string" => matches!(doc, Value::Str(_)),
+        "array" => matches!(doc, Value::Arr(_)),
+        "object" => matches!(doc, Value::Obj(_)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        Value::parse(s).unwrap()
+    }
+
+    fn bench_schema() -> Value {
+        parse(include_str!("../../../docs/bench_schema.json"))
+    }
+
+    #[test]
+    fn emitted_bench_json_validates_against_checked_in_schema() {
+        use crate::benchjson::{render_bench_json, BenchPoint};
+        use ar_sim::SimReport;
+        let report = SimReport {
+            achieved_bps: 500e6,
+            token_rotations: 10,
+            measurement_nanos: 1_000_000,
+            ..SimReport::default()
+        };
+        let points = vec![BenchPoint::from_report(
+            "library/accelerated",
+            500.0,
+            &report,
+        )];
+        let doc = parse(&render_bench_json("fig_check", &points));
+        let errors = validate(&bench_schema(), &doc);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn schema_rejects_missing_required_field() {
+        let doc = parse(r#"{"name":"x","schema":1,"points":[{"curve":"c"}]}"#);
+        let errors = validate(&bench_schema(), &doc);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing required property")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn schema_rejects_wrong_types() {
+        let doc = parse(r#"{"name":7,"schema":1,"points":[]}"#);
+        let errors = validate(&bench_schema(), &doc);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("/name") && e.contains("string")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn type_keyword_accepts_alternatives() {
+        let schema = parse(r#"{"type":["number","null"]}"#);
+        assert!(validate(&schema, &parse("3")).is_empty());
+        assert!(validate(&schema, &parse("null")).is_empty());
+        assert!(!validate(&schema, &parse("\"s\"")).is_empty());
+    }
+
+    #[test]
+    fn integer_type_rejects_fractions() {
+        let schema = parse(r#"{"type":"integer"}"#);
+        assert!(validate(&schema, &parse("4")).is_empty());
+        assert!(!validate(&schema, &parse("4.5")).is_empty());
+    }
+
+    #[test]
+    fn min_items_enforced() {
+        let schema = parse(r#"{"type":"array","minItems":1}"#);
+        assert!(!validate(&schema, &parse("[]")).is_empty());
+        assert!(validate(&schema, &parse("[1]")).is_empty());
+    }
+}

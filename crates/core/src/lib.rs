@@ -64,6 +64,7 @@ pub mod fault;
 pub mod flow;
 pub mod membership;
 pub mod message;
+pub mod observer;
 pub mod participant;
 pub mod priority;
 pub mod recvbuf;
@@ -78,6 +79,7 @@ pub use checker::{EvsChecker, TokenRuleMonitor};
 pub use config::{ConfigError, PriorityMethod, ProtocolConfig, ProtocolVariant};
 pub use fault::{Connectivity, FaultEvent, FaultSchedule};
 pub use message::{CommitToken, DataMessage, Delivery, JoinMessage, MemberInfo, Token};
+pub use observer::{Observer, ProtoEvent};
 pub use participant::{Mode, NewParticipantError, Participant, TimeoutConfig};
 pub use priority::PriorityMode;
 pub use recvbuf::RecvBuffer;

@@ -131,6 +131,10 @@ impl Participant {
     /// phase, optionally merging a join message that triggered it.
     pub(crate) fn start_gather(&mut self, merge: Vec<JoinMessage>) -> Vec<Action> {
         self.stats.gathers_started += 1;
+        self.obs
+            .emit(|| crate::observer::ProtoEvent::GatherStarted {
+                ring_seq: self.ring.id().ring_seq(),
+            });
         self.mode = Mode::Gather;
         self.memb.max_ring_seq = self.memb.max_ring_seq.max(self.ring.id().ring_seq());
         self.memb.proc_set = self.ring.members().iter().copied().collect();
@@ -564,6 +568,11 @@ impl Participant {
             if d.service.requires_stability() {
                 self.stats.safe_delivered += 1;
             }
+            self.obs.emit(|| crate::observer::ProtoEvent::Delivered {
+                seq: d.seq.as_u64(),
+                origin: d.pid.as_u16(),
+                safe: d.service.requires_stability(),
+            });
             actions.push(Action::Deliver(d));
         }
 
@@ -574,6 +583,11 @@ impl Participant {
             members: rec.new_ring.members().to_vec(),
         }));
         self.stats.config_changes += 1;
+        self.obs
+            .emit(|| crate::observer::ProtoEvent::ConfigInstalled {
+                ring_seq: rec.new_ring.id().ring_seq(),
+                members: rec.new_ring.members().len() as u16,
+            });
 
         // 4. Install. Remember every merged member's previous ring so
         // stale in-flight traffic from any of them cannot re-trigger a

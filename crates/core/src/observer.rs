@@ -1,0 +1,289 @@
+//! Protocol event observation: the hook that lets an environment watch
+//! a [`Participant`](crate::Participant) without touching its
+//! determinism.
+//!
+//! The sans-io core reads no clock and performs no I/O, which is what
+//! makes every harness (simulator, UDP runtime, unit tests) replayable.
+//! Observability must not break that, so the hook is designed around
+//! two rules:
+//!
+//! * **Caller-injected time.** The core never timestamps anything. The
+//!   embedding environment calls
+//!   [`Participant::observe_now`](crate::Participant::observe_now) with
+//!   whatever clock it owns — virtual nanoseconds in the simulator and
+//!   nemesis harness, monotonic wall-clock nanoseconds in the UDP
+//!   runtime — before feeding the participant an input. Every event
+//!   emitted while handling that input carries the injected timestamp.
+//! * **Free when disabled.** With no observer attached (the default)
+//!   emission is a single branch on an `Option`; event payloads are
+//!   never even constructed. Protocol behaviour is identical with and
+//!   without an observer: observers receive copies of protocol facts
+//!   and cannot feed anything back.
+//!
+//! [`ProtoEvent`] is deliberately flat (`Copy`, scalar fields only) so
+//! a flight recorder can buffer millions of them without allocation.
+
+use std::sync::Arc;
+
+/// One protocol-level event, emitted as it happens.
+///
+/// Events carry raw integers (`Seq`/`Round`/`ParticipantId` unwrapped)
+/// so they are `Copy` and trivially encodable; consumers that want the
+/// typed views can rewrap them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// A regular token was accepted for processing.
+    TokenRx {
+        /// Round the received token closed (its `round` field).
+        round: u64,
+        /// Highest assigned sequence number on arrival.
+        seq: u64,
+        /// The token's all-received-up-to on arrival.
+        aru: u64,
+    },
+    /// The updated token was handed to the successor.
+    TokenTx {
+        /// Round stamped on the outgoing token.
+        round: u64,
+        /// Highest assigned sequence number after this round's sends.
+        seq: u64,
+        /// New messages initiated this round.
+        new_msgs: u32,
+        /// Retransmission requests left on the outgoing token.
+        rtr_len: u32,
+    },
+    /// A new message was multicast *before* the token (the overflow
+    /// beyond the accelerated window).
+    MsgPreToken {
+        /// Sequence number assigned to the message.
+        seq: u64,
+    },
+    /// A new message was multicast *after* the token (the accelerated
+    /// portion).
+    MsgPostToken {
+        /// Sequence number assigned to the message.
+        seq: u64,
+    },
+    /// This participant placed retransmission requests on the token.
+    RetransRequested {
+        /// How many sequence numbers it asked for this round.
+        count: u32,
+    },
+    /// This participant answered a retransmission request.
+    RetransAnswered {
+        /// The re-multicast sequence number.
+        seq: u64,
+    },
+    /// An ordered message was delivered to the application.
+    Delivered {
+        /// Total-order position.
+        seq: u64,
+        /// Raw id of the initiating participant.
+        origin: u16,
+        /// True for Safe-service deliveries (waited for stability).
+        safe: bool,
+    },
+    /// The last sent token was retransmitted after a retransmission
+    /// timeout.
+    TokenRetransmit {
+        /// Round of the retransmitted token.
+        round: u64,
+    },
+    /// Normal operation was abandoned for a membership gather.
+    GatherStarted {
+        /// Raw ring sequence of the configuration being left.
+        ring_seq: u64,
+    },
+    /// A new regular configuration was installed.
+    ConfigInstalled {
+        /// Raw ring sequence of the new configuration.
+        ring_seq: u64,
+        /// Number of members on the new ring.
+        members: u16,
+    },
+}
+
+impl ProtoEvent {
+    /// Short stable name of the event kind, for logs and rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtoEvent::TokenRx { .. } => "token-rx",
+            ProtoEvent::TokenTx { .. } => "token-tx",
+            ProtoEvent::MsgPreToken { .. } => "msg-pre-token",
+            ProtoEvent::MsgPostToken { .. } => "msg-post-token",
+            ProtoEvent::RetransRequested { .. } => "retrans-requested",
+            ProtoEvent::RetransAnswered { .. } => "retrans-answered",
+            ProtoEvent::Delivered { .. } => "delivered",
+            ProtoEvent::TokenRetransmit { .. } => "token-retransmit",
+            ProtoEvent::GatherStarted { .. } => "gather-started",
+            ProtoEvent::ConfigInstalled { .. } => "config-installed",
+        }
+    }
+
+    /// A stable numeric tag for the event kind (used in digests).
+    pub fn tag(&self) -> u8 {
+        match self {
+            ProtoEvent::TokenRx { .. } => 1,
+            ProtoEvent::TokenTx { .. } => 2,
+            ProtoEvent::MsgPreToken { .. } => 3,
+            ProtoEvent::MsgPostToken { .. } => 4,
+            ProtoEvent::RetransRequested { .. } => 5,
+            ProtoEvent::RetransAnswered { .. } => 6,
+            ProtoEvent::Delivered { .. } => 7,
+            ProtoEvent::TokenRetransmit { .. } => 8,
+            ProtoEvent::GatherStarted { .. } => 9,
+            ProtoEvent::ConfigInstalled { .. } => 10,
+        }
+    }
+
+    /// Encodes the event into a fixed little-endian byte form (tag,
+    /// then each field widened to `u64`), feeding each chunk to `eat`.
+    /// Used for digest computation; stable across runs and platforms.
+    pub fn encode(&self, mut eat: impl FnMut(&[u8])) {
+        eat(&[self.tag()]);
+        let mut num = |v: u64| eat(&v.to_le_bytes());
+        match *self {
+            ProtoEvent::TokenRx { round, seq, aru } => {
+                num(round);
+                num(seq);
+                num(aru);
+            }
+            ProtoEvent::TokenTx {
+                round,
+                seq,
+                new_msgs,
+                rtr_len,
+            } => {
+                num(round);
+                num(seq);
+                num(u64::from(new_msgs));
+                num(u64::from(rtr_len));
+            }
+            ProtoEvent::MsgPreToken { seq } | ProtoEvent::MsgPostToken { seq } => num(seq),
+            ProtoEvent::RetransRequested { count } => num(u64::from(count)),
+            ProtoEvent::RetransAnswered { seq } => num(seq),
+            ProtoEvent::Delivered { seq, origin, safe } => {
+                num(seq);
+                num(u64::from(origin));
+                num(u64::from(safe));
+            }
+            ProtoEvent::TokenRetransmit { round } => num(round),
+            ProtoEvent::GatherStarted { ring_seq } => num(ring_seq),
+            ProtoEvent::ConfigInstalled { ring_seq, members } => {
+                num(ring_seq);
+                num(u64::from(members));
+            }
+        }
+    }
+}
+
+/// A sink for protocol events.
+///
+/// Implementations take `&self`: an observer shared between a
+/// participant and an exporter (HTTP endpoint, dump-on-failure harness)
+/// must synchronize internally. The core calls it synchronously from
+/// the handling path, so implementations should be cheap — record and
+/// return.
+pub trait Observer: Send + Sync {
+    /// Called once per protocol event. `at` is the caller-injected
+    /// timestamp (nanoseconds on the embedding environment's clock)
+    /// that was in force when the input being handled arrived.
+    fn on_event(&self, at: u64, ev: &ProtoEvent);
+}
+
+/// The participant's observer slot: an optional shared observer plus
+/// the caller-injected timestamp.
+#[derive(Clone, Default)]
+pub(crate) struct ObserverSlot {
+    obs: Option<Arc<dyn Observer>>,
+    now: u64,
+}
+
+impl ObserverSlot {
+    /// Attaches an observer (replacing any previous one).
+    pub(crate) fn set(&mut self, obs: Arc<dyn Observer>) {
+        self.obs = Some(obs);
+    }
+
+    /// Detaches the observer.
+    pub(crate) fn clear(&mut self) {
+        self.obs = None;
+    }
+
+    /// True if an observer is attached.
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Updates the injected timestamp.
+    pub(crate) fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Emits an event. The closure runs only when an observer is
+    /// attached, so the disabled path never constructs the payload.
+    #[inline]
+    pub(crate) fn emit(&self, f: impl FnOnce() -> ProtoEvent) {
+        if let Some(obs) = &self.obs {
+            obs.on_event(self.now, &f());
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSlot")
+            .field("enabled", &self.obs.is_some())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Sink(Mutex<Vec<(u64, ProtoEvent)>>);
+
+    impl Observer for Sink {
+        fn on_event(&self, at: u64, ev: &ProtoEvent) {
+            self.0.lock().unwrap().push((at, *ev));
+        }
+    }
+
+    #[test]
+    fn slot_emits_with_injected_timestamp() {
+        let sink = Arc::new(Sink::default());
+        let mut slot = ObserverSlot::default();
+        assert!(!slot.is_enabled());
+        slot.emit(|| unreachable!("disabled slot must not build events"));
+        slot.set(sink.clone());
+        slot.set_now(42);
+        slot.emit(|| ProtoEvent::TokenRx {
+            round: 1,
+            seq: 2,
+            aru: 3,
+        });
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 42);
+        assert_eq!(got[0].1.name(), "token-rx");
+    }
+
+    #[test]
+    fn encode_is_stable_and_distinguishes_kinds() {
+        let collect = |ev: ProtoEvent| {
+            let mut bytes = Vec::new();
+            ev.encode(|b| bytes.extend_from_slice(b));
+            bytes
+        };
+        let a = collect(ProtoEvent::MsgPreToken { seq: 7 });
+        let b = collect(ProtoEvent::MsgPostToken { seq: 7 });
+        assert_ne!(a, b, "pre/post token sends must encode differently");
+        assert_eq!(a, collect(ProtoEvent::MsgPreToken { seq: 7 }));
+        assert_eq!(a[0], 3);
+        assert_eq!(&a[1..9], &7u64.to_le_bytes());
+    }
+}

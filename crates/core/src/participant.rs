@@ -36,6 +36,7 @@ use crate::config::{ConfigError, ProtocolConfig};
 use crate::flow::{allowed_new_messages, FlowInputs};
 use crate::membership::MembershipState;
 use crate::message::{DataMessage, Token};
+use crate::observer::{Observer, ObserverSlot, ProtoEvent};
 use crate::priority::{PriorityMode, PriorityTracker};
 use crate::recvbuf::{InsertOutcome, RecvBuffer};
 use crate::ring::{RingError, RingInfo};
@@ -195,6 +196,7 @@ pub struct Participant {
     pub(crate) ord: OrderingState,
     pub(crate) mode: Mode,
     pub(crate) memb: MembershipState,
+    pub(crate) obs: ObserverSlot,
 }
 
 impl Participant {
@@ -230,6 +232,7 @@ impl Participant {
             ord: OrderingState::new(),
             mode: Mode::Operational,
             memb: MembershipState::new(),
+            obs: ObserverSlot::default(),
         })
     }
 
@@ -287,6 +290,36 @@ impl Participant {
     /// Cumulative statistics.
     pub fn stats(&self) -> &ParticipantStats {
         &self.stats
+    }
+
+    // ----- observation ----------------------------------------------------
+
+    /// Attaches an [`Observer`] that receives every protocol event
+    /// ([`ProtoEvent`]) this participant emits. Replaces any previous
+    /// observer. The core remains deterministic: observers only receive
+    /// copies of protocol facts, stamped with the timestamp last passed
+    /// to [`observe_now`](Self::observe_now).
+    pub fn set_observer(&mut self, obs: std::sync::Arc<dyn Observer>) {
+        self.obs.set(obs);
+    }
+
+    /// Detaches the observer; emission reverts to the free no-op path.
+    pub fn clear_observer(&mut self) {
+        self.obs.clear();
+    }
+
+    /// True if an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Injects the current time (nanoseconds on the *caller's* clock)
+    /// used to stamp subsequently emitted events. The core never reads
+    /// a clock itself; environments call this before each
+    /// `handle_message` / `handle_timer` / `submit` batch. Calling it
+    /// with an observer detached is free and harmless.
+    pub fn observe_now(&mut self, now_nanos: u64) {
+        self.obs.set_now(now_nanos);
     }
 
     /// The current token-vs-data processing preference, for environments
@@ -379,6 +412,11 @@ impl Participant {
     pub(crate) fn process_token(&mut self, tok: Token) -> Vec<Action> {
         debug_assert_eq!(tok.ring_id, self.ring.id());
         self.stats.tokens_handled += 1;
+        self.obs.emit(|| ProtoEvent::TokenRx {
+            round: tok.round.as_u64(),
+            seq: tok.seq.as_u64(),
+            aru: tok.aru.as_u64(),
+        });
         let mut actions = Vec::new();
 
         // 1. Answer retransmission requests (always pre-token).
@@ -390,6 +428,8 @@ impl Participant {
                 copy.after_token = false;
                 actions.push(Action::Multicast(copy));
                 num_retrans += 1;
+                self.obs
+                    .emit(|| ProtoEvent::RetransAnswered { seq: s.as_u64() });
             } else if !self.recvbuf.has(s) {
                 // We are missing it too; keep the request alive.
                 remaining_rtr.push(s);
@@ -463,6 +503,10 @@ impl Participant {
             accel_q.push_back(msg);
             if accel_q.len() > self.cfg.accelerated_window as usize {
                 let m = accel_q.pop_front().expect("queue just exceeded window");
+                self.stats.messages_sent_before_token += 1;
+                self.obs.emit(|| ProtoEvent::MsgPreToken {
+                    seq: m.seq.as_u64(),
+                });
                 actions.push(Action::Multicast(m));
             }
         }
@@ -474,6 +518,11 @@ impl Participant {
         // 5. Update the remaining token fields and send it on.
         let my_missing = self.recvbuf.missing_up_to(self.ord.prev_token_seq);
         self.stats.retransmissions_requested += my_missing.len() as u64;
+        if !my_missing.is_empty() {
+            self.obs.emit(|| ProtoEvent::RetransRequested {
+                count: my_missing.len() as u32,
+            });
+        }
         let mut rtr = remaining_rtr;
         rtr.extend(my_missing);
         rtr.sort_unstable();
@@ -493,6 +542,12 @@ impl Participant {
             fcc,
             rtr,
         };
+        self.obs.emit(|| ProtoEvent::TokenTx {
+            round: new_token.round.as_u64(),
+            seq: new_token.seq.as_u64(),
+            new_msgs: new_count as u32,
+            rtr_len: new_token.rtr.len() as u32,
+        });
         actions.push(Action::SendToken {
             to: self.ring.successor(),
             token: new_token.clone(),
@@ -502,6 +557,9 @@ impl Participant {
         for mut m in accel_q {
             m.after_token = true;
             self.stats.messages_sent_after_token += 1;
+            self.obs.emit(|| ProtoEvent::MsgPostToken {
+                seq: m.seq.as_u64(),
+            });
             actions.push(Action::Multicast(m));
         }
 
@@ -584,6 +642,11 @@ impl Participant {
             if d.service.requires_stability() {
                 self.stats.safe_delivered += 1;
             }
+            self.obs.emit(|| ProtoEvent::Delivered {
+                seq: d.seq.as_u64(),
+                origin: d.pid.as_u16(),
+                safe: d.service.requires_stability(),
+            });
             actions.push(Action::Deliver(d));
         }
     }
@@ -606,6 +669,9 @@ impl Participant {
         };
         self.ord.retransmit_count += 1;
         self.stats.tokens_retransmitted += 1;
+        self.obs.emit(|| ProtoEvent::TokenRetransmit {
+            round: tok.round.as_u64(),
+        });
         vec![
             Action::SendToken {
                 to: self.ring.successor(),
@@ -1274,6 +1340,90 @@ mod tests {
             "global window exhausted by P0's sends"
         );
         assert_eq!(ring[1].pending_len(), 1);
+    }
+
+    #[test]
+    fn send_split_counters_sum_to_initiated() {
+        // 5 messages through a window of 2: 3 pre-token, 2 post-token.
+        let cfg = ProtocolConfig::accelerated()
+            .with_personal_window(5)
+            .with_accelerated_window(2);
+        let mut ring = make_ring(2, cfg);
+        for _ in 0..5 {
+            ring[0]
+                .submit(Bytes::from_static(b"m"), ServiceType::Agreed)
+                .unwrap();
+        }
+        let _ = ring[0].start();
+        let s = ring[0].stats();
+        assert_eq!(s.messages_sent_before_token, 3);
+        assert_eq!(s.messages_sent_after_token, 2);
+        assert_eq!(s.messages_initiated, 5);
+        assert!(s.send_split_consistent());
+
+        // The original protocol sends everything pre-token.
+        let mut orig = make_ring(2, ProtocolConfig::original().with_personal_window(4));
+        for _ in 0..4 {
+            orig[0]
+                .submit(Bytes::from_static(b"m"), ServiceType::Agreed)
+                .unwrap();
+        }
+        let _ = orig[0].start();
+        let s = orig[0].stats();
+        assert_eq!(s.messages_sent_before_token, 4);
+        assert_eq!(s.messages_sent_after_token, 0);
+        assert!(s.send_split_consistent());
+    }
+
+    #[test]
+    fn observer_sees_token_and_send_events_with_injected_time() {
+        use crate::observer::{Observer, ProtoEvent};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Sink(Mutex<Vec<(u64, ProtoEvent)>>);
+        impl Observer for Sink {
+            fn on_event(&self, at: u64, ev: &ProtoEvent) {
+                self.0.lock().unwrap().push((at, *ev));
+            }
+        }
+
+        let cfg = ProtocolConfig::accelerated()
+            .with_personal_window(5)
+            .with_accelerated_window(2);
+        let mut ring = make_ring(2, cfg);
+        let sink = Arc::new(Sink::default());
+        ring[0].set_observer(sink.clone());
+        ring[0].observe_now(7_000);
+        for _ in 0..5 {
+            ring[0]
+                .submit(Bytes::from_static(b"m"), ServiceType::Agreed)
+                .unwrap();
+        }
+        let _ = ring[0].start();
+        let events = sink.0.lock().unwrap().clone();
+        assert!(events.iter().all(|(at, _)| *at == 7_000));
+        let count = |name: &str| events.iter().filter(|(_, e)| e.name() == name).count();
+        assert_eq!(count("token-rx"), 1);
+        assert_eq!(count("token-tx"), 1);
+        assert_eq!(count("msg-pre-token"), 3);
+        assert_eq!(count("msg-post-token"), 2);
+        assert_eq!(count("delivered"), 5);
+        // Event order mirrors the action order: pre-token sends, then
+        // the token, then the post-token sends.
+        let names: Vec<&str> = events.iter().map(|(_, e)| e.name()).collect();
+        let tx_pos = names.iter().position(|n| *n == "token-tx").unwrap();
+        assert!(names[..tx_pos].contains(&"msg-pre-token"));
+        assert!(!names[..tx_pos].contains(&"msg-post-token"));
+
+        // Detaching reverts to the silent path.
+        let before = events.len();
+        ring[0].clear_observer();
+        assert!(!ring[0].has_observer());
+        ring[0]
+            .submit(Bytes::from_static(b"q"), ServiceType::Agreed)
+            .unwrap();
+        assert_eq!(sink.0.lock().unwrap().len(), before);
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct ParticipantStats {
     pub tokens_retransmitted: u64,
     /// New data messages initiated by this participant.
     pub messages_initiated: u64,
+    /// Of those, messages multicast during the pre-token phase (the
+    /// overflow beyond the accelerated window; every send under the
+    /// original protocol).
+    pub messages_sent_before_token: u64,
     /// Of those, messages multicast during the post-token phase.
     pub messages_sent_after_token: u64,
     /// Retransmissions answered by this participant.
@@ -46,6 +50,13 @@ impl ParticipantStats {
     pub fn new() -> ParticipantStats {
         ParticipantStats::default()
     }
+
+    /// The paper's headline accelerated-ring invariant: every initiated
+    /// message is multicast exactly once, either before or after the
+    /// token.
+    pub fn send_split_consistent(&self) -> bool {
+        self.messages_initiated == self.messages_sent_before_token + self.messages_sent_after_token
+    }
 }
 
 #[cfg(test)]
@@ -58,5 +69,17 @@ mod tests {
         assert_eq!(s.tokens_handled, 0);
         assert_eq!(s.messages_delivered, 0);
         assert_eq!(s, ParticipantStats::default());
+        assert!(s.send_split_consistent());
+    }
+
+    #[test]
+    fn send_split_invariant_detects_mismatch() {
+        let mut s = ParticipantStats::new();
+        s.messages_initiated = 5;
+        s.messages_sent_before_token = 3;
+        s.messages_sent_after_token = 2;
+        assert!(s.send_split_consistent());
+        s.messages_sent_after_token = 1;
+        assert!(!s.send_split_consistent());
     }
 }

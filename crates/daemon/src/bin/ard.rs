@@ -5,32 +5,55 @@
 //! playing the role of the `spread` daemon binary.
 //!
 //! ```text
-//! usage: ard <config-file> <daemon-id>
+//! usage: ard [--metrics-addr ADDR] <config-file> <daemon-id>
 //!
 //! # terminal 1              # terminal 2
 //! ard ar.conf 0             ard ar.conf 1
+//!
+//! # with live metrics (Prometheus on /metrics, JSON on /snapshot,
+//! # recent protocol events on /flight):
+//! ard --metrics-addr 127.0.0.1:9464 ar.conf 0
 //! ```
 
 use std::process::ExitCode;
 
 use ar_core::Participant;
-use ar_daemon::{spawn_daemon, Deployment};
+use ar_daemon::{serve_metrics, spawn_daemon_with, DaemonConfig, Deployment, TelemetryHub};
 use ar_net::UdpTransport;
 
+const USAGE: &str = "usage: ard [--metrics-addr ADDR] <config-file> <daemon-id>";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: ard <config-file> <daemon-id>");
+    let mut metrics_addr: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-addr" {
+            match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => {
+                    eprintln!("ard: --metrics-addr requires an address\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(addr) = arg.strip_prefix("--metrics-addr=") {
+            metrics_addr = Some(addr.to_string());
+        } else {
+            positional.push(arg);
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
-    let deployment = match Deployment::load(&args[1]) {
+    let deployment = match Deployment::load(&positional[0]) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("ard: {}: {e}", args[1]);
+            eprintln!("ard: {}: {e}", positional[0]);
             return ExitCode::FAILURE;
         }
     };
-    let id: u16 = match args[2].parse() {
+    let id: u16 = match positional[1].parse() {
         Ok(v) => v,
         Err(_) => {
             eprintln!("ard: daemon id must be a small integer");
@@ -39,7 +62,7 @@ fn main() -> ExitCode {
     };
     let pid = ar_core::ParticipantId::new(id);
     let Some(entry) = deployment.daemon(pid) else {
-        eprintln!("ard: daemon {id} is not in {}", args[1]);
+        eprintln!("ard: daemon {id} is not in {}", positional[0]);
         return ExitCode::FAILURE;
     };
 
@@ -68,7 +91,29 @@ fn main() -> ExitCode {
         entry.addrs.data,
     );
 
-    let handle = spawn_daemon(participant, transport);
+    let mut config = DaemonConfig::default();
+    let metrics_server = match &metrics_addr {
+        Some(addr) => {
+            let hub = TelemetryHub::shared();
+            config.telemetry = Some(hub.clone());
+            match serve_metrics(addr.as_str(), hub) {
+                Ok(server) => {
+                    println!(
+                        "ard: metrics on http://{}/ (paths: /metrics /snapshot /flight)",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("ard: cannot bind metrics endpoint on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    let handle = spawn_daemon_with(participant, transport, config);
     let listener = match entry.client_addr {
         Some(addr) => match handle.listen(addr) {
             Ok(l) => {
@@ -91,5 +136,6 @@ fn main() -> ExitCode {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
         let _ = &listener;
+        let _ = &metrics_server;
     }
 }

@@ -20,6 +20,7 @@ use ar_net::{AppEvent, Runtime, Transport};
 
 use crate::client::{ClientError, ClientEvent, DaemonClient};
 use crate::group::GroupTable;
+use crate::metrics::TelemetryHub;
 use crate::packing::{decode_bundle, BundleEntry, Packer, Reassembler, DEFAULT_BUNDLE_BUDGET};
 use crate::proto::{Envelope, MemberId, MAX_NAME};
 
@@ -62,7 +63,7 @@ pub struct DaemonHandle {
 }
 
 /// Daemon tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Byte budget for packing client messages into one protocol
     /// payload (Spread's small-message packing; §IV-A.3 of the paper).
@@ -72,6 +73,11 @@ pub struct DaemonConfig {
     /// while already-submitted client messages drain out (packers,
     /// outbox, and the protocol send queue). Zero returns immediately.
     pub drain_timeout: Duration,
+    /// When set, the daemon records runtime metrics into the hub's
+    /// registry, attaches its flight recorder to the participant, and
+    /// refreshes the hub's stats snapshot every loop iteration. Serve
+    /// it with [`crate::serve_metrics`].
+    pub telemetry: Option<std::sync::Arc<TelemetryHub>>,
 }
 
 impl Default for DaemonConfig {
@@ -79,6 +85,7 @@ impl Default for DaemonConfig {
         DaemonConfig {
             bundle_budget: DEFAULT_BUNDLE_BUDGET,
             drain_timeout: Duration::from_millis(500),
+            telemetry: None,
         }
     }
 }
@@ -200,6 +207,8 @@ struct DaemonLoop<T: Transport> {
     /// merges (newly added daemons) that require a group-state
     /// re-announcement.
     ring_daemons: Vec<ParticipantId>,
+    /// Telemetry hub to refresh each iteration, when instrumented.
+    telemetry: Option<std::sync::Arc<TelemetryHub>>,
 }
 
 impl<T: Transport> DaemonLoop<T> {
@@ -211,8 +220,13 @@ impl<T: Transport> DaemonLoop<T> {
         shutdown_rx: Receiver<()>,
     ) -> DaemonLoop<T> {
         let pid = part.pid();
+        let mut rt = Runtime::new(part, transport);
+        if let Some(hub) = &config.telemetry {
+            rt.set_metrics(ar_net::NetMetrics::register(&hub.registry));
+            rt.set_observer(hub.flight.clone());
+        }
         DaemonLoop {
-            rt: Runtime::new(part, transport),
+            rt,
             pid,
             cmd_rx,
             shutdown_rx,
@@ -225,6 +239,7 @@ impl<T: Transport> DaemonLoop<T> {
             drain_timeout: config.drain_timeout,
             next_msg_id: 0,
             ring_daemons: Vec::new(),
+            telemetry: config.telemetry,
         }
     }
 
@@ -244,6 +259,9 @@ impl<T: Transport> DaemonLoop<T> {
             self.flush_outbox();
             let events = self.rt.step()?;
             self.dispatch(events);
+            if let Some(hub) = &self.telemetry {
+                hub.update_stats(*self.rt.participant().stats());
+            }
         }
     }
 

@@ -65,6 +65,7 @@ pub mod client;
 pub mod daemon;
 pub mod deployconf;
 pub mod group;
+pub mod metrics;
 pub mod packing;
 pub mod proto;
 pub mod session;
@@ -73,5 +74,6 @@ pub use client::{ClientError, ClientEvent, DaemonClient};
 pub use daemon::{spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonHandle};
 pub use deployconf::Deployment;
 pub use group::GroupTable;
+pub use metrics::{serve_metrics, MetricsServer, TelemetryHub};
 pub use proto::{Envelope, MemberId};
 pub use session::{ListenerHandle, ReconnectPolicy, RemoteClient};

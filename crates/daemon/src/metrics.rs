@@ -1,0 +1,399 @@
+//! Live metrics: the daemon's telemetry hub and its HTTP endpoint.
+//!
+//! A [`TelemetryHub`] collects everything observable about one daemon —
+//! the [`MetricsRegistry`] the runtime records into, the
+//! [`FlightRecorder`] attached to the participant, and a periodically
+//! refreshed copy of the [`ParticipantStats`] counters.
+//! [`serve_metrics`] exposes the hub over a tiny built-in HTTP server
+//! (one thread, no dependencies):
+//!
+//! | path        | content                                            |
+//! |-------------|----------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition (registry + stats)      |
+//! | `/snapshot` | the same data as one JSON document                 |
+//! | `/flight`   | the flight recorder's event tail as JSON           |
+//!
+//! Start it from `ard` with `--metrics-addr 127.0.0.1:9464`, then:
+//!
+//! ```text
+//! curl http://127.0.0.1:9464/metrics
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ar_core::ParticipantStats;
+use ar_telemetry::json::JsonWriter;
+use ar_telemetry::{FlightRecorder, MetricsRegistry};
+use parking_lot::Mutex;
+
+/// Events the daemon's flight recorder retains.
+const FLIGHT_CAPACITY: usize = 512;
+
+/// One daemon's complete telemetry state.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    /// The registry the runtime's [`ar_net::NetMetrics`] record into.
+    pub registry: MetricsRegistry,
+    /// The flight recorder attached to the participant.
+    pub flight: Arc<FlightRecorder>,
+    /// Latest copy of the participant's protocol counters (refreshed by
+    /// the daemon loop).
+    stats: Mutex<ParticipantStats>,
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        TelemetryHub::new()
+    }
+}
+
+impl TelemetryHub {
+    /// Creates an empty hub.
+    pub fn new() -> TelemetryHub {
+        TelemetryHub {
+            registry: MetricsRegistry::new(),
+            flight: FlightRecorder::shared(FLIGHT_CAPACITY),
+            stats: Mutex::new(ParticipantStats::default()),
+        }
+    }
+
+    /// A hub ready to hand to
+    /// [`DaemonConfig`](crate::DaemonConfig)`::telemetry`.
+    pub fn shared() -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub::new())
+    }
+
+    /// Replaces the stats snapshot (called by the daemon loop).
+    pub fn update_stats(&self, stats: ParticipantStats) {
+        *self.stats.lock() = stats;
+    }
+
+    /// The latest protocol-counter snapshot.
+    pub fn stats(&self) -> ParticipantStats {
+        *self.stats.lock()
+    }
+
+    /// Renders the Prometheus exposition: the registry plus the
+    /// participant counters as `ar_participant_*` counter series.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.registry.render_prometheus();
+        let s = self.stats();
+        for (name, help, v) in stat_counters(&s) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        out
+    }
+
+    /// Renders the full state as one JSON document:
+    /// `{"metrics": {...}, "stats": {...}, "flight": {...}}`.
+    pub fn render_json(&self) -> String {
+        let s = self.stats();
+        let mut stats_w = JsonWriter::new();
+        stats_w.begin_object();
+        for (name, _, v) in stat_counters(&s) {
+            stats_w.key(name.strip_prefix("ar_participant_").unwrap_or(name));
+            stats_w.num_u64(v);
+        }
+        stats_w.end_object();
+        let mut flight_w = JsonWriter::new();
+        flight_w.begin_object();
+        flight_w.key("len");
+        flight_w.num_u64(self.flight.len() as u64);
+        flight_w.key("total");
+        flight_w.num_u64(self.flight.total());
+        flight_w.key("digest");
+        flight_w.str(&format!("{:016x}", self.flight.digest()));
+        flight_w.end_object();
+        format!(
+            "{{\"metrics\":{},\"stats\":{},\"flight\":{}}}",
+            self.registry.render_json(),
+            stats_w.finish(),
+            flight_w.finish()
+        )
+    }
+
+    /// Renders the flight recorder's tail as a JSON array of
+    /// `{"at": ns, "event": name, "detail": "..."}` objects, oldest
+    /// first.
+    pub fn render_flight_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for fe in self.flight.dump() {
+            w.begin_object();
+            w.key("at");
+            w.num_u64(fe.at);
+            w.key("event");
+            w.str(fe.ev.name());
+            w.key("detail");
+            w.str(&format!("{:?}", fe.ev));
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+/// The participant counters in exposition order, as
+/// `(metric_name, help, value)`.
+fn stat_counters(s: &ParticipantStats) -> [(&'static str, &'static str, u64); 16] {
+    [
+        (
+            "ar_participant_tokens_handled_total",
+            "Tokens handled",
+            s.tokens_handled,
+        ),
+        (
+            "ar_participant_tokens_dropped_total",
+            "Duplicate/stale tokens dropped",
+            s.tokens_dropped,
+        ),
+        (
+            "ar_participant_tokens_retransmitted_total",
+            "Tokens retransmitted on timeout",
+            s.tokens_retransmitted,
+        ),
+        (
+            "ar_participant_messages_initiated_total",
+            "Messages initiated",
+            s.messages_initiated,
+        ),
+        (
+            "ar_participant_messages_sent_before_token_total",
+            "Messages multicast in the pre-token phase",
+            s.messages_sent_before_token,
+        ),
+        (
+            "ar_participant_messages_sent_after_token_total",
+            "Messages multicast in the post-token phase",
+            s.messages_sent_after_token,
+        ),
+        (
+            "ar_participant_retransmissions_sent_total",
+            "Retransmissions answered",
+            s.retransmissions_sent,
+        ),
+        (
+            "ar_participant_retransmissions_requested_total",
+            "Retransmission requests placed on the token",
+            s.retransmissions_requested,
+        ),
+        (
+            "ar_participant_messages_received_total",
+            "Data messages received",
+            s.messages_received,
+        ),
+        (
+            "ar_participant_duplicates_dropped_total",
+            "Duplicate messages dropped",
+            s.duplicates_dropped,
+        ),
+        (
+            "ar_participant_foreign_dropped_total",
+            "Foreign-ring messages dropped",
+            s.foreign_dropped,
+        ),
+        (
+            "ar_participant_messages_delivered_total",
+            "Messages delivered",
+            s.messages_delivered,
+        ),
+        (
+            "ar_participant_safe_delivered_total",
+            "Safe-service deliveries",
+            s.safe_delivered,
+        ),
+        (
+            "ar_participant_messages_discarded_total",
+            "Messages discarded after stability",
+            s.messages_discarded,
+        ),
+        (
+            "ar_participant_config_changes_total",
+            "Regular configurations installed",
+            s.config_changes,
+        ),
+        (
+            "ar_participant_gathers_started_total",
+            "Membership gathers entered",
+            s.gathers_started,
+        ),
+    ]
+}
+
+/// A running metrics endpoint; dropping it stops the server thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the server actually bound (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.join.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// Serves `hub` over HTTP on `addr` (e.g. `"127.0.0.1:9464"`, or port 0
+/// for an ephemeral port). See the module docs for the paths.
+///
+/// # Errors
+///
+/// Returns any error from binding the listener.
+pub fn serve_metrics<A: ToSocketAddrs>(
+    addr: A,
+    hub: Arc<TelemetryHub>,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    // Nonblocking accept lets the thread poll the stop flag.
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let join = std::thread::spawn(move || {
+        while !stop2.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = handle_request(stream, &hub);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    });
+    Ok(MetricsServer {
+        local_addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn handle_request(mut stream: TcpStream, hub: &TelemetryHub) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or the buffer fills;
+    // paths are short and we ignore bodies).
+    let mut buf = [0u8; 2048];
+    let mut read = 0;
+    while read < buf.len() && !buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..read]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            hub.render_prometheus(),
+        ),
+        "/snapshot" => ("200 OK", "application/json", hub.render_json()),
+        "/flight" => ("200 OK", "application/json", hub.render_flight_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /snapshot, or /flight\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").expect("has header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_three_paths_and_404() {
+        let hub = TelemetryHub::shared();
+        hub.registry.counter("ar_demo_total", "Demo").add(7);
+        hub.flight
+            .push(123, ar_core::ProtoEvent::TokenRetransmit { round: 4 });
+        hub.update_stats(ParticipantStats {
+            tokens_handled: 9,
+            ..ParticipantStats::default()
+        });
+        let server = serve_metrics("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("ar_demo_total 7"), "{body}");
+        assert!(body.contains("ar_participant_tokens_handled_total 9"));
+
+        let (head, body) = get(addr, "/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let v = ar_telemetry::json::Value::parse(&body).expect("valid JSON");
+        assert_eq!(
+            v.get("stats")
+                .and_then(|s| s.get("tokens_handled_total"))
+                .and_then(ar_telemetry::json::Value::as_f64),
+            Some(9.0)
+        );
+
+        let (head, body) = get(addr, "/flight");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let v = ar_telemetry::json::Value::parse(&body).expect("valid JSON");
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0]
+                .get("event")
+                .and_then(ar_telemetry::json::Value::as_str),
+            Some("token-retransmit")
+        );
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime instrumentation: the metric set exported by a live node.
+//!
+//! [`NetMetrics`] bundles the handles a [`Runtime`](crate::Runtime)
+//! updates while it runs — token-rotation and token-hop latency
+//! histograms, the local delivery-latency histogram, and queue/counter
+//! gauges. Register one per node against a
+//! [`MetricsRegistry`](ar_telemetry::MetricsRegistry) and pass it to
+//! [`Runtime::set_metrics`](crate::Runtime::set_metrics); the registry
+//! end renders Prometheus text or JSON (served by `ar-daemon`'s
+//! `--metrics-addr` endpoint).
+
+use ar_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Metric handles updated by an instrumented [`Runtime`](crate::Runtime).
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    /// Full token rotation time as observed locally: nanoseconds
+    /// between consecutive token receipts.
+    pub token_rotation_ns: Histogram,
+    /// Local token hop time: nanoseconds from receiving the token to
+    /// finishing the resulting sends.
+    pub token_hop_ns: Histogram,
+    /// Submission-to-delivery latency for messages this node initiated,
+    /// in nanoseconds.
+    pub delivery_latency_ns: Histogram,
+    /// Depth of the pending send queue after each step.
+    pub queue_depth: Gauge,
+    /// Tokens received.
+    pub tokens_rx: Counter,
+    /// Messages delivered to the application (all origins).
+    pub deliveries: Counter,
+}
+
+impl NetMetrics {
+    /// Registers the standard node metric set (names prefixed
+    /// `ar_node_`) and returns the handles.
+    pub fn register(reg: &MetricsRegistry) -> NetMetrics {
+        NetMetrics {
+            token_rotation_ns: reg.histogram(
+                "ar_node_token_rotation_ns",
+                "Time between consecutive token receipts (ns)",
+            ),
+            token_hop_ns: reg.histogram(
+                "ar_node_token_hop_ns",
+                "Local token processing time, receipt to sends complete (ns)",
+            ),
+            delivery_latency_ns: reg.histogram(
+                "ar_node_delivery_latency_ns",
+                "Submission-to-delivery latency for locally initiated messages (ns)",
+            ),
+            queue_depth: reg.gauge(
+                "ar_node_queue_depth",
+                "Pending application messages awaiting ordering",
+            ),
+            tokens_rx: reg.counter("ar_node_tokens_rx_total", "Tokens received"),
+            deliveries: reg.counter("ar_node_deliveries_total", "Messages delivered"),
+        }
+    }
+
+    /// Unregistered handles (recordings are kept but not exported);
+    /// useful in tests.
+    pub fn detached() -> NetMetrics {
+        NetMetrics {
+            token_rotation_ns: Histogram::default(),
+            token_hop_ns: Histogram::default(),
+            delivery_latency_ns: Histogram::default(),
+            queue_depth: Gauge::default(),
+            tokens_rx: Counter::default(),
+            deliveries: Counter::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_per_registry() {
+        let reg = MetricsRegistry::new();
+        let a = NetMetrics::register(&reg);
+        let b = NetMetrics::register(&reg);
+        a.tokens_rx.inc();
+        assert_eq!(b.tokens_rx.get(), 1, "handles share state");
+        let text = reg.render_prometheus();
+        assert!(text.contains("ar_node_tokens_rx_total 1"));
+        assert!(text.contains("# TYPE ar_node_token_rotation_ns summary"));
+    }
+}

@@ -26,6 +26,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ar_core::checker::{EvsChecker, TokenRuleMonitor};
@@ -34,6 +35,7 @@ use ar_core::{
     Action, ConfigChange, Delivery, Message, Participant, ParticipantId, ProtocolConfig, RingId,
     ServiceType, TimerKind,
 };
+use ar_telemetry::FlightRecorder;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,26 +151,58 @@ pub struct NemesisOutcome {
     /// FNV-1a digest of every host's delivery and configuration logs
     /// plus final rings; equal for equal (plan, seed) runs.
     pub digest: u64,
+    /// Per-host flight recorders holding the tail of each host's
+    /// protocol-event history (current incarnation; timestamps are
+    /// virtual nanoseconds).
+    pub flight: Vec<Arc<FlightRecorder>>,
+    /// Per-host digests of the retained flight events; equal for equal
+    /// (plan, seed) runs.
+    pub flight_digests: Vec<u64>,
 }
 
 impl NemesisOutcome {
-    /// Panics with a readable report unless the run converged with no
-    /// violations.
+    /// The tail of every host's flight recorder (up to `per_host`
+    /// events each), rendered for post-mortem reports.
+    pub fn flight_tail(&self, per_host: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, fr) in self.flight.iter().enumerate() {
+            let dump = fr.dump();
+            let skip = dump.len().saturating_sub(per_host);
+            let _ = writeln!(
+                out,
+                "host {i}: {} events recorded, last {}:",
+                fr.total(),
+                dump.len() - skip
+            );
+            for fe in &dump[skip..] {
+                let _ = writeln!(out, "  at={} {:?}", fe.at, fe.ev);
+            }
+        }
+        out
+    }
+
+    /// Panics with a readable report — including each host's recent
+    /// protocol events — unless the run converged with no violations.
     pub fn assert_clean(&self) {
         assert!(
             self.evs_violations.is_empty(),
-            "EVS violations: {:#?}",
-            self.evs_violations
+            "EVS violations: {:#?}\n{}",
+            self.evs_violations,
+            self.flight_tail(10)
         );
         assert!(
             self.token_violations.is_empty(),
-            "token rule violations: {:#?}",
-            self.token_violations
+            "token rule violations: {:#?}\n{}",
+            self.token_violations,
+            self.flight_tail(10)
         );
         assert!(
             self.converged,
-            "ring did not converge: final rings {:?}, survivors {:?}",
-            self.final_rings, self.survivors
+            "ring did not converge: final rings {:?}, survivors {:?}\n{}",
+            self.final_rings,
+            self.survivors,
+            self.flight_tail(10)
         );
     }
 }
@@ -204,7 +238,13 @@ pub struct NemesisRunner {
     /// restarted).
     incarnation: Vec<u64>,
     pending_submits: usize,
+    /// Per-host flight recorders (attached as participant observers;
+    /// re-attached across restarts).
+    recorders: Vec<Arc<FlightRecorder>>,
 }
+
+/// Events retained per host by the harness's flight recorders.
+const FLIGHT_CAPACITY: usize = 256;
 
 impl NemesisRunner {
     /// Builds `n` hosts on an established common ring, with per-copy
@@ -228,9 +268,18 @@ impl NemesisRunner {
         );
         let members: Vec<ParticipantId> = (0..n).map(ParticipantId::new).collect();
         let ring_id = RingId::new(members[0], 1);
+        let recorders: Vec<Arc<FlightRecorder>> = (0..n)
+            .map(|_| FlightRecorder::shared(FLIGHT_CAPACITY))
+            .collect();
         let parts: Vec<Participant> = members
             .iter()
-            .map(|&p| Participant::new(p, protocol, ring_id, members.clone()).expect("valid ring"))
+            .zip(&recorders)
+            .map(|(&p, fr)| {
+                let mut part =
+                    Participant::new(p, protocol, ring_id, members.clone()).expect("valid ring");
+                part.set_observer(fr.clone());
+                part
+            })
             .collect();
         let mut runner = NemesisRunner {
             n: n as usize,
@@ -255,6 +304,7 @@ impl NemesisRunner {
             expected: Vec::new(),
             incarnation: vec![0; n as usize],
             pending_submits: 0,
+            recorders,
             plan,
         };
         for i in 0..runner.plan.events().len() {
@@ -275,6 +325,7 @@ impl NemesisRunner {
     pub fn submit(&mut self, i: usize, payload: &[u8], service: ServiceType) {
         self.checker.on_submit(i, payload);
         self.expected.push((payload.to_vec(), self.clock, i));
+        self.parts[i].observe_now(self.clock);
         self.parts[i]
             .submit(Bytes::from(payload.to_vec()), service)
             .expect("nemesis workloads fit the send queue");
@@ -298,9 +349,15 @@ impl NemesisRunner {
     /// Starts every participant.
     pub fn start(&mut self) {
         for i in 0..self.n {
+            self.parts[i].observe_now(self.clock);
             let actions = self.parts[i].start();
             self.apply(i, actions);
         }
+    }
+
+    /// The per-host flight recorders (virtual-clock timestamps).
+    pub fn flight_recorders(&self) -> &[Arc<FlightRecorder>] {
+        &self.recorders
     }
 
     fn route(&mut self, from: usize, to: usize, msg: Message) {
@@ -394,8 +451,13 @@ impl NemesisRunner {
                 // A restarted host is a fresh incarnation: empty
                 // protocol state, singleton ring, rejoin via membership.
                 let pid = ParticipantId::new(*host as u16);
-                self.parts[*host] =
+                let mut fresh =
                     Participant::new_singleton(pid, self.protocol).expect("valid config");
+                // The recorder survives the restart: its tail spans
+                // incarnations, which is exactly what a post-mortem
+                // wants to see.
+                fresh.set_observer(self.recorders[*host].clone());
+                self.parts[*host] = fresh;
                 self.checker.on_restart(*host);
                 self.incarnation[*host] = self.clock;
             }
@@ -403,6 +465,7 @@ impl NemesisRunner {
         }
         self.conn.apply(&ev);
         if let FaultEvent::Restart { host } = ev {
+            self.parts[host].observe_now(self.clock);
             let actions = self.parts[host].start();
             self.apply(host, actions);
         }
@@ -426,6 +489,7 @@ impl NemesisRunner {
                         self.dropped += 1;
                         continue;
                     }
+                    self.parts[to].observe_now(self.clock);
                     let actions = self.parts[to].handle_message(msg);
                     self.apply(to, actions);
                 }
@@ -436,6 +500,7 @@ impl NemesisRunner {
                     match self.timers[host][kind_idx(kind)] {
                         Some((_, g)) if g == gen => {
                             self.timers[host][kind_idx(kind)] = None;
+                            self.parts[host].observe_now(self.clock);
                             let actions = self.parts[host].handle_timer(kind);
                             self.apply(host, actions);
                         }
@@ -452,6 +517,7 @@ impl NemesisRunner {
                     if !self.conn.is_crashed(host) {
                         self.checker.on_submit(host, &payload);
                         self.expected.push((payload.clone(), self.clock, host));
+                        self.parts[host].observe_now(self.clock);
                         self.parts[host]
                             .submit(Bytes::from(payload), service)
                             .expect("nemesis workloads fit the send queue");
@@ -553,6 +619,8 @@ impl NemesisRunner {
             dropped: self.dropped,
             stopped_at: Duration::from_nanos(self.clock),
             digest,
+            flight_digests: self.recorders.iter().map(|fr| fr.digest()).collect(),
+            flight: self.recorders.clone(),
         }
     }
 
@@ -716,6 +784,44 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds explore different runs");
+    }
+
+    #[test]
+    fn flight_recorders_capture_deterministic_event_tails() {
+        let run = |seed: u64| {
+            let plan = NemesisPlan::none()
+                .crash(Duration::from_millis(25), 2)
+                .restart(Duration::from_millis(300), 2);
+            let mut r = NemesisRunner::new(3, ProtocolConfig::accelerated(), plan, 0.01, seed);
+            workload(&mut r, 3, 2);
+            r.submit_at(
+                Duration::from_millis(350),
+                0,
+                b"post-restart",
+                ServiceType::Agreed,
+            );
+            r.start();
+            r.run(Duration::from_secs(30))
+        };
+        let a = run(11);
+        let b = run(11);
+        assert!(a.flight.iter().all(|fr| fr.total() > 0), "events recorded");
+        assert_eq!(
+            a.flight_digests, b.flight_digests,
+            "same (plan, seed) => identical event histories"
+        );
+        let c = run(12);
+        assert_ne!(a.flight_digests, c.flight_digests);
+        // The tail report mentions every host.
+        let tail = a.flight_tail(5);
+        for host in 0..3 {
+            assert!(tail.contains(&format!("host {host}:")), "{tail}");
+        }
+        // Timestamps are the virtual clock: monotone within each dump.
+        for fr in &a.flight {
+            let dump = fr.dump();
+            assert!(dump.windows(2).all(|w| w[0].at <= w[1].at));
+        }
     }
 
     #[test]

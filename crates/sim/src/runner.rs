@@ -361,6 +361,7 @@ impl RingSim {
             retransmissions,
             submit_rejected: self.submit_rejected,
             events_processed: self.q.events_processed(),
+            measurement_nanos: self.cfg.duration.as_nanos(),
         };
         (report, self.series.take())
     }

@@ -270,6 +270,7 @@ pub fn run_sequencer(cfg: &SequencerSimConfig) -> SimReport {
         retransmissions: 0,
         submit_rejected: 0,
         events_processed: q.events_processed(),
+        measurement_nanos: cfg.duration.as_nanos(),
     }
 }
 

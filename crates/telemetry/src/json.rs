@@ -1,0 +1,569 @@
+//! A minimal JSON writer and parser.
+//!
+//! The workspace vendors no JSON crate, and telemetry's needs are
+//! small: emit metric snapshots and `BENCH_*.json` result files, and
+//! parse them back for validation. [`JsonWriter`] is a streaming
+//! emitter that tracks comma placement; [`Value`] is a fully-owned
+//! parse tree produced by a recursive-descent parser accepting exactly
+//! RFC 8259 JSON (no comments, no trailing commas).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number: finite values only (non-finite
+/// become `null`), integers without a trailing `.0`.
+pub fn fmt_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// A streaming JSON emitter. The caller drives structure
+/// (`begin_object`/`key`/`end_object`, `begin_array`/`end_array`) and
+/// the writer inserts commas where needed.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether the next value at each nesting level needs a leading
+    /// comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emits an object key; the next call must emit its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        // The value following a key is not comma-separated from it.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Emits a string value.
+    pub fn str(&mut self, s: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn num_u64(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Emits a signed integer value.
+    pub fn num_i64(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Emits a floating-point value (`null` if non-finite).
+    pub fn num_f64(&mut self, v: f64) {
+        self.pre_value();
+        fmt_f64(&mut self.buf, v);
+    }
+
+    /// Emits a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emits `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    /// Consumes the writer and returns the JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Value>),
+}
+
+/// A parse failure: message plus byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset where it went wrong.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Value {
+    /// Parses `input` as a single JSON document.
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            b: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.b.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field access (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object contents, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The JSON type name, for error messages and schema checks.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \u-escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.b[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let c = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(ch.ok_or_else(|| self.err("invalid unicode escape"))?);
+                            // hex4 leaves pos past the digits; skip the
+                            // generic advance below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.b[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk =
+                        std::str::from_utf8(&rest[..len]).map_err(|_| self.err("invalid utf-8"))?;
+                    s.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.b.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.b[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(format!("invalid number {text:?}")))
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.str("latency \"curve\"\n");
+        w.key("points");
+        w.begin_array();
+        for i in 0..3 {
+            w.begin_object();
+            w.key("i");
+            w.num_u64(i);
+            w.key("v");
+            w.num_f64(i as f64 + 0.5);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("ok");
+        w.bool(true);
+        w.key("none");
+        w.null();
+        w.end_object();
+        let text = w.finish();
+        let v = Value::parse(&text).expect("writer output parses");
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("latency \"curve\"\n")
+        );
+        assert_eq!(
+            v.get("points")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn parses_numbers() {
+        for (text, want) in [
+            ("0", 0.0),
+            ("-17", -17.0),
+            ("3.25", 3.25),
+            ("1e3", 1000.0),
+            ("-2.5E-2", -0.025),
+        ] {
+            assert_eq!(Value::parse(text).unwrap().as_f64(), Some(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Value::parse(r#""a\tbé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\tbé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn f64_formatting() {
+        let mut s = String::new();
+        fmt_f64(&mut s, 5.0);
+        assert_eq!(s, "5");
+        s.clear();
+        fmt_f64(&mut s, 2.5);
+        assert_eq!(s, "2.5");
+        s.clear();
+        fmt_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn roundtrips_whitespace_heavy_document() {
+        let text = " {\n\t\"a\" : [ 1 , 2 , { \"b\" : null } ] \r\n} ";
+        let v = Value::parse(text).unwrap();
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Value::Null));
+    }
+}

@@ -24,6 +24,10 @@
 //!   paper's dual-socket priority scheme, plus an in-process loopback.
 //! * [`daemon`] ([`ar_daemon`]) — a Spread-style client/daemon architecture
 //!   with groups, open-group semantics and multi-group multicast.
+//! * [`telemetry`] ([`ar_telemetry`]) — low-overhead observability:
+//!   bounded log-linear histograms, a lock-free metrics registry, and a
+//!   flight recorder of recent protocol events (served live by `ard
+//!   --metrics-addr`).
 //!
 //! ## Quickstart
 //!
@@ -47,3 +51,4 @@ pub use ar_core as core;
 pub use ar_daemon as daemon;
 pub use ar_net as net;
 pub use ar_sim as sim;
+pub use ar_telemetry as telemetry;

@@ -96,6 +96,33 @@ fn digests_bit_identical_across_repeats_for_three_seeds() {
 }
 
 #[test]
+fn flight_recorders_dump_and_are_digest_stable() {
+    // Every host's flight recorder captured protocol history (the
+    // crashed host recorded events up to its crash), and identical
+    // (plan, seed) runs leave bit-identical per-host event tails.
+    let a = run_acceptance(7);
+    let b = run_acceptance(7);
+    assert_eq!(a.flight.len(), 5);
+    for (host, fr) in a.flight.iter().enumerate() {
+        assert!(fr.total() > 0, "host {host} recorded no events");
+        assert!(!fr.dump().is_empty(), "host {host} dumped nothing");
+        assert!(
+            !fr.render().is_empty(),
+            "host {host} renders an empty post-mortem"
+        );
+    }
+    assert_eq!(
+        a.flight_digests, b.flight_digests,
+        "identical (plan, seed) must leave identical flight tails"
+    );
+    let c = run_acceptance(8);
+    assert_ne!(
+        a.flight_digests, c.flight_digests,
+        "a different seed explores a different event history"
+    );
+}
+
+#[test]
 fn fault_plans_are_shared_between_sim_and_live() {
     // A plan authored against the simulator's clock converts losslessly
     // to the live harness's schedule and back: one fault model for
