@@ -1,0 +1,220 @@
+//! `BENCH_udp_datapath.json`: the batched, event-driven UDP datapath
+//! versus the sleep-poll portable fallback on a 3-node loopback ring.
+//!
+//! Both curves run the identical workload — every node (one OS thread
+//! each, as deployed) submits a fixed number of Agreed messages and
+//! steps its runtime until everything is delivered everywhere —
+//! differing only in `DatapathMode`. The figure reports achieved
+//! goodput, delivery-latency percentiles, and the **median**
+//! token-rotation time (the `rotation_us` column carries the p50,
+//! matching the acceptance criterion "batched median rotation ≤
+//! sleep-poll baseline").
+//!
+//! Curves:
+//! * `udp/portable-sleep` — per-datagram syscalls + 50 µs sleep-poll
+//!   (the pre-datapath baseline, and the non-Linux fallback);
+//! * `udp/batched` — ppoll(2) waiting + sendmmsg/recvmmsg batching
+//!   (Linux only; skipped elsewhere).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ar_bench::{write_bench_json, BenchPoint};
+use ar_core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
+use ar_net::{AppEvent, DatapathMode, NetMetrics, PeerMap, Runtime, UdpTransport};
+use bytes::Bytes;
+
+const NODES: u16 = 3;
+const MSGS_PER_NODE: u64 = 3_000;
+const PAYLOAD: usize = 1_024;
+const DEADLINE: Duration = Duration::from_secs(120);
+
+struct ModeRun {
+    point: BenchPoint,
+    messages_per_sec: f64,
+    median_rotation_us: f64,
+}
+
+/// What one node thread reports back when it stops.
+struct NodeReport {
+    decode_drops: u64,
+    rtx: u64,
+}
+
+fn bind_transports(mode: DatapathMode, base_port: u16) -> Option<Vec<UdpTransport>> {
+    for attempt in 0..40u16 {
+        let base = base_port.checked_add(attempt.checked_mul(16)?)?;
+        let map = PeerMap::localhost(NODES, base);
+        if usize::from(NODES) > map.len() {
+            continue;
+        }
+        let mut transports = Vec::new();
+        let mut ok = true;
+        for p in (0..NODES).map(ParticipantId::new) {
+            match UdpTransport::bind_with_mode(p, map.clone(), mode) {
+                Ok(t) => transports.push(t),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Some(transports);
+        }
+    }
+    None
+}
+
+fn run_mode(mode: DatapathMode, curve: &str, base_port: u16) -> Option<ModeRun> {
+    let transports = bind_transports(mode, base_port)?;
+    let members: Vec<ParticipantId> = (0..NODES).map(ParticipantId::new).collect();
+    let ring_id = RingId::new(members[0], 1);
+    let total = MSGS_PER_NODE * u64::from(NODES);
+    let payload = Bytes::from(vec![0x5au8; PAYLOAD]);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered: Vec<Arc<AtomicU64>> = (0..NODES).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    // Node 0's metric handles are shared Arcs: the main thread reads
+    // the histograms after the run without any channel plumbing.
+    let metrics0 = NetMetrics::detached();
+
+    let started = Instant::now();
+    let threads: Vec<_> = transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, transport)| {
+            let part = Participant::new(
+                members[i],
+                ProtocolConfig::accelerated(),
+                ring_id,
+                members.clone(),
+            )
+            .expect("valid ring");
+            let mut rt = Runtime::new(part, transport);
+            rt.set_metrics(if i == 0 {
+                metrics0.clone()
+            } else {
+                NetMetrics::detached()
+            });
+            let stop = Arc::clone(&stop);
+            let delivered = Arc::clone(&delivered[i]);
+            let payload = payload.clone();
+            std::thread::spawn(move || -> NodeReport {
+                let mut to_submit = MSGS_PER_NODE;
+                let count = |evs: Vec<AppEvent>| {
+                    let n = evs
+                        .iter()
+                        .filter(|e| matches!(e, AppEvent::Delivered(_)))
+                        .count() as u64;
+                    if n > 0 {
+                        delivered.fetch_add(n, Ordering::Relaxed);
+                    }
+                };
+                count(rt.start().expect("start"));
+                while !stop.load(Ordering::Relaxed) {
+                    // Keep the offered load saturating: top the pending
+                    // queue up until flow control pushes back.
+                    while to_submit > 0 {
+                        match rt.submit(payload.clone(), ServiceType::Agreed) {
+                            Ok(()) => to_submit -= 1,
+                            Err(_) => break,
+                        }
+                    }
+                    count(rt.step().expect("step"));
+                }
+                NodeReport {
+                    decode_drops: rt.transport().stats().decode_drops,
+                    rtx: rt.participant().stats().retransmissions_sent,
+                }
+            })
+        })
+        .collect();
+
+    let deadline = started + DEADLINE;
+    while delivered.iter().any(|d| d.load(Ordering::Relaxed) < total) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let reports: Vec<NodeReport> = threads
+        .into_iter()
+        .map(|t| t.join().expect("node thread"))
+        .collect();
+
+    let lat = metrics0.delivery_latency_ns.snapshot();
+    let rot = metrics0.token_rotation_ns.snapshot();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let delivered0 = delivered[0].load(Ordering::Relaxed);
+    let to_us = |ns: u64| ns as f64 / 1_000.0;
+    let median_rotation_us = to_us(rot.value_at_quantile(0.5));
+    let point = BenchPoint {
+        curve: curve.to_string(),
+        offered_mbps: 0.0, // saturating run
+        throughput_mbps: (delivered0 as f64 * PAYLOAD as f64 * 8.0) / secs / 1e6,
+        mean_us: lat.mean() / 1_000.0,
+        p50_us: to_us(lat.value_at_quantile(0.5)),
+        p90_us: to_us(lat.value_at_quantile(0.9)),
+        p99_us: to_us(lat.value_at_quantile(0.99)),
+        p999_us: to_us(lat.value_at_quantile(0.999)),
+        // The acceptance criterion compares MEDIAN rotation time, so
+        // this figure carries the p50 (not the mean) in rotation_us.
+        rotation_us: median_rotation_us,
+        token_rotations: metrics0.tokens_rx.get(),
+        drops: reports.iter().map(|r| r.decode_drops).sum(),
+        rtx: reports.iter().map(|r| r.rtx).sum(),
+    };
+    Some(ModeRun {
+        point,
+        messages_per_sec: delivered0 as f64 / secs,
+        median_rotation_us,
+    })
+}
+
+fn main() {
+    let mut points = Vec::new();
+    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+
+    let portable = run_mode(DatapathMode::Portable, "udp/portable-sleep", 43500)
+        .expect("no free UDP port range for the portable baseline");
+    println!(
+        "udp/portable-sleep: {:.0} msgs/s, median rotation {:.1} us",
+        portable.messages_per_sec, portable.median_rotation_us
+    );
+    summary.push((
+        "udp/portable-sleep".into(),
+        portable.messages_per_sec,
+        portable.median_rotation_us,
+    ));
+    points.push(portable.point);
+
+    if cfg!(target_os = "linux") {
+        let batched = run_mode(DatapathMode::Batched, "udp/batched", 44700)
+            .expect("no free UDP port range for the batched run");
+        println!(
+            "udp/batched: {:.0} msgs/s, median rotation {:.1} us",
+            batched.messages_per_sec, batched.median_rotation_us
+        );
+        if batched.median_rotation_us > portable.median_rotation_us {
+            eprintln!(
+                "WARNING: batched median rotation ({:.1} us) above sleep-poll baseline ({:.1} us)",
+                batched.median_rotation_us, portable.median_rotation_us
+            );
+        }
+        summary.push((
+            "udp/batched".into(),
+            batched.messages_per_sec,
+            batched.median_rotation_us,
+        ));
+        points.push(batched.point);
+    } else {
+        println!("udp/batched: skipped (Linux-only syscall path)");
+    }
+
+    let path = write_bench_json("udp_datapath", &points).expect("write BENCH JSON");
+    println!("wrote {}", path.display());
+    for (curve, mps, rot) in summary {
+        println!("{curve:>20}: {mps:>10.0} msgs/s  median rotation {rot:>8.1} us");
+    }
+}

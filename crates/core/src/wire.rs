@@ -168,6 +168,34 @@ pub fn encoded_len(msg: &Message) -> usize {
 
 const MEMBER_INFO_LEN: usize = 2 + RING_ID_LEN + 8 + 8 + 8 + 1;
 
+/// Encodes a message into a reusable scratch buffer.
+///
+/// Clears whatever `buf` held (stale bytes from a previous encode are
+/// discarded, capacity is kept), reserves the exact encoded length, and
+/// appends the encoding. Returns the encoded length. This is the
+/// zero-allocation path hot senders use: one `BytesMut` per transport,
+/// one encode per logical message, however many peers it fans out to.
+///
+/// ```
+/// use ar_core::wire::{decode, encode_to_scratch, Message};
+/// use ar_core::{ParticipantId, RingId, Seq, Token};
+/// use bytes::BytesMut;
+///
+/// let mut scratch = BytesMut::new();
+/// let token = Token::initial(RingId::new(ParticipantId::new(0), 1), Seq::ZERO);
+/// let n = encode_to_scratch(&Message::Token(token.clone()), &mut scratch);
+/// assert_eq!(decode(&scratch[..n])?, Message::Token(token));
+/// # Ok::<(), ar_core::wire::WireError>(())
+/// ```
+pub fn encode_to_scratch(msg: &Message, buf: &mut BytesMut) -> usize {
+    buf.clear();
+    let len = encoded_len(msg);
+    buf.reserve(len);
+    encode_into(msg, buf);
+    debug_assert_eq!(buf.len(), len);
+    len
+}
+
 /// Encodes a message, appending to `buf`.
 pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
     match msg {
@@ -611,6 +639,21 @@ mod tests {
         let msg = decode_from(&mut slice).unwrap();
         assert_eq!(msg.kind_name(), "token");
         assert_eq!(slice, b"rest");
+    }
+
+    #[test]
+    fn encode_to_scratch_discards_stale_bytes() {
+        let mut scratch = BytesMut::new();
+        scratch.extend_from_slice(b"stale garbage from a previous encode");
+        let m = Message::Token(sample_token());
+        let n = encode_to_scratch(&m, &mut scratch);
+        assert_eq!(n, encoded_len(&m));
+        assert_eq!(scratch.len(), n);
+        assert_eq!(decode(&scratch).unwrap(), m);
+        // Reuse for a different kind: still no contamination.
+        let m2 = Message::Data(sample_data(b"fresh"));
+        let n2 = encode_to_scratch(&m2, &mut scratch);
+        assert_eq!(&scratch[..n2], &encode(&m2)[..]);
     }
 
     #[test]

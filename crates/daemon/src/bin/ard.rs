@@ -66,7 +66,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let transport = match UdpTransport::bind(pid, deployment.peer_map()) {
+    let mut transport = match UdpTransport::bind(pid, deployment.peer_map()) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("ard: cannot bind protocol sockets: {e}");
@@ -112,6 +112,12 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    // Export the transport's counters (e.g. decode drops from garbage
+    // datagrams) through the same registry the daemon loop registers
+    // the runtime metrics into; `register` hands back shared handles.
+    if let Some(hub) = &config.telemetry {
+        transport.set_metrics(&ar_net::NetMetrics::register(&hub.registry));
+    }
 
     let handle = spawn_daemon_with(participant, transport, config);
     let listener = match entry.client_addr {

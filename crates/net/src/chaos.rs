@@ -508,6 +508,55 @@ impl<T: Transport> Transport for ChaosTransport<T> {
             return Ok(Some(msg));
         }
     }
+
+    fn recv_batch(
+        &mut self,
+        prefer_token: bool,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> io::Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.flush_due()?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let mut batch = Vec::new();
+            if self
+                .inner
+                .recv_batch(prefer_token, remaining, max, &mut batch)?
+                == 0
+            {
+                return Ok(0);
+            }
+            // Inbound chaos applies per message: drops thin the batch
+            // (and are counted) without discarding what survived.
+            let mut appended = 0;
+            for msg in batch {
+                let kind = MsgKind::of(&msg);
+                if self.drop_inbound(&msg) {
+                    self.control.state.lock().stats.kind_mut(kind).recv_dropped += 1;
+                } else {
+                    self.control.state.lock().stats.kind_mut(kind).received += 1;
+                    out.push(msg);
+                    appended += 1;
+                }
+            }
+            if appended > 0 || Instant::now() >= deadline {
+                return Ok(appended);
+            }
+        }
+    }
+
+    fn begin_batch(&mut self) {
+        self.inner.begin_batch();
+    }
+
+    fn end_batch(&mut self) -> io::Result<()> {
+        self.inner.end_batch()
+    }
 }
 
 #[cfg(test)]
@@ -730,6 +779,31 @@ mod tests {
         a.send_to(pid(1), &data_msg(0)).unwrap();
         assert!(b.recv(false, Duration::from_millis(5)).unwrap().is_none());
         assert_eq!(b.stats().kind(MsgKind::Data).recv_dropped, 1);
+    }
+
+    #[test]
+    fn recv_batch_filters_inbound_per_message() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = ChaosTransport::new(net.endpoint(pid(1)), ChaosConfig::quiet(7).with_loss(0.5));
+        for _ in 0..200 {
+            a.send_to(pid(1), &data_msg(0)).unwrap();
+        }
+        let mut got = Vec::new();
+        loop {
+            let mut batch = Vec::new();
+            if b.recv_batch(false, Duration::from_millis(5), 16, &mut batch)
+                .unwrap()
+                == 0
+            {
+                break;
+            }
+            got.extend(batch);
+        }
+        let stats = b.stats().kind(MsgKind::Data).to_owned();
+        assert_eq!(stats.received, got.len() as u64);
+        assert!(stats.recv_dropped > 0, "{stats:?}");
+        assert_eq!(stats.received + stats.recv_dropped, 200);
     }
 
     #[test]

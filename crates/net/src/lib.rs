@@ -47,6 +47,8 @@ pub mod metrics;
 pub mod nemesis;
 pub mod node;
 pub mod runtime;
+#[cfg(target_os = "linux")]
+pub(crate) mod sys;
 pub mod transport;
 pub mod udp;
 
@@ -58,4 +60,4 @@ pub use nemesis::{NemesisOutcome, NemesisPlan, NemesisRunner};
 pub use node::{spawn, NodeHandle};
 pub use runtime::{AppEvent, Runtime};
 pub use transport::Transport;
-pub use udp::{PeerAddrs, PeerMap, UdpTransport};
+pub use udp::{DatapathMode, PeerAddrs, PeerMap, UdpStats, UdpTransport};

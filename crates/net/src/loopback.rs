@@ -71,6 +71,41 @@ impl Mailbox {
             self.available.wait_for(&mut st, remaining);
         }
     }
+
+    /// Waits up to `timeout` for the first message, then drains up to
+    /// `max` already-queued messages without waiting further (preferred
+    /// channel first). Returns the number appended to `out`.
+    fn pop_batch(
+        &self,
+        prefer_token: bool,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.token.is_empty() && st.data.is_empty() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return 0;
+            }
+            self.available.wait_for(&mut st, remaining);
+        }
+        let mut n = 0;
+        while n < max {
+            match Self::take(&mut st, prefer_token) {
+                Some(m) => {
+                    out.push(m);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 impl std::fmt::Debug for Mailbox {
@@ -200,6 +235,16 @@ impl Transport for LoopbackTransport {
     fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
         Ok(self.mailbox.pop(prefer_token, timeout))
     }
+
+    fn recv_batch(
+        &mut self,
+        prefer_token: bool,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> io::Result<usize> {
+        Ok(self.mailbox.pop_batch(prefer_token, timeout, max, out))
+    }
 }
 
 impl Drop for LoopbackTransport {
@@ -304,6 +349,31 @@ mod tests {
         let net = LoopbackNet::new();
         let _a = net.endpoint(pid(0));
         let _b = net.endpoint(pid(0));
+    }
+
+    #[test]
+    fn recv_batch_drains_ready_preferred_first() {
+        let net = LoopbackNet::new();
+        let mut a = net.endpoint(pid(0));
+        let mut b = net.endpoint(pid(1));
+        a.send_to(pid(1), &data_msg()).unwrap();
+        a.send_to(pid(1), &data_msg()).unwrap();
+        a.send_to(pid(1), &token_msg()).unwrap();
+        let mut out = Vec::new();
+        let n = b
+            .recv_batch(true, Duration::from_millis(100), 10, &mut out)
+            .unwrap();
+        assert_eq!(n, 3);
+        assert!(matches!(out[0], Message::Token(_)));
+        // max caps the drain; the remainder stays queued.
+        a.send_to(pid(1), &data_msg()).unwrap();
+        a.send_to(pid(1), &data_msg()).unwrap();
+        let mut out = Vec::new();
+        let n = b
+            .recv_batch(false, Duration::from_millis(100), 1, &mut out)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(b.recv(false, Duration::from_millis(100)).unwrap().is_some());
     }
 
     #[test]

@@ -87,6 +87,24 @@ impl<T: Transport> Transport for LossyTransport<T> {
     fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>> {
         self.chaos.recv(prefer_token, timeout)
     }
+
+    fn recv_batch(
+        &mut self,
+        prefer_token: bool,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> io::Result<usize> {
+        self.chaos.recv_batch(prefer_token, timeout, max, out)
+    }
+
+    fn begin_batch(&mut self) {
+        self.chaos.begin_batch();
+    }
+
+    fn end_batch(&mut self) -> io::Result<()> {
+        self.chaos.end_batch()
+    }
 }
 
 #[cfg(test)]

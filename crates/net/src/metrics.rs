@@ -29,6 +29,8 @@ pub struct NetMetrics {
     pub tokens_rx: Counter,
     /// Messages delivered to the application (all origins).
     pub deliveries: Counter,
+    /// Inbound datagrams dropped because they failed to decode.
+    pub wire_decode_drops: Counter,
 }
 
 impl NetMetrics {
@@ -54,6 +56,10 @@ impl NetMetrics {
             ),
             tokens_rx: reg.counter("ar_node_tokens_rx_total", "Tokens received"),
             deliveries: reg.counter("ar_node_deliveries_total", "Messages delivered"),
+            wire_decode_drops: reg.counter(
+                "ar_node_wire_decode_drops_total",
+                "Inbound datagrams dropped (decode failure)",
+            ),
         }
     }
 
@@ -67,6 +73,7 @@ impl NetMetrics {
             queue_depth: Gauge::default(),
             tokens_rx: Counter::default(),
             deliveries: Counter::default(),
+            wire_decode_drops: Counter::default(),
         }
     }
 }

@@ -27,6 +27,12 @@ pub enum AppEvent {
 /// the computed deadline is far away.
 const MAX_POLL: Duration = Duration::from_millis(5);
 
+/// Upper bound on how many ready messages one [`Runtime::step`] drains
+/// from the transport. Bounds the time between timer checks while still
+/// letting a batching transport hand over a whole burst per syscall
+/// sweep.
+const RECV_BATCH_MAX: usize = 32;
+
 /// Cap on the retransmission backoff exponent (2^6 = 64x the base
 /// interval; the token-loss timeout clamps the result anyway).
 const MAX_RETRANSMIT_SHIFT: u32 = 6;
@@ -57,6 +63,8 @@ pub struct Runtime<T: Transport> {
     /// (FIFO is sound because a participant's own messages deliver in
     /// submission order).
     submit_times: VecDeque<Instant>,
+    /// Reusable scratch for the per-step receive batch.
+    inbound: Vec<Message>,
 }
 
 fn kind_idx(kind: TimerKind) -> usize {
@@ -91,6 +99,7 @@ impl<T: Transport> Runtime<T> {
             epoch: Instant::now(),
             last_token_at: None,
             submit_times: VecDeque::new(),
+            inbound: Vec::with_capacity(RECV_BATCH_MAX),
         }
     }
 
@@ -98,6 +107,11 @@ impl<T: Transport> Runtime<T> {
     /// hop times, local delivery latency, and queue depth from here on.
     pub fn set_metrics(&mut self, metrics: NetMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// The attached metric handles, when instrumented.
+    pub fn metrics(&self) -> Option<&NetMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Attaches a protocol-event observer (e.g. an
@@ -179,33 +193,27 @@ impl<T: Transport> Runtime<T> {
             None => MAX_POLL,
         };
         let prefer_token = self.part.priority_mode() == PriorityMode::TokenHigh;
-        if let Some(msg) = self.transport.recv(prefer_token, wait)? {
-            if matches!(msg, Message::Token(_) | Message::Commit(_)) {
-                self.retransmit_shift = 0;
-            }
-            let is_token = matches!(msg, Message::Token(_));
-            let hop_start = if is_token && self.metrics.is_some() {
-                let now = Instant::now();
-                if let (Some(m), Some(prev)) = (&self.metrics, self.last_token_at) {
-                    m.token_rotation_ns
-                        .record(u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX));
+        // Drain everything the transport already has ready (one batched
+        // sweep on batching transports) and process it front-to-back;
+        // the transport appends preferred-channel messages first, so
+        // the priority-method semantics (§III-C) are preserved.
+        let mut batch = std::mem::take(&mut self.inbound);
+        batch.clear();
+        let drained = self
+            .transport
+            .recv_batch(prefer_token, wait, RECV_BATCH_MAX, &mut batch);
+        let mut result = drained.map(|_| ());
+        if result.is_ok() {
+            for msg in batch.drain(..) {
+                if let Err(e) = self.handle_incoming(msg) {
+                    result = Err(e);
+                    break;
                 }
-                if let Some(m) = &self.metrics {
-                    m.tokens_rx.inc();
-                }
-                self.last_token_at = Some(now);
-                Some(now)
-            } else {
-                None
-            };
-            self.sync_observer_clock();
-            let actions = self.part.handle_message(msg);
-            self.execute(actions)?;
-            if let (Some(start), Some(m)) = (hop_start, &self.metrics) {
-                m.token_hop_ns
-                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             }
         }
+        batch.clear();
+        self.inbound = batch;
+        result?;
         // Fire expired timers.
         let now = Instant::now();
         for kind in KINDS {
@@ -227,16 +235,53 @@ impl<T: Transport> Runtime<T> {
         Ok(std::mem::take(&mut self.events))
     }
 
+    /// Handles one received message: backoff reset, per-token rotation
+    /// and hop metrics, protocol handling, action execution.
+    fn handle_incoming(&mut self, msg: Message) -> io::Result<()> {
+        if matches!(msg, Message::Token(_) | Message::Commit(_)) {
+            self.retransmit_shift = 0;
+        }
+        let is_token = matches!(msg, Message::Token(_));
+        let hop_start = if is_token && self.metrics.is_some() {
+            let now = Instant::now();
+            if let (Some(m), Some(prev)) = (&self.metrics, self.last_token_at) {
+                m.token_rotation_ns
+                    .record(u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX));
+            }
+            if let Some(m) = &self.metrics {
+                m.tokens_rx.inc();
+            }
+            self.last_token_at = Some(now);
+            Some(now)
+        } else {
+            None
+        };
+        self.sync_observer_clock();
+        let actions = self.part.handle_message(msg);
+        self.execute(actions)?;
+        if let (Some(start), Some(m)) = (hop_start, &self.metrics) {
+            m.token_hop_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Ok(())
+    }
+
     fn execute(&mut self, actions: Vec<Action>) -> io::Result<()> {
+        // One action list is one burst (typically: a round's multicasts
+        // followed by the token hand-off). A batching transport defers
+        // the sends and flushes them as O(1) syscalls at `end_batch`;
+        // every send is still attempted even if an early one fails.
+        self.transport.begin_batch();
+        let mut first_err: Option<io::Error> = None;
         for action in actions {
-            match action {
-                Action::Multicast(m) => self.transport.multicast(&Message::Data(m))?,
+            let sent = match action {
+                Action::Multicast(m) => self.transport.multicast(&Message::Data(m)),
                 Action::SendToken { to, token } => {
-                    self.transport.send_to(to, &Message::Token(token))?
+                    self.transport.send_to(to, &Message::Token(token))
                 }
-                Action::MulticastJoin(j) => self.transport.multicast(&Message::Join(j))?,
+                Action::MulticastJoin(j) => self.transport.multicast(&Message::Join(j)),
                 Action::SendCommit { to, token } => {
-                    self.transport.send_to(to, &Message::Commit(token))?
+                    self.transport.send_to(to, &Message::Commit(token))
                 }
                 Action::Deliver(d) => {
                     if let Some(m) = &self.metrics {
@@ -250,17 +295,38 @@ impl<T: Transport> Runtime<T> {
                             }
                         }
                     }
-                    self.events.push(AppEvent::Delivered(d))
+                    self.events.push(AppEvent::Delivered(d));
+                    Ok(())
                 }
-                Action::DeliverConfigChange(c) => self.events.push(AppEvent::ConfigChanged(c)),
+                Action::DeliverConfigChange(c) => {
+                    // A membership change may drop locally submitted
+                    // messages that never got ordered; their queued
+                    // submission instants would otherwise mismatch
+                    // against *later* deliveries and permanently skew
+                    // every subsequent latency sample.
+                    self.submit_times.clear();
+                    self.events.push(AppEvent::ConfigChanged(c));
+                    Ok(())
+                }
                 Action::SetTimer(kind) => {
                     let dur = self.timer_duration(kind);
                     self.timers[kind_idx(kind)] = Some(Instant::now() + dur);
+                    Ok(())
                 }
-                Action::CancelTimer(kind) => self.timers[kind_idx(kind)] = None,
+                Action::CancelTimer(kind) => {
+                    self.timers[kind_idx(kind)] = None;
+                    Ok(())
+                }
+            };
+            if let Err(e) = sent {
+                first_err.get_or_insert(e);
             }
         }
-        Ok(())
+        let flushed = self.transport.end_batch();
+        match first_err {
+            Some(e) => Err(e),
+            None => flushed,
+        }
     }
 
     fn timer_duration(&self, kind: TimerKind) -> Duration {
@@ -395,6 +461,67 @@ mod tests {
             rt.timer_duration(TimerKind::TokenLoss),
             Duration::from_nanos(t.token_loss)
         );
+    }
+
+    /// Regression: a config change may drop locally submitted messages
+    /// without delivering them; stale entries left in the latency FIFO
+    /// would then pair with *later* deliveries and inflate every
+    /// subsequent latency sample. The FIFO must be cleared when the
+    /// change is delivered.
+    #[test]
+    fn config_change_clears_latency_fifo() {
+        let mut ring = build_ring(2);
+        let rt = &mut ring[0];
+        rt.set_metrics(NetMetrics::detached());
+        rt.submit(Bytes::from_static(b"doomed"), ServiceType::Agreed)
+            .unwrap();
+        assert_eq!(rt.submit_times.len(), 1);
+        let change = ar_core::ConfigChange {
+            kind: ar_core::ConfigChangeKind::Regular,
+            ring_id: RingId::new(ParticipantId::new(0), 2),
+            members: pids(2),
+        };
+        rt.execute(vec![Action::DeliverConfigChange(change)])
+            .unwrap();
+        assert!(
+            rt.submit_times.is_empty(),
+            "stale submission instants cleared on membership change"
+        );
+    }
+
+    /// One `step` drains a whole ready burst from the transport rather
+    /// than one message per iteration.
+    #[test]
+    fn step_drains_ready_burst_in_one_call() {
+        let net = LoopbackNet::new();
+        let members = pids(2);
+        let ring_id = RingId::new(members[0], 1);
+        let part = Participant::new(
+            members[1],
+            ProtocolConfig::accelerated(),
+            ring_id,
+            members.clone(),
+        )
+        .unwrap();
+        let mut rt = Runtime::new(part, net.endpoint(members[1]));
+        let mut peer = net.endpoint(members[0]);
+        for seq in 1..=3u64 {
+            peer.send_to(
+                members[1],
+                &Message::Data(ar_core::DataMessage {
+                    ring_id,
+                    seq: ar_core::Seq::new(seq),
+                    pid: members[0],
+                    round: ar_core::Round::new(1),
+                    service: ServiceType::Agreed,
+                    after_token: false,
+                    payload: Bytes::from_static(b"burst"),
+                }),
+            )
+            .unwrap();
+        }
+        rt.step().unwrap();
+        assert_eq!(rt.participant().stats().messages_received, 3);
     }
 
     #[test]

@@ -42,6 +42,57 @@ pub trait Transport {
     /// Returns an I/O error if the underlying receive fails for a
     /// reason other than timeout.
     fn recv(&mut self, prefer_token: bool, timeout: Duration) -> io::Result<Option<Message>>;
+
+    /// Receives a batch: waits up to `timeout` for the first message,
+    /// then drains whatever else is already queued — up to `max`
+    /// messages total, appended to `out` — without waiting further.
+    /// Messages are appended in channel-priority order per sweep
+    /// (preferred channel first), so a caller that processes the batch
+    /// front-to-back preserves the priority-method semantics. Returns
+    /// the number of messages appended (0 on timeout).
+    ///
+    /// The default implementation receives a single message; batching
+    /// transports override this to drain their ready queue in O(1)
+    /// syscalls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`recv`](Self::recv).
+    fn recv_batch(
+        &mut self,
+        prefer_token: bool,
+        timeout: Duration,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> io::Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        match self.recv(prefer_token, timeout)? {
+            Some(m) => {
+                out.push(m);
+                Ok(1)
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Opens a send batch: until [`end_batch`](Self::end_batch), the
+    /// transport may defer sends and coalesce them into batched
+    /// syscalls. Purely a performance hint — non-batching transports
+    /// ignore it. Calls do not nest.
+    fn begin_batch(&mut self) {}
+
+    /// Closes a send batch and flushes everything deferred since
+    /// [`begin_batch`](Self::begin_batch).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first hard send error encountered while flushing
+    /// (remaining datagrams are still attempted first).
+    fn end_batch(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Routes a message kind to the channel it travels on.

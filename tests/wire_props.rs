@@ -2,7 +2,7 @@
 //! arbitrary well-formed messages and robustness (no panics) on
 //! arbitrary byte soup.
 
-use accelerated_ring::core::wire::{decode, encode, encoded_len, Message};
+use accelerated_ring::core::wire::{decode, encode, encode_to_scratch, encoded_len, Message};
 use accelerated_ring::core::{
     CommitToken, DataMessage, JoinMessage, MemberInfo, ParticipantId, RingId, Round, Seq,
     ServiceType, Token,
@@ -135,6 +135,27 @@ proptest! {
         prop_assert_eq!(bytes.len(), encoded_len(&msg));
         let back = decode(&bytes).expect("decode own encoding");
         prop_assert_eq!(back, msg);
+    }
+
+    /// Encoding into a dirty, reused scratch buffer yields exactly the
+    /// same bytes as a fresh `encode` for every message kind — no
+    /// stale-buffer contamination from whatever was encoded before.
+    #[test]
+    fn scratch_reuse_matches_fresh_encode(
+        first in arb_message(),
+        second in arb_message(),
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut scratch = bytes::BytesMut::new();
+        scratch.extend_from_slice(&garbage);
+        let len = encode_to_scratch(&first, &mut scratch);
+        prop_assert_eq!(len, encoded_len(&first));
+        prop_assert_eq!(&scratch[..], &encode(&first)[..]);
+        // Reuse the now-dirty buffer for a different message.
+        let len = encode_to_scratch(&second, &mut scratch);
+        prop_assert_eq!(len, encoded_len(&second));
+        prop_assert_eq!(&scratch[..], &encode(&second)[..]);
+        prop_assert_eq!(decode(&scratch).expect("decode scratch encoding"), second);
     }
 
     /// Arbitrary bytes never panic the decoder (they either decode to a
