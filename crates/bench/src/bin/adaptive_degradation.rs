@@ -1,0 +1,142 @@
+//! `BENCH_adaptive_degradation.json`: throughput of a four-node
+//! virtual-clock ring before, during, and after a loss burst, with the
+//! AIMD accelerated-window controller enabled.
+//!
+//! The run is one deterministic nemesis schedule measured in three
+//! phases (the harness resumes exactly where the previous phase
+//! stopped): a clean warm-up, a 30%-loss burst on one host's links
+//! that drives the effective accelerated window down, and a recovered
+//! phase after the controller has grown the window back. The figure's
+//! acceptance criterion — recovered throughput within 10% of the
+//! pre-fault phase — is enforced here with a panic, so CI fails if the
+//! controller stops recovering.
+//!
+//! Delivery-latency percentiles are not observable in the virtual-time
+//! harness and are reported as 0.
+
+use std::time::Duration;
+
+use ar_bench::{write_bench_json, BenchPoint};
+use ar_core::{AimdConfig, ProtocolConfig, ServiceType};
+use ar_net::{NemesisPlan, NemesisRunner};
+
+const HOSTS: usize = 4;
+const PAYLOAD: usize = 256;
+/// One submission per host every 2ms of virtual time.
+const SUBMIT_PERIOD_MS: u64 = 2;
+const RUN_MS: u64 = 2_000;
+const BURST_START_MS: u64 = 400;
+const BURST_END_MS: u64 = 900;
+/// Post-burst settling time excluded from the recovered phase.
+const SETTLE_END_MS: u64 = 1_200;
+
+/// Counter snapshot at a phase boundary.
+struct Snapshot {
+    deliveries: usize,
+    tokens: u64,
+    dropped: u64,
+    rtx: u64,
+    at: Duration,
+}
+
+fn snapshot(r: &mut NemesisRunner, limit_ms: u64) -> Snapshot {
+    let out = r.run(Duration::from_millis(limit_ms));
+    Snapshot {
+        deliveries: out.deliveries[0],
+        tokens: out.tokens_seen,
+        dropped: out.dropped,
+        rtx: (0..HOSTS)
+            .map(|i| r.participant(i).stats().retransmissions_sent)
+            .sum(),
+        at: out.stopped_at,
+    }
+}
+
+fn phase_point(curve: &str, from: &Snapshot, to: &Snapshot) -> BenchPoint {
+    let secs = (to.at - from.at).as_secs_f64();
+    let ordered = (to.deliveries - from.deliveries) as f64;
+    let tokens = to.tokens - from.tokens;
+    let rotations = tokens / HOSTS as u64;
+    let offered = 1000.0 / SUBMIT_PERIOD_MS as f64 * HOSTS as f64;
+    BenchPoint {
+        curve: curve.to_string(),
+        offered_mbps: offered * (PAYLOAD * 8) as f64 / 1e6,
+        throughput_mbps: ordered * (PAYLOAD * 8) as f64 / 1e6 / secs,
+        mean_us: 0.0,
+        p50_us: 0.0,
+        p90_us: 0.0,
+        p99_us: 0.0,
+        p999_us: 0.0,
+        rotation_us: if rotations == 0 {
+            0.0
+        } else {
+            secs * 1e6 / rotations as f64
+        },
+        token_rotations: rotations,
+        drops: to.dropped - from.dropped,
+        rtx: to.rtx - from.rtx,
+    }
+}
+
+fn main() {
+    let aimd = AimdConfig {
+        enabled: true,
+        pressure_threshold: 1,
+        pressure_rounds: 2,
+        recovery_rounds: 4,
+    };
+    let cfg = ProtocolConfig::accelerated()
+        .with_accelerated_window(4)
+        .with_accel_aimd(aimd);
+    let mut r = NemesisRunner::new(HOSTS as u16, cfg, NemesisPlan::none(), 0.0, 4242);
+    r.schedule_host_loss(Duration::from_millis(BURST_START_MS), 1, 0.3);
+    r.schedule_host_loss(Duration::from_millis(BURST_END_MS), 1, 0.0);
+    let payload = vec![0x5au8; PAYLOAD];
+    for k in 0..RUN_MS / SUBMIT_PERIOD_MS {
+        let at = Duration::from_millis(SUBMIT_PERIOD_MS * k + 1);
+        for host in 0..HOSTS {
+            r.submit_at(at, host, &payload, ServiceType::Agreed);
+        }
+    }
+    r.start();
+
+    let t0 = snapshot(&mut r, 1); // spin-up, excluded from all phases
+    let pre = snapshot(&mut r, BURST_START_MS);
+    let burst = snapshot(&mut r, BURST_END_MS);
+    let settle = snapshot(&mut r, SETTLE_END_MS);
+    let end = snapshot(&mut r, RUN_MS);
+
+    let points = vec![
+        phase_point("adaptive/pre-fault", &t0, &pre),
+        phase_point("adaptive/loss-burst", &pre, &burst),
+        phase_point("adaptive/recovered", &settle, &end),
+    ];
+
+    let shrinks: u64 = (0..HOSTS)
+        .map(|i| r.participant(i).stats().accel_window_shrinks)
+        .sum();
+    let grows: u64 = (0..HOSTS)
+        .map(|i| r.participant(i).stats().accel_window_grows)
+        .sum();
+    for p in &points {
+        println!(
+            "{:<22} {:>8.2} Mbps  rot {:>7.1} us  drops {:>6}  rtx {:>5}",
+            p.curve, p.throughput_mbps, p.rotation_us, p.drops, p.rtx
+        );
+    }
+    println!("aimd: {shrinks} shrinks, {grows} grows");
+
+    assert!(
+        shrinks >= 1,
+        "the loss burst never engaged the AIMD controller"
+    );
+    let pre_tput = points[0].throughput_mbps;
+    let rec_tput = points[2].throughput_mbps;
+    assert!(
+        rec_tput >= 0.9 * pre_tput,
+        "post-burst throughput did not recover: {rec_tput:.2} Mbps vs pre-fault {pre_tput:.2} Mbps"
+    );
+
+    let path = write_bench_json("adaptive_degradation", &points).expect("write BENCH json");
+    println!("wrote {}", path.display());
+}

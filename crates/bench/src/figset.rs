@@ -66,6 +66,7 @@ pub fn tuned_protocol(variant: ProtocolVariant, net: Net, payload: usize) -> Pro
             ProtocolVariant::Accelerated => ar_core::PriorityMethod::Aggressive,
             ProtocolVariant::Original => ar_core::PriorityMethod::Conservative,
         },
+        ..ProtocolConfig::accelerated()
     }
 }
 

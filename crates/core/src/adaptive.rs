@@ -1,0 +1,481 @@
+//! Rotation-informed adaptive failure detection.
+//!
+//! The static [`TimeoutConfig`] defaults suit one network; on a faster
+//! or slower one they either fire spuriously (triggering the expensive
+//! gather/recovery path for no reason) or detect real failures far too
+//! slowly. This module derives the failure-detection timeouts from the
+//! *measured* token-rotation time instead: an [`AdaptiveTimeouts`]
+//! controller ingests rotation samples (the same values the `ar-net`
+//! runtime records into its telemetry histogram) and sets each timeout
+//! to a high quantile of the observed rotation times a per-timeout
+//! safety factor, clamped to a configurable floor/ceiling.
+//!
+//! Like the rest of `ar-core` the controller is sans-io and fully
+//! deterministic: it holds a bounded window of raw samples, never reads
+//! a clock, and the same sample sequence always produces the same
+//! timeout sequence — which is what lets the nemesis harness drive it
+//! on a virtual clock with bit-identical results across reruns. The
+//! embedding environment decides where samples come from (wall-clock
+//! deltas in `ar-net::Runtime`, virtual-clock deltas in the nemesis
+//! runner) and installs the derived values with
+//! [`Participant::adapt_timeouts`](crate::Participant::adapt_timeouts).
+
+use std::collections::VecDeque;
+
+use crate::participant::{TimeoutConfig, TimeoutConfigError};
+
+/// Policy for deriving timeouts from observed token-rotation times.
+///
+/// Each derived timeout is `quantile(rotation) * factor`, clamped to
+/// `[floor, ceiling]` (nanoseconds). Until `min_samples` rotations have
+/// been observed the controller keeps the base [`TimeoutConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Which quantile of the rotation window to read (0 < q <= 1).
+    pub quantile: f64,
+    /// Safety factor for the token-loss timeout.
+    pub loss_factor: f64,
+    /// Safety factor for the token-retransmit timeout.
+    pub retransmit_factor: f64,
+    /// Safety factor for the gather-consensus timeout.
+    pub consensus_factor: f64,
+    /// Token-loss clamp floor, nanoseconds.
+    pub token_loss_floor: u64,
+    /// Token-loss clamp ceiling, nanoseconds.
+    pub token_loss_ceiling: u64,
+    /// Token-retransmit clamp floor, nanoseconds.
+    pub token_retransmit_floor: u64,
+    /// Token-retransmit clamp ceiling, nanoseconds.
+    pub token_retransmit_ceiling: u64,
+    /// Consensus clamp floor, nanoseconds.
+    pub consensus_floor: u64,
+    /// Consensus clamp ceiling, nanoseconds.
+    pub consensus_ceiling: u64,
+    /// Rotations to observe before the first adaptation.
+    pub min_samples: usize,
+    /// Bounded rotation-sample window (oldest samples are evicted).
+    pub window: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            quantile: 0.99,
+            loss_factor: 8.0,
+            retransmit_factor: 2.0,
+            consensus_factor: 16.0,
+            token_loss_floor: 2_000_000,             // 2 ms
+            token_loss_ceiling: 10_000_000_000,      // 10 s
+            token_retransmit_floor: 500_000,         // 0.5 ms
+            token_retransmit_ceiling: 1_000_000_000, // 1 s
+            consensus_floor: 10_000_000,             // 10 ms
+            consensus_ceiling: 30_000_000_000,       // 30 s
+            min_samples: 16,
+            window: 128,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Checks the policy for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveConfigError`] for a quantile outside
+    /// `(0, 1]`, a safety factor below 1 (or NaN), a zero floor, an
+    /// inverted floor/ceiling pair, or a zero window / sample minimum.
+    pub fn validate(&self) -> Result<(), AdaptiveConfigError> {
+        if !(self.quantile > 0.0 && self.quantile <= 1.0) {
+            return Err(AdaptiveConfigError::Quantile(self.quantile));
+        }
+        for (name, f) in [
+            ("loss_factor", self.loss_factor),
+            ("retransmit_factor", self.retransmit_factor),
+            ("consensus_factor", self.consensus_factor),
+        ] {
+            if f.is_nan() || f < 1.0 {
+                return Err(AdaptiveConfigError::Factor(name));
+            }
+        }
+        for (name, floor, ceiling) in [
+            ("token_loss", self.token_loss_floor, self.token_loss_ceiling),
+            (
+                "token_retransmit",
+                self.token_retransmit_floor,
+                self.token_retransmit_ceiling,
+            ),
+            ("consensus", self.consensus_floor, self.consensus_ceiling),
+        ] {
+            if floor == 0 || floor > ceiling {
+                return Err(AdaptiveConfigError::Bounds(name));
+            }
+        }
+        if self.window == 0 || self.min_samples == 0 {
+            return Err(AdaptiveConfigError::EmptyWindow);
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by [`AdaptiveConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptiveConfigError {
+    /// The quantile was outside `(0, 1]`.
+    Quantile(f64),
+    /// A safety factor was below 1 (or NaN).
+    Factor(&'static str),
+    /// A clamp floor was zero or exceeded its ceiling.
+    Bounds(&'static str),
+    /// The sample window or sample minimum was zero.
+    EmptyWindow,
+}
+
+impl core::fmt::Display for AdaptiveConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AdaptiveConfigError::Quantile(q) => {
+                write!(f, "quantile {q} must be in (0, 1]")
+            }
+            AdaptiveConfigError::Factor(name) => {
+                write!(f, "{name} must be a finite factor >= 1")
+            }
+            AdaptiveConfigError::Bounds(name) => {
+                write!(f, "{name} clamp floor must be positive and <= ceiling")
+            }
+            AdaptiveConfigError::EmptyWindow => {
+                f.write_str("sample window and min_samples must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveConfigError {}
+
+/// Pure derivation of a [`TimeoutConfig`] from one rotation estimate.
+///
+/// Exposed separately from the controller so its properties — outputs
+/// clamped to `[floor, ceiling]`, monotone in `rotation_ns`, and a
+/// valid (non-inverted) timeout relation — can be property-tested
+/// directly. The join and commit timeouts and the retransmit limit are
+/// carried over from `base` unchanged; after clamping, the retransmit
+/// timeout is forced strictly below the loss timeout so the derived
+/// config always passes [`TimeoutConfig::validate`].
+pub fn derive_timeouts(
+    base: &TimeoutConfig,
+    cfg: &AdaptiveConfig,
+    rotation_ns: u64,
+) -> TimeoutConfig {
+    let scaled = |factor: f64, floor: u64, ceiling: u64| -> u64 {
+        let raw = ((rotation_ns as f64) * factor).round();
+        let raw = raw.clamp(0.0, u64::MAX as f64) as u64;
+        raw.clamp(floor, ceiling)
+    };
+    let token_loss = scaled(
+        cfg.loss_factor,
+        cfg.token_loss_floor,
+        cfg.token_loss_ceiling,
+    );
+    let mut token_retransmit = scaled(
+        cfg.retransmit_factor,
+        cfg.token_retransmit_floor,
+        cfg.token_retransmit_ceiling,
+    );
+    if token_retransmit >= token_loss {
+        token_retransmit = (token_loss / 2).max(1);
+    }
+    let consensus = scaled(
+        cfg.consensus_factor,
+        cfg.consensus_floor,
+        cfg.consensus_ceiling,
+    );
+    TimeoutConfig {
+        token_loss,
+        token_retransmit,
+        consensus,
+        ..*base
+    }
+}
+
+/// Deterministic controller turning rotation samples into timeouts.
+///
+/// Feed one sample per observed token rotation with
+/// [`record_rotation`](Self::record_rotation); read the derived policy
+/// with [`current`](Self::current). The controller never reads a clock,
+/// so the same sample sequence always yields the same timeout sequence.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeouts {
+    cfg: AdaptiveConfig,
+    base: TimeoutConfig,
+    window: VecDeque<u64>,
+    sorted: Vec<u64>,
+    current: TimeoutConfig,
+    updates: u64,
+}
+
+impl AdaptiveTimeouts {
+    /// Creates a controller around a base (pre-adaptation) policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the policy or base-timeout validation error.
+    pub fn new(
+        base: TimeoutConfig,
+        cfg: AdaptiveConfig,
+    ) -> Result<AdaptiveTimeouts, AdaptiveInitError> {
+        cfg.validate().map_err(AdaptiveInitError::Policy)?;
+        base.validate().map_err(AdaptiveInitError::Base)?;
+        Ok(AdaptiveTimeouts {
+            cfg,
+            base,
+            window: VecDeque::with_capacity(cfg.window),
+            sorted: Vec::with_capacity(cfg.window),
+            current: base,
+            updates: 0,
+        })
+    }
+
+    /// Records one observed token-rotation duration (nanoseconds) and
+    /// re-derives the timeouts. Returns `true` when the derived policy
+    /// changed (the caller should then install
+    /// [`current`](Self::current) into its participant).
+    pub fn record_rotation(&mut self, rotation_ns: u64) -> bool {
+        if self.window.len() == self.cfg.window {
+            let old = self.window.pop_front().expect("window is non-empty");
+            let idx = self
+                .sorted
+                .binary_search(&old)
+                .expect("evicted sample must be present");
+            self.sorted.remove(idx);
+        }
+        self.window.push_back(rotation_ns);
+        let at = self
+            .sorted
+            .binary_search(&rotation_ns)
+            .unwrap_or_else(|i| i);
+        self.sorted.insert(at, rotation_ns);
+        if self.window.len() < self.cfg.min_samples {
+            return false;
+        }
+        let q = self
+            .rotation_quantile()
+            .expect("window has at least min_samples entries");
+        let derived = derive_timeouts(&self.base, &self.cfg, q);
+        debug_assert!(derived.validate().is_ok());
+        if derived == self.current {
+            return false;
+        }
+        self.current = derived;
+        self.updates += 1;
+        true
+    }
+
+    /// The timeout policy currently in force (the base policy until
+    /// `min_samples` rotations have been observed).
+    pub fn current(&self) -> TimeoutConfig {
+        self.current
+    }
+
+    /// The configured-quantile rotation estimate over the current
+    /// window, or `None` while the window is empty.
+    pub fn rotation_quantile(&self) -> Option<u64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let len = self.sorted.len();
+        let rank = (self.cfg.quantile * len as f64).ceil() as usize;
+        Some(self.sorted[rank.clamp(1, len) - 1])
+    }
+
+    /// How many times the derived policy has changed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of rotation samples currently held.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Drops all samples and reverts to the base policy (used when the
+    /// embedding environment restarts a participant).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sorted.clear();
+        self.current = self.base;
+    }
+}
+
+/// Errors constructing an [`AdaptiveTimeouts`] controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptiveInitError {
+    /// The adaptation policy is inconsistent.
+    Policy(AdaptiveConfigError),
+    /// The base timeout table is invalid.
+    Base(TimeoutConfigError),
+}
+
+impl core::fmt::Display for AdaptiveInitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AdaptiveInitError::Policy(e) => write!(f, "invalid adaptive policy: {e}"),
+            AdaptiveInitError::Base(e) => write!(f, "invalid base timeouts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveInitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        AdaptiveConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_policies_are_rejected() {
+        let c = AdaptiveConfig {
+            quantile: 0.0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(AdaptiveConfigError::Quantile(_))
+        ));
+        let c = AdaptiveConfig {
+            loss_factor: 0.5,
+            ..AdaptiveConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(AdaptiveConfigError::Factor("loss_factor"))
+        );
+        let c = AdaptiveConfig {
+            token_loss_floor: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert_eq!(c.validate(), Err(AdaptiveConfigError::Bounds("token_loss")));
+        let base = AdaptiveConfig::default();
+        let c = AdaptiveConfig {
+            consensus_floor: base.consensus_ceiling + 1,
+            ..base
+        };
+        assert_eq!(c.validate(), Err(AdaptiveConfigError::Bounds("consensus")));
+        let c = AdaptiveConfig {
+            window: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert_eq!(c.validate(), Err(AdaptiveConfigError::EmptyWindow));
+    }
+
+    #[test]
+    fn derive_clamps_to_floor_and_ceiling() {
+        let base = TimeoutConfig::default();
+        let cfg = AdaptiveConfig::default();
+        let lo = derive_timeouts(&base, &cfg, 0);
+        assert_eq!(lo.token_loss, cfg.token_loss_floor);
+        assert_eq!(lo.token_retransmit, cfg.token_retransmit_floor);
+        assert_eq!(lo.consensus, cfg.consensus_floor);
+        let hi = derive_timeouts(&base, &cfg, u64::MAX / 32);
+        assert_eq!(hi.token_loss, cfg.token_loss_ceiling);
+        assert_eq!(hi.consensus, cfg.consensus_ceiling);
+        assert!(hi.validate().is_ok());
+    }
+
+    #[test]
+    fn derive_scales_by_factor_in_band() {
+        let base = TimeoutConfig::default();
+        let cfg = AdaptiveConfig::default();
+        // 1 ms rotation: 8 ms loss, 2 ms retransmit, 16 ms consensus.
+        let t = derive_timeouts(&base, &cfg, 1_000_000);
+        assert_eq!(t.token_loss, 8_000_000);
+        assert_eq!(t.token_retransmit, 2_000_000);
+        assert_eq!(t.consensus, 16_000_000);
+        assert_eq!(t.join, base.join);
+        assert_eq!(t.commit, base.commit);
+        assert_eq!(t.token_retransmit_limit, base.token_retransmit_limit);
+    }
+
+    #[test]
+    fn derived_retransmit_stays_below_loss() {
+        let base = TimeoutConfig::default();
+        // A policy whose clamps would invert the relation.
+        let cfg = AdaptiveConfig {
+            token_loss_ceiling: 3_000_000,
+            token_retransmit_floor: 4_000_000,
+            token_retransmit_ceiling: 5_000_000,
+            ..AdaptiveConfig::default()
+        };
+        let t = derive_timeouts(&base, &cfg, 1_000_000);
+        assert!(t.token_retransmit < t.token_loss);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn controller_waits_for_min_samples_then_adapts() {
+        let base = TimeoutConfig::default();
+        let cfg = AdaptiveConfig {
+            min_samples: 4,
+            ..AdaptiveConfig::default()
+        };
+        let mut ctl = AdaptiveTimeouts::new(base, cfg).unwrap();
+        for _ in 0..3 {
+            assert!(!ctl.record_rotation(1_000_000));
+            assert_eq!(ctl.current(), base);
+        }
+        assert!(ctl.record_rotation(1_000_000));
+        assert_eq!(ctl.current().token_loss, 8_000_000);
+        assert_eq!(ctl.updates(), 1);
+        // Same samples again: no change.
+        assert!(!ctl.record_rotation(1_000_000));
+        assert_eq!(ctl.updates(), 1);
+    }
+
+    #[test]
+    fn window_evicts_oldest_samples() {
+        let base = TimeoutConfig::default();
+        let cfg = AdaptiveConfig {
+            min_samples: 2,
+            window: 4,
+            ..AdaptiveConfig::default()
+        };
+        let mut ctl = AdaptiveTimeouts::new(base, cfg).unwrap();
+        // One huge outlier, then a full window of calm samples: the
+        // outlier ages out and the quantile falls back.
+        ctl.record_rotation(1_000_000_000);
+        for _ in 0..4 {
+            ctl.record_rotation(1_000_000);
+        }
+        assert_eq!(ctl.samples(), 4);
+        assert_eq!(ctl.rotation_quantile(), Some(1_000_000));
+    }
+
+    #[test]
+    fn reset_reverts_to_base() {
+        let base = TimeoutConfig::default();
+        let cfg = AdaptiveConfig {
+            min_samples: 1,
+            ..AdaptiveConfig::default()
+        };
+        let mut ctl = AdaptiveTimeouts::new(base, cfg).unwrap();
+        assert!(ctl.record_rotation(1_000_000));
+        assert_ne!(ctl.current(), base);
+        ctl.reset();
+        assert_eq!(ctl.current(), base);
+        assert_eq!(ctl.samples(), 0);
+    }
+
+    #[test]
+    fn invalid_base_is_rejected() {
+        let base = TimeoutConfig {
+            token_retransmit: 60_000_000, // >= token_loss
+            ..TimeoutConfig::default()
+        };
+        assert!(matches!(
+            AdaptiveTimeouts::new(base, AdaptiveConfig::default()),
+            Err(AdaptiveInitError::Base(_))
+        ));
+    }
+}

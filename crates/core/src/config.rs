@@ -57,6 +57,102 @@ impl core::fmt::Display for PriorityMethod {
     }
 }
 
+/// Membership flap damping: per-member penalty scores with exponential
+/// decay (Spread/Corosync-style route damping).
+///
+/// Every time a member drops out of an installed ring it accrues
+/// `penalty_per_flap`; once its score reaches `suppress_threshold` the
+/// member is *quarantined* — its joins and merge-triggering traffic are
+/// ignored and it is placed in the fail set of every gather — until the
+/// score decays below `reuse_threshold`. Scores halve every
+/// `half_life_rounds` handled tokens, so decay is driven by protocol
+/// rounds, never by a clock, preserving the sans-io core's determinism.
+/// Disabled by default: one marginal link can then thrash the whole
+/// ring through endless gather/commit/recovery cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlapDampingConfig {
+    /// Master switch; when false all other fields are ignored.
+    pub enabled: bool,
+    /// Penalty accrued each time the member departs an installed ring.
+    pub penalty_per_flap: u32,
+    /// Score at which the member is quarantined.
+    pub suppress_threshold: u32,
+    /// Score below which a quarantined member is reinstated.
+    pub reuse_threshold: u32,
+    /// Handled-token rounds per penalty half-life (deterministic,
+    /// round-based decay).
+    pub half_life_rounds: u64,
+    /// Hard cap on an accumulated score (bounds reinstatement delay).
+    pub max_penalty: u32,
+}
+
+impl Default for FlapDampingConfig {
+    fn default() -> Self {
+        FlapDampingConfig {
+            enabled: false,
+            penalty_per_flap: 1000,
+            suppress_threshold: 2500,
+            reuse_threshold: 1000,
+            half_life_rounds: 4096,
+            max_penalty: 8000,
+        }
+    }
+}
+
+impl FlapDampingConfig {
+    /// The default damping constants with the feature switched on.
+    pub fn enabled() -> FlapDampingConfig {
+        FlapDampingConfig {
+            enabled: true,
+            ..FlapDampingConfig::default()
+        }
+    }
+}
+
+/// AIMD degradation of the accelerated window under retransmission
+/// pressure.
+///
+/// A round is *pressured* when the received token carries at least
+/// `pressure_threshold` retransmission requests. After `pressure_rounds`
+/// consecutive pressured rounds the effective accelerated window halves
+/// (multiplicative decrease, toward 0 — which is exactly the original
+/// Ring protocol per the paper, so acceleration can never amplify a
+/// lossy network's retransmission storm); after `recovery_rounds`
+/// consecutive clean rounds it grows by one (additive increase) back up
+/// to the configured `accelerated_window`. Disabled by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AimdConfig {
+    /// Master switch; when false the configured window is always used.
+    pub enabled: bool,
+    /// Inbound-token rtr volume at which a round counts as pressured.
+    pub pressure_threshold: u32,
+    /// Consecutive pressured rounds before a multiplicative decrease.
+    pub pressure_rounds: u32,
+    /// Consecutive clean rounds before an additive increase.
+    pub recovery_rounds: u32,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            enabled: false,
+            pressure_threshold: 4,
+            pressure_rounds: 2,
+            recovery_rounds: 8,
+        }
+    }
+}
+
+impl AimdConfig {
+    /// The default AIMD constants with the feature switched on.
+    pub fn enabled() -> AimdConfig {
+        AimdConfig {
+            enabled: true,
+            ..AimdConfig::default()
+        }
+    }
+}
+
 /// Tunable parameters of the ordering protocol.
 ///
 /// The defaults correspond to the paper's accelerated configuration for
@@ -92,6 +188,16 @@ pub struct ProtocolConfig {
     pub max_seq_gap: u64,
     /// When the token becomes high-priority again after being handled.
     pub priority_method: PriorityMethod,
+    /// Maximum new-ring data messages buffered while still recovering;
+    /// overflow is counted and reported, not silently dropped.
+    pub pending_data_limit: u32,
+    /// Maximum recovery retransmissions multicast per commit-token
+    /// visit; truncation is counted and reported.
+    pub recovery_burst_limit: u32,
+    /// Membership flap damping (off by default).
+    pub flap_damping: FlapDampingConfig,
+    /// AIMD accelerated-window degradation (off by default).
+    pub accel_aimd: AimdConfig,
 }
 
 impl ProtocolConfig {
@@ -105,6 +211,10 @@ impl ProtocolConfig {
             accelerated_window: 20,
             max_seq_gap: 1000,
             priority_method: PriorityMethod::Aggressive,
+            pending_data_limit: 65_536,
+            recovery_burst_limit: 1024,
+            flap_damping: FlapDampingConfig::default(),
+            accel_aimd: AimdConfig::default(),
         }
     }
 
@@ -120,6 +230,10 @@ impl ProtocolConfig {
             accelerated_window: 0,
             max_seq_gap: 1000,
             priority_method: PriorityMethod::Conservative,
+            pending_data_limit: 65_536,
+            recovery_burst_limit: 1024,
+            flap_damping: FlapDampingConfig::default(),
+            accel_aimd: AimdConfig::default(),
         }
     }
 
@@ -160,6 +274,34 @@ impl ProtocolConfig {
         self
     }
 
+    /// Sets `pending_data_limit`.
+    #[must_use]
+    pub fn with_pending_data_limit(mut self, limit: u32) -> Self {
+        self.pending_data_limit = limit;
+        self
+    }
+
+    /// Sets `recovery_burst_limit`.
+    #[must_use]
+    pub fn with_recovery_burst_limit(mut self, limit: u32) -> Self {
+        self.recovery_burst_limit = limit;
+        self
+    }
+
+    /// Sets the flap-damping policy.
+    #[must_use]
+    pub fn with_flap_damping(mut self, d: FlapDampingConfig) -> Self {
+        self.flap_damping = d;
+        self
+    }
+
+    /// Sets the AIMD accelerated-window degradation policy.
+    #[must_use]
+    pub fn with_accel_aimd(mut self, a: AimdConfig) -> Self {
+        self.accel_aimd = a;
+        self
+    }
+
     /// Checks the configuration for internal consistency.
     ///
     /// # Errors
@@ -188,6 +330,46 @@ impl ProtocolConfig {
                 self.accelerated_window,
             ));
         }
+        if self.pending_data_limit == 0 {
+            return Err(ConfigError::ZeroWindow("pending_data_limit"));
+        }
+        if self.recovery_burst_limit == 0 {
+            return Err(ConfigError::ZeroWindow("recovery_burst_limit"));
+        }
+        if self.flap_damping.enabled {
+            let d = &self.flap_damping;
+            if d.penalty_per_flap == 0 {
+                return Err(ConfigError::ZeroWindow("penalty_per_flap"));
+            }
+            if d.suppress_threshold == 0 {
+                return Err(ConfigError::ZeroWindow("suppress_threshold"));
+            }
+            if d.half_life_rounds == 0 {
+                return Err(ConfigError::ZeroWindow("half_life_rounds"));
+            }
+            if d.reuse_threshold > d.suppress_threshold {
+                return Err(ConfigError::DegradationPolicy(
+                    "reuse_threshold must not exceed suppress_threshold",
+                ));
+            }
+            if d.max_penalty < d.suppress_threshold {
+                return Err(ConfigError::DegradationPolicy(
+                    "max_penalty must be at least suppress_threshold",
+                ));
+            }
+        }
+        if self.accel_aimd.enabled {
+            let a = &self.accel_aimd;
+            if a.pressure_threshold == 0 {
+                return Err(ConfigError::ZeroWindow("pressure_threshold"));
+            }
+            if a.pressure_rounds == 0 {
+                return Err(ConfigError::ZeroWindow("pressure_rounds"));
+            }
+            if a.recovery_rounds == 0 {
+                return Err(ConfigError::ZeroWindow("recovery_rounds"));
+            }
+        }
         Ok(())
     }
 }
@@ -213,6 +395,8 @@ pub enum ConfigError {
     /// An `Original`-variant configuration had a non-zero accelerated
     /// window.
     OriginalWithAcceleration(u32),
+    /// A flap-damping or AIMD parameter relation is inconsistent.
+    DegradationPolicy(&'static str),
 }
 
 impl core::fmt::Display for ConfigError {
@@ -227,6 +411,7 @@ impl core::fmt::Display for ConfigError {
                 f,
                 "original protocol variant cannot have accelerated_window = {w}"
             ),
+            ConfigError::DegradationPolicy(msg) => f.write_str(msg),
         }
     }
 }
@@ -312,6 +497,78 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::OriginalWithAcceleration(4))
         );
+    }
+
+    #[test]
+    fn recovery_limits_must_be_positive() {
+        assert_eq!(
+            ProtocolConfig::accelerated()
+                .with_pending_data_limit(0)
+                .validate(),
+            Err(ConfigError::ZeroWindow("pending_data_limit"))
+        );
+        assert_eq!(
+            ProtocolConfig::accelerated()
+                .with_recovery_burst_limit(0)
+                .validate(),
+            Err(ConfigError::ZeroWindow("recovery_burst_limit"))
+        );
+    }
+
+    #[test]
+    fn damping_and_aimd_policies_validate_only_when_enabled() {
+        // Nonsensical values are fine while disabled...
+        let bad = FlapDampingConfig {
+            enabled: false,
+            penalty_per_flap: 0,
+            suppress_threshold: 0,
+            reuse_threshold: 9,
+            half_life_rounds: 0,
+            max_penalty: 0,
+        };
+        ProtocolConfig::accelerated()
+            .with_flap_damping(bad)
+            .validate()
+            .unwrap();
+        // ...and rejected once enabled.
+        let bad = FlapDampingConfig {
+            enabled: true,
+            ..bad
+        };
+        assert!(ProtocolConfig::accelerated()
+            .with_flap_damping(bad)
+            .validate()
+            .is_err());
+        let inverted = FlapDampingConfig {
+            reuse_threshold: 5000,
+            ..FlapDampingConfig::enabled()
+        };
+        assert!(matches!(
+            ProtocolConfig::accelerated()
+                .with_flap_damping(inverted)
+                .validate(),
+            Err(ConfigError::DegradationPolicy(_))
+        ));
+        ProtocolConfig::accelerated()
+            .with_flap_damping(FlapDampingConfig::enabled())
+            .validate()
+            .unwrap();
+
+        let zero_aimd = AimdConfig {
+            enabled: true,
+            pressure_threshold: 0,
+            ..AimdConfig::default()
+        };
+        assert_eq!(
+            ProtocolConfig::accelerated()
+                .with_accel_aimd(zero_aimd)
+                .validate(),
+            Err(ConfigError::ZeroWindow("pressure_threshold"))
+        );
+        ProtocolConfig::accelerated()
+            .with_accel_aimd(AimdConfig::enabled())
+            .validate()
+            .unwrap();
     }
 
     #[test]

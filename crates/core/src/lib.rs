@@ -58,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod actions;
+pub mod adaptive;
 pub mod checker;
 pub mod config;
 pub mod fault;
@@ -75,12 +76,17 @@ pub mod types;
 pub mod wire;
 
 pub use actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
+pub use adaptive::{
+    derive_timeouts, AdaptiveConfig, AdaptiveConfigError, AdaptiveInitError, AdaptiveTimeouts,
+};
 pub use checker::{EvsChecker, TokenRuleMonitor};
-pub use config::{ConfigError, PriorityMethod, ProtocolConfig, ProtocolVariant};
+pub use config::{
+    AimdConfig, ConfigError, FlapDampingConfig, PriorityMethod, ProtocolConfig, ProtocolVariant,
+};
 pub use fault::{Connectivity, FaultEvent, FaultSchedule};
 pub use message::{CommitToken, DataMessage, Delivery, JoinMessage, MemberInfo, Token};
 pub use observer::{Observer, ProtoEvent};
-pub use participant::{Mode, NewParticipantError, Participant, TimeoutConfig};
+pub use participant::{Mode, NewParticipantError, Participant, TimeoutConfig, TimeoutConfigError};
 pub use priority::PriorityMode;
 pub use recvbuf::RecvBuffer;
 pub use ring::RingInfo;

@@ -42,20 +42,24 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
 use crate::message::{CommitToken, DataMessage, JoinMessage, Token};
-use crate::participant::{Mode, OrderingState, Participant, TimeoutConfig};
+use crate::participant::{Mode, OrderingState, Participant, TimeoutConfig, TimeoutConfigError};
 use crate::recvbuf::{InsertOutcome, RecvBuffer};
 use crate::ring::RingInfo;
 use crate::types::{ParticipantId, RingId, Seq};
 
-/// Maximum recovery retransmissions multicast per commit-token visit.
-const RECOVERY_BURST_LIMIT: usize = 1024;
-
-/// Maximum new-ring data messages buffered while still recovering.
-const PENDING_DATA_LIMIT: usize = 65_536;
-
 /// How many past ring identifiers to remember for stale-traffic
 /// filtering.
 const PREV_RING_MEMORY: usize = 8;
+
+/// Flap-damping bookkeeping for one (possibly departed) member.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MemberPenalty {
+    /// Accumulated penalty score; decays by halving every
+    /// `half_life_rounds` handled tokens.
+    pub(crate) score: u32,
+    /// Whether the member is currently excluded from memberships.
+    pub(crate) quarantined: bool,
+}
 
 /// Recovery bookkeeping, alive from the first fully-filled commit token
 /// until the participant resumes normal operation.
@@ -93,6 +97,12 @@ pub struct MembershipState {
     /// consensus timeout: a gather must wait to hear peers before
     /// concluding it is alone, or merges would never happen.
     pub(crate) alone_ok: bool,
+    /// Flap-damping penalty scores, keyed by member. Entries decay
+    /// round-by-round (handled tokens, never wall clock) and vanish at
+    /// zero, so the map stays bounded by the set of recent flappers.
+    pub(crate) penalties: BTreeMap<ParticipantId, MemberPenalty>,
+    /// Handled tokens since the last penalty half-life decay.
+    pub(crate) rounds_since_decay: u64,
 }
 
 impl MembershipState {
@@ -109,6 +119,8 @@ impl MembershipState {
             pending_new_ring_data: Vec::new(),
             prev_rings: Vec::new(),
             alone_ok: false,
+            penalties: BTreeMap::new(),
+            rounds_since_decay: 0,
         }
     }
 }
@@ -116,13 +128,146 @@ impl MembershipState {
 impl Participant {
     /// Replaces the timeout policy (durations are interpreted by the
     /// environment; the retransmit limit is used by the protocol).
-    pub fn set_timeouts(&mut self, timeouts: TimeoutConfig) {
+    ///
+    /// The policy is validated first: zero durations or a retransmit
+    /// interval at or above the loss timeout are rejected, leaving the
+    /// previous policy in force.
+    pub fn set_timeouts(&mut self, timeouts: TimeoutConfig) -> Result<(), TimeoutConfigError> {
+        timeouts.validate()?;
         self.memb.timeouts = timeouts;
+        Ok(())
+    }
+
+    /// Installs a timeout policy derived by the adaptive controller.
+    ///
+    /// Like [`Participant::set_timeouts`] but counted and observable:
+    /// when the policy actually changes, `timeouts_adapted` is bumped
+    /// and a [`ProtoEvent::TimeoutsAdapted`] is emitted. Returns
+    /// whether anything changed.
+    ///
+    /// [`ProtoEvent::TimeoutsAdapted`]: crate::observer::ProtoEvent::TimeoutsAdapted
+    pub fn adapt_timeouts(&mut self, timeouts: TimeoutConfig) -> Result<bool, TimeoutConfigError> {
+        timeouts.validate()?;
+        if self.memb.timeouts == timeouts {
+            return Ok(false);
+        }
+        self.memb.timeouts = timeouts;
+        self.stats.timeouts_adapted += 1;
+        self.obs
+            .emit(|| crate::observer::ProtoEvent::TimeoutsAdapted {
+                token_loss_ns: timeouts.token_loss,
+                token_retransmit_ns: timeouts.token_retransmit,
+                consensus_ns: timeouts.consensus,
+            });
+        Ok(true)
     }
 
     /// The timeout policy in force.
     pub fn timeouts(&self) -> &TimeoutConfig {
         &self.memb.timeouts
+    }
+
+    // ----- flap damping ---------------------------------------------------
+
+    /// Whether `p` is currently quarantined by flap damping.
+    pub fn is_quarantined(&self, p: ParticipantId) -> bool {
+        self.cfg.flap_damping.enabled && self.memb.penalties.get(&p).is_some_and(|m| m.quarantined)
+    }
+
+    /// Number of members currently quarantined by flap damping.
+    pub fn quarantined_count(&self) -> usize {
+        self.memb
+            .penalties
+            .values()
+            .filter(|m| m.quarantined)
+            .count()
+    }
+
+    /// The current flap penalty score of `p` (zero if unknown).
+    pub fn flap_penalty(&self, p: ParticipantId) -> u32 {
+        self.memb.penalties.get(&p).map_or(0, |m| m.score)
+    }
+
+    /// Charges `p` one flap penalty, quarantining it when the score
+    /// crosses the suppress threshold.
+    pub(crate) fn penalize(&mut self, p: ParticipantId) {
+        let dcfg = self.cfg.flap_damping;
+        let entry = self.memb.penalties.entry(p).or_default();
+        entry.score = entry
+            .score
+            .saturating_add(dcfg.penalty_per_flap)
+            .min(dcfg.max_penalty);
+        let score = entry.score;
+        let newly_quarantined = !entry.quarantined && score >= dcfg.suppress_threshold;
+        if newly_quarantined {
+            entry.quarantined = true;
+        }
+        self.obs
+            .emit(|| crate::observer::ProtoEvent::MemberPenalized {
+                member: p.as_u16(),
+                penalty: score,
+            });
+        if newly_quarantined {
+            self.stats.members_quarantined += 1;
+            self.obs
+                .emit(|| crate::observer::ProtoEvent::MemberQuarantined {
+                    member: p.as_u16(),
+                    penalty: score,
+                });
+        }
+    }
+
+    /// Advances the round-based penalty decay. Called once per handled
+    /// token, so the half-life is measured in token rotations and stays
+    /// deterministic under the nemesis virtual clock.
+    pub(crate) fn decay_penalties(&mut self) {
+        if self.memb.penalties.is_empty() {
+            self.memb.rounds_since_decay = 0;
+            return;
+        }
+        self.memb.rounds_since_decay += 1;
+        if self.memb.rounds_since_decay < self.cfg.flap_damping.half_life_rounds {
+            return;
+        }
+        self.memb.rounds_since_decay = 0;
+        let reuse = self.cfg.flap_damping.reuse_threshold;
+        let mut reinstated: Vec<u16> = Vec::new();
+        self.memb.penalties.retain(|p, m| {
+            m.score /= 2;
+            if m.quarantined && m.score < reuse {
+                m.quarantined = false;
+                reinstated.push(p.as_u16());
+            }
+            m.score > 0 || m.quarantined
+        });
+        for member in reinstated {
+            self.stats.members_reinstated += 1;
+            self.obs
+                .emit(|| crate::observer::ProtoEvent::MemberReinstated { member });
+        }
+    }
+
+    /// Moves every quarantined member into the fail set so consensus
+    /// forms without it. Quarantined members stay in `proc_set`: the
+    /// fail-set entry rides our join messages, so peers that merge our
+    /// view also exclude the flapper (damping is deliberately
+    /// contagious, as in Spread's route damping).
+    fn apply_quarantine(&mut self) {
+        if !self.cfg.flap_damping.enabled {
+            return;
+        }
+        let quarantined: Vec<ParticipantId> = self
+            .memb
+            .penalties
+            .iter()
+            .filter(|(_, m)| m.quarantined)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in quarantined {
+            if p != self.pid {
+                self.memb.fail_set.insert(p);
+            }
+        }
     }
 
     // ----- gather ---------------------------------------------------------
@@ -149,6 +294,7 @@ impl Participant {
         for j in merge {
             self.merge_join(j);
         }
+        self.apply_quarantine();
         let my_join = self.build_join();
         self.memb.joins.insert(self.pid, my_join.clone());
         let mut actions = vec![
@@ -213,6 +359,12 @@ impl Participant {
         if j.sender == self.pid {
             return Vec::new(); // our own multicast looped back
         }
+        if self.is_quarantined(j.sender) {
+            // A quarantined flapper keeps asking to join; damping means
+            // ignoring it until its penalty decays.
+            self.stats.joins_suppressed += 1;
+            return Vec::new();
+        }
         match self.mode {
             Mode::Operational => {
                 let stale = self.ring.contains(j.sender) && j.ring_seq < self.ring.id().ring_seq();
@@ -225,6 +377,7 @@ impl Participant {
                 if !self.merge_join(j) {
                     return Vec::new();
                 }
+                self.apply_quarantine();
                 let my_join = self.build_join();
                 self.memb.joins.insert(self.pid, my_join.clone());
                 let mut actions = vec![Action::MulticastJoin(my_join)];
@@ -365,6 +518,18 @@ impl Participant {
             if c.member_ids() != live {
                 return Vec::new();
             }
+            // Even with matching membership, a token whose entry for us
+            // was filled against a ring we no longer hold is from an
+            // abandoned attempt that predates our current ring; merging
+            // it would compute an empty transitional group.
+            let stale_self = c
+                .memb
+                .iter()
+                .find(|m| m.pid == self.pid)
+                .is_some_and(|m| m.filled && m.old_ring_id != self.ring.id());
+            if stale_self {
+                return Vec::new();
+            }
         }
         self.memb.commit_ring = Some(c.ring_id);
         self.memb.last_commit_hop = c.hop;
@@ -485,16 +650,27 @@ impl Participant {
         if group_low >= group_high {
             return Vec::new();
         }
+        let limit = self.cfg.recovery_burst_limit as usize;
         let mut actions = Vec::new();
+        let mut truncated = false;
         for msg in self.recvbuf.iter() {
             if msg.seq > group_low && msg.seq <= group_high {
+                if actions.len() >= limit {
+                    truncated = true;
+                    break;
+                }
                 let mut copy = msg.clone();
                 copy.after_token = false;
                 actions.push(Action::Multicast(copy));
-                if actions.len() >= RECOVERY_BURST_LIMIT {
-                    break;
-                }
             }
+        }
+        if truncated {
+            // The remainder goes out on a later commit-token visit;
+            // surface the truncation instead of dropping it silently.
+            self.stats.recovery_burst_truncated += 1;
+            let sent = actions.len() as u32;
+            self.obs
+                .emit(|| crate::observer::ProtoEvent::RecoveryBurstTruncated { sent });
         }
         actions
     }
@@ -528,8 +704,13 @@ impl Participant {
             .map(|r| r.new_ring.id() == msg.ring_id)
             .unwrap_or(false);
         if forming {
-            if self.memb.pending_new_ring_data.len() < PENDING_DATA_LIMIT {
+            if self.memb.pending_new_ring_data.len() < self.cfg.pending_data_limit as usize {
                 self.memb.pending_new_ring_data.push(msg);
+            } else {
+                self.stats.recovery_pending_dropped += 1;
+                let dropped = self.stats.recovery_pending_dropped;
+                self.obs
+                    .emit(|| crate::observer::ProtoEvent::RecoveryPendingDropped { dropped });
             }
         } else {
             self.stats.foreign_dropped += 1;
@@ -588,6 +769,32 @@ impl Participant {
                 ring_seq: rec.new_ring.id().ring_seq(),
                 members: rec.new_ring.members().len() as u16,
             });
+
+        // Charge a flap penalty to every old-ring member that did not
+        // make it into the new ring: each departure it causes costs the
+        // whole group a gather→commit→recovery cycle. Only the side
+        // retaining a majority of the old ring charges penalties — a
+        // minority remnant is usually the flapper itself (or collateral
+        // of the same fault), and letting it quarantine the stable side
+        // would escalate one marginal link into a quarantine war that
+        // permanently partitions live members.
+        if self.cfg.flap_damping.enabled {
+            let old = self.ring.members();
+            let retained = old
+                .iter()
+                .filter(|p| rec.new_ring.members().contains(p))
+                .count();
+            if retained * 2 > old.len() {
+                let departed: Vec<ParticipantId> = old
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.pid && !rec.new_ring.members().contains(p))
+                    .collect();
+                for p in departed {
+                    self.penalize(p);
+                }
+            }
+        }
 
         // 4. Install. Remember every merged member's previous ring so
         // stale in-flight traffic from any of them cannot re-trigger a
@@ -1245,5 +1452,175 @@ mod tests {
         }
         assert_eq!(net.parts[0].ring().id(), net.parts[1].ring().id());
         assert_eq!(net.parts[1].ring().id(), net.parts[2].ring().id());
+    }
+
+    // ----- adaptive timeouts / flap damping ------------------------------
+
+    fn damped_cfg() -> ProtocolConfig {
+        ProtocolConfig::accelerated().with_flap_damping(crate::config::FlapDampingConfig {
+            enabled: true,
+            penalty_per_flap: 1000,
+            suppress_threshold: 2500,
+            reuse_threshold: 1000,
+            half_life_rounds: 4,
+            max_penalty: 8000,
+        })
+    }
+
+    #[test]
+    fn set_timeouts_rejects_invalid_policy() {
+        let cfg = ProtocolConfig::accelerated();
+        let mut p = Participant::new_singleton(pid(0), cfg).unwrap();
+        let good = *p.timeouts();
+        let mut bad = good;
+        bad.token_retransmit = bad.token_loss; // inverted relation
+        assert!(p.set_timeouts(bad).is_err());
+        assert_eq!(*p.timeouts(), good, "previous policy stays in force");
+        let mut zero = good;
+        zero.token_loss = 0;
+        assert!(p.set_timeouts(zero).is_err());
+        assert!(p.set_timeouts(good).is_ok());
+    }
+
+    #[test]
+    fn adapt_timeouts_counts_only_real_changes() {
+        let cfg = ProtocolConfig::accelerated();
+        let mut p = Participant::new_singleton(pid(0), cfg).unwrap();
+        let same = *p.timeouts();
+        assert_eq!(p.adapt_timeouts(same), Ok(false));
+        assert_eq!(p.stats().timeouts_adapted, 0);
+        let mut changed = same;
+        changed.token_loss *= 2;
+        assert_eq!(p.adapt_timeouts(changed), Ok(true));
+        assert_eq!(p.stats().timeouts_adapted, 1);
+        assert_eq!(p.timeouts().token_loss, changed.token_loss);
+    }
+
+    #[test]
+    fn repeated_flaps_quarantine_a_member() {
+        let mut p = Participant::new_singleton(pid(0), damped_cfg()).unwrap();
+        p.penalize(pid(7));
+        p.penalize(pid(7));
+        assert!(!p.is_quarantined(pid(7)), "two flaps stay below threshold");
+        p.penalize(pid(7));
+        assert!(p.is_quarantined(pid(7)));
+        assert_eq!(p.quarantined_count(), 1);
+        assert_eq!(p.stats().members_quarantined, 1);
+        // Score saturates at max_penalty.
+        for _ in 0..20 {
+            p.penalize(pid(7));
+        }
+        assert_eq!(p.flap_penalty(pid(7)), 8000);
+        assert_eq!(p.stats().members_quarantined, 1, "quarantined only once");
+    }
+
+    #[test]
+    fn quarantined_join_is_suppressed() {
+        let mut p = Participant::new_singleton(pid(0), damped_cfg()).unwrap();
+        for _ in 0..3 {
+            p.penalize(pid(7));
+        }
+        assert!(p.is_quarantined(pid(7)));
+        let j = JoinMessage {
+            sender: pid(7),
+            proc_set: vec![pid(7)],
+            fail_set: vec![],
+            ring_seq: 0,
+        };
+        let actions = p.handle_message(Message::Join(j));
+        assert!(actions.is_empty());
+        assert!(p.is_operational(), "no gather triggered by the flapper");
+        assert_eq!(p.stats().joins_suppressed, 1);
+    }
+
+    #[test]
+    fn penalty_decay_reinstates_member() {
+        let mut p = Participant::new_singleton(pid(0), damped_cfg()).unwrap();
+        for _ in 0..3 {
+            p.penalize(pid(7));
+        }
+        assert!(p.is_quarantined(pid(7)));
+        // 3000 → 1500 (still quarantined) → 750 (reinstated, below the
+        // reuse threshold of 1000). half_life_rounds = 4.
+        for _ in 0..4 {
+            p.decay_penalties();
+        }
+        assert!(p.is_quarantined(pid(7)), "1500 >= reuse threshold");
+        for _ in 0..4 {
+            p.decay_penalties();
+        }
+        assert!(!p.is_quarantined(pid(7)));
+        assert_eq!(p.stats().members_reinstated, 1);
+        // Score keeps decaying to zero and the entry is dropped.
+        for _ in 0..40 {
+            p.decay_penalties();
+        }
+        assert_eq!(p.flap_penalty(pid(7)), 0);
+        assert!(p.memb.penalties.is_empty());
+    }
+
+    #[test]
+    fn quarantine_excludes_flapper_from_gather() {
+        let mut p = Participant::new_singleton(pid(0), damped_cfg()).unwrap();
+        for _ in 0..3 {
+            p.penalize(pid(7));
+        }
+        let _ = p.start_gather(Vec::new());
+        // A join from a third party advertising the flapper still lands
+        // the flapper in our fail set, not our live set.
+        let j = JoinMessage {
+            sender: pid(1),
+            proc_set: vec![pid(1), pid(7)],
+            fail_set: vec![],
+            ring_seq: 0,
+        };
+        let _ = p.handle_message(Message::Join(j));
+        assert!(p.memb.fail_set.contains(&pid(7)));
+        let my_join = p.memb.joins.get(&pid(0)).unwrap();
+        assert!(my_join.fail_set.contains(&pid(7)), "damping is gossiped");
+    }
+
+    #[test]
+    fn damping_disabled_never_quarantines() {
+        let cfg = ProtocolConfig::accelerated();
+        let mut p = Participant::new_singleton(pid(0), cfg).unwrap();
+        p.penalize(pid(7));
+        assert!(!p.is_quarantined(pid(7)), "disabled damping never bites");
+    }
+
+    #[test]
+    fn recovery_pending_drops_are_counted() {
+        let cfg = ProtocolConfig::accelerated().with_pending_data_limit(2);
+        let members = vec![pid(0), pid(1)];
+        let mut p = Participant::new(pid(1), cfg, RingId::new(pid(0), 1), members.clone()).unwrap();
+        let _ = p.handle_timer(TimerKind::TokenLoss); // gather
+        let new_ring = RingId::new(pid(0), 2);
+        let mut ct = CommitToken::new(new_ring, &members);
+        for e in ct.memb.iter_mut() {
+            e.old_ring_id = RingId::new(pid(0), 1);
+            e.filled = true;
+            if e.pid == pid(0) {
+                // P0 holds messages we have not seen: recovery stays
+                // open while new-ring data arrives.
+                e.high_seq = Seq::new(10);
+            }
+        }
+        ct.hop = 1;
+        let _ = p.handle_message(Message::Commit(ct));
+        assert_eq!(p.mode(), Mode::Recovery);
+        for seq in 1..=4u64 {
+            let msg = DataMessage {
+                ring_id: new_ring,
+                pid: pid(0),
+                seq: Seq::new(seq),
+                round: crate::types::Round::new(1),
+                service: ServiceType::Agreed,
+                after_token: false,
+                payload: Bytes::from_static(b"x"),
+            };
+            let _ = p.handle_recovery_data(msg);
+        }
+        assert_eq!(p.memb.pending_new_ring_data.len(), 2);
+        assert_eq!(p.stats().recovery_pending_dropped, 2);
     }
 }

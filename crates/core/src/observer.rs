@@ -101,6 +101,55 @@ pub enum ProtoEvent {
         /// Number of members on the new ring.
         members: u16,
     },
+    /// The adaptive controller installed a new timeout policy.
+    TimeoutsAdapted {
+        /// New token-loss timeout (ns).
+        token_loss_ns: u64,
+        /// New token-retransmit interval (ns).
+        token_retransmit_ns: u64,
+        /// New gather-consensus timeout (ns).
+        consensus_ns: u64,
+    },
+    /// A member accrued a flap-damping penalty for departing the ring.
+    MemberPenalized {
+        /// Raw id of the penalized member.
+        member: u16,
+        /// Its accumulated penalty score.
+        penalty: u32,
+    },
+    /// A member's penalty crossed the suppress threshold; it is
+    /// quarantined out of future memberships until the score decays.
+    MemberQuarantined {
+        /// Raw id of the quarantined member.
+        member: u16,
+        /// Its score at quarantine time.
+        penalty: u32,
+    },
+    /// A quarantined member's penalty decayed below the reuse
+    /// threshold; it may join memberships again.
+    MemberReinstated {
+        /// Raw id of the reinstated member.
+        member: u16,
+    },
+    /// The AIMD controller changed the effective accelerated window.
+    AccelWindowChanged {
+        /// Window before the change.
+        from: u32,
+        /// Window after the change (0 = original Ring behaviour).
+        to: u32,
+    },
+    /// A new-ring data message arriving during recovery was dropped
+    /// because the pending buffer hit `pending_data_limit`.
+    RecoveryPendingDropped {
+        /// Cumulative count of such drops at this participant.
+        dropped: u64,
+    },
+    /// A recovery retransmission burst was cut short by
+    /// `recovery_burst_limit`.
+    RecoveryBurstTruncated {
+        /// Retransmissions actually multicast in the truncated burst.
+        sent: u32,
+    },
 }
 
 impl ProtoEvent {
@@ -117,6 +166,13 @@ impl ProtoEvent {
             ProtoEvent::TokenRetransmit { .. } => "token-retransmit",
             ProtoEvent::GatherStarted { .. } => "gather-started",
             ProtoEvent::ConfigInstalled { .. } => "config-installed",
+            ProtoEvent::TimeoutsAdapted { .. } => "timeouts-adapted",
+            ProtoEvent::MemberPenalized { .. } => "member-penalized",
+            ProtoEvent::MemberQuarantined { .. } => "member-quarantined",
+            ProtoEvent::MemberReinstated { .. } => "member-reinstated",
+            ProtoEvent::AccelWindowChanged { .. } => "accel-window-changed",
+            ProtoEvent::RecoveryPendingDropped { .. } => "recovery-pending-dropped",
+            ProtoEvent::RecoveryBurstTruncated { .. } => "recovery-burst-truncated",
         }
     }
 
@@ -133,6 +189,13 @@ impl ProtoEvent {
             ProtoEvent::TokenRetransmit { .. } => 8,
             ProtoEvent::GatherStarted { .. } => 9,
             ProtoEvent::ConfigInstalled { .. } => 10,
+            ProtoEvent::TimeoutsAdapted { .. } => 11,
+            ProtoEvent::MemberPenalized { .. } => 12,
+            ProtoEvent::MemberQuarantined { .. } => 13,
+            ProtoEvent::MemberReinstated { .. } => 14,
+            ProtoEvent::AccelWindowChanged { .. } => 15,
+            ProtoEvent::RecoveryPendingDropped { .. } => 16,
+            ProtoEvent::RecoveryBurstTruncated { .. } => 17,
         }
     }
 
@@ -173,6 +236,27 @@ impl ProtoEvent {
                 num(ring_seq);
                 num(u64::from(members));
             }
+            ProtoEvent::TimeoutsAdapted {
+                token_loss_ns,
+                token_retransmit_ns,
+                consensus_ns,
+            } => {
+                num(token_loss_ns);
+                num(token_retransmit_ns);
+                num(consensus_ns);
+            }
+            ProtoEvent::MemberPenalized { member, penalty }
+            | ProtoEvent::MemberQuarantined { member, penalty } => {
+                num(u64::from(member));
+                num(u64::from(penalty));
+            }
+            ProtoEvent::MemberReinstated { member } => num(u64::from(member)),
+            ProtoEvent::AccelWindowChanged { from, to } => {
+                num(u64::from(from));
+                num(u64::from(to));
+            }
+            ProtoEvent::RecoveryPendingDropped { dropped } => num(dropped),
+            ProtoEvent::RecoveryBurstTruncated { sent } => num(u64::from(sent)),
         }
     }
 }

@@ -84,6 +84,74 @@ impl Default for TimeoutConfig {
     }
 }
 
+impl TimeoutConfig {
+    /// Checks the timeout table for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimeoutConfigError`] if any duration or the
+    /// retransmit limit is zero (the protocol would hang or spin), or
+    /// if the retransmit interval is not strictly below the token-loss
+    /// timeout (loss would always be declared before any retransmission
+    /// could be attempted).
+    pub fn validate(&self) -> Result<(), TimeoutConfigError> {
+        for (name, v) in [
+            ("token_loss", self.token_loss),
+            ("token_retransmit", self.token_retransmit),
+            ("join", self.join),
+            ("consensus", self.consensus),
+            ("commit", self.commit),
+            (
+                "token_retransmit_limit",
+                u64::from(self.token_retransmit_limit),
+            ),
+        ] {
+            if v == 0 {
+                return Err(TimeoutConfigError::Zero(name));
+            }
+        }
+        if self.token_retransmit >= self.token_loss {
+            return Err(TimeoutConfigError::RetransmitNotBelowLoss {
+                token_retransmit: self.token_retransmit,
+                token_loss: self.token_loss,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by [`TimeoutConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutConfigError {
+    /// A duration or limit that must be positive was zero.
+    Zero(&'static str),
+    /// The retransmit interval was not strictly below the token-loss
+    /// timeout.
+    RetransmitNotBelowLoss {
+        /// The offending retransmit interval (ns).
+        token_retransmit: u64,
+        /// The token-loss timeout it must stay below (ns).
+        token_loss: u64,
+    },
+}
+
+impl core::fmt::Display for TimeoutConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TimeoutConfigError::Zero(name) => write!(f, "{name} must be positive"),
+            TimeoutConfigError::RetransmitNotBelowLoss {
+                token_retransmit,
+                token_loss,
+            } => write!(
+                f,
+                "token_retransmit ({token_retransmit} ns) must be below token_loss ({token_loss} ns)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimeoutConfigError {}
+
 /// Which phase of the protocol the participant is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -183,6 +251,18 @@ impl OrderingState {
     }
 }
 
+/// AIMD state for the effective accelerated window (degradation under
+/// sustained retransmission pressure; see `ProtocolConfig::accel_aimd`).
+#[derive(Debug, Clone)]
+pub(crate) struct AimdState {
+    /// The window actually applied in the pre/post-token send split.
+    pub(crate) effective_window: u32,
+    /// Consecutive pressured rounds since the last decrease.
+    pub(crate) pressured_rounds: u32,
+    /// Consecutive clean rounds since the last pressured one.
+    pub(crate) clean_rounds: u32,
+}
+
 /// A protocol participant (one per daemon or library process).
 #[derive(Debug, Clone)]
 pub struct Participant {
@@ -194,6 +274,7 @@ pub struct Participant {
     pub(crate) priority: PriorityTracker,
     pub(crate) stats: ParticipantStats,
     pub(crate) ord: OrderingState,
+    pub(crate) aimd: AimdState,
     pub(crate) mode: Mode,
     pub(crate) memb: MembershipState,
     pub(crate) obs: ObserverSlot,
@@ -230,6 +311,11 @@ impl Participant {
             priority,
             stats: ParticipantStats::new(),
             ord: OrderingState::new(),
+            aimd: AimdState {
+                effective_window: cfg.accelerated_window,
+                pressured_rounds: 0,
+                clean_rounds: 0,
+            },
             mode: Mode::Operational,
             memb: MembershipState::new(),
             obs: ObserverSlot::default(),
@@ -290,6 +376,57 @@ impl Participant {
     /// Cumulative statistics.
     pub fn stats(&self) -> &ParticipantStats {
         &self.stats
+    }
+
+    /// The accelerated window actually in force: the configured value,
+    /// or the AIMD-degraded one when `accel_aimd` is enabled. At zero
+    /// the send pattern is the original Ring protocol's.
+    pub fn effective_accelerated_window(&self) -> u32 {
+        if self.cfg.accel_aimd.enabled {
+            self.aimd.effective_window
+        } else {
+            self.cfg.accelerated_window
+        }
+    }
+
+    /// AIMD step, run once per handled token: multiplicative decrease
+    /// after sustained retransmission pressure, additive recovery after
+    /// sustained calm. Returns the window to apply this round.
+    fn update_accel_window(&mut self, rtr_volume: u32) -> u32 {
+        let a = self.cfg.accel_aimd;
+        if !a.enabled {
+            return self.cfg.accelerated_window;
+        }
+        if rtr_volume >= a.pressure_threshold {
+            self.aimd.clean_rounds = 0;
+            self.aimd.pressured_rounds += 1;
+            if self.aimd.pressured_rounds >= a.pressure_rounds && self.aimd.effective_window > 0 {
+                self.aimd.pressured_rounds = 0;
+                let from = self.aimd.effective_window;
+                self.aimd.effective_window = from / 2;
+                self.stats.accel_window_shrinks += 1;
+                let to = self.aimd.effective_window;
+                self.obs
+                    .emit(|| ProtoEvent::AccelWindowChanged { from, to });
+            }
+        } else {
+            self.aimd.pressured_rounds = 0;
+            if self.aimd.effective_window < self.cfg.accelerated_window {
+                self.aimd.clean_rounds += 1;
+                if self.aimd.clean_rounds >= a.recovery_rounds {
+                    self.aimd.clean_rounds = 0;
+                    let from = self.aimd.effective_window;
+                    self.aimd.effective_window = from + 1;
+                    self.stats.accel_window_grows += 1;
+                    let to = self.aimd.effective_window;
+                    self.obs
+                        .emit(|| ProtoEvent::AccelWindowChanged { from, to });
+                }
+            } else {
+                self.aimd.clean_rounds = 0;
+            }
+        }
+        self.aimd.effective_window
     }
 
     // ----- observation ----------------------------------------------------
@@ -417,6 +554,12 @@ impl Participant {
             seq: tok.seq.as_u64(),
             aru: tok.aru.as_u64(),
         });
+        if self.cfg.flap_damping.enabled {
+            self.decay_penalties();
+        }
+        // The received token's rtr volume is the ring-wide loss signal
+        // driving accelerated-window degradation (AIMD).
+        let accel_window = self.update_accel_window(tok.rtr.len() as u32);
         let mut actions = Vec::new();
 
         // 1. Answer retransmission requests (always pre-token).
@@ -501,7 +644,7 @@ impl Participant {
             debug_assert_eq!(outcome, InsertOutcome::New);
             self.stats.messages_initiated += 1;
             accel_q.push_back(msg);
-            if accel_q.len() > self.cfg.accelerated_window as usize {
+            if accel_q.len() > accel_window as usize {
                 let m = accel_q.pop_front().expect("queue just exceeded window");
                 self.stats.messages_sent_before_token += 1;
                 self.obs.emit(|| ProtoEvent::MsgPreToken {
@@ -622,7 +765,12 @@ impl Participant {
         match self.mode {
             Mode::Recovery => self.handle_recovery_data(msg),
             Mode::Operational => {
-                if self.ring.contains(msg.pid) || self.memb.prev_rings.contains(&msg.ring_id) {
+                // Traffic from a quarantined flapper must not re-trigger
+                // the merge path while its damping penalty decays.
+                if self.ring.contains(msg.pid)
+                    || self.memb.prev_rings.contains(&msg.ring_id)
+                    || self.is_quarantined(msg.pid)
+                {
                     self.stats.foreign_dropped += 1;
                     Vec::new()
                 } else {
@@ -1502,5 +1650,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ----- AIMD accelerated-window degradation ---------------------------
+
+    fn aimd_cfg() -> ProtocolConfig {
+        ProtocolConfig::accelerated()
+            .with_accelerated_window(4)
+            .with_accel_aimd(crate::config::AimdConfig {
+                enabled: true,
+                pressure_threshold: 4,
+                pressure_rounds: 2,
+                recovery_rounds: 3,
+            })
+    }
+
+    #[test]
+    fn aimd_disabled_window_is_static() {
+        let mut ring = make_ring(2, ProtocolConfig::accelerated().with_accelerated_window(4));
+        assert_eq!(ring[0].effective_accelerated_window(), 4);
+        for _ in 0..10 {
+            ring[0].update_accel_window(100);
+        }
+        assert_eq!(ring[0].effective_accelerated_window(), 4);
+        assert_eq!(ring[0].stats().accel_window_shrinks, 0);
+    }
+
+    #[test]
+    fn aimd_shrinks_under_sustained_pressure_and_recovers() {
+        let mut ring = make_ring(2, aimd_cfg());
+        let p = &mut ring[0];
+        assert_eq!(p.effective_accelerated_window(), 4);
+        // One pressured round is not enough (pressure_rounds = 2).
+        p.update_accel_window(10);
+        assert_eq!(p.effective_accelerated_window(), 4);
+        p.update_accel_window(10);
+        assert_eq!(p.effective_accelerated_window(), 2, "multiplicative halve");
+        // Two more pressured rounds: 2 -> 1.
+        p.update_accel_window(10);
+        p.update_accel_window(10);
+        assert_eq!(p.effective_accelerated_window(), 1);
+        p.update_accel_window(10);
+        p.update_accel_window(10);
+        assert_eq!(p.effective_accelerated_window(), 0, "original Ring reached");
+        // Further pressure cannot shrink below zero.
+        p.update_accel_window(10);
+        p.update_accel_window(10);
+        assert_eq!(p.effective_accelerated_window(), 0);
+        assert_eq!(p.stats().accel_window_shrinks, 3);
+        // Calm rounds recover additively (recovery_rounds = 3 per step).
+        for _ in 0..3 {
+            p.update_accel_window(0);
+        }
+        assert_eq!(p.effective_accelerated_window(), 1, "additive +1");
+        for _ in 0..9 {
+            p.update_accel_window(0);
+        }
+        assert_eq!(p.effective_accelerated_window(), 4, "fully recovered");
+        // Recovery never overshoots the configured window.
+        for _ in 0..6 {
+            p.update_accel_window(0);
+        }
+        assert_eq!(p.effective_accelerated_window(), 4);
+        assert_eq!(p.stats().accel_window_grows, 4);
+    }
+
+    #[test]
+    fn aimd_pressure_must_be_consecutive() {
+        let mut ring = make_ring(2, aimd_cfg());
+        let p = &mut ring[0];
+        // Alternating pressure/calm never accumulates pressure_rounds.
+        for _ in 0..10 {
+            p.update_accel_window(10);
+            p.update_accel_window(0);
+        }
+        assert_eq!(p.effective_accelerated_window(), 4);
+        assert_eq!(p.stats().accel_window_shrinks, 0);
     }
 }

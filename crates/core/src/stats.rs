@@ -43,6 +43,23 @@ pub struct ParticipantStats {
     pub config_changes: u64,
     /// Membership gather phases entered.
     pub gathers_started: u64,
+    /// Timeout policies installed by the adaptive controller.
+    pub timeouts_adapted: u64,
+    /// Members quarantined by flap damping.
+    pub members_quarantined: u64,
+    /// Members reinstated after their flap penalty decayed.
+    pub members_reinstated: u64,
+    /// Join messages suppressed because the sender was quarantined.
+    pub joins_suppressed: u64,
+    /// AIMD multiplicative shrinks of the effective accelerated window.
+    pub accel_window_shrinks: u64,
+    /// AIMD additive recoveries of the effective accelerated window.
+    pub accel_window_grows: u64,
+    /// Recovery retransmission bursts truncated by the burst limit.
+    pub recovery_burst_truncated: u64,
+    /// New-ring data messages dropped during recovery because the
+    /// pending buffer hit its limit.
+    pub recovery_pending_dropped: u64,
 }
 
 impl ParticipantStats {

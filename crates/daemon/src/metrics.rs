@@ -143,7 +143,7 @@ impl TelemetryHub {
 
 /// The participant counters in exposition order, as
 /// `(metric_name, help, value)`.
-fn stat_counters(s: &ParticipantStats) -> [(&'static str, &'static str, u64); 16] {
+fn stat_counters(s: &ParticipantStats) -> [(&'static str, &'static str, u64); 24] {
     [
         (
             "ar_participant_tokens_handled_total",
@@ -224,6 +224,46 @@ fn stat_counters(s: &ParticipantStats) -> [(&'static str, &'static str, u64); 16
             "ar_participant_gathers_started_total",
             "Membership gathers entered",
             s.gathers_started,
+        ),
+        (
+            "ar_participant_timeouts_adapted_total",
+            "Adaptive timeout policies installed",
+            s.timeouts_adapted,
+        ),
+        (
+            "ar_participant_members_quarantined_total",
+            "Members quarantined by flap damping",
+            s.members_quarantined,
+        ),
+        (
+            "ar_participant_members_reinstated_total",
+            "Members reinstated after penalty decay",
+            s.members_reinstated,
+        ),
+        (
+            "ar_participant_joins_suppressed_total",
+            "Joins suppressed from quarantined members",
+            s.joins_suppressed,
+        ),
+        (
+            "ar_participant_accel_window_shrinks_total",
+            "AIMD accelerated-window shrinks",
+            s.accel_window_shrinks,
+        ),
+        (
+            "ar_participant_accel_window_grows_total",
+            "AIMD accelerated-window recoveries",
+            s.accel_window_grows,
+        ),
+        (
+            "ar_participant_recovery_burst_truncated_total",
+            "Recovery bursts truncated by the burst limit",
+            s.recovery_burst_truncated,
+        ),
+        (
+            "ar_participant_recovery_pending_dropped_total",
+            "Recovery-phase new-ring data drops (pending buffer full)",
+            s.recovery_pending_dropped,
         ),
     ]
 }

@@ -31,6 +31,14 @@ pub struct NetMetrics {
     pub deliveries: Counter,
     /// Inbound datagrams dropped because they failed to decode.
     pub wire_decode_drops: Counter,
+    /// Token-loss timeout currently in force (ns); moves when the
+    /// adaptive controller is enabled.
+    pub adaptive_token_loss_ns: Gauge,
+    /// Accelerated window currently in force (AIMD-degraded when the
+    /// controller is enabled; 0 = original Ring behaviour).
+    pub effective_accel_window: Gauge,
+    /// Members currently quarantined by flap damping.
+    pub quarantined_members: Gauge,
 }
 
 impl NetMetrics {
@@ -60,6 +68,18 @@ impl NetMetrics {
                 "ar_node_wire_decode_drops_total",
                 "Inbound datagrams dropped (decode failure)",
             ),
+            adaptive_token_loss_ns: reg.gauge(
+                "ar_node_adaptive_token_loss_timeout_ns",
+                "Token-loss timeout currently in force (ns)",
+            ),
+            effective_accel_window: reg.gauge(
+                "ar_node_effective_accelerated_window",
+                "Accelerated window currently in force (0 = original Ring)",
+            ),
+            quarantined_members: reg.gauge(
+                "ar_node_quarantined_members",
+                "Members currently quarantined by flap damping",
+            ),
         }
     }
 
@@ -74,6 +94,9 @@ impl NetMetrics {
             tokens_rx: Counter::default(),
             deliveries: Counter::default(),
             wire_decode_drops: Counter::default(),
+            adaptive_token_loss_ns: Gauge::default(),
+            effective_accel_window: Gauge::default(),
+            quarantined_members: Gauge::default(),
         }
     }
 }

@@ -32,8 +32,8 @@ use std::time::Duration;
 use ar_core::checker::{EvsChecker, TokenRuleMonitor};
 use ar_core::fault::{Connectivity, FaultEvent};
 use ar_core::{
-    Action, ConfigChange, Delivery, Message, Participant, ParticipantId, ProtocolConfig, RingId,
-    ServiceType, TimerKind,
+    Action, AdaptiveConfig, AdaptiveTimeouts, ConfigChange, Delivery, Message, Participant,
+    ParticipantId, ProtocolConfig, RingId, ServiceType, TimerKind,
 };
 use ar_telemetry::FlightRecorder;
 use bytes::Bytes;
@@ -99,6 +99,8 @@ enum EvKind {
         payload: Vec<u8>,
         service: ServiceType,
     },
+    /// A scheduled change of `host`'s marginal-link loss probability.
+    LossChange { host: usize, prob: f64 },
 }
 
 #[derive(Debug)]
@@ -224,6 +226,17 @@ pub struct NemesisRunner {
     plan: NemesisPlan,
     rng: StdRng,
     drop_prob: f64,
+    /// Extra per-host loss probability (a "marginal link"): a copy to or
+    /// from host `i` is dropped with the max of `drop_prob` and the two
+    /// endpoints' host rates.
+    host_loss: Vec<f64>,
+    pending_loss_changes: usize,
+    /// Per-host rotation-informed timeout controllers (None = static
+    /// timeouts, the default).
+    adaptive: Vec<Option<AdaptiveTimeouts>>,
+    /// When each host last received a token (virtual clock), for the
+    /// adaptive rotation measurement.
+    last_token_arrival: Vec<Option<u64>>,
     link_latency: u64,
     checker: EvsChecker,
     monitor: TokenRuleMonitor,
@@ -293,6 +306,10 @@ impl NemesisRunner {
             conn: Connectivity::full(n as usize),
             rng: StdRng::seed_from_u64(seed),
             drop_prob,
+            host_loss: vec![0.0; n as usize],
+            pending_loss_changes: 0,
+            adaptive: (0..n).map(|_| None).collect(),
+            last_token_arrival: vec![None; n as usize],
             // 50µs per hop: fast-datacenter-like, far below the 50ms
             // token-loss timeout so healthy rotations never time out.
             link_latency: 50_000,
@@ -360,10 +377,61 @@ impl NemesisRunner {
         &self.recorders
     }
 
+    /// Host `i`'s participant (for end-of-run inspection: stats,
+    /// timeouts, effective window, quarantine state).
+    pub fn participant(&self, i: usize) -> &Participant {
+        &self.parts[i]
+    }
+
+    /// Sets host `i`'s marginal-link loss probability immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1)`.
+    pub fn set_host_loss(&mut self, i: usize, prob: f64) {
+        assert!(
+            (0.0..1.0).contains(&prob),
+            "host loss probability must be in [0, 1)"
+        );
+        self.host_loss[i] = prob;
+    }
+
+    /// Schedules host `i`'s marginal-link loss probability to change at
+    /// virtual time `at` — the way to script a flapping or marginal
+    /// link (alternating lossy and clean windows).
+    pub fn schedule_host_loss(&mut self, at: Duration, i: usize, prob: f64) {
+        assert!(
+            (0.0..1.0).contains(&prob),
+            "host loss probability must be in [0, 1)"
+        );
+        self.pending_loss_changes += 1;
+        self.push_event(at.as_nanos() as u64, EvKind::LossChange { host: i, prob });
+    }
+
+    /// Enables rotation-informed failure detection on every host: each
+    /// token arrival feeds that host's controller, and changed policies
+    /// are installed via `Participant::adapt_timeouts`. Restarted hosts
+    /// get a reset controller. Fully deterministic (driven by the
+    /// virtual clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid against the hosts' current
+    /// timeout base.
+    pub fn enable_adaptive(&mut self, policy: AdaptiveConfig) {
+        for i in 0..self.n {
+            let base = *self.parts[i].timeouts();
+            self.adaptive[i] =
+                Some(AdaptiveTimeouts::new(base, policy).expect("valid adaptive policy"));
+        }
+    }
+
     fn route(&mut self, from: usize, to: usize, msg: Message) {
-        if !self.conn.can_reach(from, to)
-            || (self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob)
-        {
+        let loss = self
+            .drop_prob
+            .max(self.host_loss[from])
+            .max(self.host_loss[to]);
+        if !self.conn.can_reach(from, to) || (loss > 0.0 && self.rng.gen::<f64>() < loss) {
             self.dropped += 1;
             return;
         }
@@ -460,6 +528,11 @@ impl NemesisRunner {
                 self.parts[*host] = fresh;
                 self.checker.on_restart(*host);
                 self.incarnation[*host] = self.clock;
+                // The new incarnation measures rotations from scratch.
+                self.last_token_arrival[*host] = None;
+                if let Some(ctl) = self.adaptive[*host].as_mut() {
+                    ctl.reset();
+                }
             }
             FaultEvent::Partition { .. } | FaultEvent::Heal => {}
         }
@@ -478,16 +551,26 @@ impl NemesisRunner {
         // Converged-state detection is re-checked at most once per
         // virtual millisecond to keep the hot loop cheap.
         let mut next_check = 0u64;
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if ev.at > limit {
-                break;
+        loop {
+            // Peek, don't pop: an event beyond the limit stays queued,
+            // so a later `run` with a larger limit resumes exactly where
+            // this one stopped (phase-based measurements rely on it).
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= limit => {}
+                _ => break,
             }
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
             self.clock = self.clock.max(ev.at);
             match ev.kind {
                 EvKind::Arrive { to, msg } => {
                     if self.conn.is_crashed(to) {
                         self.dropped += 1;
                         continue;
+                    }
+                    if matches!(msg, Message::Token(_)) {
+                        self.feed_adaptive(to);
                     }
                     self.parts[to].observe_now(self.clock);
                     let actions = self.parts[to].handle_message(msg);
@@ -508,6 +591,10 @@ impl NemesisRunner {
                     }
                 }
                 EvKind::Fault(idx) => self.handle_fault(idx),
+                EvKind::LossChange { host, prob } => {
+                    self.pending_loss_changes -= 1;
+                    self.host_loss[host] = prob;
+                }
                 EvKind::Submit {
                     host,
                     payload,
@@ -534,8 +621,24 @@ impl NemesisRunner {
         self.outcome()
     }
 
+    /// Feeds host `to`'s adaptive controller one rotation sample (the
+    /// virtual time since its previous token receipt) and installs any
+    /// newly derived policy.
+    fn feed_adaptive(&mut self, to: usize) {
+        if let Some(ctl) = self.adaptive[to].as_mut() {
+            if let Some(prev) = self.last_token_arrival[to] {
+                if ctl.record_rotation(self.clock - prev) {
+                    self.parts[to].observe_now(self.clock);
+                    let _ = self.parts[to].adapt_timeouts(ctl.current());
+                }
+            }
+            self.last_token_arrival[to] = Some(self.clock);
+        }
+    }
+
     fn faults_done(&self) -> bool {
         self.pending_submits == 0
+            && self.pending_loss_changes == 0
             && self
                 .plan
                 .events()

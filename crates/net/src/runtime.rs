@@ -7,7 +7,8 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use ar_core::{
-    Action, ConfigChange, Delivery, Message, Participant, PriorityMode, ServiceType, TimerKind,
+    Action, AdaptiveTimeouts, ConfigChange, Delivery, Message, Participant, PriorityMode,
+    ServiceType, TimerKind,
 };
 use bytes::Bytes;
 
@@ -58,6 +59,10 @@ pub struct Runtime<T: Transport> {
     epoch: Instant,
     /// When the previous token arrived (rotation measurement).
     last_token_at: Option<Instant>,
+    /// Rotation-informed failure-detection controller; when enabled,
+    /// each observed rotation feeds it and changed timeout policies are
+    /// installed into the participant.
+    adaptive: Option<AdaptiveTimeouts>,
     /// Submission instants of locally initiated messages, oldest first;
     /// matched FIFO against local deliveries of our own messages
     /// (FIFO is sound because a participant's own messages deliver in
@@ -98,6 +103,7 @@ impl<T: Transport> Runtime<T> {
             metrics: None,
             epoch: Instant::now(),
             last_token_at: None,
+            adaptive: None,
             submit_times: VecDeque::new(),
             inbound: Vec::with_capacity(RECV_BATCH_MAX),
         }
@@ -112,6 +118,19 @@ impl<T: Transport> Runtime<T> {
     /// The attached metric handles, when instrumented.
     pub fn metrics(&self) -> Option<&NetMetrics> {
         self.metrics.as_ref()
+    }
+
+    /// Enables rotation-informed failure detection: every observed token
+    /// rotation feeds `ctl`, and whenever its derived timeout policy
+    /// changes it is installed into the participant (counted and
+    /// observable via `ProtoEvent::TimeoutsAdapted`).
+    pub fn enable_adaptive_timeouts(&mut self, ctl: AdaptiveTimeouts) {
+        self.adaptive = Some(ctl);
+    }
+
+    /// The adaptive controller, when enabled.
+    pub fn adaptive(&self) -> Option<&AdaptiveTimeouts> {
+        self.adaptive.as_ref()
     }
 
     /// Attaches a protocol-event observer (e.g. an
@@ -231,6 +250,12 @@ impl<T: Transport> Runtime<T> {
         if let Some(m) = &self.metrics {
             m.queue_depth
                 .set(i64::try_from(self.part.pending_len()).unwrap_or(i64::MAX));
+            m.adaptive_token_loss_ns
+                .set(i64::try_from(self.part.timeouts().token_loss).unwrap_or(i64::MAX));
+            m.effective_accel_window
+                .set(i64::from(self.part.effective_accelerated_window()));
+            m.quarantined_members
+                .set(i64::try_from(self.part.quarantined_count()).unwrap_or(i64::MAX));
         }
         Ok(std::mem::take(&mut self.events))
     }
@@ -242,14 +267,24 @@ impl<T: Transport> Runtime<T> {
             self.retransmit_shift = 0;
         }
         let is_token = matches!(msg, Message::Token(_));
-        let hop_start = if is_token && self.metrics.is_some() {
+        let hop_start = if is_token && (self.metrics.is_some() || self.adaptive.is_some()) {
             let now = Instant::now();
-            if let (Some(m), Some(prev)) = (&self.metrics, self.last_token_at) {
-                m.token_rotation_ns
-                    .record(u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX));
-            }
+            let rotation = self
+                .last_token_at
+                .map(|prev| u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX));
             if let Some(m) = &self.metrics {
+                if let Some(rot) = rotation {
+                    m.token_rotation_ns.record(rot);
+                }
                 m.tokens_rx.inc();
+            }
+            if let (Some(ctl), Some(rot)) = (self.adaptive.as_mut(), rotation) {
+                if ctl.record_rotation(rot) {
+                    // An invalid derived policy cannot happen (the
+                    // controller clamps and orders its outputs), but a
+                    // rejected install must not kill the event loop.
+                    let _ = self.part.adapt_timeouts(ctl.current());
+                }
             }
             self.last_token_at = Some(now);
             Some(now)
@@ -522,6 +557,44 @@ mod tests {
         }
         rt.step().unwrap();
         assert_eq!(rt.participant().stats().messages_received, 3);
+    }
+
+    #[test]
+    fn adaptive_controller_tightens_timeouts_from_live_rotations() {
+        use ar_core::{AdaptiveConfig, AdaptiveTimeouts, TimeoutConfig};
+
+        let mut ring = build_ring(2);
+        let base = TimeoutConfig::default();
+        let policy = AdaptiveConfig {
+            min_samples: 4,
+            ..AdaptiveConfig::default()
+        };
+        ring[0].enable_adaptive_timeouts(AdaptiveTimeouts::new(base, policy).unwrap());
+        ring[0].set_metrics(NetMetrics::detached());
+        for rt in ring.iter_mut() {
+            rt.start().unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ring[0].participant().stats().timeouts_adapted == 0 && Instant::now() < deadline {
+            for rt in ring.iter_mut() {
+                rt.step().unwrap();
+            }
+        }
+        let p = ring[0].participant();
+        assert!(p.stats().timeouts_adapted > 0, "policy installed");
+        assert!(
+            p.timeouts().token_loss < base.token_loss,
+            "loopback rotations are far below the static 50ms default"
+        );
+        let ctl = ring[0].adaptive().unwrap();
+        assert!(ctl.updates() > 0);
+        assert_eq!(ctl.current(), *p.timeouts());
+        // The gauge mirrors the installed policy after a step.
+        let m = ring[0].metrics().unwrap().clone();
+        assert_eq!(
+            m.adaptive_token_loss_ns.get(),
+            i64::try_from(p.timeouts().token_loss).unwrap()
+        );
     }
 
     #[test]

@@ -239,7 +239,7 @@ impl RingSim {
             .map(|&pid| {
                 let mut part = Participant::new(pid, cfg.protocol, ring_id, members.clone())
                     .expect("valid static ring");
-                part.set_timeouts(cfg.timeouts);
+                part.set_timeouts(cfg.timeouts).expect("valid timeouts");
                 Host {
                     part,
                     token_q: VecDeque::new(),

@@ -35,7 +35,7 @@ fn main() {
             let mut part =
                 Participant::new(pid, ProtocolConfig::accelerated(), ring_id, members.clone())
                     .expect("valid ring");
-            part.set_timeouts(timeouts);
+            part.set_timeouts(timeouts).expect("valid timeouts");
             Some(spawn(part, net.endpoint(pid)))
         })
         .collect();

@@ -1,0 +1,218 @@
+//! End-to-end nemesis scenarios for the degradation machinery added on
+//! top of the chaos harness: rotation-informed failure detection,
+//! membership flap damping, and AIMD shrinking of the accelerated
+//! window. All runs are virtual-clock deterministic — the same seed
+//! replays the same trace.
+
+use std::time::Duration;
+
+use accelerated_ring::core::{
+    AdaptiveConfig, AimdConfig, FlapDampingConfig, ParticipantId, ProtocolConfig, ServiceType,
+    TimeoutConfig,
+};
+use accelerated_ring::net::{NemesisPlan, NemesisRunner};
+
+/// A healthy ring with adaptive failure detection enabled: the
+/// controller tightens the static 50ms token-loss timeout down toward
+/// the measured rotation without ever firing a spurious token-loss
+/// (no gathers, no quarantines, clean convergence).
+#[test]
+fn adaptive_timeouts_tighten_without_spurious_membership_changes() {
+    let mut r = NemesisRunner::new(
+        4,
+        ProtocolConfig::accelerated(),
+        NemesisPlan::none(),
+        0.0,
+        7,
+    );
+    r.enable_adaptive(AdaptiveConfig::default());
+    // Steady probe traffic keeps the run going well past the
+    // controller's warm-up window.
+    for k in 0..40u64 {
+        r.submit_at(
+            Duration::from_millis(25 * k + 10),
+            (k % 4) as usize,
+            format!("probe-{k}").as_bytes(),
+            ServiceType::Agreed,
+        );
+    }
+    r.start();
+    let out = r.run(Duration::from_secs(5));
+    out.assert_clean();
+
+    let base = TimeoutConfig::default();
+    for i in 0..4 {
+        let p = r.participant(i);
+        assert_eq!(
+            p.stats().gathers_started,
+            0,
+            "host {i}: adaptive timeouts fired a spurious token-loss"
+        );
+        assert!(
+            p.stats().timeouts_adapted > 0,
+            "host {i}: controller never adapted"
+        );
+        assert!(
+            p.timeouts().token_loss < base.token_loss,
+            "host {i}: token-loss timeout not tightened ({} ns)",
+            p.timeouts().token_loss
+        );
+        assert!(
+            p.timeouts().validate().is_ok(),
+            "host {i}: installed timeouts invalid"
+        );
+        assert_eq!(p.quarantined_count(), 0, "host {i}: spurious quarantine");
+    }
+}
+
+/// Builds the marginal-link scenario: five hosts, host 4 behind a link
+/// that flaps between ~97% loss and clean in 250ms windows, with probe
+/// traffic from both sides of the flap so drops and re-merges both
+/// actually happen.
+fn flapping_ring(damped: bool, seed: u64) -> NemesisRunner {
+    let damping = FlapDampingConfig {
+        enabled: damped,
+        penalty_per_flap: 1000,
+        suppress_threshold: 2500,
+        reuse_threshold: 1000,
+        // Far beyond the run length: no decay-driven reinstatement.
+        half_life_rounds: 1 << 20,
+        max_penalty: 8000,
+    };
+    let cfg = ProtocolConfig::accelerated().with_flap_damping(damping);
+    let mut r = NemesisRunner::new(5, cfg, NemesisPlan::none(), 0.0, seed);
+    for c in 0..6u64 {
+        r.schedule_host_loss(Duration::from_millis(500 * c + 100), 4, 0.97);
+        r.schedule_host_loss(Duration::from_millis(500 * c + 350), 4, 0.0);
+    }
+    for k in 0..120u64 {
+        let at = Duration::from_millis(25 * k + 5);
+        r.submit_at(at, 0, format!("stable-{k}").as_bytes(), ServiceType::Agreed);
+        r.submit_at(at, 4, format!("flappy-{k}").as_bytes(), ServiceType::Agreed);
+    }
+    r.start();
+    r
+}
+
+/// With flap damping on, the repeatedly-flapping member is quarantined
+/// and the stable majority settles on a fixed ring with strictly fewer
+/// configuration changes than the undamped baseline, which keeps
+/// thrashing for every flap cycle.
+#[test]
+fn flap_damping_quarantines_marginal_member_and_bounds_config_changes() {
+    let seed = 11;
+    let limit = Duration::from_secs(4);
+
+    let mut undamped = flapping_ring(false, seed);
+    let out_undamped = undamped.run(limit);
+    let mut damped = flapping_ring(true, seed);
+    let out_damped = damped.run(limit);
+
+    // Neither run may violate safety; damping only changes liveness.
+    assert!(
+        out_undamped.evs_violations.is_empty(),
+        "undamped run violated EVS: {:#?}",
+        out_undamped.evs_violations
+    );
+    assert!(
+        out_damped.evs_violations.is_empty(),
+        "damped run violated EVS: {:#?}",
+        out_damped.evs_violations
+    );
+
+    // The marginal member was quarantined by the stable majority.
+    let quarantines: u64 = (0..4)
+        .map(|i| damped.participant(i).stats().members_quarantined)
+        .sum();
+    assert!(quarantines >= 1, "no host ever quarantined the flapper");
+    assert!(
+        (0..4).all(|i| damped.participant(i).is_quarantined(ParticipantId::new(4))),
+        "stable hosts disagree on the quarantine"
+    );
+
+    // The stable majority ends on one common ring of exactly hosts 0-3;
+    // the flapper is outside it (so `converged`, which demands all
+    // survivors, is intentionally not asserted here).
+    let want_members: Vec<ParticipantId> = (0..4).map(ParticipantId::new).collect();
+    let want_ring = damped.participant(0).ring().id();
+    for i in 0..4 {
+        let p = damped.participant(i);
+        assert!(p.is_operational(), "host {i} not operational");
+        assert_eq!(p.ring().id(), want_ring, "host {i} on a different ring");
+        assert_eq!(
+            p.ring().members(),
+            want_members.as_slice(),
+            "host {i} ring includes the flapper"
+        );
+    }
+
+    // Damping bounds the churn: strictly fewer configuration changes at
+    // the stable hosts than the undamped baseline, by a clear margin.
+    let changes = |r: &NemesisRunner| -> u64 {
+        (0..4)
+            .map(|i| r.participant(i).stats().config_changes)
+            .sum()
+    };
+    let (d, u) = (changes(&damped), changes(&undamped));
+    assert!(
+        d + 3 <= u,
+        "damping did not bound churn: damped {d} vs undamped {u} config changes"
+    );
+
+    // The flapper's later joins were actively suppressed, not just lost.
+    let suppressed: u64 = (0..4)
+        .map(|i| damped.participant(i).stats().joins_suppressed)
+        .sum();
+    assert!(suppressed > 0, "no joins were ever suppressed");
+}
+
+/// Under a sustained loss burst the AIMD controller multiplicatively
+/// shrinks the effective accelerated window (toward the original-Totem
+/// behavior); once the loss clears it recovers additively back to the
+/// configured window.
+#[test]
+fn aimd_shrinks_accelerated_window_under_loss_and_recovers() {
+    let aimd = AimdConfig {
+        enabled: true,
+        pressure_threshold: 1,
+        pressure_rounds: 2,
+        recovery_rounds: 4,
+    };
+    let cfg = ProtocolConfig::accelerated()
+        .with_accelerated_window(4)
+        .with_accel_aimd(aimd);
+    let mut r = NemesisRunner::new(3, cfg, NemesisPlan::none(), 0.0, 23);
+    // Loss burst on host 1's links in the middle of the run.
+    r.schedule_host_loss(Duration::from_millis(200), 1, 0.3);
+    r.schedule_host_loss(Duration::from_millis(600), 1, 0.0);
+    for k in 0..150u64 {
+        let at = Duration::from_millis(10 * k + 5);
+        for host in 0..3usize {
+            r.submit_at(
+                at,
+                host,
+                format!("h{host}-m{k}").as_bytes(),
+                ServiceType::Agreed,
+            );
+        }
+    }
+    r.start();
+    let out = r.run(Duration::from_secs(4));
+    out.assert_clean();
+
+    let shrinks: u64 = (0..3)
+        .map(|i| r.participant(i).stats().accel_window_shrinks)
+        .sum();
+    let grows: u64 = (0..3)
+        .map(|i| r.participant(i).stats().accel_window_grows)
+        .sum();
+    assert!(shrinks >= 1, "loss burst never shrank the window");
+    assert!(grows >= 1, "window never recovered additively");
+    for i in 0..3 {
+        assert_eq!(
+            r.participant(i).effective_accelerated_window(),
+            4,
+            "host {i}: window did not recover to the configured value"
+        );
+    }
+}

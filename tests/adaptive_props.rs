@@ -1,0 +1,138 @@
+//! Property tests of the adaptive failure-detection controller
+//! (`ar_core::adaptive`): derived timeouts are always clamped and
+//! valid, the derivation is monotone in the rotation estimate, and the
+//! controller is a pure function of its sample sequence (the
+//! determinism the nemesis harness relies on for resume).
+
+use accelerated_ring::core::{derive_timeouts, AdaptiveConfig, AdaptiveTimeouts, TimeoutConfig};
+use proptest::prelude::*;
+
+/// Policies with valid but varied quantiles, factors, and clamp bands.
+///
+/// Every generated policy passes `AdaptiveConfig::validate` by
+/// construction: quantiles stay in (0, 1], factors are at least 1,
+/// floors are at least 1 and each ceiling is its floor scaled up, and
+/// the sample window is at least `min_samples`.
+fn arb_policy() -> impl Strategy<Value = AdaptiveConfig> {
+    (
+        (0.01f64..0.999, 1.0f64..32.0, 1.0f64..8.0, 1.0f64..64.0),
+        (
+            1u64..10_000_000,
+            1u64..1_000_000,
+            1u64..20_000_000,
+            1usize..32,
+            1usize..64,
+        ),
+    )
+        .prop_map(
+            |(
+                (quantile, loss_factor, retransmit_factor, consensus_factor),
+                (loss_floor, retransmit_floor, consensus_floor, min_samples, extra_window),
+            )| {
+                AdaptiveConfig {
+                    quantile,
+                    loss_factor,
+                    retransmit_factor,
+                    consensus_factor,
+                    token_loss_floor: loss_floor,
+                    token_loss_ceiling: loss_floor.saturating_mul(1000),
+                    token_retransmit_floor: retransmit_floor,
+                    token_retransmit_ceiling: retransmit_floor.saturating_mul(1000),
+                    consensus_floor,
+                    consensus_ceiling: consensus_floor.saturating_mul(1000),
+                    min_samples,
+                    // window >= min_samples so adaptation can trigger.
+                    window: min_samples + extra_window,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every derived timeout lies within its configured clamp band and
+    /// the derived table always passes `TimeoutConfig::validate` (no
+    /// zero or inverted relations, whatever the rotation input).
+    #[test]
+    fn derived_timeouts_are_clamped_and_valid(
+        policy in arb_policy(),
+        rotation in any::<u64>(),
+    ) {
+        let base = TimeoutConfig::default();
+        let t = derive_timeouts(&base, &policy, rotation);
+        prop_assert!(t.token_loss >= policy.token_loss_floor);
+        prop_assert!(t.token_loss <= policy.token_loss_ceiling);
+        prop_assert!(t.consensus >= policy.consensus_floor);
+        prop_assert!(t.consensus <= policy.consensus_ceiling);
+        // The retransmit value may sit below its floor only because it
+        // was forced under the loss timeout.
+        prop_assert!(
+            t.token_retransmit >= policy.token_retransmit_floor
+                || t.token_retransmit < t.token_loss
+        );
+        prop_assert!(t.token_retransmit <= policy.token_retransmit_ceiling);
+        prop_assert!(t.validate().is_ok(), "derived config invalid: {t:?}");
+        // Untouched fields carry over from the base.
+        prop_assert_eq!(t.join, base.join);
+        prop_assert_eq!(t.commit, base.commit);
+        prop_assert_eq!(t.token_retransmit_limit, base.token_retransmit_limit);
+    }
+
+    /// A slower measured rotation never yields *tighter* timeouts.
+    #[test]
+    fn derivation_is_monotone_in_rotation(
+        policy in arb_policy(),
+        a in 0u64..u64::MAX / 2,
+        b in 0u64..u64::MAX / 2,
+    ) {
+        let base = TimeoutConfig::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = derive_timeouts(&base, &policy, lo);
+        let t_hi = derive_timeouts(&base, &policy, hi);
+        prop_assert!(t_lo.token_loss <= t_hi.token_loss);
+        prop_assert!(t_lo.consensus <= t_hi.consensus);
+    }
+
+    /// The controller is deterministic: replaying the same sample
+    /// sequence yields the identical policy trace, change flags, and
+    /// update counts.
+    #[test]
+    fn controller_is_deterministic_across_reruns(
+        policy in arb_policy(),
+        samples in prop::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let base = TimeoutConfig::default();
+        let run = |samples: &[u64]| {
+            let mut ctl = AdaptiveTimeouts::new(base, policy).unwrap();
+            let mut trace = Vec::new();
+            for &s in samples {
+                let changed = ctl.record_rotation(s);
+                trace.push((changed, ctl.current()));
+            }
+            (trace, ctl.updates(), ctl.rotation_quantile())
+        };
+        prop_assert_eq!(run(&samples), run(&samples));
+    }
+
+    /// Whatever the sample stream, the policy the controller installs
+    /// is exactly the pure derivation at its current quantile estimate
+    /// — and stays the base policy until `min_samples` arrive.
+    #[test]
+    fn controller_tracks_pure_derivation(
+        policy in arb_policy(),
+        samples in prop::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let base = TimeoutConfig::default();
+        let mut ctl = AdaptiveTimeouts::new(base, policy).unwrap();
+        for (i, &s) in samples.iter().enumerate() {
+            ctl.record_rotation(s);
+            if i + 1 < policy.min_samples {
+                prop_assert_eq!(ctl.current(), base);
+            } else {
+                let q = ctl.rotation_quantile().unwrap();
+                prop_assert_eq!(ctl.current(), derive_timeouts(&base, &policy, q));
+            }
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn lossy_ring_recovers_and_keeps_total_order() {
             let mut part =
                 Participant::new(p, ProtocolConfig::accelerated(), ring_id, members.clone())
                     .unwrap();
-            part.set_timeouts(timeouts);
+            part.set_timeouts(timeouts).expect("valid timeouts");
             let lossy = LossyTransport::new(net.endpoint(p), 0.10, p.as_u16() as u64 + 99);
             spawn(part, lossy)
         })

@@ -27,6 +27,7 @@ fn arb_config() -> impl Strategy<Value = ProtocolConfig> {
                 } else {
                     PriorityMethod::Conservative
                 },
+                ..ProtocolConfig::accelerated()
             }
         },
     )
