@@ -1,0 +1,125 @@
+//! `BENCH_explore.json`: throughput of the state-space explorer
+//! (`ar-explore`) over the sans-io core — states visited per second
+//! and the effectiveness of the visited-state and sleep-set prunes.
+//!
+//! One curve per protocol variant, both run at 3 hosts with the
+//! standard two-submission workload and the full adversary (loss,
+//! duplication, timers), capped at a fixed state budget so the run is
+//! comparable across machines and finishes in CI time.
+//!
+//! The BENCH point format is throughput-oriented, so the
+//! network-specific required fields are reported as zero; the
+//! explorer's own measurements ride as extra per-point properties
+//! (`states_visited`, `transitions`, `pruned_visited`, `pruned_sleep`,
+//! `prune_ratio`, `states_per_sec`, `completed_paths`, `elapsed_ms`),
+//! which the schema checker permits. A violation found during the
+//! benchmark run is a hard failure: the binary panics so CI goes red.
+
+use ar_explore::explorer::{default_submissions, ExploreConfig, Explorer};
+use ar_telemetry::json::JsonWriter;
+use std::time::Duration;
+
+const HOSTS: u16 = 3;
+const DEPTH: usize = 12;
+const MAX_STATES: u64 = 300_000;
+
+fn run_curve(variant: &str) -> (String, ar_explore::ExploreReport) {
+    let cfg = ExploreConfig {
+        hosts: HOSTS,
+        depth: DEPTH,
+        config: variant.to_owned(),
+        submissions: default_submissions(HOSTS, 2),
+        max_states: MAX_STATES,
+        time_box: Some(Duration::from_secs(120)),
+        drops: true,
+        dups: true,
+        timers: true,
+        max_violations: 8,
+        corpus_paths: 0,
+    };
+    let report = Explorer::new(cfg)
+        .run()
+        .expect("known config names always start");
+    assert!(
+        report.violations.is_empty(),
+        "explorer found safety violations during the benchmark run: {:#?}",
+        report.violations
+    );
+    (format!("explore/{variant}"), report)
+}
+
+fn main() {
+    let curves: Vec<(String, ar_explore::ExploreReport)> = ["accelerated", "original"]
+        .iter()
+        .map(|v| run_curve(v))
+        .collect();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("name");
+    w.str("explore");
+    w.key("schema");
+    w.num_u64(1);
+    w.key("points");
+    w.begin_array();
+    for (curve, report) in &curves {
+        w.begin_object();
+        w.key("curve");
+        w.str(curve);
+        // Required-but-inapplicable network fields: zero by convention
+        // (same as the virtual-time figures that cannot observe
+        // latency).
+        for field in [
+            "offered_mbps",
+            "throughput_mbps",
+            "mean_us",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "p999_us",
+            "rotation_us",
+        ] {
+            w.key(field);
+            w.num_f64(0.0);
+        }
+        w.key("token_rotations");
+        w.num_u64(0);
+        w.key("drops");
+        w.num_u64(0);
+        w.key("rtx");
+        w.num_u64(0);
+        // The explorer's actual measurements.
+        w.key("states_visited");
+        w.num_u64(report.states_visited);
+        w.key("transitions");
+        w.num_u64(report.transitions);
+        w.key("pruned_visited");
+        w.num_u64(report.pruned_visited);
+        w.key("pruned_sleep");
+        w.num_u64(report.pruned_sleep);
+        w.key("prune_ratio");
+        w.num_f64(report.prune_ratio());
+        w.key("states_per_sec");
+        w.num_f64(report.states_per_sec());
+        w.key("completed_paths");
+        w.num_u64(report.completed_paths);
+        w.key("elapsed_ms");
+        w.num_u64(report.elapsed.as_millis() as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let text = w.finish();
+    std::fs::write("BENCH_explore.json", &text).expect("write BENCH_explore.json");
+    for (curve, report) in &curves {
+        println!(
+            "{curve}: {} states in {:?} ({:.0} states/s, prune ratio {:.2}, {} violations)",
+            report.states_visited,
+            report.elapsed,
+            report.states_per_sec(),
+            report.prune_ratio(),
+            report.violations.len()
+        );
+    }
+    println!("wrote BENCH_explore.json");
+}

@@ -17,7 +17,7 @@ use crate::types::{ParticipantId, RingId};
 /// [`crate::participant::TimeoutConfig`]) and calls back with
 /// [`crate::participant::Participant::handle_timer`] on expiry. Setting
 /// a timer that is already armed re-arms it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TimerKind {
     /// No token seen for too long: the ring has failed; shift to Gather.
     TokenLoss,

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use crate::actions::{ConfigChange, ConfigChangeKind};
+use crate::actions::{Action, ConfigChange, ConfigChangeKind};
 use crate::message::{Delivery, Token};
 use crate::types::{ParticipantId, RingId, Seq};
 
@@ -42,7 +42,7 @@ use crate::types::{ParticipantId, RingId, Seq};
 ///    transitional configuration.
 /// 5. **Self-delivery** (on demand) — every payload a surviving
 ///    process submitted appears in its own delivery log.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EvsChecker {
     n: usize,
     /// Per-process ring-restricted delivery sequences.
@@ -53,7 +53,7 @@ pub struct EvsChecker {
     violations: Vec<String>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ProcState {
     /// Deliveries per ring, in observation order.
     per_ring: HashMap<RingId, Vec<u64>>,
@@ -266,7 +266,7 @@ impl EvsChecker {
 /// would trigger useless retransmissions; the protocol therefore bounds
 /// requests by the previous round's token `seq`. Feed every token
 /// observed on the wire to [`TokenRuleMonitor::on_token`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TokenRuleMonitor {
     /// Last (round, seq) seen per ring.
     last: HashMap<RingId, (u64, Seq)>,
@@ -315,6 +315,147 @@ impl TokenRuleMonitor {
     ///
     /// Returns the list of violation descriptions if the bound was ever
     /// exceeded.
+    pub fn check(&mut self) -> Result<(), Vec<String>> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.violations))
+        }
+    }
+}
+
+/// Checks the pre/post-token send-split invariant on the action batches
+/// a participant emits while holding the token.
+///
+/// The Accelerated Ring protocol's acceleration is structural: a token
+/// holder multicasts part of its new messages *before* forwarding the
+/// token and the rest (at most the accelerated window) *after*. The
+/// emitted action list encodes this contract, and every embedding
+/// environment executes the list in order — so the contract can be
+/// checked syntactically on each batch:
+///
+/// 1. every new-message `Multicast` before the `SendToken` carries
+///    `after_token == false`, and every one after it carries
+///    `after_token == true`;
+/// 2. at most one `SendToken` appears per batch;
+/// 3. no post-token multicast carries a sequence number beyond the
+///    `seq` written into the token that precedes it (the token must
+///    already account for every message the holder will send this
+///    round — otherwise the next holder could order messages the rest
+///    of the ring can never request, violating the rtr bound);
+/// 4. the number of post-token *new* multicasts never exceeds the
+///    configured accelerated window.
+///
+/// Batches with no `SendToken` (pure delivery batches, membership
+/// traffic, timer re-arms) are ignored: the split is a property of
+/// token handoff only. Retransmissions are recognisable by
+/// `after_token == false` on a sequence number at or below the
+/// incoming token's `aru`/`rtr` range and are only checked against
+/// rule 1's ordering, which they satisfy by construction.
+#[derive(Debug, Default, Clone)]
+pub struct SendSplitChecker {
+    /// Maximum post-token new multicasts allowed per batch, if bounded.
+    window: Option<u32>,
+    violations: Vec<String>,
+    batches_checked: u64,
+}
+
+impl SendSplitChecker {
+    /// A checker enforcing `window` as the post-token send bound.
+    ///
+    /// Pass the configured `accelerated_window` (the AIMD-degraded
+    /// effective window only ever shrinks below it). `None` skips the
+    /// window-bound rule but keeps the structural rules.
+    pub fn new(window: Option<u32>) -> SendSplitChecker {
+        SendSplitChecker {
+            window,
+            violations: Vec::new(),
+            batches_checked: 0,
+        }
+    }
+
+    /// Observes one action batch emitted by participant `pid`.
+    ///
+    /// Call this with the full `Vec<Action>` returned by a single
+    /// `handle_message`/`handle_timer`/`submit` call, before the
+    /// environment executes it.
+    pub fn on_actions(&mut self, pid: ParticipantId, actions: &[Action]) {
+        let mut token_seq: Option<Seq> = None;
+        let mut post_token_new = 0u32;
+        let mut tokens_in_batch = 0u32;
+        for a in actions {
+            match a {
+                Action::SendToken { token, .. } => {
+                    tokens_in_batch += 1;
+                    if tokens_in_batch > 1 {
+                        self.violations.push(format!(
+                            "{pid}: {tokens_in_batch} SendToken actions in one batch"
+                        ));
+                    }
+                    token_seq = Some(token.seq);
+                }
+                Action::Multicast(d) => match token_seq {
+                    None => {
+                        if d.after_token {
+                            self.violations.push(format!(
+                                "{pid}: multicast of {} flagged after_token \
+                                 before the token was sent",
+                                d.seq
+                            ));
+                        }
+                    }
+                    Some(tseq) => {
+                        if !d.after_token {
+                            self.violations.push(format!(
+                                "{pid}: multicast of {} after SendToken not \
+                                 flagged after_token",
+                                d.seq
+                            ));
+                        }
+                        if d.seq > tseq {
+                            self.violations.push(format!(
+                                "{pid}: post-token multicast of {} beyond \
+                                 token seq {tseq}",
+                                d.seq
+                            ));
+                        }
+                        if d.after_token {
+                            post_token_new += 1;
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        if tokens_in_batch > 0 {
+            self.batches_checked += 1;
+            if let Some(w) = self.window {
+                if post_token_new > w {
+                    self.violations.push(format!(
+                        "{pid}: {post_token_new} post-token multicasts exceed \
+                         the accelerated window {w}"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Number of token-bearing batches observed so far.
+    pub fn batches_checked(&self) -> u64 {
+        self.batches_checked
+    }
+
+    /// Violations accumulated so far (without consuming them).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Returns accumulated violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions if the split contract
+    /// was ever broken.
     pub fn check(&mut self) -> Result<(), Vec<String>> {
         if self.violations.is_empty() {
             Ok(())
@@ -443,5 +584,88 @@ mod tests {
         let errs = mon.check().unwrap_err();
         assert!(errs[0].contains("beyond previous token seq"), "{errs:?}");
         assert_eq!(mon.tokens_seen(), 3);
+    }
+
+    fn data(seq: u64, after_token: bool) -> Action {
+        Action::Multicast(crate::message::DataMessage {
+            ring_id: ring(1),
+            seq: Seq::new(seq),
+            pid: ParticipantId::new(0),
+            round: Round::new(1),
+            service: ServiceType::Agreed,
+            after_token,
+            payload: Bytes::from_static(b"x"),
+        })
+    }
+
+    fn send_token(seq: u64) -> Action {
+        let mut t = Token::initial(ring(1), Seq::ZERO);
+        t.seq = Seq::new(seq);
+        Action::SendToken {
+            to: ParticipantId::new(1),
+            token: t,
+        }
+    }
+
+    #[test]
+    fn send_split_accepts_well_formed_batch() {
+        let mut ck = SendSplitChecker::new(Some(2));
+        ck.on_actions(
+            ParticipantId::new(0),
+            &[
+                data(1, false),
+                send_token(3),
+                data(2, true),
+                data(3, true),
+                Action::SetTimer(crate::actions::TimerKind::TokenLoss),
+            ],
+        );
+        assert_eq!(ck.batches_checked(), 1);
+        ck.check().unwrap();
+    }
+
+    #[test]
+    fn send_split_ignores_tokenless_batches() {
+        let mut ck = SendSplitChecker::new(Some(0));
+        ck.on_actions(ParticipantId::new(0), &[data(1, false)]);
+        assert_eq!(ck.batches_checked(), 0);
+        ck.check().unwrap();
+    }
+
+    #[test]
+    fn send_split_flags_misflagged_multicasts() {
+        let mut ck = SendSplitChecker::new(None);
+        ck.on_actions(
+            ParticipantId::new(0),
+            &[data(1, true), send_token(2), data(2, false)],
+        );
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("before the token was sent")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("not flagged after_token")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn send_split_flags_seq_beyond_token_and_window() {
+        let mut ck = SendSplitChecker::new(Some(1));
+        ck.on_actions(
+            ParticipantId::new(0),
+            &[send_token(1), data(2, true), data(3, true)],
+        );
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("beyond token seq")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("exceed the accelerated window")),
+            "{errs:?}"
+        );
     }
 }

@@ -71,6 +71,7 @@ pub mod priority;
 pub mod recvbuf;
 pub mod ring;
 pub mod sendq;
+pub mod statehash;
 pub mod stats;
 pub mod types;
 pub mod wire;
@@ -79,7 +80,7 @@ pub use actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
 pub use adaptive::{
     derive_timeouts, AdaptiveConfig, AdaptiveConfigError, AdaptiveInitError, AdaptiveTimeouts,
 };
-pub use checker::{EvsChecker, TokenRuleMonitor};
+pub use checker::{EvsChecker, SendSplitChecker, TokenRuleMonitor};
 pub use config::{
     AimdConfig, ConfigError, FlapDampingConfig, PriorityMethod, ProtocolConfig, ProtocolVariant,
 };
@@ -91,6 +92,7 @@ pub use priority::PriorityMode;
 pub use recvbuf::RecvBuffer;
 pub use ring::RingInfo;
 pub use sendq::QueueFull;
+pub use statehash::{StateHash, StateHasher};
 pub use stats::ParticipantStats;
 pub use types::{ParticipantId, RingId, Round, Seq, ServiceType};
 pub use wire::Message;

@@ -190,7 +190,11 @@ impl Participant {
 
     /// Charges `p` one flap penalty, quarantining it when the score
     /// crosses the suppress threshold.
-    pub(crate) fn penalize(&mut self, p: ParticipantId) {
+    ///
+    /// Public so property tests and the state-space explorer can drive
+    /// the damping machinery directly; production code paths call this
+    /// from membership-change handling only.
+    pub fn penalize(&mut self, p: ParticipantId) {
         let dcfg = self.cfg.flap_damping;
         let entry = self.memb.penalties.entry(p).or_default();
         entry.score = entry
@@ -220,7 +224,10 @@ impl Participant {
     /// Advances the round-based penalty decay. Called once per handled
     /// token, so the half-life is measured in token rotations and stays
     /// deterministic under the nemesis virtual clock.
-    pub(crate) fn decay_penalties(&mut self) {
+    ///
+    /// Public for the same reason as [`Participant::penalize`]: the
+    /// flap-damping property tests step quiet rounds explicitly.
+    pub fn decay_penalties(&mut self) {
         if self.memb.penalties.is_empty() {
             self.memb.rounds_since_decay = 0;
             return;

@@ -115,6 +115,12 @@ impl SendQueue {
     pub fn remaining(&self) -> usize {
         self.capacity - self.queue.len()
     }
+
+    /// Iterates over the queued messages in FIFO order without
+    /// consuming them (used by state hashing and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingMessage> {
+        self.queue.iter()
+    }
 }
 
 impl Default for SendQueue {

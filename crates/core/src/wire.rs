@@ -118,6 +118,14 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A flags byte contained bits the protocol does not define.
     InvalidFlags(u8),
+    /// A field held bytes a conforming encoder can never produce (the
+    /// value decodes unambiguously, but accepting it would make two
+    /// distinct byte strings decode to the same message, breaking the
+    /// decode-then-re-encode identity the fuzzer asserts).
+    NonCanonical {
+        /// Which field was non-canonically encoded.
+        field: &'static str,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -133,6 +141,9 @@ impl core::fmt::Display for WireError {
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::InvalidFlags(b) => write!(f, "invalid flags byte {b:#04x}"),
+            WireError::NonCanonical { field } => {
+                write!(f, "non-canonical encoding of {field}")
+            }
         }
     }
 }
@@ -328,6 +339,15 @@ pub fn decode_from(buf: &mut &[u8]) -> Result<Message, WireError> {
                 return Err(WireError::InvalidFlags(has_setter));
             }
             let setter_raw = take_u16(buf)?;
+            // An absent setter must carry zero setter bytes: accepting
+            // arbitrary bytes here would let two distinct byte strings
+            // decode to the same token, breaking the byte-exact
+            // re-encode identity the wire fuzzer asserts.
+            if has_setter == 0 && setter_raw != 0 {
+                return Err(WireError::NonCanonical {
+                    field: "aru_setter",
+                });
+            }
             let aru_setter = (has_setter == 1).then(|| ParticipantId::new(setter_raw));
             let fcc = take_u32(buf)?;
             let n = take_u32(buf)? as usize;
@@ -629,6 +649,44 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn nonzero_setter_bytes_without_flag_are_rejected() {
+        // Reproduces the frame the wire fuzzer minimised: a valid
+        // setter-less token with one setter byte flipped. Before
+        // hardening this decoded Ok (the setter bytes were read and
+        // discarded) and re-encoded to different bytes.
+        let mut t = sample_token();
+        t.aru_setter = None;
+        let mut enc = encode(&Message::Token(t)).to_vec();
+        // setter bytes offset: kind(1) + ring(10) + round(8) + seq(8) +
+        // aru(8) + has_setter(1)
+        let off = 1 + 10 + 8 + 8 + 8 + 1;
+        assert_eq!(enc[off - 1], 0, "has_setter flag must be clear");
+        enc[off + 1] = 0x2A;
+        assert_eq!(
+            decode(&enc).unwrap_err(),
+            WireError::NonCanonical {
+                field: "aru_setter"
+            }
+        );
+    }
+
+    #[test]
+    fn accepted_tokens_reencode_byte_exactly() {
+        // With the non-canonical setter encoding rejected, decode is
+        // injective on the accepted set: decode-then-encode must be the
+        // identity on bytes, not merely on messages.
+        for msg in [
+            Message::Token(sample_token()),
+            Message::Token(Token::initial(ring(), Seq::ZERO)),
+            Message::Data(sample_data(b"abc")),
+        ] {
+            let enc = encode(&msg);
+            let re = encode(&decode(&enc).unwrap());
+            assert_eq!(enc, re);
+        }
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Bounded depth-first exploration of the protocol's interleaving
+//! space.
+//!
+//! The explorer owns nothing protocol-specific: it drives the
+//! [`World`] from `ar_net::replay` — the same deterministic universe
+//! the schedule replayer uses — so any path it finds is *by
+//! construction* replayable from the emitted schedule file.
+//!
+//! ## Pruning
+//!
+//! Two prunes keep the bounded search tractable:
+//!
+//! * **Visited states.** Each world has a 64-bit fingerprint
+//!   ([`World::state_hash`]) that deliberately ignores message
+//!   identities, so commuting interleavings reaching the same global
+//!   configuration collide. A state already explored with at least as
+//!   much remaining depth is not re-expanded.
+//! * **Sleep sets (DPOR-style).** After exploring transition `t` from
+//!   a state, every sibling explored later carries `t` in its sleep
+//!   set; descendants skip `t` while it stays independent of the path
+//!   taken. Two steps are *dependent* when they touch the same
+//!   in-flight message or the same destination participant — so two
+//!   deliveries to distinct participants are explored in only one
+//!   order.
+//!
+//! Combining sleep sets with state caching can, in theory, hide a
+//! transition behind a cached state (the classic sleep-set/state-cache
+//! interaction). The explorer is a bounded *bug finder*, not a
+//! verifier, and accepts that trade for the orders-of-magnitude
+//! reduction; DESIGN.md discusses the choice.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ar_net::replay::{
+    replay_schedule, Expectation, Schedule, Step, Submission, World, TIMER_KINDS,
+};
+
+/// What the explorer should enumerate and how far.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Ring size (2–4 participants is the useful range).
+    pub hosts: u16,
+    /// Maximum schedule length explored.
+    pub depth: usize,
+    /// Protocol configuration name (`"accelerated"` or `"original"`).
+    pub config: String,
+    /// Workload submitted before the ring starts.
+    pub submissions: Vec<Submission>,
+    /// Hard cap on states visited (0 = unlimited).
+    pub max_states: u64,
+    /// Wall-clock budget; exploration reports `truncated` when hit.
+    pub time_box: Option<Duration>,
+    /// Enumerate message-loss steps.
+    pub drops: bool,
+    /// Enumerate message-duplication steps.
+    pub dups: bool,
+    /// Enumerate timer-firing steps.
+    pub timers: bool,
+    /// Stop after this many violations (0 = collect all).
+    pub max_violations: usize,
+    /// Record up to this many completed clean paths as corpus
+    /// schedules.
+    pub corpus_paths: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            hosts: 3,
+            depth: 10,
+            config: "accelerated".into(),
+            submissions: default_submissions(3, 2),
+            max_states: 2_000_000,
+            time_box: Some(Duration::from_secs(120)),
+            drops: true,
+            dups: true,
+            timers: true,
+            max_violations: 8,
+            corpus_paths: 0,
+        }
+    }
+}
+
+/// The standard exploration workload: `count` agreed-service payloads
+/// submitted round-robin across the first hosts, named `h{host}-m{n}`.
+pub fn default_submissions(hosts: u16, count: usize) -> Vec<Submission> {
+    (0..count)
+        .map(|i| Submission {
+            host: (i as u16) % hosts,
+            payload: format!("h{}-m{}", (i as u16) % hosts, i / hosts as usize),
+            service: ar_core::ServiceType::Agreed,
+        })
+        .collect()
+}
+
+/// A safety violation the explorer found, packaged for reproduction.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The minimized, replayable schedule reaching the violation.
+    pub schedule: Schedule,
+    /// The oracle messages observed at the end of the schedule.
+    pub messages: Vec<String>,
+    /// Schedule length before minimization.
+    pub original_len: usize,
+}
+
+/// Counters and findings from one exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Distinct world states expanded.
+    pub states_visited: u64,
+    /// Transitions (step applications) executed.
+    pub transitions: u64,
+    /// Children skipped because their state hash was already explored
+    /// with at least as much remaining depth.
+    pub pruned_visited: u64,
+    /// Children skipped by the sleep-set rule (a commuting order was
+    /// already covered).
+    pub pruned_sleep: u64,
+    /// Paths that ran to the depth bound or to quiescence without any
+    /// oracle firing.
+    pub completed_paths: u64,
+    /// Violations found (minimized).
+    pub violations: Vec<Violation>,
+    /// Clean completed paths recorded as corpus schedules.
+    pub corpus: Vec<Schedule>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// True when the state cap or time box cut the search short.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// States expanded per second of wall-clock time.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.states_visited as f64 / secs
+        }
+    }
+
+    /// Fraction of generated children that were pruned rather than
+    /// expanded.
+    pub fn prune_ratio(&self) -> f64 {
+        let pruned = self.pruned_visited + self.pruned_sleep;
+        let total = pruned + self.transitions;
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
+}
+
+/// The depth-first explorer. Construct with a config, call
+/// [`Explorer::run`].
+#[derive(Debug)]
+pub struct Explorer {
+    cfg: ExploreConfig,
+    visited: HashMap<u64, usize>,
+    report: ExploreReport,
+    start: Instant,
+    stop: bool,
+}
+
+impl Explorer {
+    /// Creates an explorer for `cfg`.
+    pub fn new(cfg: ExploreConfig) -> Explorer {
+        Explorer {
+            cfg,
+            visited: HashMap::new(),
+            report: ExploreReport::default(),
+            start: Instant::now(),
+            stop: false,
+        }
+    }
+
+    /// Runs the bounded search and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ar_net::replay::ScheduleError`] only if
+    /// the initial world cannot be built (unknown config name).
+    pub fn run(mut self) -> Result<ExploreReport, ar_net::replay::ScheduleError> {
+        let root = World::new(self.cfg.hosts, &self.cfg.config, &self.cfg.submissions)?;
+        self.start = Instant::now();
+        self.visited.insert(root.state_hash(), self.cfg.depth);
+        let mut path = Vec::with_capacity(self.cfg.depth);
+        self.dfs(&root, &mut path, Vec::new(), self.cfg.depth);
+        self.report.elapsed = self.start.elapsed();
+        Ok(self.report)
+    }
+
+    fn over_budget(&mut self) -> bool {
+        if self.stop {
+            return true;
+        }
+        if self.cfg.max_states > 0 && self.report.states_visited >= self.cfg.max_states {
+            self.report.truncated = true;
+            self.stop = true;
+            return true;
+        }
+        if let Some(boxed) = self.cfg.time_box {
+            // Only consult the clock every 1024 states: Instant::now()
+            // is cheap but not free at millions of states.
+            if self.report.states_visited.is_multiple_of(1024) && self.start.elapsed() > boxed {
+                self.report.truncated = true;
+                self.stop = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn wanted(&self, step: &Step) -> bool {
+        match step {
+            Step::Deliver { .. } => true,
+            Step::Duplicate { .. } => self.cfg.dups,
+            Step::Drop { .. } => self.cfg.drops,
+            Step::Timer { .. } => self.cfg.timers,
+        }
+    }
+
+    fn record_path(&mut self, path: &[Step]) {
+        self.report.completed_paths += 1;
+        if self.report.corpus.len() < self.cfg.corpus_paths && !path.is_empty() {
+            self.report.corpus.push(Schedule {
+                hosts: self.cfg.hosts,
+                config: self.cfg.config.clone(),
+                submissions: self.cfg.submissions.clone(),
+                steps: path.to_vec(),
+                expect: Expectation::Clean,
+                note: format!(
+                    "explorer completed path #{} (hosts={}, depth={})",
+                    self.report.completed_paths, self.cfg.hosts, self.cfg.depth
+                ),
+            });
+        }
+    }
+
+    fn record_violation(&mut self, steps: Vec<Step>, messages: Vec<String>) {
+        let original_len = steps.len();
+        let raw = Schedule {
+            hosts: self.cfg.hosts,
+            config: self.cfg.config.clone(),
+            submissions: self.cfg.submissions.clone(),
+            steps,
+            expect: Expectation::Violation,
+            note: format!("explorer violation: {}", messages.join("; ")),
+        };
+        let schedule = minimize(&raw);
+        self.report.violations.push(Violation {
+            schedule,
+            messages,
+            original_len,
+        });
+        if self.cfg.max_violations > 0 && self.report.violations.len() >= self.cfg.max_violations {
+            self.report.truncated = true;
+            self.stop = true;
+        }
+    }
+
+    fn dfs(&mut self, world: &World, path: &mut Vec<Step>, sleep: Vec<Step>, depth_left: usize) {
+        self.report.states_visited += 1;
+        if self.over_budget() {
+            return;
+        }
+        if depth_left == 0 {
+            self.record_path(path);
+            return;
+        }
+        let enabled: Vec<Step> = world
+            .enabled()
+            .into_iter()
+            .filter(|s| self.wanted(s))
+            .collect();
+        if enabled.is_empty() {
+            self.record_path(path);
+            return;
+        }
+        let mut explored: Vec<Step> = Vec::new();
+        for step in enabled {
+            if self.stop {
+                return;
+            }
+            if sleep.contains(&step) {
+                self.report.pruned_sleep += 1;
+                continue;
+            }
+            let mut child = world.clone();
+            child.apply_step(&step).expect("enabled steps always apply");
+            self.report.transitions += 1;
+            let messages = child.violations();
+            if !messages.is_empty() {
+                path.push(step);
+                self.record_violation(path.clone(), messages);
+                path.pop();
+                // A violating state is a leaf: no point enumerating
+                // what the adversary does after safety is already lost.
+                explored.push(step);
+                continue;
+            }
+            let hash = child.state_hash();
+            let child_depth = depth_left - 1;
+            match self.visited.get(&hash) {
+                Some(&seen_depth) if seen_depth >= child_depth => {
+                    self.report.pruned_visited += 1;
+                    explored.push(step);
+                    continue;
+                }
+                _ => {
+                    self.visited.insert(hash, child_depth);
+                }
+            }
+            let child_sleep: Vec<Step> = sleep
+                .iter()
+                .chain(explored.iter())
+                .filter(|other| independent(world, other, &step))
+                .copied()
+                .collect();
+            path.push(step);
+            self.dfs(&child, path, child_sleep, child_depth);
+            path.pop();
+            explored.push(step);
+        }
+    }
+}
+
+/// Whether two steps enabled in the same state commute: applying them
+/// in either order reaches the same global state (under the
+/// id-insensitive fingerprint).
+///
+/// Conservative rule: steps conflict when they reference the same
+/// in-flight message, or when they act on the same destination
+/// participant (a `Drop` acts on no participant, so it conflicts only
+/// through its message).
+pub fn independent(world: &World, a: &Step, b: &Step) -> bool {
+    let msg_of = |s: &Step| match s {
+        Step::Deliver { msg } | Step::Duplicate { msg } | Step::Drop { msg } => Some(*msg),
+        Step::Timer { .. } => None,
+    };
+    if let (Some(ma), Some(mb)) = (msg_of(a), msg_of(b)) {
+        if ma == mb {
+            return false;
+        }
+    }
+    match (world.step_target(a), world.step_target(b)) {
+        (Some(ta), Some(tb)) => ta != tb,
+        _ => true,
+    }
+}
+
+/// Greedily shrinks a schedule while `still_fails` keeps returning
+/// true, by repeatedly deleting single steps until a fixpoint
+/// (ddmin-lite: the linear passes of delta debugging without the
+/// chunked phase, which at explorer depths ≤ 16 buys nothing).
+pub fn minimize_with<F: Fn(&Schedule) -> bool>(schedule: &Schedule, still_fails: F) -> Schedule {
+    let mut best = schedule.clone();
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < best.steps.len() {
+            let mut candidate = best.clone();
+            candidate.steps.remove(i);
+            if still_fails(&candidate) {
+                best = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return best;
+        }
+    }
+}
+
+/// Minimizes a violating schedule against the real oracles: a
+/// candidate survives only if it still replays end-to-end and still
+/// trips at least one oracle.
+pub fn minimize(schedule: &Schedule) -> Schedule {
+    minimize_with(
+        schedule,
+        |candidate| matches!(replay_schedule(candidate), Ok(out) if !out.violations.is_empty()),
+    )
+}
+
+/// Renders an exploration report as the JSON object the CLI and bench
+/// emit.
+pub fn report_to_json(cfg: &ExploreConfig, report: &ExploreReport) -> String {
+    use ar_telemetry::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("hosts");
+    w.num_u64(u64::from(cfg.hosts));
+    w.key("depth");
+    w.num_u64(cfg.depth as u64);
+    w.key("config");
+    w.str(&cfg.config);
+    w.key("states_visited");
+    w.num_u64(report.states_visited);
+    w.key("transitions");
+    w.num_u64(report.transitions);
+    w.key("pruned_visited");
+    w.num_u64(report.pruned_visited);
+    w.key("pruned_sleep");
+    w.num_u64(report.pruned_sleep);
+    w.key("prune_ratio");
+    w.num_f64(report.prune_ratio());
+    w.key("completed_paths");
+    w.num_u64(report.completed_paths);
+    w.key("states_per_sec");
+    w.num_f64(report.states_per_sec());
+    w.key("elapsed_ms");
+    w.num_u64(report.elapsed.as_millis() as u64);
+    w.key("truncated");
+    w.bool(report.truncated);
+    w.key("violations");
+    w.begin_array();
+    for v in &report.violations {
+        w.begin_object();
+        w.key("steps");
+        w.num_u64(v.schedule.steps.len() as u64);
+        w.key("original_steps");
+        w.num_u64(v.original_len as u64);
+        w.key("messages");
+        w.begin_array();
+        for m in &v.messages {
+            w.str(m);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The timer kinds the explorer can fire, re-exported so callers need
+/// not depend on `ar-net` directly for the list.
+pub const EXPLORABLE_TIMERS: [ar_core::TimerKind; 5] = TIMER_KINDS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(hosts: u16, depth: usize) -> ExploreConfig {
+        ExploreConfig {
+            hosts,
+            depth,
+            submissions: default_submissions(hosts, 2),
+            max_states: 200_000,
+            time_box: Some(Duration::from_secs(60)),
+            ..ExploreConfig::default()
+        }
+    }
+
+    #[test]
+    fn delivery_only_exploration_is_clean() {
+        let cfg = ExploreConfig {
+            drops: false,
+            dups: false,
+            timers: false,
+            ..quick_cfg(2, 8)
+        };
+        let report = Explorer::new(cfg).run().unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.states_visited > 1);
+        assert!(!report.truncated, "tiny search should not be truncated");
+    }
+
+    #[test]
+    fn full_adversary_exploration_prunes_and_stays_clean() {
+        let report = Explorer::new(quick_cfg(2, 6)).run().unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.pruned_visited + report.pruned_sleep > 0,
+            "expected some pruning: {report:?}"
+        );
+        assert!(report.prune_ratio() > 0.0);
+        assert!(report.completed_paths > 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = Explorer::new(quick_cfg(2, 5)).run().unwrap();
+        let b = Explorer::new(quick_cfg(2, 5)).run().unwrap();
+        assert_eq!(a.states_visited, b.states_visited);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.pruned_visited, b.pruned_visited);
+        assert_eq!(a.pruned_sleep, b.pruned_sleep);
+    }
+
+    #[test]
+    fn corpus_paths_are_replayable() {
+        let cfg = ExploreConfig {
+            corpus_paths: 3,
+            ..quick_cfg(2, 5)
+        };
+        let report = Explorer::new(cfg).run().unwrap();
+        assert!(!report.corpus.is_empty());
+        for schedule in &report.corpus {
+            let out = replay_schedule(schedule).expect("corpus schedule replays");
+            assert!(out.matches(Expectation::Clean), "{:?}", out.violations);
+        }
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let cfg = ExploreConfig {
+            max_states: 10,
+            ..quick_cfg(3, 12)
+        };
+        let report = Explorer::new(cfg).run().unwrap();
+        assert!(report.truncated);
+        assert!(report.states_visited <= 11);
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_the_failing_core() {
+        // Synthetic predicate: the schedule "fails" while it still
+        // contains the Drop of message 7. Everything else is noise the
+        // minimizer must delete.
+        let noisy = Schedule {
+            hosts: 3,
+            config: "accelerated".into(),
+            submissions: vec![],
+            steps: vec![
+                Step::Deliver { msg: 0 },
+                Step::Drop { msg: 7 },
+                Step::Deliver { msg: 1 },
+                Step::Duplicate { msg: 2 },
+                Step::Deliver { msg: 3 },
+            ],
+            expect: Expectation::Violation,
+            note: String::new(),
+        };
+        let min = minimize_with(&noisy, |s| s.steps.contains(&Step::Drop { msg: 7 }));
+        assert_eq!(min.steps, vec![Step::Drop { msg: 7 }]);
+    }
+
+    #[test]
+    fn independence_rules_match_commutation() {
+        let w = World::new(3, "accelerated", &[]).unwrap();
+        let t0 = Step::Timer {
+            host: 0,
+            kind: ar_core::TimerKind::TokenLoss,
+        };
+        let t2 = Step::Timer {
+            host: 2,
+            kind: ar_core::TimerKind::TokenLoss,
+        };
+        assert!(independent(&w, &t0, &t2));
+        assert!(!independent(&w, &t0, &t0));
+        // The initial token is in flight to host 1: delivering it
+        // conflicts with host 1's timer but not host 2's.
+        let id = w.inflight()[0].id;
+        let deliver = Step::Deliver { msg: id };
+        let t1 = Step::Timer {
+            host: 1,
+            kind: ar_core::TimerKind::TokenLoss,
+        };
+        assert!(!independent(&w, &deliver, &t1));
+        assert!(independent(&w, &deliver, &t2));
+        assert!(!independent(&w, &deliver, &Step::Drop { msg: id }));
+    }
+}

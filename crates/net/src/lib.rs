@@ -46,6 +46,7 @@ pub mod lossy;
 pub mod metrics;
 pub mod nemesis;
 pub mod node;
+pub mod replay;
 pub mod runtime;
 #[cfg(target_os = "linux")]
 pub(crate) mod sys;
@@ -58,6 +59,9 @@ pub use lossy::LossyTransport;
 pub use metrics::NetMetrics;
 pub use nemesis::{NemesisOutcome, NemesisPlan, NemesisRunner};
 pub use node::{spawn, NodeHandle};
+pub use replay::{
+    replay_schedule, Expectation, ReplayOutcome, Schedule, ScheduleError, Step, Submission, World,
+};
 pub use runtime::{AppEvent, Runtime};
 pub use transport::Transport;
 pub use udp::{DatapathMode, PeerAddrs, PeerMap, UdpStats, UdpTransport};

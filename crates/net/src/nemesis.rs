@@ -29,7 +29,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ar_core::checker::{EvsChecker, TokenRuleMonitor};
+use ar_core::checker::{EvsChecker, SendSplitChecker, TokenRuleMonitor};
 use ar_core::fault::{Connectivity, FaultEvent};
 use ar_core::{
     Action, AdaptiveConfig, AdaptiveTimeouts, ConfigChange, Delivery, Message, Participant,
@@ -144,6 +144,8 @@ pub struct NemesisOutcome {
     pub evs_violations: Vec<String>,
     /// Token retransmission-bound violations (empty on a correct run).
     pub token_violations: Vec<String>,
+    /// Pre/post-token send-split violations (empty on a correct run).
+    pub split_violations: Vec<String>,
     /// Tokens observed on the wire.
     pub tokens_seen: u64,
     /// Messages dropped by loss or unreachability.
@@ -200,6 +202,12 @@ impl NemesisOutcome {
             self.flight_tail(10)
         );
         assert!(
+            self.split_violations.is_empty(),
+            "send-split violations: {:#?}\n{}",
+            self.split_violations,
+            self.flight_tail(10)
+        );
+        assert!(
             self.converged,
             "ring did not converge: final rings {:?}, survivors {:?}\n{}",
             self.final_rings,
@@ -240,6 +248,7 @@ pub struct NemesisRunner {
     link_latency: u64,
     checker: EvsChecker,
     monitor: TokenRuleMonitor,
+    split: SendSplitChecker,
     /// Delivery logs per host (survives restarts).
     pub logs: Vec<Vec<Delivery>>,
     /// Configuration-change logs per host.
@@ -315,6 +324,7 @@ impl NemesisRunner {
             link_latency: 50_000,
             checker: EvsChecker::new(n as usize),
             monitor: TokenRuleMonitor::new(),
+            split: SendSplitChecker::new(Some(protocol.accelerated_window)),
             logs: vec![Vec::new(); n as usize],
             configs: vec![Vec::new(); n as usize],
             dropped: 0,
@@ -443,6 +453,8 @@ impl NemesisRunner {
     }
 
     fn apply(&mut self, from: usize, actions: Vec<Action>) {
+        self.split
+            .on_actions(ParticipantId::new(from as u16), &actions);
         for action in actions {
             match action {
                 Action::SendToken { to, token } => {
@@ -710,6 +722,10 @@ impl NemesisRunner {
             Ok(()) => Vec::new(),
             Err(v) => v,
         };
+        let split_violations = match self.split.check() {
+            Ok(()) => Vec::new(),
+            Err(v) => v,
+        };
         let digest = self.digest(&final_rings);
         NemesisOutcome {
             converged,
@@ -718,6 +734,7 @@ impl NemesisRunner {
             deliveries: self.logs.iter().map(Vec::len).collect(),
             evs_violations,
             token_violations,
+            split_violations,
             tokens_seen: self.monitor.tokens_seen(),
             dropped: self.dropped,
             stopped_at: Duration::from_nanos(self.clock),

@@ -1,0 +1,1072 @@
+//! Deterministic schedule replay: the counterexample format the
+//! state-space explorer emits and the nemesis tooling consumes.
+//!
+//! The explorer (`ar-explore`) enumerates interleavings of message
+//! deliveries, losses, duplications, and timer firings over a small
+//! ring of sans-io [`Participant`]s. When a path violates an oracle it
+//! is written out as a **schedule**: the world's initial conditions
+//! plus the exact step sequence that reached the violation. This
+//! module owns that format and the [`World`] that executes it, so a
+//! schedule replays bit-identically here — in the nemesis replay path —
+//! without the explorer crate in the loop, and checked-in regression
+//! schedules (`tests/corpus/`) keep reproducing across refactors.
+//!
+//! Determinism contract (what makes a schedule replayable):
+//!
+//! * message identifiers are assigned sequentially in the order the
+//!   environment observes sends, with multicast fan-out enumerated in
+//!   ascending host order;
+//! * the action lists a participant emits are ingested in list order;
+//! * timers are a per-host armed/disarmed matrix (virtual deadlines
+//!   are irrelevant — the explorer treats "the timer fires now" as one
+//!   of the adversary's moves whenever the timer is armed).
+//!
+//! The same oracles the nemesis runner uses watch every step:
+//! [`EvsChecker`], [`TokenRuleMonitor`], and [`SendSplitChecker`].
+
+use std::collections::BTreeMap;
+
+use ar_core::checker::{EvsChecker, SendSplitChecker, TokenRuleMonitor};
+use ar_core::statehash::{StateHash, StateHasher};
+use ar_core::wire;
+use ar_core::{
+    Action, Message, Participant, ParticipantId, ProtocolConfig, RingId, ServiceType, TimerKind,
+};
+use ar_telemetry::json::{JsonWriter, Value};
+use bytes::Bytes;
+
+/// Timer kinds in their canonical schedule order (also the order the
+/// nemesis harness uses).
+pub const TIMER_KINDS: [TimerKind; 5] = [
+    TimerKind::TokenLoss,
+    TimerKind::TokenRetransmit,
+    TimerKind::Join,
+    TimerKind::ConsensusTimeout,
+    TimerKind::CommitTimeout,
+];
+
+fn kind_idx(kind: TimerKind) -> usize {
+    TIMER_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("known kind")
+}
+
+fn kind_name(kind: TimerKind) -> &'static str {
+    match kind {
+        TimerKind::TokenLoss => "token-loss",
+        TimerKind::TokenRetransmit => "token-retransmit",
+        TimerKind::Join => "join",
+        TimerKind::ConsensusTimeout => "consensus",
+        TimerKind::CommitTimeout => "commit",
+    }
+}
+
+fn kind_from_name(s: &str) -> Option<TimerKind> {
+    TIMER_KINDS.iter().copied().find(|&k| kind_name(k) == s)
+}
+
+fn service_name(s: ServiceType) -> &'static str {
+    match s {
+        ServiceType::Reliable => "reliable",
+        ServiceType::Fifo => "fifo",
+        ServiceType::Causal => "causal",
+        ServiceType::Agreed => "agreed",
+        ServiceType::Safe => "safe",
+    }
+}
+
+fn service_from_name(s: &str) -> Option<ServiceType> {
+    [
+        ServiceType::Reliable,
+        ServiceType::Fifo,
+        ServiceType::Causal,
+        ServiceType::Agreed,
+        ServiceType::Safe,
+    ]
+    .into_iter()
+    .find(|&v| service_name(v) == s)
+}
+
+/// One adversary move in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Step {
+    /// Deliver in-flight message `msg` to its destination and remove it
+    /// from flight.
+    Deliver {
+        /// The in-flight message identifier.
+        msg: u64,
+    },
+    /// Deliver a *copy* of in-flight message `msg`, leaving the
+    /// original in flight (bounded duplication; each message may be
+    /// duplicated once).
+    Duplicate {
+        /// The in-flight message identifier.
+        msg: u64,
+    },
+    /// Silently discard in-flight message `msg` (loss).
+    Drop {
+        /// The in-flight message identifier.
+        msg: u64,
+    },
+    /// Fire an armed protocol timer at `host`.
+    Timer {
+        /// The host whose timer fires.
+        host: u16,
+        /// Which timer fires.
+        kind: TimerKind,
+    },
+}
+
+impl Step {
+    /// Short human-readable rendering (`deliver#4`, `timer@2:join`).
+    pub fn describe(&self) -> String {
+        match self {
+            Step::Deliver { msg } => format!("deliver#{msg}"),
+            Step::Duplicate { msg } => format!("duplicate#{msg}"),
+            Step::Drop { msg } => format!("drop#{msg}"),
+            Step::Timer { host, kind } => format!("timer@{host}:{}", kind_name(*kind)),
+        }
+    }
+}
+
+/// A workload submission in a schedule's initial conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// The submitting host.
+    pub host: u16,
+    /// The payload (ASCII; schedules store it as a JSON string).
+    pub payload: String,
+    /// The requested delivery service.
+    pub service: ServiceType,
+}
+
+/// What a schedule claims about its own outcome, re-asserted on replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every oracle stays green along the whole schedule.
+    Clean,
+    /// At least one oracle reports a violation by the end.
+    Violation,
+}
+
+/// A replayable counterexample (or regression) schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Number of hosts (`ParticipantId` 0..hosts), all starting on one
+    /// established ring.
+    pub hosts: u16,
+    /// Named protocol configuration: `"accelerated"` or `"original"`.
+    pub config: String,
+    /// Payloads submitted (in order) before the ring starts.
+    pub submissions: Vec<Submission>,
+    /// The adversary's step sequence.
+    pub steps: Vec<Step>,
+    /// The outcome the schedule was recorded with.
+    pub expect: Expectation,
+    /// Free-form provenance note (which oracle fired, explorer depth,
+    /// seed — anything a human debugging the replay wants to see).
+    pub note: String,
+}
+
+/// Errors loading or executing a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The schedule file was not valid JSON.
+    Json(String),
+    /// The schedule JSON was missing or mistyped a field.
+    Malformed(String),
+    /// A step referenced a message not currently in flight.
+    UnknownMessage(u64),
+    /// A `Duplicate` step targeted a message whose duplication budget
+    /// is spent.
+    DuplicationExhausted(u64),
+    /// A `Timer` step targeted a timer that is not armed.
+    TimerNotArmed {
+        /// The host whose timer was named.
+        host: u16,
+        /// The timer kind named.
+        kind: &'static str,
+    },
+    /// A host index was outside `0..hosts`.
+    HostOutOfRange(u16),
+    /// The `config` name is not a known protocol configuration.
+    UnknownConfig(String),
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::Json(e) => write!(f, "schedule is not valid JSON: {e}"),
+            ScheduleError::Malformed(e) => write!(f, "malformed schedule: {e}"),
+            ScheduleError::UnknownMessage(id) => {
+                write!(f, "step references message #{id} not in flight")
+            }
+            ScheduleError::DuplicationExhausted(id) => {
+                write!(f, "message #{id} already duplicated")
+            }
+            ScheduleError::TimerNotArmed { host, kind } => {
+                write!(f, "timer {kind} not armed at host {host}")
+            }
+            ScheduleError::HostOutOfRange(h) => write!(f, "host {h} out of range"),
+            ScheduleError::UnknownConfig(c) => write!(f, "unknown protocol config {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Serializes the schedule to its canonical JSON text.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.num_u64(1);
+        w.key("kind");
+        w.str("ar-explore-schedule");
+        w.key("hosts");
+        w.num_u64(u64::from(self.hosts));
+        w.key("config");
+        w.str(&self.config);
+        w.key("note");
+        w.str(&self.note);
+        w.key("expect");
+        w.str(match self.expect {
+            Expectation::Clean => "clean",
+            Expectation::Violation => "violation",
+        });
+        w.key("submissions");
+        w.begin_array();
+        for s in &self.submissions {
+            w.begin_object();
+            w.key("host");
+            w.num_u64(u64::from(s.host));
+            w.key("payload");
+            w.str(&s.payload);
+            w.key("service");
+            w.str(service_name(s.service));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("steps");
+        w.begin_array();
+        for step in &self.steps {
+            w.begin_object();
+            match step {
+                Step::Deliver { msg } => {
+                    w.key("op");
+                    w.str("deliver");
+                    w.key("msg");
+                    w.num_u64(*msg);
+                }
+                Step::Duplicate { msg } => {
+                    w.key("op");
+                    w.str("duplicate");
+                    w.key("msg");
+                    w.num_u64(*msg);
+                }
+                Step::Drop { msg } => {
+                    w.key("op");
+                    w.str("drop");
+                    w.key("msg");
+                    w.num_u64(*msg);
+                }
+                Step::Timer { host, kind } => {
+                    w.key("op");
+                    w.str("timer");
+                    w.key("host");
+                    w.num_u64(u64::from(*host));
+                    w.key("kind");
+                    w.str(kind_name(*kind));
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a schedule from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Json`] for invalid JSON and
+    /// [`ScheduleError::Malformed`] for structurally wrong schedules.
+    pub fn from_json(text: &str) -> Result<Schedule, ScheduleError> {
+        let v = Value::parse(text).map_err(|e| ScheduleError::Json(format!("{e:?}")))?;
+        let obj = |v: &Value, what: &str| -> Result<(), ScheduleError> {
+            v.as_object()
+                .map(|_| ())
+                .ok_or_else(|| ScheduleError::Malformed(format!("{what} must be an object")))
+        };
+        obj(&v, "schedule")?;
+        let field = |k: &str| -> Result<Value, ScheduleError> {
+            v.get(k)
+                .cloned()
+                .ok_or_else(|| ScheduleError::Malformed(format!("missing field {k:?}")))
+        };
+        let num = |k: &str| -> Result<u64, ScheduleError> {
+            field(k)?
+                .as_f64()
+                .map(|f| f as u64)
+                .ok_or_else(|| ScheduleError::Malformed(format!("field {k:?} must be a number")))
+        };
+        let text_field = |k: &str| -> Result<String, ScheduleError> {
+            field(k)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ScheduleError::Malformed(format!("field {k:?} must be a string")))
+        };
+        if text_field("kind")? != "ar-explore-schedule" {
+            return Err(ScheduleError::Malformed(
+                "kind must be \"ar-explore-schedule\"".into(),
+            ));
+        }
+        let hosts = num("hosts")? as u16;
+        let expect = match text_field("expect")?.as_str() {
+            "clean" => Expectation::Clean,
+            "violation" => Expectation::Violation,
+            other => {
+                return Err(ScheduleError::Malformed(format!(
+                    "expect must be clean|violation, got {other:?}"
+                )))
+            }
+        };
+        let mut submissions = Vec::new();
+        for (i, s) in field("submissions")?
+            .as_array()
+            .ok_or_else(|| ScheduleError::Malformed("submissions must be an array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let get_in = |s: &Value, k: &str| -> Result<Value, ScheduleError> {
+                s.get(k).cloned().ok_or_else(|| {
+                    ScheduleError::Malformed(format!("submission {i} missing {k:?}"))
+                })
+            };
+            let service_raw = get_in(s, "service")?;
+            let service_name_str = service_raw.as_str().ok_or_else(|| {
+                ScheduleError::Malformed(format!("submission {i} service must be a string"))
+            })?;
+            submissions.push(Submission {
+                host: get_in(s, "host")?.as_f64().ok_or_else(|| {
+                    ScheduleError::Malformed(format!("submission {i} host must be a number"))
+                })? as u16,
+                payload: get_in(s, "payload")?
+                    .as_str()
+                    .ok_or_else(|| {
+                        ScheduleError::Malformed(format!("submission {i} payload must be a string"))
+                    })?
+                    .to_owned(),
+                service: service_from_name(service_name_str).ok_or_else(|| {
+                    ScheduleError::Malformed(format!(
+                        "submission {i}: unknown service {service_name_str:?}"
+                    ))
+                })?,
+            });
+        }
+        let mut steps = Vec::new();
+        for (i, s) in field("steps")?
+            .as_array()
+            .ok_or_else(|| ScheduleError::Malformed("steps must be an array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let op = s
+                .get("op")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ScheduleError::Malformed(format!("step {i} missing op")))?;
+            let msg_of = |s: &Value| -> Result<u64, ScheduleError> {
+                s.get("msg")
+                    .and_then(Value::as_f64)
+                    .map(|f| f as u64)
+                    .ok_or_else(|| ScheduleError::Malformed(format!("step {i} missing msg")))
+            };
+            steps.push(match op {
+                "deliver" => Step::Deliver { msg: msg_of(s)? },
+                "duplicate" => Step::Duplicate { msg: msg_of(s)? },
+                "drop" => Step::Drop { msg: msg_of(s)? },
+                "timer" => {
+                    let host =
+                        s.get("host").and_then(Value::as_f64).ok_or_else(|| {
+                            ScheduleError::Malformed(format!("step {i} missing host"))
+                        })? as u16;
+                    let kind_str = s.get("kind").and_then(Value::as_str).ok_or_else(|| {
+                        ScheduleError::Malformed(format!("step {i} missing kind"))
+                    })?;
+                    let kind = kind_from_name(kind_str).ok_or_else(|| {
+                        ScheduleError::Malformed(format!(
+                            "step {i}: unknown timer kind {kind_str:?}"
+                        ))
+                    })?;
+                    Step::Timer { host, kind }
+                }
+                other => {
+                    return Err(ScheduleError::Malformed(format!(
+                        "step {i}: unknown op {other:?}"
+                    )))
+                }
+            });
+        }
+        Ok(Schedule {
+            hosts,
+            config: text_field("config")?,
+            submissions,
+            steps,
+            expect,
+            note: text_field("note").unwrap_or_default(),
+        })
+    }
+}
+
+fn config_by_name(name: &str) -> Result<ProtocolConfig, ScheduleError> {
+    match name {
+        "accelerated" => Ok(ProtocolConfig::accelerated()),
+        "original" => Ok(ProtocolConfig::original()),
+        other => Err(ScheduleError::UnknownConfig(other.to_owned())),
+    }
+}
+
+/// A message travelling between hosts, owned by the [`World`].
+#[derive(Debug, Clone)]
+pub struct Inflight {
+    /// Stable identifier, assigned in send order.
+    pub id: u64,
+    /// Destination host.
+    pub to: u16,
+    /// The message itself.
+    pub msg: Message,
+    /// Remaining duplication budget (1 for fresh messages; a
+    /// duplicated copy spends it).
+    pub dup_left: u8,
+}
+
+/// A deterministic, cloneable mini-universe of `n` participants with
+/// explicit in-flight messages and an armed-timer matrix, watched by
+/// the nemesis oracles.
+///
+/// Unlike [`crate::nemesis::NemesisRunner`], the world has no clock and
+/// no randomness: *every* nondeterministic choice (which message
+/// arrives next, what gets lost or duplicated, when timers fire) is an
+/// explicit [`Step`] chosen by the caller — the explorer's DFS or a
+/// [`Schedule`] being replayed. Cloning the world forks the universe,
+/// which is what makes depth-first exploration cheap.
+#[derive(Debug, Clone)]
+pub struct World {
+    n: u16,
+    parts: Vec<Participant>,
+    inflight: Vec<Inflight>,
+    next_msg_id: u64,
+    /// Per-host armed flags, indexed by [`TIMER_KINDS`] position.
+    armed: Vec<[bool; 5]>,
+    checker: EvsChecker,
+    monitor: TokenRuleMonitor,
+    split: SendSplitChecker,
+    deliveries: Vec<u64>,
+    steps_applied: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl World {
+    /// Builds a world of `hosts` participants on one established ring
+    /// under the named configuration, applies the submissions, and
+    /// starts every participant (the representative's start injects the
+    /// first token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] for unknown configs or out-of-range
+    /// submission hosts.
+    pub fn new(
+        hosts: u16,
+        config: &str,
+        submissions: &[Submission],
+    ) -> Result<World, ScheduleError> {
+        let cfg = config_by_name(config)?;
+        let members: Vec<ParticipantId> = (0..hosts).map(ParticipantId::new).collect();
+        let ring_id = RingId::new(members[0], 1);
+        let parts: Vec<Participant> = members
+            .iter()
+            .map(|&p| Participant::new(p, cfg, ring_id, members.clone()).expect("valid ring"))
+            .collect();
+        let mut world = World {
+            n: hosts,
+            parts,
+            inflight: Vec::new(),
+            next_msg_id: 0,
+            armed: vec![[false; 5]; hosts as usize],
+            checker: EvsChecker::new(hosts as usize),
+            monitor: TokenRuleMonitor::new(),
+            split: SendSplitChecker::new(Some(cfg.accelerated_window)),
+            deliveries: vec![0; hosts as usize],
+            steps_applied: 0,
+            dropped: 0,
+            duplicated: 0,
+        };
+        for s in submissions {
+            if s.host >= hosts {
+                return Err(ScheduleError::HostOutOfRange(s.host));
+            }
+            let i = s.host as usize;
+            world.checker.on_submit(i, s.payload.as_bytes());
+            world.parts[i]
+                .submit(Bytes::from(s.payload.clone().into_bytes()), s.service)
+                .expect("exploration workloads fit the send queue");
+        }
+        for i in 0..hosts as usize {
+            let actions = world.parts[i].start();
+            world.ingest(i, actions);
+        }
+        Ok(world)
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> u16 {
+        self.n
+    }
+
+    /// The messages currently in flight.
+    pub fn inflight(&self) -> &[Inflight] {
+        &self.inflight
+    }
+
+    /// Delivery counts per host.
+    pub fn deliveries(&self) -> &[u64] {
+        &self.deliveries
+    }
+
+    /// Steps applied so far.
+    pub fn steps_applied(&self) -> u64 {
+        self.steps_applied
+    }
+
+    /// Host `i`'s participant, for oracle probes.
+    pub fn participant(&self, i: u16) -> &Participant {
+        &self.parts[i as usize]
+    }
+
+    /// Every step the adversary may take from this state, in canonical
+    /// order: delivers (ascending message id), duplicates, drops, then
+    /// timer firings (host-major, [`TIMER_KINDS`] order).
+    pub fn enabled(&self) -> Vec<Step> {
+        let mut steps = Vec::with_capacity(self.inflight.len() * 3 + 4);
+        for m in &self.inflight {
+            steps.push(Step::Deliver { msg: m.id });
+        }
+        for m in &self.inflight {
+            if m.dup_left > 0 {
+                steps.push(Step::Duplicate { msg: m.id });
+            }
+        }
+        for m in &self.inflight {
+            steps.push(Step::Drop { msg: m.id });
+        }
+        for (host, armed) in self.armed.iter().enumerate() {
+            for (k, &kind) in TIMER_KINDS.iter().enumerate() {
+                if armed[k] {
+                    steps.push(Step::Timer {
+                        host: host as u16,
+                        kind,
+                    });
+                }
+            }
+        }
+        steps
+    }
+
+    /// The destination host a step acts on (`None` for `Drop`, which
+    /// touches no participant). Used by the explorer's commutation
+    /// test.
+    pub fn step_target(&self, step: &Step) -> Option<u16> {
+        match step {
+            Step::Deliver { msg } | Step::Duplicate { msg } => {
+                self.inflight.iter().find(|m| m.id == *msg).map(|m| m.to)
+            }
+            Step::Drop { .. } => None,
+            Step::Timer { host, .. } => Some(*host),
+        }
+    }
+
+    /// Applies one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if the step is not enabled in this
+    /// state (unknown message, spent duplication budget, unarmed
+    /// timer).
+    pub fn apply_step(&mut self, step: &Step) -> Result<(), ScheduleError> {
+        match step {
+            Step::Deliver { msg } => {
+                let idx = self.find_msg(*msg)?;
+                let m = self.inflight.remove(idx);
+                let to = m.to as usize;
+                let actions = self.parts[to].handle_message(m.msg);
+                self.ingest(to, actions);
+            }
+            Step::Duplicate { msg } => {
+                let idx = self.find_msg(*msg)?;
+                if self.inflight[idx].dup_left == 0 {
+                    return Err(ScheduleError::DuplicationExhausted(*msg));
+                }
+                self.inflight[idx].dup_left -= 1;
+                let copy = self.inflight[idx].msg.clone();
+                let to = self.inflight[idx].to as usize;
+                self.duplicated += 1;
+                let actions = self.parts[to].handle_message(copy);
+                self.ingest(to, actions);
+            }
+            Step::Drop { msg } => {
+                let idx = self.find_msg(*msg)?;
+                self.inflight.remove(idx);
+                self.dropped += 1;
+            }
+            Step::Timer { host, kind } => {
+                if *host >= self.n {
+                    return Err(ScheduleError::HostOutOfRange(*host));
+                }
+                let h = *host as usize;
+                let k = kind_idx(*kind);
+                if !self.armed[h][k] {
+                    return Err(ScheduleError::TimerNotArmed {
+                        host: *host,
+                        kind: kind_name(*kind),
+                    });
+                }
+                self.armed[h][k] = false;
+                let actions = self.parts[h].handle_timer(*kind);
+                self.ingest(h, actions);
+            }
+        }
+        self.steps_applied += 1;
+        Ok(())
+    }
+
+    fn find_msg(&self, id: u64) -> Result<usize, ScheduleError> {
+        self.inflight
+            .iter()
+            .position(|m| m.id == id)
+            .ok_or(ScheduleError::UnknownMessage(id))
+    }
+
+    fn push_msg(&mut self, to: u16, msg: Message) {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.inflight.push(Inflight {
+            id,
+            to,
+            msg,
+            dup_left: 1,
+        });
+    }
+
+    fn ingest(&mut self, from: usize, actions: Vec<Action>) {
+        self.split
+            .on_actions(ParticipantId::new(from as u16), &actions);
+        for action in actions {
+            match action {
+                Action::SendToken { to, token } => {
+                    self.monitor.on_token(&token);
+                    self.push_msg(to.as_u16(), Message::Token(token));
+                }
+                Action::SendCommit { to, token } => {
+                    self.push_msg(to.as_u16(), Message::Commit(token));
+                }
+                Action::Multicast(m) => {
+                    for to in 0..self.n {
+                        if to as usize != from {
+                            self.push_msg(to, Message::Data(m.clone()));
+                        }
+                    }
+                }
+                Action::MulticastJoin(j) => {
+                    for to in 0..self.n {
+                        if to as usize != from {
+                            self.push_msg(to, Message::Join(j.clone()));
+                        }
+                    }
+                }
+                Action::Deliver(d) => {
+                    self.checker.on_delivery(from, &d);
+                    self.deliveries[from] += 1;
+                }
+                Action::DeliverConfigChange(c) => {
+                    self.checker.on_config(from, &c);
+                }
+                Action::SetTimer(kind) => {
+                    self.armed[from][kind_idx(kind)] = true;
+                }
+                Action::CancelTimer(kind) => {
+                    self.armed[from][kind_idx(kind)] = false;
+                }
+            }
+        }
+    }
+
+    /// Fingerprint of the global state: every participant's protocol
+    /// state, the armed-timer matrix, and the in-flight pool hashed as
+    /// an order-insensitive multiset of `(destination, bytes,
+    /// duplication budget)` — message identifiers are deliberately
+    /// excluded so that commuting interleavings which reach the same
+    /// configuration collide (the visited-set prune in the explorer
+    /// depends on this).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_len(self.parts.len());
+        for p in &self.parts {
+            p.state_hash_into(&mut h);
+        }
+        for armed in &self.armed {
+            for &a in armed {
+                h.write_bool(a);
+            }
+        }
+        let mut msg_digests: Vec<u64> = self
+            .inflight
+            .iter()
+            .map(|m| {
+                let mut mh = StateHasher::new();
+                mh.write_u16(m.to);
+                mh.write_u8(m.dup_left);
+                mh.write(&wire::encode(&m.msg));
+                mh.finish()
+            })
+            .collect();
+        msg_digests.sort_unstable();
+        h.write_len(msg_digests.len());
+        for d in msg_digests {
+            h.write_u64(d);
+        }
+        h.finish()
+    }
+
+    /// Runs every oracle against the state reached so far and returns
+    /// all violations (empty when green). Non-destructive: the oracles
+    /// keep accumulating afterwards.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut checker = self.checker.clone();
+        match checker.check() {
+            Ok(()) => {}
+            Err(v) => out.extend(v),
+        }
+        let mut monitor = self.monitor.clone();
+        match monitor.check() {
+            Ok(()) => {}
+            Err(v) => out.extend(v),
+        }
+        let mut split = self.split.clone();
+        match split.check() {
+            Ok(()) => {}
+            Err(v) => out.extend(v),
+        }
+        out
+    }
+
+    /// Loss/duplication counters `(dropped, duplicated)`.
+    pub fn chaos_counters(&self) -> (u64, u64) {
+        (self.dropped, self.duplicated)
+    }
+}
+
+/// What replaying a schedule produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Oracle violations at the end of the schedule.
+    pub violations: Vec<String>,
+    /// Steps applied (always the schedule's full length on success).
+    pub steps_applied: u64,
+    /// Delivery counts per host.
+    pub deliveries: Vec<u64>,
+    /// Final state fingerprint — equal across replays of the same
+    /// schedule (the determinism the corpus tests pin down).
+    pub final_hash: u64,
+}
+
+impl ReplayOutcome {
+    /// Whether the outcome matches the schedule's recorded
+    /// [`Expectation`].
+    pub fn matches(&self, expect: Expectation) -> bool {
+        match expect {
+            Expectation::Clean => self.violations.is_empty(),
+            Expectation::Violation => !self.violations.is_empty(),
+        }
+    }
+}
+
+/// Replays `schedule` from scratch and reports the outcome.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the schedule's config is unknown or a
+/// step is not applicable in the state it is reached in (which means
+/// the schedule does not match the code under test anymore).
+pub fn replay_schedule(schedule: &Schedule) -> Result<ReplayOutcome, ScheduleError> {
+    let mut world = World::new(schedule.hosts, &schedule.config, &schedule.submissions)?;
+    for step in &schedule.steps {
+        world.apply_step(step)?;
+    }
+    Ok(ReplayOutcome {
+        violations: world.violations(),
+        steps_applied: world.steps_applied(),
+        deliveries: world.deliveries().to_vec(),
+        final_hash: world.state_hash(),
+    })
+}
+
+/// Renders a ready-to-paste `#[test]` regression stub for a schedule
+/// stored at `corpus_path` (relative to the repository root).
+pub fn regression_stub(test_name: &str, corpus_path: &str, expect: Expectation) -> String {
+    let expect_str = match expect {
+        Expectation::Clean => "Expectation::Clean",
+        Expectation::Violation => "Expectation::Violation",
+    };
+    let mut map = BTreeMap::new();
+    map.insert("{name}", test_name.to_owned());
+    map.insert("{path}", corpus_path.to_owned());
+    map.insert("{expect}", expect_str.to_owned());
+    let mut out = String::from(
+        "#[test]\n\
+         fn {name}() {\n    \
+             use accelerated_ring::net::replay::{replay_schedule, Expectation, Schedule};\n    \
+             let text = std::fs::read_to_string(\"{path}\").expect(\"corpus file\");\n    \
+             let schedule = Schedule::from_json(&text).expect(\"valid schedule\");\n    \
+             let outcome = replay_schedule(&schedule).expect(\"replayable\");\n    \
+             assert!(outcome.matches({expect}), \"outcome diverged: {:?}\", outcome.violations);\n\
+         }\n",
+    );
+    for (k, v) in map {
+        out = out.replace(k, &v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schedule(steps: Vec<Step>) -> Schedule {
+        Schedule {
+            hosts: 3,
+            config: "accelerated".into(),
+            submissions: vec![
+                Submission {
+                    host: 0,
+                    payload: "h0-m0".into(),
+                    service: ServiceType::Agreed,
+                },
+                Submission {
+                    host: 1,
+                    payload: "h1-m0".into(),
+                    service: ServiceType::Safe,
+                },
+            ],
+            steps,
+            expect: Expectation::Clean,
+            note: "unit-test schedule".into(),
+        }
+    }
+
+    #[test]
+    fn schedule_json_roundtrip() {
+        let s = demo_schedule(vec![
+            Step::Deliver { msg: 0 },
+            Step::Duplicate { msg: 2 },
+            Step::Drop { msg: 3 },
+            Step::Timer {
+                host: 1,
+                kind: TimerKind::TokenLoss,
+            },
+        ]);
+        let text = s.to_json();
+        let back = Schedule::from_json(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        assert!(matches!(
+            Schedule::from_json("not json"),
+            Err(ScheduleError::Json(_))
+        ));
+        assert!(matches!(
+            Schedule::from_json("{}"),
+            Err(ScheduleError::Malformed(_))
+        ));
+        let wrong_kind = r#"{"kind":"something-else","hosts":2}"#;
+        assert!(matches!(
+            Schedule::from_json(wrong_kind),
+            Err(ScheduleError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn world_starts_with_token_in_flight() {
+        let w = World::new(3, "accelerated", &[]).unwrap();
+        // The representative processed the initial token and forwarded
+        // it: exactly one message should be in flight, a token to host
+        // 1.
+        assert_eq!(w.inflight().len(), 1);
+        assert_eq!(w.inflight()[0].to, 1);
+        assert!(matches!(w.inflight()[0].msg, Message::Token(_)));
+        assert!(w.violations().is_empty());
+    }
+
+    #[test]
+    fn enabled_lists_every_adversary_move() {
+        let w = World::new(3, "accelerated", &[]).unwrap();
+        let steps = w.enabled();
+        // One in-flight token => deliver, duplicate, drop; plus every
+        // armed timer.
+        assert!(steps.contains(&Step::Deliver { msg: 0 }));
+        assert!(steps.contains(&Step::Duplicate { msg: 0 }));
+        assert!(steps.contains(&Step::Drop { msg: 0 }));
+        assert!(
+            steps.iter().any(|s| matches!(s, Step::Timer { .. })),
+            "{steps:?}"
+        );
+    }
+
+    #[test]
+    fn token_circulation_by_explicit_delivery_stays_clean() {
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        // Deliver whatever is in flight, oldest first, for a while: the
+        // token should circulate and no oracle should fire.
+        for _ in 0..30 {
+            let Some(first) = w.inflight().first().map(|m| m.id) else {
+                break;
+            };
+            w.apply_step(&Step::Deliver { msg: first }).unwrap();
+        }
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        assert!(w.steps_applied() > 0);
+    }
+
+    #[test]
+    fn submissions_are_ordered_and_delivered() {
+        let sched = demo_schedule(vec![]);
+        let mut w = World::new(sched.hosts, &sched.config, &sched.submissions).unwrap();
+        for _ in 0..200 {
+            let Some(first) = w.inflight().first().map(|m| m.id) else {
+                break;
+            };
+            w.apply_step(&Step::Deliver { msg: first }).unwrap();
+        }
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        // Every host eventually delivers both payloads.
+        assert!(
+            w.deliveries().iter().all(|&d| d >= 2),
+            "{:?}",
+            w.deliveries()
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let sched = demo_schedule(vec![Step::Duplicate { msg: 0 }, Step::Deliver { msg: 0 }]);
+        let a = replay_schedule(&sched).unwrap();
+        let b = replay_schedule(&sched).unwrap();
+        assert_eq!(a.final_hash, b.final_hash);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert!(a.matches(Expectation::Clean), "{:?}", a.violations);
+    }
+
+    #[test]
+    fn inapplicable_steps_are_reported() {
+        let mut w = World::new(2, "accelerated", &[]).unwrap();
+        assert_eq!(
+            w.apply_step(&Step::Deliver { msg: 999 }),
+            Err(ScheduleError::UnknownMessage(999))
+        );
+        let first = w.inflight()[0].id;
+        w.apply_step(&Step::Duplicate { msg: first }).unwrap();
+        // Budget spent: a second duplication of the same message fails.
+        let err = w.apply_step(&Step::Duplicate { msg: first });
+        assert_eq!(err, Err(ScheduleError::DuplicationExhausted(first)));
+        assert_eq!(
+            w.apply_step(&Step::Timer {
+                host: 5,
+                kind: TimerKind::Join
+            }),
+            Err(ScheduleError::HostOutOfRange(5))
+        );
+        assert!(matches!(
+            World::new(2, "warp-speed", &[]),
+            Err(ScheduleError::UnknownConfig(_))
+        ));
+    }
+
+    #[test]
+    fn state_hash_ignores_message_identities_but_not_content() {
+        // Two worlds that reach the same configuration through
+        // different commuting orders must collide.
+        let mk = || World::new(3, "accelerated", &[]).unwrap();
+        let mut a = mk();
+        let mut b = mk();
+        // In a fresh world only one message is in flight; deliver it in
+        // both worlds, then compare: trivially equal.
+        let id = a.inflight()[0].id;
+        a.apply_step(&Step::Deliver { msg: id }).unwrap();
+        b.apply_step(&Step::Deliver { msg: id }).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        // Dropping vs delivering diverges the hash.
+        let mut c = mk();
+        c.apply_step(&Step::Drop { msg: id }).unwrap();
+        assert_ne!(a.state_hash(), c.state_hash());
+    }
+
+    #[test]
+    fn commuting_deliveries_reach_the_same_hash() {
+        // Drive the world until two messages to *different* hosts are
+        // simultaneously in flight, then apply them in both orders.
+        let mut w = World::new(3, "accelerated", &demo_schedule(vec![]).submissions).unwrap();
+        let pair = loop {
+            let inf = w.inflight();
+            let mut seen: Vec<(u64, u16)> = inf.iter().map(|m| (m.id, m.to)).collect();
+            seen.sort_unstable();
+            if let Some(p) = seen
+                .iter()
+                .flat_map(|&(i1, t1)| {
+                    seen.iter()
+                        .filter(move |&&(i2, t2)| i2 > i1 && t2 != t1)
+                        .map(move |&(i2, _)| (i1, i2))
+                })
+                .next()
+            {
+                break Some(p);
+            }
+            let Some(first) = w.inflight().first().map(|m| m.id) else {
+                break None;
+            };
+            w.apply_step(&Step::Deliver { msg: first }).unwrap();
+        };
+        let Some((m1, m2)) = pair else {
+            panic!("never saw two concurrent messages to distinct hosts");
+        };
+        let mut ab = w.clone();
+        ab.apply_step(&Step::Deliver { msg: m1 }).unwrap();
+        ab.apply_step(&Step::Deliver { msg: m2 }).unwrap();
+        let mut ba = w;
+        ba.apply_step(&Step::Deliver { msg: m2 }).unwrap();
+        ba.apply_step(&Step::Deliver { msg: m1 }).unwrap();
+        assert_eq!(
+            ab.state_hash(),
+            ba.state_hash(),
+            "deliveries to distinct hosts must commute"
+        );
+    }
+
+    #[test]
+    fn regression_stub_renders_compilable_shape() {
+        let stub = regression_stub(
+            "replays_corpus_001",
+            "tests/corpus/001.json",
+            Expectation::Clean,
+        );
+        assert!(stub.contains("fn replays_corpus_001()"));
+        assert!(stub.contains("tests/corpus/001.json"));
+        assert!(stub.contains("Expectation::Clean"));
+    }
+}

@@ -28,6 +28,10 @@
 //!   bounded log-linear histograms, a lock-free metrics registry, and a
 //!   flight recorder of recent protocol events (served live by `ard
 //!   --metrics-addr`).
+//! * [`explore`] ([`ar_explore`]) — systematic testing: a bounded
+//!   deterministic state-space explorer with DPOR-style pruning over
+//!   the sans-io core, and a structure-aware seeded fuzzer for the
+//!   wire codec (`cargo run -p ar-explore`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@
 
 pub use ar_core as core;
 pub use ar_daemon as daemon;
+pub use ar_explore as explore;
 pub use ar_net as net;
 pub use ar_sim as sim;
 pub use ar_telemetry as telemetry;

@@ -4,7 +4,10 @@
 //! controller is a pure function of its sample sequence (the
 //! determinism the nemesis harness relies on for resume).
 
-use accelerated_ring::core::{derive_timeouts, AdaptiveConfig, AdaptiveTimeouts, TimeoutConfig};
+use accelerated_ring::core::{
+    derive_timeouts, AdaptiveConfig, AdaptiveTimeouts, FlapDampingConfig, Participant,
+    ParticipantId, ProtocolConfig, TimeoutConfig,
+};
 use proptest::prelude::*;
 
 /// Policies with valid but varied quantiles, factors, and clamp bands.
@@ -133,6 +136,123 @@ proptest! {
                 let q = ctl.rotation_quantile().unwrap();
                 prop_assert_eq!(ctl.current(), derive_timeouts(&base, &policy, q));
             }
+        }
+    }
+}
+
+// ----- flap-damping decay properties ------------------------------------
+
+/// Valid, varied flap-damping policies with the feature enabled.
+///
+/// `reuse_threshold` is kept at least 1: with a reuse threshold of
+/// zero a fully decayed score (which *is* zero) could never drop below
+/// it and quarantine would be permanent by construction — the policies
+/// the damping code is meant for always allow reinstatement.
+/// Half-lives are kept short so the "quarantine lifts" bound stays
+/// cheap to step through.
+fn arb_damping() -> impl Strategy<Value = FlapDampingConfig> {
+    (1u32..5_000, 1u32..10_000, 1u64..48, 1u32..4_000).prop_map(
+        |(penalty_per_flap, suppress_threshold, half_life_rounds, reuse_raw)| {
+            FlapDampingConfig {
+                enabled: true,
+                penalty_per_flap,
+                suppress_threshold,
+                // Reinstatement must be reachable: 1..=suppress_threshold.
+                reuse_threshold: 1 + reuse_raw % suppress_threshold,
+                half_life_rounds,
+                // Cap at or above one flap's worth so scores can move.
+                max_penalty: suppress_threshold.saturating_mul(4).max(penalty_per_flap),
+            }
+        },
+    )
+}
+
+/// A lone participant whose flap-damping machinery can be driven
+/// directly through the public `penalize`/`decay_penalties` API.
+fn damped_participant(damping: FlapDampingConfig) -> Participant {
+    let cfg = ProtocolConfig {
+        flap_damping: damping,
+        ..ProtocolConfig::accelerated()
+    };
+    Participant::new_singleton(ParticipantId::new(0), cfg).expect("valid damping config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Across quiet rounds (no new flaps) a member's penalty score is
+    /// monotone non-increasing, never resurrects once it reaches zero,
+    /// and the quarantined population never grows.
+    #[test]
+    fn penalty_is_monotone_nonincreasing_across_quiet_rounds(
+        damping in arb_damping(),
+        flaps in 1u32..24,
+        quiet_rounds in 1u64..512,
+    ) {
+        let mut p = damped_participant(damping);
+        let flapper = ParticipantId::new(7);
+        for _ in 0..flaps {
+            p.penalize(flapper);
+        }
+        let mut prev_score = p.flap_penalty(flapper);
+        let mut prev_quarantined = p.quarantined_count();
+        prop_assert!(prev_score <= damping.max_penalty);
+        for round in 0..quiet_rounds {
+            p.decay_penalties();
+            let score = p.flap_penalty(flapper);
+            prop_assert!(
+                score <= prev_score,
+                "score rose {prev_score} -> {score} at quiet round {round}"
+            );
+            if prev_score == 0 {
+                prop_assert_eq!(score, 0, "zero score resurrected at round {}", round);
+            }
+            let quarantined = p.quarantined_count();
+            prop_assert!(
+                quarantined <= prev_quarantined,
+                "quiet decay grew the quarantine set at round {round}"
+            );
+            prev_score = score;
+            prev_quarantined = quarantined;
+        }
+    }
+
+    /// A quarantined member is always reinstated after enough quiet
+    /// rounds: scores are capped at `max_penalty` (< 2^32) and halve
+    /// every `half_life_rounds`, so within 33 half-lives the score is
+    /// zero, which is below every admissible reuse threshold.
+    #[test]
+    fn quarantine_always_lifts_under_quiet_decay(
+        damping in arb_damping(),
+        extra_flaps in 0u32..8,
+    ) {
+        let mut p = damped_participant(damping);
+        let flapper = ParticipantId::new(3);
+        // Flap until quarantined (the cap guarantees this terminates:
+        // ceil(suppress/penalty) charges reach the threshold).
+        let needed = damping.suppress_threshold.div_ceil(damping.penalty_per_flap) + extra_flaps;
+        for _ in 0..needed {
+            p.penalize(flapper);
+        }
+        prop_assert!(p.is_quarantined(flapper), "never entered quarantine");
+        let bound = damping.half_life_rounds * 34;
+        let mut lifted_at = None;
+        for round in 0..=bound {
+            if !p.is_quarantined(flapper) {
+                lifted_at = Some(round);
+                break;
+            }
+            p.decay_penalties();
+        }
+        prop_assert!(
+            lifted_at.is_some(),
+            "still quarantined after {bound} quiet rounds (score {})",
+            p.flap_penalty(flapper)
+        );
+        // Reinstatement is stable: staying quiet never re-quarantines.
+        for _ in 0..damping.half_life_rounds * 2 {
+            p.decay_penalties();
+            prop_assert!(!p.is_quarantined(flapper));
         }
     }
 }

@@ -1,0 +1,105 @@
+//! Replays the checked-in schedule corpus (`tests/corpus/*.json`)
+//! through the nemesis replay path and asserts each schedule still
+//! matches its recorded expectation.
+//!
+//! The corpus holds minimized schedules the state-space explorer
+//! (`ar-explore`) emitted: fault-free circulation, token loss repaired
+//! by the retransmit timer, and token/data duplication. When the
+//! explorer finds a violation, its emitted schedule (plus the
+//! generated `#[test]` stub) lands here so the bug keeps reproducing
+//! deterministically after it is fixed.
+//!
+//! Regenerate or extend the corpus with:
+//!
+//! ```text
+//! cargo run --release -p ar-explore -- explore --hosts 3 --depth 12 \
+//!     --emit-corpus tests/corpus
+//! ```
+
+use std::path::PathBuf;
+
+use accelerated_ring::net::replay::{replay_schedule, Schedule};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_has_at_least_three_schedules() {
+    assert!(
+        corpus_files().len() >= 3,
+        "corpus shrank below the three seed schedules: {:?}",
+        corpus_files()
+    );
+}
+
+#[test]
+fn every_corpus_schedule_replays_to_its_recorded_expectation() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let schedule =
+            Schedule::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = replay_schedule(&schedule)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", path.display()));
+        assert!(
+            outcome.matches(schedule.expect),
+            "{}: outcome diverged from recorded expectation; violations: {:?}",
+            path.display(),
+            outcome.violations
+        );
+        assert_eq!(
+            outcome.steps_applied,
+            schedule.steps.len() as u64,
+            "{}: schedule did not replay end-to-end",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let schedule = Schedule::from_json(&text).expect("valid schedule");
+        let a = replay_schedule(&schedule).expect("replayable");
+        let b = replay_schedule(&schedule).expect("replayable");
+        assert_eq!(
+            a.final_hash,
+            b.final_hash,
+            "{}: replay is not deterministic",
+            path.display()
+        );
+        assert_eq!(a.deliveries, b.deliveries);
+    }
+}
+
+#[test]
+fn faulty_corpus_schedules_still_deliver_everything() {
+    // The two fault-injection schedules must end with every host having
+    // delivered both submissions — loss and duplication are *masked*,
+    // not just survived.
+    for name in [
+        "token_loss_retransmit.json",
+        "duplicate_token_and_data.json",
+    ] {
+        let path = corpus_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let schedule = Schedule::from_json(&text).expect("valid schedule");
+        let outcome = replay_schedule(&schedule).expect("replayable");
+        assert!(
+            outcome.deliveries.iter().all(|&d| d == 2),
+            "{name}: expected every host to deliver both payloads, got {:?}",
+            outcome.deliveries
+        );
+    }
+}
