@@ -1,0 +1,133 @@
+//! `BENCH_durable_log.json`: the cost of crash safety — segmented-log
+//! append throughput under each fsync policy.
+//!
+//! Every curve appends the same stream of delivery records (1 KiB
+//! payloads, the protocol's ordered-message shape) to a fresh log
+//! directory and reports achieved append bandwidth plus per-append
+//! latency percentiles. The interesting read is the gap between
+//! `log/fsync-never` (pure user-space + page-cache writes, what Safe
+//! delivery costs with durability off) and `log/fsync-always` (one
+//! fsync per record, the paranoid upper bound). `log/fsync-every-64`
+//! is the shipped default for `ard --log-dir`: group commit amortizes
+//! the sync down to near-`never` cost while bounding the loss window
+//! to 64 records.
+//!
+//! Writes `BENCH_durable_log.json` into the working directory (the
+//! repo root under `cargo run`), like the figure binaries; scratch
+//! log directories live under the system temp dir.
+
+use std::time::Instant;
+
+use ar_bench::{write_bench_json, BenchPoint};
+use ar_core::{ParticipantId, RingId, Seq, ServiceType};
+use ar_log::{DeliveryRecord, FsyncPolicy, LogConfig, LogRecord, SegmentedLog};
+use ar_telemetry::LogLinearHistogram;
+use bytes::Bytes;
+
+const RECORDS: u64 = 20_000;
+const PAYLOAD: usize = 1_024;
+
+struct Curve {
+    label: &'static str,
+    policy: FsyncPolicy,
+    /// Records per run; fsync-always pays a disk round-trip per
+    /// append, so it gets a smaller stream to keep the run short.
+    records: u64,
+}
+
+fn run_curve(curve: &Curve, scratch: &std::path::Path) -> BenchPoint {
+    let dir = scratch.join(format!("durable-log-{}", curve.label.replace('/', "-")));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = LogConfig::new(&dir).with_fsync(curve.policy);
+    let (mut log, _) = SegmentedLog::open(cfg).expect("open bench log");
+
+    let ring = RingId::new(ParticipantId::new(0), 1);
+    let payload = Bytes::from(vec![0x5au8; PAYLOAD]);
+    let mut lat = LogLinearHistogram::new();
+    let start = Instant::now();
+    for seq in 1..=curve.records {
+        let rec = LogRecord::Delivery(DeliveryRecord {
+            ring,
+            seq: Seq::new(seq),
+            pid: ParticipantId::new((seq % 3) as u16),
+            service: ServiceType::Safe,
+            payload: payload.clone(),
+        });
+        let t0 = Instant::now();
+        log.append(&rec).expect("append");
+        lat.record(t0.elapsed().as_nanos() as u64);
+    }
+    let elapsed = start.elapsed();
+    // Settle outside the timed window: the curves compare the append
+    // path each policy pays per record, with fsync-never's deferred
+    // durability debt left out of its bandwidth (that is the point).
+    log.sync().expect("final sync");
+    let stats = log.stats();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let bytes = curve.records * PAYLOAD as u64;
+    let mbps = (bytes as f64 * 8.0) / elapsed.as_secs_f64() / 1e6;
+    let us = |q: f64| lat.value_at_quantile(q) as f64 / 1_000.0;
+    println!(
+        "{:<22} {:>7} records  {:>9.1} Mbps  mean {:>8.1} us  p99 {:>8.1} us  ({} syncs)",
+        curve.label,
+        curve.records,
+        mbps,
+        lat.mean() / 1_000.0,
+        us(0.99),
+        stats.syncs,
+    );
+    BenchPoint {
+        curve: curve.label.to_string(),
+        offered_mbps: 0.0,
+        throughput_mbps: mbps,
+        mean_us: lat.mean() / 1_000.0,
+        p50_us: us(0.50),
+        p90_us: us(0.90),
+        p99_us: us(0.99),
+        p999_us: us(0.999),
+        rotation_us: 0.0,
+        token_rotations: 0,
+        drops: 0,
+        rtx: stats.syncs,
+    }
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("ar-bench-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let curves = [
+        Curve {
+            label: "log/fsync-never",
+            policy: FsyncPolicy::Never,
+            records: RECORDS,
+        },
+        Curve {
+            label: "log/fsync-every-64",
+            policy: FsyncPolicy::EveryN(64),
+            records: RECORDS,
+        },
+        Curve {
+            label: "log/fsync-always",
+            policy: FsyncPolicy::Always,
+            records: RECORDS / 10,
+        },
+    ];
+    let points: Vec<BenchPoint> = curves.iter().map(|c| run_curve(c, &scratch)).collect();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let never = points[0].throughput_mbps;
+    let always = points[2].throughput_mbps;
+    if always > 0.0 {
+        println!(
+            "durability gap: fsync-never {:.1} Mbps vs fsync-always {:.1} Mbps ({:.1}x)",
+            never,
+            always,
+            never / always
+        );
+    }
+    let path = write_bench_json("durable_log", &points).expect("write BENCH JSON");
+    println!("wrote {}", path.display());
+}

@@ -61,6 +61,10 @@ struct ProcState {
     ring_order: Vec<RingId>,
     /// The currently installed configuration, if any change was seen.
     installed: Option<ConfigChange>,
+    /// Ring installed before the current transitional configuration:
+    /// its messages may still surface while the transitional view is
+    /// up (EVS delivers leftover old-ring messages there).
+    prev_ring: Option<RingId>,
     /// Kind of the last configuration change (for alternation checks).
     last_kind: Option<ConfigChangeKind>,
     /// Members of the last *regular* configuration.
@@ -97,14 +101,21 @@ impl EvsChecker {
         st.installed = None;
         st.last_kind = None;
         st.last_regular = None;
+        st.prev_ring = None;
     }
 
     /// Records a delivery observed at process `i`.
     pub fn on_delivery(&mut self, i: usize, d: &Delivery) {
         let seq = d.seq.as_u64();
         // 3. Same-view: the delivery's ring must be the installed one.
+        // Exception: while a transitional configuration is installed,
+        // messages ordered in the ring it replaced may still surface
+        // (EVS delivers old-ring leftovers with transitional
+        // guarantees, and they keep their original ring id).
         if let Some(installed) = &self.per_proc[i].installed {
-            if installed.ring_id != d.ring_id {
+            let old_in_transitional = installed.kind == ConfigChangeKind::Transitional
+                && self.per_proc[i].prev_ring == Some(d.ring_id);
+            if installed.ring_id != d.ring_id && !old_in_transitional {
                 self.violations.push(format!(
                     "P{i}: delivery at seq {seq} in {:?} but installed view is {:?}",
                     d.ring_id, installed.ring_id
@@ -186,6 +197,12 @@ impl EvsChecker {
             }
         }
         st.last_kind = Some(c.kind);
+        st.prev_ring = match c.kind {
+            // Old-ring leftovers may surface during the transitional
+            // view; once the regular view installs, they may not.
+            ConfigChangeKind::Transitional => st.installed.as_ref().map(|p| p.ring_id),
+            ConfigChangeKind::Regular => None,
+        };
         st.installed = Some(c.clone());
     }
 
@@ -248,6 +265,143 @@ impl EvsChecker {
             Ok(())
         } else {
             Err(violations)
+        }
+    }
+
+    /// Violations accumulated so far (without consuming them).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+/// Checks the durability contract of crash-safe Safe delivery against
+/// logs recovered from disk after the run.
+///
+/// With a durable log gating Safe delivery, "Safe" strengthens from
+/// *replicated everywhere* to *replicated and locally durable*: by the
+/// time a Safe message reaches the application, its record must already
+/// be on disk. This checker verifies that contract from the outside —
+/// feed it every Safe delivery an application observed
+/// ([`DurabilityChecker::on_safe_delivered`]) and, after the run (and
+/// any number of `kill -9`s), each surviving process's recovered log
+/// contents in log order ([`DurabilityChecker::on_log_record`]); then
+/// call [`DurabilityChecker::check`].
+///
+/// Invariants checked:
+///
+/// 1. **No lost Safe delivery** — every Safe message surfaced at a
+///    process appears in that process's recovered log (same ring, seq,
+///    and payload), in the same relative order it was surfaced.
+/// 2. **Log order** — within a log, ring-restricted sequence numbers
+///    are strictly increasing (a torn-tail repair never reorders or
+///    resurrects records).
+/// 3. **Cross-log agreement** — any two logs agree on the payload and
+///    sender stored at `(ring, seq)`.
+#[derive(Debug, Default, Clone)]
+pub struct DurabilityChecker {
+    /// Safe deliveries surfaced to the application, per process.
+    surfaced: HashMap<usize, Vec<Delivery>>,
+    /// Recovered log contents, per process, in log order.
+    logs: HashMap<usize, Vec<Delivery>>,
+    violations: Vec<String>,
+}
+
+impl DurabilityChecker {
+    /// A checker with no observations.
+    pub fn new() -> DurabilityChecker {
+        DurabilityChecker::default()
+    }
+
+    /// Records that process `i` surfaced a Safe delivery to its
+    /// application. Deliveries with other service levels are ignored,
+    /// so the full delivery stream can be fed unfiltered.
+    pub fn on_safe_delivered(&mut self, i: usize, d: &Delivery) {
+        if d.service == crate::types::ServiceType::Safe {
+            self.surfaced.entry(i).or_default().push(d.clone());
+        }
+    }
+
+    /// Records one delivery record recovered from process `i`'s log,
+    /// in log order. Call once per record, scanning the log front to
+    /// back (e.g. from `ar-log`'s recovery output).
+    pub fn on_log_record(&mut self, i: usize, d: &Delivery) {
+        self.logs.entry(i).or_default().push(d.clone());
+    }
+
+    /// Runs all checks and returns every violation found.
+    ///
+    /// Processes with surfaced Safe deliveries but no recovered log are
+    /// skipped (non-survivors whose disk was lost are outside the
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violation descriptions if the durability
+    /// contract was broken.
+    pub fn check(&mut self) -> Result<(), Vec<String>> {
+        // 2. Per-log ring-restricted order.
+        for (&i, log) in &self.logs {
+            let mut last: HashMap<RingId, u64> = HashMap::new();
+            for d in log {
+                let seq = d.seq.as_u64();
+                if let Some(&prev) = last.get(&d.ring_id) {
+                    if seq <= prev {
+                        self.violations.push(format!(
+                            "P{i} log: non-increasing seq {seq} after {prev} in {:?}",
+                            d.ring_id
+                        ));
+                    }
+                }
+                last.insert(d.ring_id, seq);
+            }
+        }
+        // 3. Cross-log content agreement.
+        let mut content: HashMap<(RingId, u64), (&Delivery, usize)> = HashMap::new();
+        for (&i, log) in &self.logs {
+            for d in log {
+                match content.entry((d.ring_id, d.seq.as_u64())) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let (other, first) = e.get();
+                        if other.payload != d.payload || other.pid != d.pid {
+                            self.violations.push(format!(
+                                "P{i} log disagrees with P{first} log at ({:?}, {})",
+                                d.ring_id,
+                                d.seq.as_u64()
+                            ));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((d, i));
+                    }
+                }
+            }
+        }
+        // 1. Surfaced Safe deliveries present and ordered in the
+        // surviving local log (ordered-subsequence scan).
+        for (&i, surfaced) in &self.surfaced {
+            let Some(log) = self.logs.get(&i) else {
+                continue;
+            };
+            let mut pos = 0;
+            for d in surfaced {
+                let found = log[pos..].iter().position(|r| {
+                    r.ring_id == d.ring_id && r.seq == d.seq && r.payload == d.payload
+                });
+                match found {
+                    Some(off) => pos += off + 1,
+                    None => self.violations.push(format!(
+                        "P{i}: Safe-delivered ({:?}, {}) missing from (or out of \
+                         order in) the recovered log",
+                        d.ring_id,
+                        d.seq.as_u64()
+                    )),
+                }
+            }
+        }
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.violations))
         }
     }
 
@@ -555,11 +709,95 @@ mod tests {
     }
 
     #[test]
+    fn old_ring_leftovers_allowed_only_in_transitional_view() {
+        let members: Vec<ParticipantId> = (0..2).map(ParticipantId::new).collect();
+        let regular = |r| ConfigChange {
+            kind: ConfigChangeKind::Regular,
+            ring_id: r,
+            members: members.clone(),
+        };
+        let transitional = |r| ConfigChange {
+            kind: ConfigChangeKind::Transitional,
+            ring_id: r,
+            members: members.clone(),
+        };
+        // A ring(1) message surfacing during the transitional view that
+        // replaced ring(1) is the EVS leftover case: allowed.
+        let mut ck = EvsChecker::new(1);
+        ck.on_config(0, &regular(ring(1)));
+        ck.on_config(0, &transitional(ring(2)));
+        ck.on_delivery(0, &delivery(ring(1), 1, 0, b"leftover"));
+        ck.check().unwrap();
+        // The same delivery after the regular view installs is a
+        // same-view violation.
+        let mut ck = EvsChecker::new(1);
+        ck.on_config(0, &regular(ring(1)));
+        ck.on_config(0, &transitional(ring(2)));
+        ck.on_config(0, &regular(ring(2)));
+        ck.on_delivery(0, &delivery(ring(1), 1, 0, b"leftover"));
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("installed view")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
     fn missing_self_delivery_detected() {
         let mut ck = EvsChecker::new(1);
         ck.on_submit(0, b"lost");
         let errs = ck.check_self_delivery(&[0]).unwrap_err();
         assert!(errs[0].contains("never self-delivered"), "{errs:?}");
+    }
+
+    fn safe_delivery(r: RingId, seq: u64, pid: u16, payload: &'static [u8]) -> Delivery {
+        Delivery {
+            service: ServiceType::Safe,
+            ..delivery(r, seq, pid, payload)
+        }
+    }
+
+    #[test]
+    fn durability_clean_run_passes() {
+        let mut ck = DurabilityChecker::new();
+        for i in 0..2 {
+            ck.on_log_record(i, &delivery(ring(1), 1, 0, b"a"));
+            ck.on_log_record(i, &safe_delivery(ring(1), 2, 1, b"s"));
+            ck.on_safe_delivered(i, &safe_delivery(ring(1), 2, 1, b"s"));
+            // Non-Safe deliveries are ignored even if absent from logs.
+            ck.on_safe_delivered(i, &delivery(ring(1), 9, 0, b"agreed-only"));
+        }
+        ck.check().unwrap();
+    }
+
+    #[test]
+    fn durability_lost_safe_delivery_detected() {
+        let mut ck = DurabilityChecker::new();
+        ck.on_safe_delivered(0, &safe_delivery(ring(1), 3, 1, b"gone"));
+        ck.on_log_record(0, &delivery(ring(1), 1, 0, b"a"));
+        let errs = ck.check().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing from")), "{errs:?}");
+    }
+
+    #[test]
+    fn durability_skips_processes_without_logs() {
+        let mut ck = DurabilityChecker::new();
+        ck.on_safe_delivered(0, &safe_delivery(ring(1), 3, 1, b"no disk"));
+        ck.check().unwrap();
+    }
+
+    #[test]
+    fn durability_log_disorder_and_disagreement_detected() {
+        let mut ck = DurabilityChecker::new();
+        ck.on_log_record(0, &delivery(ring(1), 2, 0, b"x"));
+        ck.on_log_record(0, &delivery(ring(1), 1, 0, b"y"));
+        ck.on_log_record(1, &delivery(ring(1), 2, 0, b"DIFFERENT"));
+        let errs = ck.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("non-increasing")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("disagrees")), "{errs:?}");
     }
 
     #[test]

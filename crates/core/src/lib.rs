@@ -80,7 +80,7 @@ pub use actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
 pub use adaptive::{
     derive_timeouts, AdaptiveConfig, AdaptiveConfigError, AdaptiveInitError, AdaptiveTimeouts,
 };
-pub use checker::{EvsChecker, SendSplitChecker, TokenRuleMonitor};
+pub use checker::{DurabilityChecker, EvsChecker, SendSplitChecker, TokenRuleMonitor};
 pub use config::{
     AimdConfig, ConfigError, FlapDampingConfig, PriorityMethod, ProtocolConfig, ProtocolVariant,
 };

@@ -150,6 +150,19 @@ pub enum ProtoEvent {
         /// Retransmissions actually multicast in the truncated burst.
         sent: u32,
     },
+    /// A durable log finished recovering from disk at startup.
+    LogRecovered {
+        /// Records recovered intact.
+        records: u64,
+        /// Bytes truncated from the torn tail (0 for a clean log).
+        torn_bytes: u64,
+    },
+    /// Buffered durable-log records were lost because the shutdown
+    /// flush failed.
+    LogTailDropped {
+        /// Records that had been appended but never reached disk.
+        records: u64,
+    },
 }
 
 impl ProtoEvent {
@@ -173,6 +186,8 @@ impl ProtoEvent {
             ProtoEvent::AccelWindowChanged { .. } => "accel-window-changed",
             ProtoEvent::RecoveryPendingDropped { .. } => "recovery-pending-dropped",
             ProtoEvent::RecoveryBurstTruncated { .. } => "recovery-burst-truncated",
+            ProtoEvent::LogRecovered { .. } => "log-recovered",
+            ProtoEvent::LogTailDropped { .. } => "log-tail-dropped",
         }
     }
 
@@ -196,6 +211,8 @@ impl ProtoEvent {
             ProtoEvent::AccelWindowChanged { .. } => 15,
             ProtoEvent::RecoveryPendingDropped { .. } => 16,
             ProtoEvent::RecoveryBurstTruncated { .. } => 17,
+            ProtoEvent::LogRecovered { .. } => 18,
+            ProtoEvent::LogTailDropped { .. } => 19,
         }
     }
 
@@ -257,6 +274,14 @@ impl ProtoEvent {
             }
             ProtoEvent::RecoveryPendingDropped { dropped } => num(dropped),
             ProtoEvent::RecoveryBurstTruncated { sent } => num(u64::from(sent)),
+            ProtoEvent::LogRecovered {
+                records,
+                torn_bytes,
+            } => {
+                num(records);
+                num(torn_bytes);
+            }
+            ProtoEvent::LogTailDropped { records } => num(records),
         }
     }
 }

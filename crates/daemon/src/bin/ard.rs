@@ -5,7 +5,9 @@
 //! playing the role of the `spread` daemon binary.
 //!
 //! ```text
-//! usage: ard [--metrics-addr ADDR] <config-file> <daemon-id>
+//! usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY]
+//!            [--no-safe-durable] [--loss P] [--loss-seed N]
+//!            <config-file> <daemon-id>
 //!
 //! # terminal 1              # terminal 2
 //! ard ar.conf 0             ard ar.conf 1
@@ -13,31 +15,85 @@
 //! # with live metrics (Prometheus on /metrics, JSON on /snapshot,
 //! # recent protocol events on /flight):
 //! ard --metrics-addr 127.0.0.1:9464 ar.conf 0
+//!
+//! # crash-safe Safe delivery: persist ordered deliveries to a
+//! # segmented log and recover them after kill -9
+//! # (POLICY: always | never | every:<n> | interval:<ms>):
+//! ard --log-dir /var/lib/ard/0 --fsync every:64 ar.conf 0
 //! ```
 
 use std::process::ExitCode;
 
 use ar_core::Participant;
-use ar_daemon::{serve_metrics, spawn_daemon_with, DaemonConfig, Deployment, TelemetryHub};
-use ar_net::UdpTransport;
+use ar_daemon::{
+    serve_metrics, spawn_daemon_with, DaemonConfig, DaemonLogConfig, Deployment, TelemetryHub,
+};
+use ar_log::FsyncPolicy;
+use ar_net::{LossyTransport, UdpTransport};
 
-const USAGE: &str = "usage: ard [--metrics-addr ADDR] <config-file> <daemon-id>";
+const USAGE: &str = "usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY] \
+[--no-safe-durable] [--loss P] [--loss-seed N] <config-file> <daemon-id>";
 
 fn main() -> ExitCode {
     let mut metrics_addr: Option<String> = None;
+    let mut log_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::EveryN(64);
+    let mut gate_safe = true;
+    let mut loss: f64 = 0.0;
+    let mut loss_seed: u64 = 1;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--metrics-addr" {
-            match args.next() {
-                Some(addr) => metrics_addr = Some(addr),
+    // Flags take a value either as the next argument or after `=`.
+    let take = |args: &mut dyn Iterator<Item = String>, arg: &str, name: &str| {
+        if arg == name {
+            return match args.next() {
+                Some(v) => Some(Some(v)),
                 None => {
-                    eprintln!("ard: --metrics-addr requires an address\n{USAGE}");
+                    eprintln!("ard: {name} requires a value\n{USAGE}");
+                    None
+                }
+            };
+        }
+        arg.strip_prefix(&format!("{name}="))
+            .map(|v| Some(v.to_string()))
+    };
+    while let Some(arg) = args.next() {
+        if let Some(v) = take(&mut args, &arg, "--metrics-addr") {
+            match v {
+                Some(v) => metrics_addr = Some(v),
+                None => return ExitCode::from(2),
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--log-dir") {
+            match v {
+                Some(v) => log_dir = Some(v),
+                None => return ExitCode::from(2),
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--fsync") {
+            match v.and_then(|v| FsyncPolicy::parse(&v)) {
+                Some(p) => fsync = p,
+                None => {
+                    eprintln!("ard: --fsync wants always|never|every:<n>|interval:<ms>");
                     return ExitCode::from(2);
                 }
             }
-        } else if let Some(addr) = arg.strip_prefix("--metrics-addr=") {
-            metrics_addr = Some(addr.to_string());
+        } else if let Some(v) = take(&mut args, &arg, "--loss") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(p) if (0.0..1.0).contains(&p) => loss = p,
+                _ => {
+                    eprintln!("ard: --loss wants a probability in [0,1)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--loss-seed") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(s) => loss_seed = s,
+                _ => {
+                    eprintln!("ard: --loss-seed wants an integer");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--no-safe-durable" {
+            gate_safe = false;
         } else {
             positional.push(arg);
         }
@@ -118,8 +174,32 @@ fn main() -> ExitCode {
     if let Some(hub) = &config.telemetry {
         transport.set_metrics(&ar_net::NetMetrics::register(&hub.registry));
     }
+    if let Some(dir) = &log_dir {
+        config.log = Some(
+            DaemonLogConfig::new(dir)
+                .with_fsync(fsync)
+                .with_gate_safe(gate_safe),
+        );
+        println!(
+            "ard: durable log in {dir} (fsync {fsync}, safe delivery {})",
+            if gate_safe {
+                "gated on durability"
+            } else {
+                "not gated"
+            }
+        );
+    }
 
-    let handle = spawn_daemon_with(participant, transport, config);
+    let handle = if loss > 0.0 {
+        println!("ard: injecting seeded datagram loss p={loss} seed={loss_seed}");
+        spawn_daemon_with(
+            participant,
+            LossyTransport::new(transport, loss, loss_seed),
+            config,
+        )
+    } else {
+        spawn_daemon_with(participant, transport, config)
+    };
     let listener = match entry.client_addr {
         Some(addr) => match handle.listen(addr) {
             Ok(l) => {

@@ -9,10 +9,13 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
+use std::path::PathBuf;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ar_core::{ConfigChangeKind, Participant, ParticipantId, ServiceType};
+use ar_core::{ConfigChangeKind, Delivery, Participant, ParticipantId, ServiceType};
+use ar_log::{FsyncPolicy, LogConfig, SegmentedLog};
+use ar_telemetry::Counter;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
@@ -62,6 +65,49 @@ pub struct DaemonHandle {
     join: Option<JoinHandle<io::Result<()>>>,
 }
 
+/// Durable-log configuration for a daemon (see [`ar_log`]).
+///
+/// When attached, every ordered delivery is appended to a segmented
+/// on-disk log at Agreed time; on restart the daemon recovers its ring
+/// identity, delivery cursor, and group state from disk before joining
+/// the ring. With `gate_safe` on, Safe deliveries are additionally
+/// withheld from the application until the record is fsynced, making
+/// "Safe" mean *replicated and durable*.
+#[derive(Debug, Clone)]
+pub struct DaemonLogConfig {
+    /// Directory holding the log segments (created if missing).
+    pub dir: PathBuf,
+    /// When appended records are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Gate Safe delivery on local durability.
+    pub gate_safe: bool,
+}
+
+impl DaemonLogConfig {
+    /// Log in `dir` with the default fsync policy and Safe gating on.
+    pub fn new(dir: impl Into<PathBuf>) -> DaemonLogConfig {
+        DaemonLogConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(64),
+            gate_safe: true,
+        }
+    }
+
+    /// Sets the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> DaemonLogConfig {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Enables or disables gating Safe delivery on local durability.
+    #[must_use]
+    pub fn with_gate_safe(mut self, gate: bool) -> DaemonLogConfig {
+        self.gate_safe = gate;
+        self
+    }
+}
+
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -78,6 +124,9 @@ pub struct DaemonConfig {
     /// refreshes the hub's stats snapshot every loop iteration. Serve
     /// it with [`crate::serve_metrics`].
     pub telemetry: Option<std::sync::Arc<TelemetryHub>>,
+    /// When set, deliveries are persisted to a segmented on-disk log
+    /// and recovered (ring identity, cursor, group state) on restart.
+    pub log: Option<DaemonLogConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -86,6 +135,7 @@ impl Default for DaemonConfig {
             bundle_budget: DEFAULT_BUNDLE_BUDGET,
             drain_timeout: Duration::from_millis(500),
             telemetry: None,
+            log: None,
         }
     }
 }
@@ -109,7 +159,7 @@ pub fn spawn_daemon_with<T: Transport + Send + 'static>(
     let (cmd_tx, cmd_rx) = unbounded::<Command>();
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
     let join = std::thread::spawn(move || {
-        DaemonLoop::new(part, transport, config, cmd_rx, shutdown_rx).run()
+        DaemonLoop::new(part, transport, config, cmd_rx, shutdown_rx)?.run()
     });
     DaemonHandle {
         pid,
@@ -209,6 +259,12 @@ struct DaemonLoop<T: Transport> {
     ring_daemons: Vec<ParticipantId>,
     /// Telemetry hub to refresh each iteration, when instrumented.
     telemetry: Option<std::sync::Arc<TelemetryHub>>,
+    /// Deliveries recovered from the durable log at startup, replayed
+    /// through the normal dispatch path (before any client connects)
+    /// to rebuild group and reassembly state.
+    replay: Vec<AppEvent>,
+    /// Buffered log records lost because the shutdown flush failed.
+    log_tail_dropped: Counter,
 }
 
 impl<T: Transport> DaemonLoop<T> {
@@ -218,14 +274,45 @@ impl<T: Transport> DaemonLoop<T> {
         config: DaemonConfig,
         cmd_rx: Receiver<Command>,
         shutdown_rx: Receiver<()>,
-    ) -> DaemonLoop<T> {
+    ) -> io::Result<DaemonLoop<T>> {
         let pid = part.pid();
         let mut rt = Runtime::new(part, transport);
         if let Some(hub) = &config.telemetry {
             rt.set_metrics(ar_net::NetMetrics::register(&hub.registry));
             rt.set_observer(hub.flight.clone());
         }
-        DaemonLoop {
+        let log_tail_dropped = match &config.telemetry {
+            Some(hub) => hub.registry.counter(
+                "ar_daemon_log_tail_dropped_total",
+                "Buffered durable-log records dropped because the shutdown flush failed",
+            ),
+            None => Counter::default(),
+        };
+        let mut replay = Vec::new();
+        if let Some(log_cfg) = &config.log {
+            let cfg = LogConfig::new(&log_cfg.dir).with_fsync(log_cfg.fsync);
+            let (log, recovered) = SegmentedLog::open(cfg)?;
+            // Replay the full recovered delivery stream so the group
+            // table and reassembler reconverge to their pre-crash
+            // state. No client sessions exist yet, so nothing is
+            // re-delivered to applications; Join/Leave application is
+            // idempotent.
+            replay = recovered
+                .deliveries
+                .iter()
+                .map(|(_, r)| {
+                    AppEvent::Delivered(Delivery {
+                        ring_id: r.ring,
+                        seq: r.seq,
+                        pid: r.pid,
+                        service: r.service,
+                        payload: r.payload.clone(),
+                    })
+                })
+                .collect();
+            rt.attach_durable_log(log, log_cfg.gate_safe);
+        }
+        Ok(DaemonLoop {
             rt,
             pid,
             cmd_rx,
@@ -240,10 +327,26 @@ impl<T: Transport> DaemonLoop<T> {
             next_msg_id: 0,
             ring_daemons: Vec::new(),
             telemetry: config.telemetry,
-        }
+            replay,
+            log_tail_dropped,
+        })
     }
 
     fn run(mut self) -> io::Result<()> {
+        let replay = std::mem::take(&mut self.replay);
+        self.dispatch(replay);
+        // Local members recovered from the log belong to the previous
+        // incarnation and have no session any more: drop them so a
+        // later merge does not re-announce phantoms. Remote state
+        // self-heals through retain_daemons and join re-announcement
+        // on the first installed configuration.
+        for group in self.groups.group_names() {
+            for m in self.groups.members(&group) {
+                if m.daemon == self.pid && !self.sessions.contains_key(&m.client) {
+                    self.groups.leave(&group, &m);
+                }
+            }
+        }
         let events = self.rt.start()?;
         self.dispatch(events);
         loop {
@@ -279,12 +382,39 @@ impl<T: Transport> DaemonLoop<T> {
         loop {
             let idle = self.outbox.is_empty() && self.rt.participant().pending_len() == 0;
             if idle || std::time::Instant::now() >= deadline {
-                return Ok(());
+                break;
             }
             self.flush_outbox();
             let events = self.rt.step()?;
             self.dispatch(events);
         }
+        // Force the buffered durable-log tail to disk before exiting:
+        // records the runtime already appended must survive a clean
+        // shutdown regardless of fsync policy. A failed flush is
+        // counted, not swallowed silently.
+        let unsynced = self
+            .rt
+            .durable_log()
+            .map_or(0, |log| log.unsynced_records());
+        match self.rt.flush_durable_log() {
+            Ok(events) => self.dispatch(events),
+            Err(e) => {
+                let lost = unsynced.max(1);
+                self.log_tail_dropped.add(lost);
+                if let Some(hub) = &self.telemetry {
+                    use ar_core::Observer;
+                    hub.flight.on_event(
+                        self.rt.elapsed_nanos(),
+                        &ar_core::ProtoEvent::LogTailDropped { records: lost },
+                    );
+                }
+                eprintln!(
+                    "ar-daemon {}: durable log tail lost on shutdown: {e}",
+                    self.pid
+                );
+            }
+        }
+        Ok(())
     }
 
     fn packer(&mut self, service: ServiceType) -> &mut Packer {
@@ -821,6 +951,87 @@ mod tests {
             daemons[0].connect(&long).unwrap_err(),
             ClientError::InvalidName
         );
+    }
+
+    #[test]
+    fn durable_daemon_recovers_log_and_purges_phantom_members() {
+        let dir = std::env::temp_dir().join(format!(
+            "ar-daemon-durable-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = |p: ParticipantId| {
+            let ring_id = RingId::new(p, 1);
+            Participant::new(p, ProtocolConfig::accelerated(), ring_id, vec![p]).unwrap()
+        };
+        let log_cfg = DaemonLogConfig::new(&dir).with_fsync(ar_log::FsyncPolicy::EveryN(8));
+        let cfg = DaemonConfig {
+            log: Some(log_cfg.clone()),
+            ..DaemonConfig::default()
+        };
+        // First incarnation: join a group, multicast, shut down.
+        {
+            let net = LoopbackNet::new();
+            let d = spawn_daemon_with(
+                mk(ParticipantId::new(0)),
+                net.endpoint(ParticipantId::new(0)),
+                cfg.clone(),
+            );
+            let c = d.connect("old").unwrap();
+            c.join("g").unwrap();
+            assert!(wait_for(
+                || c.drain()
+                    .iter()
+                    .any(|e| matches!(e, ClientEvent::Membership { .. })),
+                10
+            ));
+            c.multicast(&["g"], ServiceType::Safe, Bytes::from_static(b"durable"))
+                .unwrap();
+            assert!(wait_for(
+                || c.drain()
+                    .iter()
+                    .any(|e| matches!(e, ClientEvent::Message { .. })),
+                10
+            ));
+            drop(c);
+            d.shutdown().unwrap();
+        }
+        // The shutdown flush made the tail durable regardless of policy.
+        let recovered = ar_log::read_log_dir(&dir).unwrap();
+        assert!(recovered.records > 0, "shutdown flushed the log tail");
+        assert!(recovered.cursor.is_some(), "shutdown persisted the cursor");
+        // Second incarnation: group state replays from disk, but the
+        // previous incarnation's client must not survive as a phantom.
+        {
+            let net = LoopbackNet::new();
+            let d = spawn_daemon_with(
+                mk(ParticipantId::new(0)),
+                net.endpoint(ParticipantId::new(0)),
+                cfg,
+            );
+            let c = d.connect("fresh").unwrap();
+            c.join("g").unwrap();
+            let mut members = Vec::new();
+            assert!(wait_for(
+                || {
+                    for ev in c.drain() {
+                        if let ClientEvent::Membership { members: m, .. } = ev {
+                            members = m;
+                        }
+                    }
+                    !members.is_empty()
+                },
+                10
+            ));
+            let names: Vec<&str> = members.iter().map(|m| m.client.as_str()).collect();
+            assert_eq!(
+                names,
+                vec!["fresh"],
+                "phantom member resurrected: {names:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

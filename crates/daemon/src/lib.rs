@@ -71,7 +71,7 @@ pub mod proto;
 pub mod session;
 
 pub use client::{ClientError, ClientEvent, DaemonClient};
-pub use daemon::{spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonHandle};
+pub use daemon::{spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonHandle, DaemonLogConfig};
 pub use deployconf::Deployment;
 pub use group::GroupTable;
 pub use metrics::{serve_metrics, MetricsServer, TelemetryHub};

@@ -39,6 +39,15 @@ pub struct NetMetrics {
     pub effective_accel_window: Gauge,
     /// Members currently quarantined by flap damping.
     pub quarantined_members: Gauge,
+    /// Records appended to the durable log.
+    pub log_appends: Counter,
+    /// fsync(2) calls issued by the durable log.
+    pub log_syncs: Counter,
+    /// Safe deliveries currently held back awaiting local durability
+    /// (only moves when the log gates Safe delivery).
+    pub log_held_safe: Gauge,
+    /// Records recovered from disk at the last log attach.
+    pub log_recovered_records: Gauge,
 }
 
 impl NetMetrics {
@@ -80,6 +89,22 @@ impl NetMetrics {
                 "ar_node_quarantined_members",
                 "Members currently quarantined by flap damping",
             ),
+            log_appends: reg.counter(
+                "ar_node_log_appends_total",
+                "Records appended to the durable log",
+            ),
+            log_syncs: reg.counter(
+                "ar_node_log_syncs_total",
+                "fsync calls issued by the durable log",
+            ),
+            log_held_safe: reg.gauge(
+                "ar_node_log_held_safe",
+                "Safe deliveries held back awaiting local durability",
+            ),
+            log_recovered_records: reg.gauge(
+                "ar_node_log_recovered_records",
+                "Records recovered from disk at the last log attach",
+            ),
         }
     }
 
@@ -97,6 +122,10 @@ impl NetMetrics {
             adaptive_token_loss_ns: Gauge::default(),
             effective_accel_window: Gauge::default(),
             quarantined_members: Gauge::default(),
+            log_appends: Counter::default(),
+            log_syncs: Counter::default(),
+            log_held_safe: Gauge::default(),
+            log_recovered_records: Gauge::default(),
         }
     }
 }

@@ -25,16 +25,18 @@
 //! three harnesses.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ar_core::checker::{EvsChecker, SendSplitChecker, TokenRuleMonitor};
+use ar_core::checker::{DurabilityChecker, EvsChecker, SendSplitChecker, TokenRuleMonitor};
 use ar_core::fault::{Connectivity, FaultEvent};
 use ar_core::{
     Action, AdaptiveConfig, AdaptiveTimeouts, ConfigChange, Delivery, Message, Participant,
     ParticipantId, ProtocolConfig, RingId, ServiceType, TimerKind,
 };
+use ar_log::{DeliveryRecord, FsyncPolicy, LogConfig, LogRecord, SegmentedLog};
 use ar_telemetry::FlightRecorder;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -146,6 +148,13 @@ pub struct NemesisOutcome {
     pub token_violations: Vec<String>,
     /// Pre/post-token send-split violations (empty on a correct run).
     pub split_violations: Vec<String>,
+    /// Durability-contract violations against the recovered on-disk
+    /// logs (empty when durable logs are disabled or the contract
+    /// held).
+    pub durability_violations: Vec<String>,
+    /// Delivery records recovered from disk per host at the end of the
+    /// run (empty when durable logs are disabled).
+    pub recovered_records: Vec<u64>,
     /// Tokens observed on the wire.
     pub tokens_seen: u64,
     /// Messages dropped by loss or unreachability.
@@ -208,6 +217,12 @@ impl NemesisOutcome {
             self.flight_tail(10)
         );
         assert!(
+            self.durability_violations.is_empty(),
+            "durability violations: {:#?}\n{}",
+            self.durability_violations,
+            self.flight_tail(10)
+        );
+        assert!(
             self.converged,
             "ring did not converge: final rings {:?}, survivors {:?}\n{}",
             self.final_rings,
@@ -249,6 +264,12 @@ pub struct NemesisRunner {
     checker: EvsChecker,
     monitor: TokenRuleMonitor,
     split: SendSplitChecker,
+    durability: DurabilityChecker,
+    /// Per-host durable logs (None until
+    /// [`enable_durable_logs`](NemesisRunner::enable_durable_logs)).
+    durable: Vec<Option<HostDurable>>,
+    /// Base directory of the per-host logs, plus the shared policy.
+    durable_cfg: Option<(PathBuf, FsyncPolicy, bool)>,
     /// Delivery logs per host (survives restarts).
     pub logs: Vec<Vec<Delivery>>,
     /// Configuration-change logs per host.
@@ -267,6 +288,19 @@ pub struct NemesisRunner {
 
 /// Events retained per host by the harness's flight recorders.
 const FLIGHT_CAPACITY: usize = 256;
+
+/// One host's durable log inside the virtual-clock harness.
+#[derive(Debug)]
+struct HostDurable {
+    log: SegmentedLog,
+    gate_safe: bool,
+    /// Deliveries appended but withheld pending durability, in order.
+    held: VecDeque<Delivery>,
+}
+
+fn host_log_dir(base: &std::path::Path, host: usize) -> PathBuf {
+    base.join(format!("host-{host}"))
+}
 
 impl NemesisRunner {
     /// Builds `n` hosts on an established common ring, with per-copy
@@ -325,6 +359,9 @@ impl NemesisRunner {
             checker: EvsChecker::new(n as usize),
             monitor: TokenRuleMonitor::new(),
             split: SendSplitChecker::new(Some(protocol.accelerated_window)),
+            durability: DurabilityChecker::new(),
+            durable: (0..n).map(|_| None).collect(),
+            durable_cfg: None,
             logs: vec![Vec::new(); n as usize],
             configs: vec![Vec::new(); n as usize],
             dropped: 0,
@@ -436,6 +473,88 @@ impl NemesisRunner {
         }
     }
 
+    /// Gives every host a durable segmented log under
+    /// `base/host-<i>`, appended at delivery time. A [`FaultEvent::Crash`]
+    /// then models `kill -9`: the host's in-memory log handle is dropped
+    /// without a flush (buffered records die with the process) while
+    /// the on-disk segments survive; a [`FaultEvent::Restart`] reopens
+    /// the directory, truncating any torn tail. With `gate_safe` set,
+    /// Safe deliveries are surfaced only once their record is fsynced.
+    /// At the end of the run every host's disk is scanned and checked
+    /// against the surfaced Safe deliveries by a [`DurabilityChecker`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a log directory cannot be created or opened.
+    pub fn enable_durable_logs(
+        &mut self,
+        base: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        gate_safe: bool,
+    ) {
+        let base = base.into();
+        for i in 0..self.n {
+            let cfg = LogConfig::new(host_log_dir(&base, i)).with_fsync(fsync);
+            let (log, _) = SegmentedLog::open(cfg).expect("open nemesis durable log");
+            self.durable[i] = Some(HostDurable {
+                log,
+                gate_safe,
+                held: VecDeque::new(),
+            });
+        }
+        self.durable_cfg = Some((base, fsync, gate_safe));
+    }
+
+    /// Surfaces one delivery at `host`: feeds the checkers and appends
+    /// to the in-memory delivery log.
+    fn surface(&mut self, host: usize, d: Delivery) {
+        self.durability.on_safe_delivered(host, &d);
+        self.checker.on_delivery(host, &d);
+        self.logs[host].push(d);
+    }
+
+    /// Appends `d` to `host`'s durable log (if any) and either
+    /// surfaces it or withholds it pending durability.
+    fn deliver(&mut self, host: usize, d: Delivery) {
+        if let Some(dur) = self.durable[host].as_mut() {
+            let lsn = dur
+                .log
+                .append(&LogRecord::Delivery(DeliveryRecord {
+                    ring: d.ring_id,
+                    seq: d.seq,
+                    pid: d.pid,
+                    service: d.service,
+                    payload: d.payload.clone(),
+                }))
+                .expect("nemesis durable log append");
+            let _ = dur.log.maybe_sync(self.clock);
+            // One withheld delivery gates everything ordered after it,
+            // so the surfaced order stays the total order.
+            let must_hold = dur.gate_safe
+                && (!dur.held.is_empty()
+                    || (d.service == ServiceType::Safe && lsn > dur.log.durable_lsn()));
+            if must_hold {
+                dur.held.push_back(d);
+                return;
+            }
+        }
+        self.surface(host, d);
+    }
+
+    /// Forces `host`'s log to disk and surfaces everything withheld.
+    fn release_held(&mut self, host: usize) {
+        let drained = match self.durable[host].as_mut() {
+            Some(dur) if !dur.held.is_empty() => {
+                dur.log.sync().expect("nemesis durable log sync");
+                dur.held.drain(..).collect::<Vec<_>>()
+            }
+            _ => return,
+        };
+        for d in drained {
+            self.surface(host, d);
+        }
+    }
+
     fn route(&mut self, from: usize, to: usize, msg: Message) {
         let loss = self
             .drop_prob
@@ -478,11 +597,22 @@ impl NemesisRunner {
                         }
                     }
                 }
-                Action::Deliver(d) => {
-                    self.checker.on_delivery(from, &d);
-                    self.logs[from].push(d);
-                }
+                Action::Deliver(d) => self.deliver(from, d),
                 Action::DeliverConfigChange(c) => {
+                    // EVS: deliveries belong to the configuration they
+                    // were ordered in, so anything withheld must
+                    // surface before the view change does.
+                    self.release_held(from);
+                    if c.kind == ar_core::ConfigChangeKind::Regular {
+                        if let Some(dur) = self.durable[from].as_mut() {
+                            dur.log
+                                .append(&LogRecord::Ring {
+                                    ring: c.ring_id,
+                                    members: c.members.clone(),
+                                })
+                                .expect("nemesis durable log append");
+                        }
+                    }
                     self.checker.on_config(from, &c);
                     self.configs[from].push(c);
                 }
@@ -506,6 +636,10 @@ impl NemesisRunner {
                 }
             }
         }
+        // Bounded gate latency: anything withheld in this batch is
+        // forced durable and surfaced before the harness moves on (one
+        // fsync per batch, whatever the policy).
+        self.release_held(from);
     }
 
     fn timer_duration(&self, host: usize, kind: TimerKind) -> u64 {
@@ -526,6 +660,12 @@ impl NemesisRunner {
                 // Dead hosts keep their logs; their pending timers are
                 // invalidated so nothing fires while down.
                 self.timers[*host] = [None; 5];
+                // kill -9: the in-memory log handle dies with the
+                // process. Buffered (never-flushed) records are lost;
+                // whatever reached the OS survives on disk. Withheld
+                // Safe deliveries die unsurfaced — which is exactly
+                // what the gate is for.
+                self.durable[*host] = None;
             }
             FaultEvent::Restart { host } => {
                 // A restarted host is a fresh incarnation: empty
@@ -544,6 +684,18 @@ impl NemesisRunner {
                 self.last_token_arrival[*host] = None;
                 if let Some(ctl) = self.adaptive[*host].as_mut() {
                     ctl.reset();
+                }
+                // Reopen the durable log from disk: recovery truncates
+                // any torn tail and removes everything past the first
+                // corruption, so nothing resurrects.
+                if let Some((base, fsync, gate_safe)) = &self.durable_cfg {
+                    let cfg = LogConfig::new(host_log_dir(base, *host)).with_fsync(*fsync);
+                    let (log, _) = SegmentedLog::open(cfg).expect("reopen nemesis durable log");
+                    self.durable[*host] = Some(HostDurable {
+                        log,
+                        gate_safe: *gate_safe,
+                        held: VecDeque::new(),
+                    });
                 }
             }
             FaultEvent::Partition { .. } | FaultEvent::Heal => {}
@@ -726,6 +878,35 @@ impl NemesisRunner {
             Ok(()) => Vec::new(),
             Err(v) => v,
         };
+        let mut recovered_records = vec![0u64; self.n];
+        if let Some((base, _, _)) = self.durable_cfg.clone() {
+            for (i, recovered) in recovered_records.iter_mut().enumerate() {
+                // Live hosts flush their tail first; crashed hosts are
+                // scanned as their disk was left by the "kill".
+                if let Some(dur) = self.durable[i].as_mut() {
+                    dur.log.sync().expect("nemesis durable log sync");
+                }
+                let rec = ar_log::read_log_dir(&host_log_dir(&base, i))
+                    .expect("scan nemesis durable log");
+                *recovered = rec.records;
+                for (_, r) in &rec.deliveries {
+                    self.durability.on_log_record(
+                        i,
+                        &Delivery {
+                            ring_id: r.ring,
+                            seq: r.seq,
+                            pid: r.pid,
+                            service: r.service,
+                            payload: r.payload.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        let durability_violations = match self.durability.check() {
+            Ok(()) => Vec::new(),
+            Err(v) => v,
+        };
         let digest = self.digest(&final_rings);
         NemesisOutcome {
             converged,
@@ -735,6 +916,8 @@ impl NemesisRunner {
             evs_violations,
             token_violations,
             split_violations,
+            durability_violations,
+            recovered_records,
             tokens_seen: self.monitor.tokens_seen(),
             dropped: self.dropped,
             stopped_at: Duration::from_nanos(self.clock),
@@ -942,6 +1125,94 @@ mod tests {
             let dump = fr.dump();
             assert!(dump.windows(2).all(|w| w[0].at <= w[1].at));
         }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ar-nemesis-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn durable_crash_restart_loses_no_safe_delivery() {
+        let dir = temp_dir("crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = NemesisPlan::none()
+            .crash(Duration::from_millis(40), 1)
+            .restart(Duration::from_millis(300), 1);
+        let mut r = NemesisRunner::new(3, ProtocolConfig::accelerated(), plan, 0.01, 21);
+        r.enable_durable_logs(&dir, FsyncPolicy::EveryN(4), true);
+        for i in 0..3 {
+            for k in 0..4 {
+                r.submit(i, format!("h{i}-m{k}").as_bytes(), ServiceType::Safe);
+            }
+        }
+        r.submit_at(
+            Duration::from_millis(350),
+            0,
+            b"post-restart",
+            ServiceType::Safe,
+        );
+        r.start();
+        let out = r.run(Duration::from_secs(30));
+        out.assert_clean();
+        assert!(
+            out.recovered_records.iter().all(|&n| n > 0),
+            "every disk held records: {:?}",
+            out.recovered_records
+        );
+        // The restarted host's disk spans both incarnations.
+        let rec = ar_log::read_log_dir(&host_log_dir(&dir, 1)).unwrap();
+        assert!(rec
+            .deliveries
+            .iter()
+            .any(|(_, d)| d.payload.as_ref() == b"h1-m0"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_digests_match_plain_runs_and_repeats() {
+        // The durable log must not perturb protocol behaviour: the
+        // trace digest of a durable run equals the plain run's, and
+        // repeats are bit-identical.
+        let plan = || {
+            NemesisPlan::none()
+                .crash(Duration::from_millis(30), 2)
+                .restart(Duration::from_millis(280), 2)
+        };
+        let run = |dir: Option<PathBuf>| {
+            let mut r = NemesisRunner::new(3, ProtocolConfig::accelerated(), plan(), 0.02, 7);
+            if let Some(dir) = dir {
+                r.enable_durable_logs(dir, FsyncPolicy::Always, true);
+            }
+            workload(&mut r, 3, 2);
+            r.submit_at(
+                Duration::from_millis(330),
+                0,
+                b"post-restart",
+                ServiceType::Safe,
+            );
+            r.start();
+            r.run(Duration::from_secs(30))
+        };
+        let d1 = temp_dir("digest1");
+        let d2 = temp_dir("digest2");
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+        let plain = run(None);
+        plain.assert_clean();
+        let a = run(Some(d1.clone()));
+        let b = run(Some(d2.clone()));
+        a.assert_clean();
+        assert_eq!(a.digest, b.digest, "same (plan, seed) => same digest");
+        assert_eq!(
+            a.digest, plain.digest,
+            "durable logging must not change the observable trace"
+        );
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
     }
 
     #[test]

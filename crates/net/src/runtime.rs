@@ -7,9 +7,10 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use ar_core::{
-    Action, AdaptiveTimeouts, ConfigChange, Delivery, Message, Participant, PriorityMode,
-    ServiceType, TimerKind,
+    Action, AdaptiveTimeouts, ConfigChange, ConfigChangeKind, Delivery, Message, Participant,
+    PriorityMode, RingId, Seq, ServiceType, TimerKind,
 };
+use ar_log::{DeliveryRecord, LogRecord, Lsn, SegmentedLog};
 use bytes::Bytes;
 
 use crate::metrics::NetMetrics;
@@ -38,8 +39,33 @@ const RECV_BATCH_MAX: usize = 32;
 /// interval; the token-loss timeout clamps the result anyway).
 const MAX_RETRANSMIT_SHIFT: u32 = 6;
 
-/// A protocol participant bound to a transport and a clock.
+/// Surfaced deliveries between persisted cursor records. A cursor is a
+/// redelivery watermark, not a correctness requirement (replaying a
+/// suffix twice is idempotent for the daemon), so it is amortized.
+const CURSOR_EVERY: u64 = 128;
+
+/// Durable-log state attached to a runtime: the log itself plus the
+/// Safe-delivery gate.
 #[derive(Debug)]
+struct DurableState {
+    log: SegmentedLog,
+    /// When true, Safe deliveries are withheld from the application
+    /// until their log record is fsynced — "Safe" then means replicated
+    /// **and** locally durable. Deliveries ordered behind a withheld
+    /// Safe message queue behind it so the surfaced order stays the
+    /// total order.
+    gate_safe: bool,
+    /// Deliveries appended but not yet surfaced, in order.
+    held: VecDeque<(Lsn, Delivery)>,
+    /// Surfaced watermark not yet persisted as a cursor record.
+    cursor: Option<(RingId, Seq)>,
+    /// Deliveries surfaced since the last cursor record.
+    since_cursor: u64,
+    /// Sync count already exported to the metrics counter.
+    syncs_exported: u64,
+}
+
+/// A protocol participant bound to a transport and a clock.
 pub struct Runtime<T: Transport> {
     part: Participant,
     transport: T,
@@ -70,6 +96,23 @@ pub struct Runtime<T: Transport> {
     submit_times: VecDeque<Instant>,
     /// Reusable scratch for the per-step receive batch.
     inbound: Vec<Message>,
+    /// Durable log, when attached via
+    /// [`attach_durable_log`](Runtime::attach_durable_log).
+    durable: Option<DurableState>,
+    /// Shared copy of the participant's observer, for runtime-level
+    /// events (durable-log recovery) that the core does not see.
+    observer: Option<std::sync::Arc<dyn ar_core::Observer>>,
+}
+
+impl<T: Transport + std::fmt::Debug> std::fmt::Debug for Runtime<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("part", &self.part)
+            .field("transport", &self.transport)
+            .field("durable", &self.durable)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 fn kind_idx(kind: TimerKind) -> usize {
@@ -106,6 +149,158 @@ impl<T: Transport> Runtime<T> {
             adaptive: None,
             submit_times: VecDeque::new(),
             inbound: Vec::with_capacity(RECV_BATCH_MAX),
+            durable: None,
+            observer: None,
+        }
+    }
+
+    /// Attaches a durable log: every delivery is appended at ordering
+    /// time, and — when `gate_safe` is set — Safe deliveries are
+    /// surfaced only once their record is fsynced, so a kill -9 right
+    /// after the application observes a Safe message cannot lose it.
+    pub fn attach_durable_log(&mut self, log: SegmentedLog, gate_safe: bool) {
+        if let Some(m) = &self.metrics {
+            m.log_recovered_records
+                .set(i64::try_from(log.stats().recovered_records).unwrap_or(i64::MAX));
+        }
+        if let Some(obs) = &self.observer {
+            let stats = log.stats();
+            obs.on_event(
+                self.elapsed_nanos(),
+                &ar_core::ProtoEvent::LogRecovered {
+                    records: stats.recovered_records,
+                    torn_bytes: stats.torn_bytes_truncated,
+                },
+            );
+        }
+        self.durable = Some(DurableState {
+            log,
+            gate_safe,
+            held: VecDeque::new(),
+            cursor: None,
+            since_cursor: 0,
+            syncs_exported: 0,
+        });
+    }
+
+    /// The attached durable log, if any.
+    pub fn durable_log(&self) -> Option<&SegmentedLog> {
+        self.durable.as_ref().map(|d| &d.log)
+    }
+
+    /// Forces the durable log's buffered tail to disk: syncs, surfaces
+    /// any Safe deliveries that were awaiting durability, persists the
+    /// delivery cursor, and syncs again. Returns the surfaced events
+    /// (plus anything else pending). The daemon's graceful-shutdown
+    /// drain calls this so a clean exit never leaves a buffered tail
+    /// behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or syncing the log.
+    pub fn flush_durable_log(&mut self) -> io::Result<Vec<AppEvent>> {
+        if self.durable.is_none() {
+            return Ok(Vec::new());
+        }
+        if let Some(d) = self.durable.as_mut() {
+            d.log.sync()?;
+        }
+        self.release_held();
+        if let Some(d) = self.durable.as_mut() {
+            if let Some((ring, seq)) = d.cursor.take() {
+                d.log.append(&LogRecord::Cursor { ring, seq })?;
+                d.since_cursor = 0;
+            }
+            d.log.sync()?;
+        }
+        self.export_log_metrics();
+        Ok(std::mem::take(&mut self.events))
+    }
+
+    /// Appends `d` to the durable log if one is attached. Returns true
+    /// if the delivery must be withheld (gated on durability, or queued
+    /// behind an already-withheld one).
+    fn durable_append(&mut self, d: &Delivery) -> io::Result<bool> {
+        let Some(dur) = self.durable.as_mut() else {
+            return Ok(false);
+        };
+        let lsn = dur.log.append(&LogRecord::Delivery(DeliveryRecord {
+            ring: d.ring_id,
+            seq: d.seq,
+            pid: d.pid,
+            service: d.service,
+            payload: d.payload.clone(),
+        }))?;
+        if let Some(m) = &self.metrics {
+            m.log_appends.inc();
+        }
+        let must_hold = dur.gate_safe
+            && (!dur.held.is_empty()
+                || (d.service == ServiceType::Safe && lsn > dur.log.durable_lsn()));
+        if must_hold {
+            dur.held.push_back((lsn, d.clone()));
+            if let Some(m) = &self.metrics {
+                m.log_held_safe
+                    .set(i64::try_from(dur.held.len()).unwrap_or(i64::MAX));
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Surfaces every held delivery whose gate has cleared: Safe
+    /// messages whose record is durable, and anything queued behind a
+    /// Safe message that just cleared.
+    fn release_held(&mut self) {
+        let Some(dur) = self.durable.as_mut() else {
+            return;
+        };
+        if dur.held.is_empty() {
+            return;
+        }
+        let durable = dur.log.durable_lsn();
+        let mut released = Vec::new();
+        while let Some((lsn, d)) = dur.held.front() {
+            if d.service == ServiceType::Safe && *lsn > durable {
+                break;
+            }
+            let (_, d) = dur.held.pop_front().expect("front exists");
+            released.push(d);
+        }
+        if let Some(m) = &self.metrics {
+            m.log_held_safe
+                .set(i64::try_from(dur.held.len()).unwrap_or(i64::MAX));
+        }
+        for d in released {
+            self.surface_delivery(d);
+        }
+    }
+
+    /// Hands one delivery to the application: metric accounting, cursor
+    /// bookkeeping, event push.
+    fn surface_delivery(&mut self, d: Delivery) {
+        if let Some(m) = &self.metrics {
+            m.deliveries.inc();
+            if d.pid == self.part.pid() {
+                if let Some(submitted) = self.submit_times.pop_front() {
+                    m.delivery_latency_ns
+                        .record(u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+            }
+        }
+        if let Some(dur) = self.durable.as_mut() {
+            dur.cursor = Some((d.ring_id, d.seq));
+            dur.since_cursor += 1;
+        }
+        self.events.push(AppEvent::Delivered(d));
+    }
+
+    /// Mirrors the log's monotone sync count into the metrics counter.
+    fn export_log_metrics(&mut self) {
+        if let (Some(m), Some(dur)) = (&self.metrics, &mut self.durable) {
+            let syncs = dur.log.stats().syncs;
+            m.log_syncs.add(syncs.saturating_sub(dur.syncs_exported));
+            dur.syncs_exported = syncs;
         }
     }
 
@@ -138,6 +333,7 @@ impl<T: Transport> Runtime<T> {
     /// The runtime injects its monotonic clock (nanoseconds since
     /// creation) before every participant call.
     pub fn set_observer(&mut self, obs: std::sync::Arc<dyn ar_core::Observer>) {
+        self.observer = Some(obs.clone());
         self.part.set_observer(obs);
     }
 
@@ -247,6 +443,33 @@ impl<T: Transport> Runtime<T> {
                 self.execute(actions)?;
             }
         }
+        // Durable-log housekeeping: interval-policy sync, releasing
+        // Safe deliveries whose records became durable (any policy may
+        // have synced during this step's appends), and the amortized
+        // delivery-cursor record.
+        if self.durable.is_some() {
+            let now = self.elapsed_nanos();
+            if let Some(dur) = self.durable.as_mut() {
+                dur.log.maybe_sync(now)?;
+                // A withheld Safe delivery bounds the gate's latency at
+                // one step: sync now instead of waiting out a lazy
+                // background policy (one fsync covers the whole burst
+                // this step ordered).
+                if !dur.held.is_empty() {
+                    dur.log.sync()?;
+                }
+            }
+            self.release_held();
+            if let Some(dur) = self.durable.as_mut() {
+                if dur.since_cursor >= CURSOR_EVERY {
+                    if let Some((ring, seq)) = dur.cursor.take() {
+                        dur.log.append(&LogRecord::Cursor { ring, seq })?;
+                    }
+                    dur.since_cursor = 0;
+                }
+            }
+            self.export_log_metrics();
+        }
         if let Some(m) = &self.metrics {
             m.queue_depth
                 .set(i64::try_from(self.part.pending_len()).unwrap_or(i64::MAX));
@@ -318,21 +541,14 @@ impl<T: Transport> Runtime<T> {
                 Action::SendCommit { to, token } => {
                     self.transport.send_to(to, &Message::Commit(token))
                 }
-                Action::Deliver(d) => {
-                    if let Some(m) = &self.metrics {
-                        m.deliveries.inc();
-                        if d.pid == self.part.pid() {
-                            if let Some(submitted) = self.submit_times.pop_front() {
-                                m.delivery_latency_ns.record(
-                                    u64::try_from(submitted.elapsed().as_nanos())
-                                        .unwrap_or(u64::MAX),
-                                );
-                            }
-                        }
+                Action::Deliver(d) => match self.durable_append(&d) {
+                    Ok(true) => Ok(()), // withheld until its record is durable
+                    Ok(false) => {
+                        self.surface_delivery(d);
+                        Ok(())
                     }
-                    self.events.push(AppEvent::Delivered(d));
-                    Ok(())
-                }
+                    Err(e) => Err(e),
+                },
                 Action::DeliverConfigChange(c) => {
                     // A membership change may drop locally submitted
                     // messages that never got ordered; their queued
@@ -340,8 +556,32 @@ impl<T: Transport> Runtime<T> {
                     // against *later* deliveries and permanently skew
                     // every subsequent latency sample.
                     self.submit_times.clear();
+                    // EVS confines messages to the configuration they
+                    // were ordered in: anything still gated on
+                    // durability must surface *before* the view change,
+                    // so force the log down and release the queue.
+                    let mut log_result = Ok(());
+                    if let Some(dur) = self.durable.as_mut() {
+                        if !dur.held.is_empty() {
+                            log_result = dur.log.sync();
+                        }
+                    }
+                    if log_result.is_ok() {
+                        self.release_held();
+                        if let Some(dur) = self.durable.as_mut() {
+                            if c.kind == ConfigChangeKind::Regular {
+                                log_result = dur
+                                    .log
+                                    .append(&LogRecord::Ring {
+                                        ring: c.ring_id,
+                                        members: c.members.clone(),
+                                    })
+                                    .map(|_| ());
+                            }
+                        }
+                    }
                     self.events.push(AppEvent::ConfigChanged(c));
-                    Ok(())
+                    log_result
                 }
                 Action::SetTimer(kind) => {
                     let dur = self.timer_duration(kind);
@@ -595,6 +835,122 @@ mod tests {
             m.adaptive_token_loss_ns.get(),
             i64::try_from(p.timeouts().token_loss).unwrap()
         );
+    }
+
+    #[test]
+    fn durable_log_records_deliveries_and_gates_safe() {
+        use ar_log::{read_log_dir, FsyncPolicy, LogConfig};
+
+        let dir = std::env::temp_dir().join(format!(
+            "ar-net-durable-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ring = build_ring(2);
+        let (log, recovered) =
+            ar_log::SegmentedLog::open(LogConfig::new(&dir).with_fsync(FsyncPolicy::Never))
+                .unwrap();
+        assert_eq!(recovered.records, 0);
+        ring[0].set_metrics(NetMetrics::detached());
+        ring[0].attach_durable_log(log, true);
+        ring[0]
+            .submit(Bytes::from_static(b"agreed"), ServiceType::Agreed)
+            .unwrap();
+        ring[0]
+            .submit(Bytes::from_static(b"safe"), ServiceType::Safe)
+            .unwrap();
+        let mut delivered: Vec<Bytes> = Vec::new();
+        // The representative can deliver its own pre-token submissions
+        // already during start(): collect those events too.
+        for rt in ring.iter_mut() {
+            for ev in rt.start().unwrap() {
+                if let AppEvent::Delivered(d) = ev {
+                    if rt.participant().pid() == ParticipantId::new(0) {
+                        delivered.push(d.payload);
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while delivered.len() < 2 && Instant::now() < deadline {
+            for rt in ring.iter_mut() {
+                for ev in rt.step().unwrap() {
+                    if let AppEvent::Delivered(d) = ev {
+                        if rt.participant().pid() == ParticipantId::new(0) {
+                            delivered.push(d.payload);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered.len(), 2, "both messages surfaced");
+        let log = ring[0].durable_log().unwrap();
+        assert!(log.stats().appends >= 2, "{:?}", log.stats());
+        assert!(
+            log.stats().syncs >= 1,
+            "gated Safe delivery forced a sync under FsyncPolicy::Never: {:?}",
+            log.stats()
+        );
+        // Everything surfaced is on disk: kill -9 from here loses nothing.
+        let m = ring[0].metrics().unwrap().clone();
+        assert_eq!(m.log_held_safe.get(), 0);
+        assert!(m.log_appends.get() >= 2);
+        drop(ring);
+        let on_disk = read_log_dir(&dir).unwrap();
+        let payloads: Vec<&[u8]> = on_disk
+            .deliveries
+            .iter()
+            .map(|(_, d)| d.payload.as_ref())
+            .collect();
+        assert!(payloads.contains(&b"safe".as_ref()), "{payloads:?}");
+        assert!(payloads.contains(&b"agreed".as_ref()), "{payloads:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_durable_log_persists_cursor_and_tail() {
+        use ar_log::{read_log_dir, FsyncPolicy, LogConfig};
+
+        let dir = std::env::temp_dir().join(format!(
+            "ar-net-flush-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ring = build_ring(2);
+        let (log, _) =
+            ar_log::SegmentedLog::open(LogConfig::new(&dir).with_fsync(FsyncPolicy::Never))
+                .unwrap();
+        ring[0].attach_durable_log(log, false);
+        ring[0]
+            .submit(Bytes::from_static(b"tail"), ServiceType::Agreed)
+            .unwrap();
+        for rt in ring.iter_mut() {
+            rt.start().unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = false;
+        while !got && Instant::now() < deadline {
+            for rt in ring.iter_mut() {
+                got |= rt
+                    .step()
+                    .unwrap()
+                    .iter()
+                    .any(|e| matches!(e, AppEvent::Delivered(_)));
+            }
+        }
+        assert!(got);
+        ring[0].flush_durable_log().unwrap();
+        drop(ring);
+        let on_disk = read_log_dir(&dir).unwrap();
+        assert!(on_disk.cursor.is_some(), "flush persisted the cursor");
+        assert_eq!(
+            on_disk.undelivered().len(),
+            0,
+            "cursor covers everything surfaced"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

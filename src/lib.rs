@@ -24,6 +24,9 @@
 //!   paper's dual-socket priority scheme, plus an in-process loopback.
 //! * [`daemon`] ([`ar_daemon`]) — a Spread-style client/daemon architecture
 //!   with groups, open-group semantics and multi-group multicast.
+//! * [`log`] ([`ar_log`]) — a durable segmented append-only log for
+//!   crash-safe Safe delivery: CRC-framed records, pluggable fsync
+//!   policies, and torn-tail repair on recovery (`ard --log-dir`).
 //! * [`telemetry`] ([`ar_telemetry`]) — low-overhead observability:
 //!   bounded log-linear histograms, a lock-free metrics registry, and a
 //!   flight recorder of recent protocol events (served live by `ard
@@ -54,6 +57,7 @@
 pub use ar_core as core;
 pub use ar_daemon as daemon;
 pub use ar_explore as explore;
+pub use ar_log as log;
 pub use ar_net as net;
 pub use ar_sim as sim;
 pub use ar_telemetry as telemetry;

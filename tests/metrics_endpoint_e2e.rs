@@ -140,6 +140,20 @@ fn daemon_ring_serves_metrics_snapshot_and_flight() {
         .and_then(Value::as_f64)
         .expect("stats carry delivery counter");
     assert!(delivered >= 1.0, "delivered = {delivered}");
+    // The recovery hardening counters ride along in the same stats
+    // object even when zero, so dashboards can rely on the keys.
+    for key in [
+        "recovery_burst_truncated_total",
+        "recovery_pending_dropped_total",
+    ] {
+        assert!(
+            v.get("stats")
+                .and_then(|s| s.get(key))
+                .and_then(Value::as_f64)
+                .is_some(),
+            "missing {key} in stats: {body}"
+        );
+    }
     assert!(
         v.get("flight")
             .and_then(|f| f.get("total"))
