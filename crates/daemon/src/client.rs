@@ -1,6 +1,8 @@
 //! The client library: connect to a daemon, join groups, multicast,
 //! receive ordered messages and membership notifications.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ar_core::ServiceType;
@@ -9,6 +11,11 @@ use crossbeam::channel::{Receiver, Sender};
 
 use crate::daemon::Command;
 use crate::proto::{MemberId, MAX_GROUPS, MAX_NAME};
+
+/// Default capacity of a client's event queue. A caller that stops
+/// draining cannot grow daemon memory past this bound; further events
+/// are dropped and counted (see [`DaemonClient::dropped_events`]).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
 /// Events a client receives from its daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +29,9 @@ pub enum ClientEvent {
         groups: Vec<String>,
         /// The delivery service it was sent with.
         service: ServiceType,
+        /// The ring sequence number the message was ordered at (the
+        /// position in the total order; bundled messages share it).
+        ring_seq: u64,
         /// The application payload.
         payload: Bytes,
     },
@@ -37,6 +47,15 @@ pub enum ClientEvent {
     NetworkChange {
         /// Daemons in the new regular configuration.
         daemons: Vec<ar_core::ParticipantId>,
+    },
+    /// One of this client's own multicasts reached Agreed order (it
+    /// was applied at its daemon). Sent only to sessions that opted in
+    /// (`wants_send_acks`, used by the `ar-svc` service tier to
+    /// replenish publish credits); a client's own messages are ordered
+    /// in submission order, so a FIFO count correlates acks to sends.
+    Ordered {
+        /// The ring sequence number the message was ordered at.
+        ring_seq: u64,
     },
 }
 
@@ -78,12 +97,22 @@ pub struct DaemonClient {
     pub(crate) me: MemberId,
     pub(crate) cmd_tx: Sender<Command>,
     pub(crate) events: Receiver<ClientEvent>,
+    /// Events the daemon dropped because this client's bounded queue
+    /// was full (shared with the daemon's session entry).
+    pub(crate) dropped: Arc<AtomicU64>,
 }
 
 impl DaemonClient {
     /// This client's globally unique identifier.
     pub fn member_id(&self) -> &MemberId {
         &self.me
+    }
+
+    /// Events the daemon dropped because this client's event queue was
+    /// full (the queue is bounded so a stalled caller cannot grow
+    /// daemon memory without bound).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The client's private name at its daemon.

@@ -10,6 +10,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -33,6 +35,14 @@ pub(crate) enum Command {
     Register {
         name: String,
         events: Sender<ClientEvent>,
+        /// When set, the session also receives a
+        /// [`ClientEvent::Ordered`] each time one of its own
+        /// multicasts is applied (the `ar-svc` tier's publish-credit
+        /// replenishment signal).
+        wants_send_acks: bool,
+        /// Shared counter of events dropped because the session's
+        /// bounded queue was full.
+        drops: Arc<AtomicU64>,
         ack: Sender<Result<(), ClientError>>,
     },
     Unregister {
@@ -54,6 +64,32 @@ pub(crate) enum Command {
     },
 }
 
+/// Live backpressure signals shared between the daemon loop and the
+/// client service tier (`ar-svc`).
+///
+/// The daemon loop refreshes these every iteration; the service tier
+/// reads them when deciding whether to hand out publish credits, so
+/// offered load backs off *before* the ring's send queue (and the
+/// daemon's memory) can grow without bound.
+#[derive(Debug, Default)]
+pub struct RingPressure {
+    /// Protocol send-queue depth plus the daemon's backpressured
+    /// outbox, in bundles.
+    send_queue: AtomicUsize,
+}
+
+impl RingPressure {
+    /// Current send-queue depth (protocol pending + daemon outbox).
+    pub fn send_queue_depth(&self) -> usize {
+        self.send_queue.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the depth (called by the daemon loop).
+    pub fn set_send_queue_depth(&self, depth: usize) {
+        self.send_queue.store(depth, Ordering::Relaxed);
+    }
+}
+
 /// Handle to a running daemon.
 ///
 /// Dropping the handle shuts the daemon down and joins its thread.
@@ -62,6 +98,7 @@ pub struct DaemonHandle {
     pid: ParticipantId,
     cmd_tx: Sender<Command>,
     shutdown_tx: Sender<()>,
+    pressure: Arc<RingPressure>,
     join: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -158,13 +195,16 @@ pub fn spawn_daemon_with<T: Transport + Send + 'static>(
     let pid = part.pid();
     let (cmd_tx, cmd_rx) = unbounded::<Command>();
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let pressure = Arc::new(RingPressure::default());
+    let pressure2 = Arc::clone(&pressure);
     let join = std::thread::spawn(move || {
-        DaemonLoop::new(part, transport, config, cmd_rx, shutdown_rx)?.run()
+        DaemonLoop::new(part, transport, config, cmd_rx, shutdown_rx, pressure2)?.run()
     });
     DaemonHandle {
         pid,
         cmd_tx,
         shutdown_tx,
+        pressure,
         join: Some(join),
     }
 }
@@ -175,39 +215,84 @@ impl DaemonHandle {
         self.pid
     }
 
-    /// The command channel (used by the TCP session layer to register
-    /// remote clients through the same path as in-process ones).
+    /// The command channel (used by the TCP session layer and the
+    /// `ar-svc` service tier to register remote clients through the
+    /// same path as in-process ones).
     pub(crate) fn command_sender(&self) -> Sender<Command> {
         self.cmd_tx.clone()
     }
 
-    /// Connects a new client with the given private name.
+    /// The shared backpressure gauge the daemon loop refreshes every
+    /// iteration (send-queue depth for the service tier's credit
+    /// throttling).
+    pub fn ring_pressure(&self) -> Arc<RingPressure> {
+        Arc::clone(&self.pressure)
+    }
+
+    /// A cloneable, `Send` connector for registering clients from
+    /// other threads (the `ar-svc` service tier runs its multiplexer
+    /// on its own thread and cannot borrow the handle).
+    pub fn connector(&self) -> DaemonConnector {
+        DaemonConnector {
+            pid: self.pid,
+            cmd_tx: self.cmd_tx.clone(),
+        }
+    }
+
+    /// Connects a new client with the given private name and the
+    /// default bounded event queue
+    /// ([`crate::client::DEFAULT_EVENT_CAPACITY`]).
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::InvalidName`],
     /// [`ClientError::DuplicateName`], or [`ClientError::DaemonDown`].
     pub fn connect(&self, name: &str) -> Result<DaemonClient, ClientError> {
-        if name.is_empty() || name.len() > MAX_NAME {
-            return Err(ClientError::InvalidName);
-        }
-        let (events_tx, events_rx) = unbounded();
-        let (ack_tx, ack_rx) = bounded(1);
-        self.cmd_tx
-            .send(Command::Register {
-                name: name.to_string(),
-                events: events_tx,
-                ack: ack_tx,
-            })
-            .map_err(|_| ClientError::DaemonDown)?;
-        ack_rx
-            .recv_timeout(Duration::from_secs(10))
-            .map_err(|_| ClientError::DaemonDown)??;
-        Ok(DaemonClient {
-            me: MemberId::new(self.pid, name),
-            cmd_tx: self.cmd_tx.clone(),
-            events: events_rx,
-        })
+        self.connect_with_capacity(name, crate::client::DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Connects with an explicit event-queue capacity. Once the queue
+    /// holds `capacity` undrained events, further events are dropped
+    /// and counted ([`DaemonClient::dropped_events`]) instead of
+    /// growing daemon memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect).
+    pub fn connect_with_capacity(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<DaemonClient, ClientError> {
+        self.connect_inner(name, capacity, false)
+    }
+
+    /// Connects a service-tier session: like
+    /// [`connect_with_capacity`](Self::connect_with_capacity), but the
+    /// session additionally receives a [`ClientEvent::Ordered`] each
+    /// time one of its own multicasts is applied. The `ar-svc` tier
+    /// uses this to replenish per-client publish credits at Agreed
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect).
+    pub fn connect_service(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<DaemonClient, ClientError> {
+        self.connect_inner(name, capacity, true)
+    }
+
+    fn connect_inner(
+        &self,
+        name: &str,
+        capacity: usize,
+        wants_send_acks: bool,
+    ) -> Result<DaemonClient, ClientError> {
+        self.connector()
+            .connect_inner(name, capacity, wants_send_acks)
     }
 
     /// Stops the daemon and returns its loop result.
@@ -236,12 +321,117 @@ impl Drop for DaemonHandle {
     }
 }
 
+/// A cloneable, thread-safe way to register clients at a daemon (see
+/// [`DaemonHandle::connector`]). Outliving the daemon is safe: every
+/// operation then fails with [`ClientError::DaemonDown`].
+#[derive(Debug, Clone)]
+pub struct DaemonConnector {
+    pid: ParticipantId,
+    cmd_tx: Sender<Command>,
+}
+
+impl DaemonConnector {
+    /// The daemon's participant identifier.
+    pub fn pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    /// As [`DaemonHandle::connect`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DaemonHandle::connect`].
+    pub fn connect(&self, name: &str) -> Result<DaemonClient, ClientError> {
+        self.connect_inner(name, crate::client::DEFAULT_EVENT_CAPACITY, false)
+    }
+
+    /// As [`DaemonHandle::connect_with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DaemonHandle::connect`].
+    pub fn connect_with_capacity(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<DaemonClient, ClientError> {
+        self.connect_inner(name, capacity, false)
+    }
+
+    /// As [`DaemonHandle::connect_service`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DaemonHandle::connect`].
+    pub fn connect_service(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<DaemonClient, ClientError> {
+        self.connect_inner(name, capacity, true)
+    }
+
+    fn connect_inner(
+        &self,
+        name: &str,
+        capacity: usize,
+        wants_send_acks: bool,
+    ) -> Result<DaemonClient, ClientError> {
+        if name.is_empty() || name.len() > MAX_NAME {
+            return Err(ClientError::InvalidName);
+        }
+        let (events_tx, events_rx) = bounded(capacity.max(1));
+        let (ack_tx, ack_rx) = bounded(1);
+        let drops = Arc::new(AtomicU64::new(0));
+        self.cmd_tx
+            .send(Command::Register {
+                name: name.to_string(),
+                events: events_tx,
+                wants_send_acks,
+                drops: Arc::clone(&drops),
+                ack: ack_tx,
+            })
+            .map_err(|_| ClientError::DaemonDown)?;
+        ack_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| ClientError::DaemonDown)??;
+        Ok(DaemonClient {
+            me: MemberId::new(self.pid, name),
+            cmd_tx: self.cmd_tx.clone(),
+            events: events_rx,
+            dropped: drops,
+        })
+    }
+}
+
+/// A registered client session, as the daemon loop sees it.
+struct Session {
+    tx: Sender<ClientEvent>,
+    /// Receive [`ClientEvent::Ordered`] for own applied multicasts
+    /// (the service tier's credit-replenishment signal).
+    wants_send_acks: bool,
+    /// Events dropped because the bounded queue was full (shared with
+    /// the client handle / service tier).
+    drops: Arc<AtomicU64>,
+}
+
+impl Session {
+    /// Non-blocking event delivery: a stalled client loses events (and
+    /// they are counted) rather than stalling the protocol loop.
+    fn push(&self, ev: ClientEvent, overflow: &Counter) {
+        if self.tx.try_send(ev).is_err() {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            overflow.add(1);
+        }
+    }
+}
+
 struct DaemonLoop<T: Transport> {
     rt: Runtime<T>,
     pid: ParticipantId,
     cmd_rx: Receiver<Command>,
     shutdown_rx: Receiver<()>,
-    sessions: HashMap<String, Sender<ClientEvent>>,
+    sessions: HashMap<String, Session>,
     groups: GroupTable,
     /// Per-service packers bundling small messages together (a bundle
     /// travels as one protocol payload with one service level).
@@ -265,6 +455,10 @@ struct DaemonLoop<T: Transport> {
     replay: Vec<AppEvent>,
     /// Buffered log records lost because the shutdown flush failed.
     log_tail_dropped: Counter,
+    /// Client events dropped across all sessions (bounded queues full).
+    event_overflow: Counter,
+    /// Shared backpressure gauge, refreshed every loop iteration.
+    pressure: Arc<RingPressure>,
 }
 
 impl<T: Transport> DaemonLoop<T> {
@@ -274,6 +468,7 @@ impl<T: Transport> DaemonLoop<T> {
         config: DaemonConfig,
         cmd_rx: Receiver<Command>,
         shutdown_rx: Receiver<()>,
+        pressure: Arc<RingPressure>,
     ) -> io::Result<DaemonLoop<T>> {
         let pid = part.pid();
         let mut rt = Runtime::new(part, transport);
@@ -285,6 +480,13 @@ impl<T: Transport> DaemonLoop<T> {
             Some(hub) => hub.registry.counter(
                 "ar_daemon_log_tail_dropped_total",
                 "Buffered durable-log records dropped because the shutdown flush failed",
+            ),
+            None => Counter::default(),
+        };
+        let event_overflow = match &config.telemetry {
+            Some(hub) => hub.registry.counter(
+                "ar_daemon_client_event_overflow_total",
+                "Client events dropped because a session's bounded event queue was full",
             ),
             None => Counter::default(),
         };
@@ -329,6 +531,8 @@ impl<T: Transport> DaemonLoop<T> {
             telemetry: config.telemetry,
             replay,
             log_tail_dropped,
+            event_overflow,
+            pressure,
         })
     }
 
@@ -362,6 +566,8 @@ impl<T: Transport> DaemonLoop<T> {
             self.flush_outbox();
             let events = self.rt.step()?;
             self.dispatch(events);
+            self.pressure
+                .set_send_queue_depth(self.rt.participant().pending_len() + self.outbox.len());
             if let Some(hub) = &self.telemetry {
                 hub.update_stats(*self.rt.participant().stats());
             }
@@ -458,13 +664,23 @@ impl<T: Transport> DaemonLoop<T> {
 
     fn handle_command(&mut self, cmd: Command) {
         match cmd {
-            Command::Register { name, events, ack } => {
+            Command::Register {
+                name,
+                events,
+                wants_send_acks,
+                drops,
+                ack,
+            } => {
                 let result = match self.sessions.entry(name) {
                     std::collections::hash_map::Entry::Occupied(_) => {
                         Err(ClientError::DuplicateName)
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(events);
+                        e.insert(Session {
+                            tx: events,
+                            wants_send_acks,
+                            drops,
+                        });
                         Ok(())
                     }
                 };
@@ -516,9 +732,12 @@ impl<T: Transport> DaemonLoop<T> {
                     let Ok(entries) = decode_bundle(&d.payload) else {
                         continue; // not ours / corrupt: skip
                     };
+                    let ring_seq = d.seq.as_u64();
                     for entry in entries {
                         match entry {
-                            BundleEntry::Whole(env) => self.apply_envelope(env, d.service),
+                            BundleEntry::Whole(env) => {
+                                self.apply_envelope(env, d.service, ring_seq);
+                            }
                             BundleEntry::Fragment(f) => {
                                 if let Some((sender, groups, payload)) = self.reassembler.feed(f) {
                                     self.apply_envelope(
@@ -528,6 +747,7 @@ impl<T: Transport> DaemonLoop<T> {
                                             payload,
                                         },
                                         d.service,
+                                        ring_seq,
                                     );
                                 }
                             }
@@ -556,8 +776,8 @@ impl<T: Transport> DaemonLoop<T> {
                         let note = ClientEvent::NetworkChange {
                             daemons: c.members.clone(),
                         };
-                        for tx in self.sessions.values() {
-                            let _ = tx.send(note.clone());
+                        for s in self.sessions.values() {
+                            s.push(note.clone(), &self.event_overflow);
                         }
                     }
                 }
@@ -565,22 +785,38 @@ impl<T: Transport> DaemonLoop<T> {
         }
     }
 
-    fn apply_envelope(&mut self, env: Envelope, service: ServiceType) {
+    fn apply_envelope(&mut self, env: Envelope, service: ServiceType, ring_seq: u64) {
         match env {
             Envelope::Data {
                 sender,
                 groups,
                 payload,
             } => {
+                // The sender's session learns its multicast reached
+                // Agreed order, if it opted into send acks (the
+                // service tier's publish-credit replenishment; FIFO
+                // correlation works because a client's own messages
+                // are applied in submission order).
+                if sender.daemon == self.pid {
+                    if let Some(s) = self.sessions.get(&sender.client) {
+                        if s.wants_send_acks {
+                            s.push(ClientEvent::Ordered { ring_seq }, &self.event_overflow);
+                        }
+                    }
+                }
                 let recipients = self.groups.local_recipients(self.pid, &groups);
                 for r in recipients {
-                    if let Some(tx) = self.sessions.get(&r.client) {
-                        let _ = tx.send(ClientEvent::Message {
-                            sender: sender.clone(),
-                            groups: groups.clone(),
-                            service,
-                            payload: payload.clone(),
-                        });
+                    if let Some(s) = self.sessions.get(&r.client) {
+                        s.push(
+                            ClientEvent::Message {
+                                sender: sender.clone(),
+                                groups: groups.clone(),
+                                service,
+                                ring_seq,
+                                payload: payload.clone(),
+                            },
+                            &self.event_overflow,
+                        );
                     }
                 }
             }
@@ -597,11 +833,14 @@ impl<T: Transport> DaemonLoop<T> {
                     // The leaver itself also learns the leave took
                     // effect (it is no longer in the table).
                     if was_local {
-                        if let Some(tx) = self.sessions.get(&leaver.client) {
-                            let _ = tx.send(ClientEvent::Membership {
-                                group: group.clone(),
-                                members: self.groups.members(&group),
-                            });
+                        if let Some(s) = self.sessions.get(&leaver.client) {
+                            s.push(
+                                ClientEvent::Membership {
+                                    group: group.clone(),
+                                    members: self.groups.members(&group),
+                                },
+                                &self.event_overflow,
+                            );
                         }
                     }
                 }
@@ -633,11 +872,14 @@ impl<T: Transport> DaemonLoop<T> {
             if m.daemon != self.pid {
                 continue;
             }
-            if let Some(tx) = self.sessions.get(&m.client) {
-                let _ = tx.send(ClientEvent::Membership {
-                    group: group.to_string(),
-                    members: members.clone(),
-                });
+            if let Some(s) = self.sessions.get(&m.client) {
+                s.push(
+                    ClientEvent::Membership {
+                        group: group.to_string(),
+                        members: members.clone(),
+                    },
+                    &self.event_overflow,
+                );
             }
         }
     }

@@ -70,8 +70,11 @@ pub mod packing;
 pub mod proto;
 pub mod session;
 
-pub use client::{ClientError, ClientEvent, DaemonClient};
-pub use daemon::{spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonHandle, DaemonLogConfig};
+pub use client::{ClientError, ClientEvent, DaemonClient, DEFAULT_EVENT_CAPACITY};
+pub use daemon::{
+    spawn_daemon, spawn_daemon_with, DaemonConfig, DaemonConnector, DaemonHandle, DaemonLogConfig,
+    RingPressure,
+};
 pub use deployconf::Deployment;
 pub use group::GroupTable;
 pub use metrics::{serve_metrics, MetricsServer, TelemetryHub};

@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +21,7 @@ use ar_core::ServiceType;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
-use crate::client::{ClientError, ClientEvent};
+use crate::client::{ClientError, ClientEvent, DEFAULT_EVENT_CAPACITY};
 use crate::daemon::{Command, DaemonHandle};
 use crate::proto::{MemberId, MAX_GROUPS, MAX_NAME};
 
@@ -205,12 +205,14 @@ pub fn encode_reply(reply: &ServerReply) -> Bytes {
                     sender,
                     groups,
                     service,
+                    ring_seq,
                     payload,
                 } => {
                     buf.put_u8(1);
                     buf.put_u16(sender.daemon.as_u16());
                     put_str(&mut buf, &sender.client);
                     buf.put_u8(service.as_u8());
+                    buf.put_u64(*ring_seq);
                     buf.put_u16(groups.len() as u16);
                     for g in groups {
                         put_str(&mut buf, g);
@@ -233,6 +235,10 @@ pub fn encode_reply(reply: &ServerReply) -> Bytes {
                     for d in daemons {
                         buf.put_u16(d.as_u16());
                     }
+                }
+                ClientEvent::Ordered { ring_seq } => {
+                    buf.put_u8(4);
+                    buf.put_u64(*ring_seq);
                 }
             }
         }
@@ -278,6 +284,10 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                     }
                     let service =
                         ServiceType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad service"))?;
+                    if buf.len() < 8 {
+                        return Err(bad("truncated ring seq"));
+                    }
+                    let ring_seq = buf.get_u64();
                     if buf.len() < 2 {
                         return Err(bad("truncated groups"));
                     }
@@ -297,6 +307,7 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                         sender: MemberId::new(daemon, client),
                         groups,
                         service,
+                        ring_seq,
                         payload: Bytes::copy_from_slice(&buf[..len]),
                     }))
                 }
@@ -333,6 +344,14 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                         daemons.push(ParticipantId::new(buf.get_u16()));
                     }
                     Ok(ServerReply::Event(ClientEvent::NetworkChange { daemons }))
+                }
+                4 => {
+                    if buf.len() < 8 {
+                        return Err(bad("truncated ring seq"));
+                    }
+                    Ok(ServerReply::Event(ClientEvent::Ordered {
+                        ring_seq: buf.get_u64(),
+                    }))
                 }
                 _ => Err(bad("unknown event kind")),
             }
@@ -466,12 +485,14 @@ fn serve_session(mut stream: TcpStream, cmd_tx: Sender<Command>, daemon_id: u16)
         );
         return Ok(());
     }
-    let (events_tx, events_rx) = unbounded::<ClientEvent>();
+    let (events_tx, events_rx) = bounded::<ClientEvent>(DEFAULT_EVENT_CAPACITY);
     let (ack_tx, ack_rx) = bounded(1);
     if cmd_tx
         .send(Command::Register {
             name: name.clone(),
             events: events_tx,
+            wants_send_acks: false,
+            drops: Arc::new(AtomicU64::new(0)),
             ack: ack_tx,
         })
         .is_err()
@@ -872,8 +893,10 @@ mod tests {
                 sender: MemberId::new(ParticipantId::new(1), "bob"),
                 groups: vec!["g".into()],
                 service: ServiceType::Agreed,
+                ring_seq: 42,
                 payload: Bytes::from_static(b"hi"),
             }),
+            ServerReply::Event(ClientEvent::Ordered { ring_seq: 7 }),
             ServerReply::Event(ClientEvent::Membership {
                 group: "g".into(),
                 members: vec![

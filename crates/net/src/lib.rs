@@ -46,6 +46,7 @@ pub mod lossy;
 pub mod metrics;
 pub mod nemesis;
 pub mod node;
+pub mod poll;
 pub mod replay;
 pub mod runtime;
 #[cfg(target_os = "linux")]
@@ -59,6 +60,7 @@ pub use lossy::LossyTransport;
 pub use metrics::NetMetrics;
 pub use nemesis::{NemesisOutcome, NemesisPlan, NemesisRunner};
 pub use node::{spawn, NodeHandle};
+pub use poll::PollSet;
 pub use replay::{
     replay_schedule, Expectation, ReplayOutcome, Schedule, ScheduleError, Step, Submission, World,
 };

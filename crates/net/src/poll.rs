@@ -1,0 +1,177 @@
+//! Public readiness polling over raw file descriptors.
+//!
+//! The batched UDP datapath waits on its two sockets with `ppoll(2)`
+//! (see `crate::sys`). The client service tier (`ar-svc`) has the same
+//! problem at a different scale: one thread multiplexing thousands of
+//! client sockets plus a couple of listeners. This module exposes that
+//! ppoll loop as a reusable [`PollSet`]: register any `AsRawFd`
+//! descriptors, wait once, inspect per-descriptor readability.
+//!
+//! On non-Linux targets (where `crate::sys` is not compiled) the set
+//! degrades to a bounded sleep that reports every descriptor as
+//! possibly-readable; callers use non-blocking reads anyway, so the
+//! fallback costs spurious wakeups, not correctness.
+
+use std::io;
+use std::time::Duration;
+
+/// A reusable set of descriptors polled for readability.
+///
+/// The intended pattern is rebuild-per-iteration (registration is just
+/// a `Vec` push, far cheaper than a syscall):
+///
+/// ```ignore
+/// let mut set = PollSet::new();
+/// loop {
+///     set.clear();
+///     let listener_slot = set.register(listener.as_raw_fd());
+///     let slots: Vec<usize> = conns.iter().map(|c| set.register(c.fd())).collect();
+///     set.wait(Duration::from_millis(5))?;
+///     if set.is_readable(listener_slot) { /* accept */ }
+///     for (i, slot) in slots.iter().enumerate() {
+///         if set.is_readable(*slot) { /* read conns[i] */ }
+///     }
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct PollSet {
+    #[cfg(target_os = "linux")]
+    fds: Vec<crate::sys::PollFd>,
+    #[cfg(not(target_os = "linux"))]
+    len: usize,
+}
+
+impl PollSet {
+    /// Creates an empty set.
+    pub fn new() -> PollSet {
+        PollSet::default()
+    }
+
+    /// Removes every registered descriptor (capacity is kept).
+    pub fn clear(&mut self) {
+        #[cfg(target_os = "linux")]
+        self.fds.clear();
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.len = 0;
+        }
+    }
+
+    /// Registers a descriptor for readability and returns its slot
+    /// index (valid until the next [`clear`](PollSet::clear)).
+    pub fn register(&mut self, fd: i32) -> usize {
+        #[cfg(target_os = "linux")]
+        {
+            self.fds.push(crate::sys::PollFd {
+                fd,
+                events: crate::sys::POLLIN,
+                revents: 0,
+            });
+            self.fds.len() - 1
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = fd;
+            self.len += 1;
+            self.len - 1
+        }
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        #[cfg(target_os = "linux")]
+        {
+            self.fds.len()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.len
+        }
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Waits until some registered descriptor is readable (or has an
+    /// error/hangup pending) or `timeout` elapses. Returns `true` when
+    /// at least one slot needs attention.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel error (`EINTR` is retried internally).
+    pub fn wait(&mut self, timeout: Duration) -> io::Result<bool> {
+        #[cfg(target_os = "linux")]
+        {
+            if self.fds.is_empty() {
+                std::thread::sleep(timeout);
+                return Ok(false);
+            }
+            crate::sys::poll_readable(&mut self.fds, timeout)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            // Portable fallback: bounded sleep; every descriptor then
+            // reports readable and the caller's non-blocking reads sort
+            // out which ones actually have data.
+            std::thread::sleep(timeout.min(Duration::from_millis(5)));
+            Ok(self.len > 0)
+        }
+    }
+
+    /// True when the slot returned by [`register`](PollSet::register)
+    /// was readable (or hung up / errored — states a read will
+    /// surface) at the last [`wait`](PollSet::wait).
+    pub fn is_readable(&self, slot: usize) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            self.fds.get(slot).is_some_and(|fd| fd.revents != 0)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            slot < self.len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn empty_set_times_out() {
+        let mut set = PollSet::new();
+        let start = std::time::Instant::now();
+        assert!(!set.wait(Duration::from_millis(20)).unwrap());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn readable_socket_is_flagged() {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let idle = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.send_to(b"ping", rx.local_addr().unwrap()).unwrap();
+
+        let mut set = PollSet::new();
+        let rx_slot = set.register(rx.as_raw_fd());
+        let idle_slot = set.register(idle.as_raw_fd());
+        assert_eq!(set.len(), 2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut ready = false;
+        while !ready && std::time::Instant::now() < deadline {
+            ready = set.wait(Duration::from_millis(50)).unwrap();
+        }
+        assert!(ready);
+        assert!(set.is_readable(rx_slot));
+        #[cfg(target_os = "linux")]
+        assert!(!set.is_readable(idle_slot), "idle socket not flagged");
+        let _ = idle_slot;
+
+        set.clear();
+        assert!(set.is_empty());
+    }
+}

@@ -357,6 +357,15 @@ impl<T: Transport> Runtime<T> {
         &self.part
     }
 
+    /// Depth of the protocol send queue: messages submitted for
+    /// ordering that have not yet been multicast. The client service
+    /// tier reads this (via the daemon's shared pressure gauge) to
+    /// throttle publish-credit grants before the queue — and the
+    /// daemon's memory — can grow without bound.
+    pub fn send_queue_depth(&self) -> usize {
+        self.part.pending_len()
+    }
+
     /// The transport (for inspection).
     pub fn transport(&self) -> &T {
         &self.transport

@@ -2,11 +2,16 @@
 //!
 //! Runs one ring participant from a deployment file (see
 //! [`ar_daemon::deployconf`]) and serves local and remote clients,
-//! playing the role of the `spread` daemon binary.
+//! playing the role of the `spread` daemon binary. Clients connect
+//! through the flow-controlled service tier (`--client-addr` /
+//! `--client-uds`); the per-daemon `client_addr` from the deployment
+//! file still serves the legacy line protocol.
 //!
 //! ```text
 //! usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY]
 //!            [--no-safe-durable] [--loss P] [--loss-seed N]
+//!            [--client-addr ADDR] [--client-uds PATH]
+//!            [--max-clients N] [--publish-credits N]
 //!            <config-file> <daemon-id>
 //!
 //! # terminal 1              # terminal 2
@@ -15,6 +20,9 @@
 //! # with live metrics (Prometheus on /metrics, JSON on /snapshot,
 //! # recent protocol events on /flight):
 //! ard --metrics-addr 127.0.0.1:9464 ar.conf 0
+//!
+//! # serve flow-controlled clients on TCP and a Unix socket:
+//! ard --client-addr 127.0.0.1:4804 --client-uds /tmp/ard0.sock ar.conf 0
 //!
 //! # crash-safe Safe delivery: persist ordered deliveries to a
 //! # segmented log and recover them after kill -9
@@ -30,9 +38,11 @@ use ar_daemon::{
 };
 use ar_log::FsyncPolicy;
 use ar_net::{LossyTransport, UdpTransport};
+use ar_svc::{serve_clients, SvcConfig, SvcListeners};
 
 const USAGE: &str = "usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY] \
-[--no-safe-durable] [--loss P] [--loss-seed N] <config-file> <daemon-id>";
+[--no-safe-durable] [--loss P] [--loss-seed N] [--client-addr ADDR] [--client-uds PATH] \
+[--max-clients N] [--publish-credits N] <config-file> <daemon-id>";
 
 fn main() -> ExitCode {
     let mut metrics_addr: Option<String> = None;
@@ -41,6 +51,10 @@ fn main() -> ExitCode {
     let mut gate_safe = true;
     let mut loss: f64 = 0.0;
     let mut loss_seed: u64 = 1;
+    let mut client_addr: Option<String> = None;
+    let mut client_uds: Option<String> = None;
+    let mut max_clients: Option<usize> = None;
+    let mut publish_credits: Option<u32> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     // Flags take a value either as the next argument or after `=`.
@@ -67,6 +81,32 @@ fn main() -> ExitCode {
             match v {
                 Some(v) => log_dir = Some(v),
                 None => return ExitCode::from(2),
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--client-addr") {
+            match v {
+                Some(v) => client_addr = Some(v),
+                None => return ExitCode::from(2),
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--client-uds") {
+            match v {
+                Some(v) => client_uds = Some(v),
+                None => return ExitCode::from(2),
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--max-clients") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => max_clients = Some(n),
+                _ => {
+                    eprintln!("ard: --max-clients wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--publish-credits") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => publish_credits = Some(n),
+                _ => {
+                    eprintln!("ard: --publish-credits wants a positive integer");
+                    return ExitCode::from(2);
+                }
             }
         } else if let Some(v) = take(&mut args, &arg, "--fsync") {
             match v.and_then(|v| FsyncPolicy::parse(&v)) {
@@ -189,6 +229,7 @@ fn main() -> ExitCode {
             }
         );
     }
+    let telemetry = config.telemetry.clone();
 
     let handle = if loss > 0.0 {
         println!("ard: injecting seeded datagram loss p={loss} seed={loss_seed}");
@@ -200,10 +241,54 @@ fn main() -> ExitCode {
     } else {
         spawn_daemon_with(participant, transport, config)
     };
+
+    // The flow-controlled service tier (the new client protocol).
+    let svc = if client_addr.is_some() || client_uds.is_some() {
+        let mut listeners = SvcListeners::default();
+        if let Some(addr) = &client_addr {
+            match addr.parse() {
+                Ok(a) => listeners.tcp = Some(a),
+                Err(_) => {
+                    eprintln!("ard: invalid --client-addr '{addr}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Some(path) = &client_uds {
+            listeners.uds = Some(path.into());
+        }
+        let mut svc_config = SvcConfig::default();
+        if let Some(n) = max_clients {
+            svc_config.max_clients = n;
+        }
+        if let Some(n) = publish_credits {
+            svc_config.flow.publish_credits = n;
+        }
+        svc_config.telemetry = telemetry;
+        match serve_clients(&handle, listeners, svc_config) {
+            Ok(svc) => {
+                if let Some(addr) = svc.tcp_addr() {
+                    println!("ard: service tier on tcp {addr}");
+                }
+                if let Some(path) = svc.uds_path() {
+                    println!("ard: service tier on uds {}", path.display());
+                }
+                Some(svc)
+            }
+            Err(e) => {
+                eprintln!("ard: cannot start service tier: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    // The legacy line-protocol listener from the deployment file.
     let listener = match entry.client_addr {
         Some(addr) => match handle.listen(addr) {
             Ok(l) => {
-                println!("ard: accepting clients on {}", l.local_addr());
+                println!("ard: accepting legacy clients on {}", l.local_addr());
                 Some(l)
             }
             Err(e) => {
@@ -211,11 +296,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => {
-            println!("ard: no client listener configured (protocol-only daemon)");
-            None
-        }
+        None => None,
     };
+    if svc.is_none() && listener.is_none() {
+        println!("ard: no client listener configured (protocol-only daemon)");
+    }
 
     // Run until interrupted.
     println!("ard: running; press Ctrl-C to stop");
@@ -223,5 +308,6 @@ fn main() -> ExitCode {
         std::thread::sleep(std::time::Duration::from_secs(3600));
         let _ = &listener;
         let _ = &metrics_server;
+        let _ = &svc;
     }
 }

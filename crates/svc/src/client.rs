@@ -1,0 +1,496 @@
+//! The service-tier client library: connect over TCP or a Unix
+//! socket, speak the versioned credit-controlled protocol.
+//!
+//! The socket is non-blocking; [`SvcClient::pump`] drains it into an
+//! internal event queue. [`recv`](SvcClient::recv) wraps pump in a
+//! bounded wait for convenience. Publishing is credit-limited:
+//! [`try_publish`](SvcClient::try_publish) fails fast when the window
+//! is exhausted, [`publish`](SvcClient::publish) waits for a credit.
+//!
+//! Delivery acking is automatic by default (every pumped Deliver is
+//! acked on the next pump); turn it off with
+//! [`set_auto_ack`](SvcClient::set_auto_ack) to exercise the server's
+//! delivery window and eviction policy (as the load generator's
+//! deliberately slow consumers do).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ar_core::ServiceType;
+use ar_daemon::MemberId;
+use bytes::Bytes;
+
+use crate::wire::{
+    decode_server, encode_client, frame, ClientFrame, FrameBuf, ServerFrame, PROTOCOL_VERSION,
+};
+
+/// Events surfaced to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvcEvent {
+    /// A totally ordered message.
+    Deliver {
+        /// Per-connection delivery sequence.
+        seq: u64,
+        /// Global ring sequence (total-order position).
+        ring_seq: u64,
+        /// Delivery service level.
+        service: ServiceType,
+        /// The sending client.
+        sender: MemberId,
+        /// Target groups.
+        groups: Vec<String>,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Group membership changed.
+    Membership {
+        /// The group.
+        group: String,
+        /// Complete new membership.
+        members: Vec<MemberId>,
+    },
+    /// Ring configuration changed.
+    NetworkChange {
+        /// Daemon ids in the new configuration.
+        daemons: Vec<u16>,
+    },
+    /// A publish completed (reached Agreed order); a credit returned.
+    PublishOrdered {
+        /// The client-assigned publish id.
+        id: u64,
+    },
+    /// A publish was rejected; its id and the server's reason.
+    PublishRejected {
+        /// The client-assigned publish id.
+        id: u64,
+        /// Server's reason.
+        reason: String,
+    },
+    /// The server closed this session.
+    Evicted {
+        /// Server's reason.
+        reason: String,
+    },
+}
+
+/// Why [`SvcClient::try_publish`] declined.
+#[derive(Debug)]
+pub enum PublishError {
+    /// No credits available; pump until a
+    /// [`SvcEvent::PublishOrdered`] arrives.
+    NoCredits,
+    /// Socket error.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PublishError::NoCredits => f.write_str("no publish credits available"),
+            PublishError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+impl From<io::Error> for PublishError {
+    fn from(e: io::Error) -> Self {
+        PublishError::Io(e)
+    }
+}
+
+#[derive(Debug)]
+enum Sock {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.write_all(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.write_all(buf),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.set_nonblocking(on),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.set_nonblocking(on),
+        }
+    }
+}
+
+/// A connected service-tier client.
+#[derive(Debug)]
+pub struct SvcClient {
+    sock: Sock,
+    rbuf: FrameBuf,
+    queue: VecDeque<SvcEvent>,
+    daemon: u16,
+    credits: u32,
+    initial_credits: u32,
+    delivery_window: u32,
+    next_publish_id: u64,
+    /// Highest delivery seq seen and not yet acked.
+    unacked: u64,
+    /// Highest delivery seq acked to the server.
+    acked: u64,
+    auto_ack: bool,
+    evicted: Option<String>,
+}
+
+impl SvcClient {
+    /// Connects over TCP and performs the versioned handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors; `ConnectionRefused` with the server's reason
+    /// when the handshake is refused.
+    pub fn connect_tcp(addr: SocketAddr, name: &str) -> io::Result<SvcClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::handshake(Sock::Tcp(stream), name)
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect_tcp`](Self::connect_tcp).
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<Path>, name: &str) -> io::Result<SvcClient> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(Sock::Uds(stream), name)
+    }
+
+    fn handshake(mut sock: Sock, name: &str) -> io::Result<SvcClient> {
+        // Blocking for the handshake, non-blocking after.
+        sock.set_nonblocking(false)?;
+        sock.write_all(&frame(&encode_client(&ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            name: name.to_string(),
+        })))?;
+        let mut rbuf = FrameBuf::new();
+        let reply = loop {
+            let mut chunk = [0u8; 4096];
+            let n = sock.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed during handshake",
+                ));
+            }
+            rbuf.extend(&chunk[..n]);
+            if let Some(f) = rbuf.next_frame()? {
+                break decode_server(&f)?;
+            }
+        };
+        match reply {
+            ServerFrame::Welcome {
+                daemon,
+                publish_credits,
+                delivery_window,
+                ..
+            } => {
+                sock.set_nonblocking(true)?;
+                Ok(SvcClient {
+                    sock,
+                    rbuf,
+                    queue: VecDeque::new(),
+                    daemon,
+                    credits: publish_credits,
+                    initial_credits: publish_credits,
+                    delivery_window,
+                    next_publish_id: 0,
+                    unacked: 0,
+                    acked: 0,
+                    auto_ack: true,
+                    evicted: None,
+                })
+            }
+            ServerFrame::Refused { reason } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected frame before welcome",
+            )),
+        }
+    }
+
+    /// The daemon id this client is attached to.
+    pub fn daemon(&self) -> u16 {
+        self.daemon
+    }
+
+    /// Remaining publish credits.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// The session's initial credit allocation (from Welcome).
+    pub fn initial_credits(&self) -> u32 {
+        self.initial_credits
+    }
+
+    /// The session's delivery window (from Welcome).
+    pub fn delivery_window(&self) -> u32 {
+        self.delivery_window
+    }
+
+    /// The server's eviction reason, once evicted.
+    pub fn evicted_reason(&self) -> Option<&str> {
+        self.evicted.as_deref()
+    }
+
+    /// Enables or disables automatic delivery acking (on by default).
+    /// With auto-ack off the caller must call [`ack`](Self::ack) to
+    /// open delivery-window space — not doing so emulates a slow
+    /// consumer.
+    pub fn set_auto_ack(&mut self, on: bool) {
+        self.auto_ack = on;
+    }
+
+    /// Joins a group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn join(&mut self, group: &str) -> io::Result<()> {
+        self.send(&ClientFrame::JoinGroup {
+            group: group.to_string(),
+        })
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn leave(&mut self, group: &str) -> io::Result<()> {
+        self.send(&ClientFrame::LeaveGroup {
+            group: group.to_string(),
+        })
+    }
+
+    /// Publishes if a credit is available, consuming it. Returns the
+    /// assigned publish id (echoed in [`SvcEvent::PublishOrdered`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError::NoCredits`] when the credit window is
+    /// exhausted; [`PublishError::Io`] on socket errors.
+    pub fn try_publish(
+        &mut self,
+        groups: &[&str],
+        service: ServiceType,
+        payload: Bytes,
+    ) -> Result<u64, PublishError> {
+        if self.credits == 0 {
+            return Err(PublishError::NoCredits);
+        }
+        self.next_publish_id += 1;
+        let id = self.next_publish_id;
+        self.send(&ClientFrame::Publish {
+            id,
+            service,
+            groups: groups.iter().map(|g| g.to_string()).collect(),
+            payload,
+        })?;
+        self.credits -= 1;
+        Ok(id)
+    }
+
+    /// Publishes, waiting up to `timeout` for a credit.
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError::NoCredits`] when no credit arrived in time;
+    /// [`PublishError::Io`] on socket errors.
+    pub fn publish(
+        &mut self,
+        groups: &[&str],
+        service: ServiceType,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> Result<u64, PublishError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_publish(groups, service, payload.clone()) {
+                Err(PublishError::NoCredits) => {
+                    if Instant::now() >= deadline {
+                        return Err(PublishError::NoCredits);
+                    }
+                    self.pump()?;
+                    if self.credits == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Acks consumed deliveries through `seq` (manual-ack mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn ack(&mut self, seq: u64) -> io::Result<()> {
+        if seq <= self.acked {
+            return Ok(());
+        }
+        self.acked = seq;
+        self.send(&ClientFrame::Ack { through: seq })
+    }
+
+    /// Drains the socket into the event queue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (not `WouldBlock`).
+    pub fn pump(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.sock.read(&mut chunk) {
+                Ok(0) => {
+                    if self.evicted.is_none() {
+                        self.evicted = Some("connection closed".into());
+                        self.queue.push_back(SvcEvent::Evicted {
+                            reason: "connection closed".into(),
+                        });
+                    }
+                    break;
+                }
+                Ok(n) => self.rbuf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        while let Some(f) = self.rbuf.next_frame()? {
+            if let Some(ev) = self.on_frame(&f)? {
+                self.queue.push_back(ev);
+            }
+        }
+        if self.auto_ack && self.unacked > self.acked && self.evicted.is_none() {
+            let through = self.unacked;
+            self.acked = through;
+            self.send(&ClientFrame::Ack { through })?;
+        }
+        Ok(())
+    }
+
+    fn on_frame(&mut self, bytes: &[u8]) -> io::Result<Option<SvcEvent>> {
+        Ok(Some(match decode_server(bytes)? {
+            ServerFrame::Deliver {
+                seq,
+                ring_seq,
+                service,
+                sender,
+                groups,
+                payload,
+            } => {
+                self.unacked = self.unacked.max(seq);
+                SvcEvent::Deliver {
+                    seq,
+                    ring_seq,
+                    service,
+                    sender,
+                    groups,
+                    payload,
+                }
+            }
+            ServerFrame::Membership { group, members } => SvcEvent::Membership { group, members },
+            ServerFrame::NetworkChange { daemons } => SvcEvent::NetworkChange { daemons },
+            ServerFrame::CreditGrant { acked_id, credits } => {
+                self.credits += credits;
+                SvcEvent::PublishOrdered { id: acked_id }
+            }
+            ServerFrame::PublishReject { id, reason } => {
+                // The rejected publish consumed no server-side credit;
+                // restore the local count so the client can retry.
+                self.credits += 1;
+                SvcEvent::PublishRejected { id, reason }
+            }
+            ServerFrame::Evicted { reason } => {
+                self.evicted = Some(reason.clone());
+                SvcEvent::Evicted { reason }
+            }
+            ServerFrame::Welcome { .. } | ServerFrame::Refused { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "handshake frame after welcome",
+                ))
+            }
+        }))
+    }
+
+    /// Pops an already-pumped event without touching the socket.
+    pub fn poll_event(&mut self) -> Option<SvcEvent> {
+        self.queue.pop_front()
+    }
+
+    /// Receives the next event, pumping the socket up to `timeout`.
+    pub fn recv(&mut self, timeout: Duration) -> Option<SvcEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.queue.pop_front() {
+                return Some(ev);
+            }
+            if self.pump().is_err() || Instant::now() >= deadline {
+                return self.queue.pop_front();
+            }
+            if self.queue.is_empty() {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Drains already-received events (pumps once, never sleeps).
+    pub fn drain(&mut self) -> Vec<SvcEvent> {
+        let _ = self.pump();
+        self.queue.drain(..).collect()
+    }
+
+    /// Writes raw bytes to the socket, bypassing client-side credit
+    /// accounting — for exercising the server's protocol handling
+    /// (malformed frames, credit violations) from tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.sock.set_nonblocking(false)?;
+        let result = self.sock.write_all(bytes);
+        let _ = self.sock.set_nonblocking(true);
+        result
+    }
+
+    fn send(&mut self, f: &ClientFrame) -> io::Result<()> {
+        // Client-side frames are small; a blocking write keeps the API
+        // simple (the kernel buffer absorbs them).
+        self.sock.set_nonblocking(false)?;
+        let result = self.sock.write_all(&frame(&encode_client(f)));
+        let _ = self.sock.set_nonblocking(true);
+        result
+    }
+}

@@ -1,0 +1,323 @@
+//! Per-connection flow control: publish credits, delivery windows, and
+//! the slow-consumer eviction policy.
+//!
+//! The state machine is pure (no sockets, no clocks) so every
+//! transition is unit-testable:
+//!
+//! * **Publish credits** bound a client's unordered publishes. A
+//!   publish consumes one credit; the credit returns (as a
+//!   [`crate::wire::ServerFrame::CreditGrant`]) when the message
+//!   reaches Agreed order at the daemon. Grants are *withheld* while
+//!   the ring's send queue is above its high watermark, converting ring
+//!   backpressure into client backpressure instead of unbounded daemon
+//!   queues.
+//! * **Delivery windows** bound unacked deliveries in flight to a
+//!   consumer. Deliveries beyond the window buffer in a bounded pending
+//!   queue; a consumer that stops acking eventually trips
+//!   [`EvictReason::PendingOverflow`] and is cut loose, so one slow
+//!   consumer cannot pin daemon memory or stall the rest.
+
+use std::collections::VecDeque;
+
+/// Flow-control tuning for one session (server side).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Initial (and maximum outstanding) publish credits.
+    pub publish_credits: u32,
+    /// Maximum unacked deliveries in flight to the consumer.
+    pub delivery_window: u32,
+    /// Maximum deliveries buffered beyond the window before the
+    /// session is evicted.
+    pub max_pending: usize,
+    /// Maximum bytes buffered in the socket write buffer before the
+    /// session is evicted.
+    pub max_write_buffer: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            publish_credits: 64,
+            delivery_window: 256,
+            max_pending: 1024,
+            max_write_buffer: 1 << 20,
+        }
+    }
+}
+
+/// Why a session was evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The pending-delivery queue outgrew `max_pending` (consumer
+    /// stopped acking).
+    PendingOverflow,
+    /// The socket write buffer outgrew `max_write_buffer` (consumer
+    /// stopped reading).
+    WriteBufferOverflow,
+}
+
+impl EvictReason {
+    /// Human-readable reason sent in the Evicted frame.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvictReason::PendingOverflow => "slow consumer: delivery backlog limit exceeded",
+            EvictReason::WriteBufferOverflow => "slow consumer: write buffer limit exceeded",
+        }
+    }
+}
+
+/// Outcome of [`FlowState::try_consume_credit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// Credit consumed; forward the publish to the daemon.
+    Accepted,
+    /// No credits left; reject without forwarding.
+    NoCredits,
+}
+
+/// A delivery waiting for window space, with the per-connection
+/// sequence already assigned.
+#[derive(Debug)]
+pub struct Pending<T> {
+    /// Per-connection delivery sequence.
+    pub seq: u64,
+    /// The deliverable (frame payload), opaque to the state machine.
+    pub item: T,
+}
+
+/// Flow-control state for one session.
+#[derive(Debug)]
+pub struct FlowState<T> {
+    cfg: FlowConfig,
+    /// Remaining publish credits (server-authoritative).
+    credits: u32,
+    /// Client-assigned ids of publishes forwarded to the daemon, in
+    /// submission order, awaiting their Ordered ack.
+    inflight: VecDeque<u64>,
+    /// Credits owed but withheld because the ring was backpressured
+    /// when the ack arrived; flushed when pressure clears.
+    deferred_grants: VecDeque<u64>,
+    /// Next per-connection delivery sequence to assign.
+    next_seq: u64,
+    /// Highest delivery sequence sent to the socket.
+    sent: u64,
+    /// Highest delivery sequence the consumer acked.
+    acked: u64,
+    /// Deliveries waiting for window space.
+    pending: VecDeque<Pending<T>>,
+}
+
+impl<T> FlowState<T> {
+    /// Fresh state with full credits and an empty window.
+    pub fn new(cfg: FlowConfig) -> FlowState<T> {
+        FlowState {
+            cfg,
+            credits: cfg.publish_credits,
+            inflight: VecDeque::new(),
+            deferred_grants: VecDeque::new(),
+            next_seq: 0,
+            sent: 0,
+            acked: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Remaining publish credits.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Publishes forwarded to the daemon and not yet ordered.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Deliveries buffered beyond the window.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Tries to consume one publish credit for client-assigned `id`.
+    pub fn try_consume_credit(&mut self, id: u64) -> PublishOutcome {
+        if self.credits == 0 {
+            return PublishOutcome::NoCredits;
+        }
+        self.credits -= 1;
+        self.inflight.push_back(id);
+        PublishOutcome::Accepted
+    }
+
+    /// One of this session's publishes reached Agreed order. FIFO
+    /// correlation: a client's own messages are applied in submission
+    /// order, so the oldest in-flight id is the one that completed.
+    ///
+    /// Returns the id to grant now, or defers it when `ring_congested`
+    /// (the grant — and thus the client's next publish — waits until
+    /// the ring send queue drains below its watermark).
+    pub fn on_ordered(&mut self, ring_congested: bool) -> Option<u64> {
+        let id = self.inflight.pop_front()?;
+        if ring_congested {
+            self.deferred_grants.push_back(id);
+            None
+        } else {
+            self.credits += 1;
+            Some(id)
+        }
+    }
+
+    /// Releases grants deferred during a congestion episode. Call when
+    /// the ring send queue is back under its watermark; returns the
+    /// ids to grant (credits already re-added).
+    pub fn flush_deferred(&mut self) -> Vec<u64> {
+        let ids: Vec<u64> = self.deferred_grants.drain(..).collect();
+        self.credits += ids.len() as u32;
+        ids
+    }
+
+    /// Grants currently withheld by ring backpressure.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred_grants.len()
+    }
+
+    /// Queues a delivery, assigning its per-connection sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the eviction reason when the pending queue is full.
+    pub fn queue_delivery(&mut self, item: T) -> Result<(), EvictReason> {
+        if self.pending.len() >= self.cfg.max_pending {
+            return Err(EvictReason::PendingOverflow);
+        }
+        self.next_seq += 1;
+        self.pending.push_back(Pending {
+            seq: self.next_seq,
+            item,
+        });
+        Ok(())
+    }
+
+    /// Pops the next delivery that fits in the window (unacked in
+    /// flight < `delivery_window`), marking it sent.
+    pub fn next_sendable(&mut self) -> Option<Pending<T>> {
+        if self.sent - self.acked >= u64::from(self.cfg.delivery_window) {
+            return None;
+        }
+        let p = self.pending.pop_front()?;
+        self.sent = p.seq;
+        Some(p)
+    }
+
+    /// Consumer progress. Ignores regressions (acks are cumulative).
+    pub fn on_ack(&mut self, through: u64) {
+        // An ack beyond what was sent is a protocol violation from a
+        // confused client; clamp rather than corrupting the window.
+        self.acked = self.acked.max(through.min(self.sent));
+    }
+
+    /// Checks the write buffer size against its limit.
+    pub fn check_write_buffer(&self, buffered_bytes: usize) -> Result<(), EvictReason> {
+        if buffered_bytes > self.cfg.max_write_buffer {
+            return Err(EvictReason::WriteBufferOverflow);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FlowConfig {
+        FlowConfig {
+            publish_credits: 2,
+            delivery_window: 3,
+            max_pending: 5,
+            max_write_buffer: 100,
+        }
+    }
+
+    #[test]
+    fn credits_deplete_and_replenish_in_fifo_order() {
+        let mut fs: FlowState<()> = FlowState::new(cfg());
+        assert_eq!(fs.try_consume_credit(10), PublishOutcome::Accepted);
+        assert_eq!(fs.try_consume_credit(11), PublishOutcome::Accepted);
+        assert_eq!(fs.try_consume_credit(12), PublishOutcome::NoCredits);
+        assert_eq!(fs.credits(), 0);
+        // Acks come back oldest-first.
+        assert_eq!(fs.on_ordered(false), Some(10));
+        assert_eq!(fs.credits(), 1);
+        assert_eq!(fs.try_consume_credit(12), PublishOutcome::Accepted);
+        assert_eq!(fs.on_ordered(false), Some(11));
+        assert_eq!(fs.on_ordered(false), Some(12));
+        assert_eq!(fs.on_ordered(false), None);
+        assert_eq!(fs.credits(), 2);
+    }
+
+    #[test]
+    fn congestion_defers_grants_until_flushed() {
+        let mut fs: FlowState<()> = FlowState::new(cfg());
+        fs.try_consume_credit(1);
+        fs.try_consume_credit(2);
+        assert_eq!(fs.on_ordered(true), None);
+        assert_eq!(fs.on_ordered(true), None);
+        assert_eq!(fs.credits(), 0, "no credits while the ring is congested");
+        assert_eq!(fs.deferred_len(), 2);
+        assert_eq!(fs.flush_deferred(), vec![1, 2]);
+        assert_eq!(fs.credits(), 2);
+        assert_eq!(fs.deferred_len(), 0);
+    }
+
+    #[test]
+    fn window_gates_deliveries_until_acked() {
+        let mut fs: FlowState<u32> = FlowState::new(cfg());
+        for k in 0..5 {
+            fs.queue_delivery(k).unwrap();
+        }
+        // Window of 3: exactly three pop.
+        let sent: Vec<u64> = std::iter::from_fn(|| fs.next_sendable().map(|p| p.seq)).collect();
+        assert_eq!(sent, vec![1, 2, 3]);
+        assert_eq!(fs.pending_len(), 2);
+        // Acking through 2 opens two more slots.
+        fs.on_ack(2);
+        let sent: Vec<u64> = std::iter::from_fn(|| fs.next_sendable().map(|p| p.seq)).collect();
+        assert_eq!(sent, vec![4, 5]);
+    }
+
+    #[test]
+    fn ack_regression_and_overrun_are_clamped() {
+        let mut fs: FlowState<u32> = FlowState::new(cfg());
+        for k in 0..3 {
+            fs.queue_delivery(k).unwrap();
+        }
+        while fs.next_sendable().is_some() {}
+        fs.on_ack(3);
+        fs.on_ack(1); // regression: ignored
+        fs.queue_delivery(9).unwrap();
+        assert_eq!(fs.next_sendable().unwrap().seq, 4);
+        fs.on_ack(1000); // beyond sent: clamped to sent
+        fs.queue_delivery(10).unwrap();
+        assert_eq!(fs.next_sendable().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn pending_overflow_evicts() {
+        let mut fs: FlowState<u32> = FlowState::new(cfg());
+        for k in 0..5 {
+            fs.queue_delivery(k).unwrap();
+        }
+        assert_eq!(
+            fs.queue_delivery(99).unwrap_err(),
+            EvictReason::PendingOverflow
+        );
+    }
+
+    #[test]
+    fn write_buffer_overflow_evicts() {
+        let fs: FlowState<u32> = FlowState::new(cfg());
+        assert!(fs.check_write_buffer(100).is_ok());
+        assert_eq!(
+            fs.check_write_buffer(101).unwrap_err(),
+            EvictReason::WriteBufferOverflow
+        );
+    }
+}

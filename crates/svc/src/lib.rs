@@ -1,0 +1,33 @@
+//! # ar-svc — the client service tier
+//!
+//! One daemon, thousands of flow-controlled clients. This crate turns
+//! the in-process [`ar_daemon`] client API into a network service:
+//!
+//! * a versioned, length-prefixed wire protocol ([`wire`]) spoken over
+//!   TCP and Unix-domain sockets — Hello/Welcome handshake, group
+//!   join/leave, credit-controlled Publish, windowed Deliver with the
+//!   delivery level and global ring sequence, CreditGrant and Ack;
+//! * a connection multiplexer ([`server`]) that registers every client
+//!   socket with one [`ar_net::PollSet`] and services them all from a
+//!   single thread, bridging frames to per-session [`DaemonClient`]s;
+//! * per-client flow control ([`credit`]) in both directions: publish
+//!   credits replenished as messages reach Agreed order (withheld while
+//!   the ring send queue is backpressured), and delivery windows so a
+//!   slow consumer buffers boundedly and is evicted by policy rather
+//!   than stalling the daemon or its neighbours;
+//! * a client library ([`client`]) used by `arclient`, the tests, and
+//!   `ar-bench loadgen`.
+//!
+//! [`DaemonClient`]: ar_daemon::DaemonClient
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod credit;
+pub mod server;
+pub mod wire;
+
+pub use client::{PublishError, SvcClient, SvcEvent};
+pub use credit::{EvictReason, FlowConfig, FlowState, PublishOutcome};
+pub use server::{serve_clients, SvcConfig, SvcHandle, SvcListeners, SvcStats};
+pub use wire::{ClientFrame, ServerFrame, PROTOCOL_VERSION};

@@ -1,0 +1,879 @@
+//! The service-tier server: one thread multiplexing thousands of
+//! client sockets onto one daemon.
+//!
+//! Each accepted connection (TCP or Unix-domain) is set non-blocking
+//! and registered with an [`ar_net::PollSet`] — the same ppoll loop
+//! the batched UDP datapath uses, at client-count scale. The loop:
+//!
+//! 1. polls listeners + client sockets for readability (short
+//!    timeout, since daemon events arrive on channels, not fds);
+//! 2. accepts new connections (refusing past `max_clients`);
+//! 3. reads frames, handling Hello/Join/Leave/Publish/Ack;
+//! 4. drains each session's daemon events into window-gated delivery
+//!    queues and credit grants;
+//! 5. flushes write buffers and evicts slow consumers per policy.
+//!
+//! Backpressure is end-to-end: the daemon loop publishes its ring
+//! send-queue depth into [`ar_daemon::RingPressure`]; while it is
+//! above the configured watermark, credit grants are withheld
+//! ([`FlowState::on_ordered`]), so offered load backs off at the
+//! clients instead of queueing in the daemon.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ar_daemon::daemon::RingPressure;
+use ar_daemon::{ClientEvent, DaemonClient, DaemonConnector, DaemonHandle, TelemetryHub};
+use ar_net::PollSet;
+use ar_telemetry::{Counter, Gauge};
+use bytes::Bytes;
+
+use crate::credit::{FlowConfig, FlowState, PublishOutcome};
+use crate::wire::{
+    decode_client, encode_server, frame, ClientFrame, FrameBuf, ServerFrame, PROTOCOL_VERSION,
+};
+
+/// Service-tier tuning.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Maximum concurrent client connections; further connects are
+    /// refused at handshake.
+    pub max_clients: usize,
+    /// Per-session flow control (credits, windows, eviction limits).
+    pub flow: FlowConfig,
+    /// Withhold credit grants while the ring send queue is above this
+    /// many bundles.
+    pub ring_high_watermark: usize,
+    /// Capacity of each session's daemon event queue.
+    pub event_capacity: usize,
+    /// When set, per-tier counters and gauges are registered here
+    /// (exported via `/metrics` and `/snapshot`).
+    pub telemetry: Option<Arc<TelemetryHub>>,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            max_clients: 2048,
+            flow: FlowConfig::default(),
+            ring_high_watermark: 512,
+            event_capacity: ar_daemon::DEFAULT_EVENT_CAPACITY,
+            telemetry: None,
+        }
+    }
+}
+
+/// Shared per-tier statistics (registry-backed when telemetry is on).
+#[derive(Debug, Clone, Default)]
+pub struct SvcStats {
+    /// Currently connected clients.
+    pub connected: Gauge,
+    /// Sessions evicted as slow consumers.
+    pub evicted: Counter,
+    /// Publishes rejected for lack of credits.
+    pub publish_rejects: Counter,
+    /// Credit grants sent.
+    pub credit_grants: Counter,
+    /// Grants currently withheld by ring backpressure.
+    pub deferred_grants: Gauge,
+    /// Publishes accepted and forwarded to the daemon.
+    pub publishes: Counter,
+    /// Deliveries written to client sockets.
+    pub deliveries: Counter,
+    /// Handshakes refused (capacity, bad name, version mismatch).
+    pub refused: Counter,
+}
+
+impl SvcStats {
+    fn register(hub: &TelemetryHub) -> SvcStats {
+        SvcStats {
+            connected: hub.registry.gauge(
+                "ar_svc_clients_connected",
+                "Client connections currently served by the service tier",
+            ),
+            evicted: hub.registry.counter(
+                "ar_svc_clients_evicted_total",
+                "Sessions evicted as slow consumers (pending or write-buffer overflow)",
+            ),
+            publish_rejects: hub.registry.counter(
+                "ar_svc_publish_rejects_total",
+                "Publishes rejected because the session had no credits",
+            ),
+            credit_grants: hub.registry.counter(
+                "ar_svc_credit_grants_total",
+                "Publish credits granted back to clients",
+            ),
+            deferred_grants: hub.registry.gauge(
+                "ar_svc_credits_deferred",
+                "Credit grants currently withheld by ring send-queue backpressure",
+            ),
+            publishes: hub.registry.counter(
+                "ar_svc_publishes_total",
+                "Publishes accepted and forwarded to the daemon",
+            ),
+            deliveries: hub.registry.counter(
+                "ar_svc_deliveries_total",
+                "Ordered deliveries written to client sockets",
+            ),
+            refused: hub.registry.counter(
+                "ar_svc_refused_total",
+                "Handshakes refused (capacity, duplicate or invalid name, version mismatch)",
+            ),
+        }
+    }
+}
+
+/// Where to listen.
+#[derive(Debug, Clone, Default)]
+pub struct SvcListeners {
+    /// TCP listen address (port 0 for ephemeral).
+    pub tcp: Option<SocketAddr>,
+    /// Unix-domain socket path (removed and rebound at startup,
+    /// unlinked on shutdown). Ignored on non-Unix targets.
+    pub uds: Option<PathBuf>,
+}
+
+/// Handle to a running service tier; dropping it stops the thread,
+/// closes every session, and unlinks the Unix socket.
+#[derive(Debug)]
+pub struct SvcHandle {
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+    stop: Arc<AtomicBool>,
+    stats: SvcStats,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl SvcHandle {
+    /// The bound TCP address (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path.
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    /// Live per-tier statistics.
+    pub fn stats(&self) -> &SvcStats {
+        &self.stats
+    }
+
+    /// Stops the server and returns its loop result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the server loop hit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_now()
+    }
+
+    fn shutdown_now(&mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        let result = match self.join.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("service-tier thread panicked"))),
+            None => Ok(()),
+        };
+        #[cfg(unix)]
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+impl Drop for SvcHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_now();
+    }
+}
+
+/// Starts the service tier for `daemon` on the given listeners.
+///
+/// # Errors
+///
+/// Returns binding errors. Requires at least one listener.
+pub fn serve_clients(
+    daemon: &DaemonHandle,
+    listeners: SvcListeners,
+    config: SvcConfig,
+) -> io::Result<SvcHandle> {
+    let tcp = match listeners.tcp {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    #[cfg(unix)]
+    let uds = match &listeners.uds {
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    #[cfg(not(unix))]
+    let uds: Option<()> = None;
+    if tcp.is_none() && uds.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "service tier needs at least one listener (tcp or uds)",
+        ));
+    }
+    let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
+    let stats = match &config.telemetry {
+        Some(hub) => SvcStats::register(hub),
+        None => SvcStats::default(),
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut server = Server {
+        connector: daemon.connector(),
+        pressure: daemon.ring_pressure(),
+        config,
+        tcp,
+        #[cfg(unix)]
+        uds,
+        stop: Arc::clone(&stop),
+        stats: stats.clone(),
+        conns: HashMap::new(),
+        next_conn: 0,
+        poll: PollSet::new(),
+    };
+    let join = std::thread::spawn(move || server.run());
+    Ok(SvcHandle {
+        tcp_addr,
+        #[cfg(unix)]
+        uds_path: listeners.uds,
+        #[cfg(not(unix))]
+        uds_path: None,
+        stop,
+        stats,
+        join: Some(join),
+    })
+}
+
+// ---- connection state -----------------------------------------------------
+
+/// Either kind of client socket, unified behind non-blocking reads and
+/// writes.
+#[derive(Debug)]
+enum Sock {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Sock {
+    fn fd(&self) -> i32 {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            match self {
+                Sock::Tcp(s) => s.as_raw_fd(),
+                Sock::Uds(s) => s.as_raw_fd(),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            -1
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Sock::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Sock::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Bounded outgoing byte queue with partial-write tracking.
+#[derive(Debug, Default)]
+struct WriteBuf {
+    queue: std::collections::VecDeque<Bytes>,
+    /// Bytes of the front chunk already written.
+    offset: usize,
+    total: usize,
+}
+
+impl WriteBuf {
+    fn push(&mut self, bytes: Bytes) {
+        self.total += bytes.len();
+        self.queue.push_back(bytes);
+    }
+
+    fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Writes as much as the socket accepts. Returns `Ok(true)` when
+    /// drained, `Ok(false)` on WouldBlock.
+    fn flush(&mut self, sock: &mut Sock) -> io::Result<bool> {
+        while let Some(front) = self.queue.front() {
+            match sock.write(&front[self.offset..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.offset += n;
+                    self.total -= n;
+                    if self.offset == front.len() {
+                        self.queue.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// A delivery body queued behind the window (the per-connection seq is
+/// assigned by [`FlowState`]).
+#[derive(Debug)]
+struct DeliverBody {
+    ring_seq: u64,
+    service: ar_core::ServiceType,
+    sender: ar_daemon::MemberId,
+    groups: Vec<String>,
+    payload: Bytes,
+}
+
+enum ConnState {
+    /// Waiting for Hello.
+    Handshaking,
+    /// Registered with the daemon. The flow state is boxed to keep the
+    /// per-connection enum small while handshaking sockets dominate.
+    Active {
+        client: DaemonClient,
+        flow: Box<FlowState<DeliverBody>>,
+    },
+}
+
+struct Conn {
+    sock: Sock,
+    rbuf: FrameBuf,
+    wbuf: WriteBuf,
+    state: ConnState,
+    /// Set when the session must close (after flushing `wbuf` best
+    /// effort).
+    dead: bool,
+}
+
+/// Queues a frame on a write buffer (free function so callers holding
+/// a borrow of `conn.state` can still reach the disjoint `wbuf`
+/// field).
+fn push_frame(wbuf: &mut WriteBuf, frame_body: &ServerFrame) {
+    wbuf.push(frame(&encode_server(frame_body)));
+}
+
+// ---- server loop ----------------------------------------------------------
+
+struct Server {
+    connector: DaemonConnector,
+    pressure: Arc<RingPressure>,
+    config: SvcConfig,
+    tcp: Option<TcpListener>,
+    #[cfg(unix)]
+    uds: Option<UnixListener>,
+    stop: Arc<AtomicBool>,
+    stats: SvcStats,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    poll: PollSet,
+}
+
+impl Server {
+    fn run(&mut self) -> io::Result<()> {
+        while !self.stop.load(Ordering::Acquire) {
+            self.poll_sockets()?;
+            self.accept_new();
+            self.read_all();
+            self.pump_daemon_events();
+            self.fill_windows();
+            self.flush_all();
+            self.reap();
+        }
+        // Graceful stop: tell every client and close.
+        for (_, conn) in self.conns.iter_mut() {
+            push_frame(
+                &mut conn.wbuf,
+                &ServerFrame::Evicted {
+                    reason: "server shutting down".into(),
+                },
+            );
+            let _ = conn.wbuf.flush(&mut conn.sock);
+            conn.sock.shutdown();
+        }
+        self.stats.connected.set(0);
+        Ok(())
+    }
+
+    /// One ppoll over listeners + every client socket. Readability
+    /// results are consumed immediately by the accept/read passes; a
+    /// short timeout keeps daemon-event pumping responsive (those
+    /// arrive on channels the poll cannot watch).
+    fn poll_sockets(&mut self) -> io::Result<()> {
+        self.poll.clear();
+        if let Some(l) = &self.tcp {
+            use std::os::fd::AsRawFd;
+            self.poll.register(l.as_raw_fd());
+        }
+        #[cfg(unix)]
+        if let Some(l) = &self.uds {
+            use std::os::fd::AsRawFd;
+            self.poll.register(l.as_raw_fd());
+        }
+        for conn in self.conns.values() {
+            self.poll.register(conn.sock.fd());
+        }
+        self.poll.wait(Duration::from_millis(2))?;
+        Ok(())
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            let sock = if let Some(l) = &self.tcp {
+                match l.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_nonblocking(true);
+                        Some(Sock::Tcp(s))
+                    }
+                    Err(_) => None,
+                }
+            } else {
+                None
+            };
+            #[cfg(unix)]
+            let sock = sock.or_else(|| {
+                self.uds.as_ref().and_then(|l| match l.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nonblocking(true);
+                        Some(Sock::Uds(s))
+                    }
+                    Err(_) => None,
+                })
+            });
+            let Some(mut sock) = sock else { return };
+            if self.conns.len() >= self.config.max_clients {
+                // Best-effort refusal; the socket closes either way.
+                let body = encode_server(&ServerFrame::Refused {
+                    reason: "server at capacity".into(),
+                });
+                let _ = sock.write(&frame(&body));
+                sock.shutdown();
+                self.stats.refused.add(1);
+                continue;
+            }
+            let id = self.next_conn;
+            self.next_conn += 1;
+            self.conns.insert(
+                id,
+                Conn {
+                    sock,
+                    rbuf: FrameBuf::new(),
+                    wbuf: WriteBuf::default(),
+                    state: ConnState::Handshaking,
+                    dead: false,
+                },
+            );
+        }
+    }
+
+    fn read_all(&mut self) {
+        let mut chunk = [0u8; 64 * 1024];
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut frames = Vec::new();
+            {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.dead {
+                    continue;
+                }
+                loop {
+                    match conn.sock.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.dead = true; // peer closed
+                            break;
+                        }
+                        Ok(n) => conn.rbuf.extend(&chunk[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match conn.rbuf.next_frame() {
+                        Ok(Some(f)) => frames.push(f),
+                        Ok(None) => break,
+                        Err(_) => {
+                            conn.dead = true; // oversized frame: cut loose
+                            break;
+                        }
+                    }
+                }
+            }
+            for f in frames {
+                self.handle_frame(id, &f);
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, id: u64, bytes: &[u8]) {
+        let Ok(req) = decode_client(bytes) else {
+            // Malformed frame: protocol error, close the session.
+            if let Some(conn) = self.conns.get_mut(&id) {
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Evicted {
+                        reason: "protocol error".into(),
+                    },
+                );
+                conn.dead = true;
+            }
+            return;
+        };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if matches!(conn.state, ConnState::Handshaking) {
+            let ClientFrame::Hello { version, name } = req else {
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Refused {
+                        reason: "expected hello".into(),
+                    },
+                );
+                conn.dead = true;
+                self.stats.refused.add(1);
+                return;
+            };
+            if version != PROTOCOL_VERSION {
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Refused {
+                        reason: format!(
+                            "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                        ),
+                    },
+                );
+                conn.dead = true;
+                self.stats.refused.add(1);
+                return;
+            }
+            match self
+                .connector
+                .connect_service(&name, self.config.event_capacity)
+            {
+                Ok(client) => {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::Welcome {
+                            version: PROTOCOL_VERSION,
+                            daemon: self.connector.pid().as_u16(),
+                            publish_credits: self.config.flow.publish_credits,
+                            delivery_window: self.config.flow.delivery_window,
+                        },
+                    );
+                    conn.state = ConnState::Active {
+                        client,
+                        flow: Box::new(FlowState::new(self.config.flow)),
+                    };
+                    self.stats.connected.add(1);
+                }
+                Err(e) => {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::Refused {
+                            reason: e.to_string(),
+                        },
+                    );
+                    conn.dead = true;
+                    self.stats.refused.add(1);
+                }
+            }
+            return;
+        }
+        let ConnState::Active { client, flow } = &mut conn.state else {
+            return;
+        };
+        match req {
+            ClientFrame::Hello { .. } => {
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Evicted {
+                        reason: "duplicate hello".into(),
+                    },
+                );
+                conn.dead = true;
+            }
+            ClientFrame::JoinGroup { group } => {
+                if client.join(&group).is_err() {
+                    conn.dead = true;
+                }
+            }
+            ClientFrame::LeaveGroup { group } => {
+                if client.leave(&group).is_err() {
+                    conn.dead = true;
+                }
+            }
+            ClientFrame::Publish {
+                id: pub_id,
+                service,
+                groups,
+                payload,
+            } => match flow.try_consume_credit(pub_id) {
+                PublishOutcome::Accepted => {
+                    let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                    match client.multicast(&refs, service, payload) {
+                        Ok(()) => self.stats.publishes.add(1),
+                        Err(e) => {
+                            push_frame(
+                                &mut conn.wbuf,
+                                &ServerFrame::Evicted {
+                                    reason: e.to_string(),
+                                },
+                            );
+                            conn.dead = true;
+                        }
+                    }
+                }
+                PublishOutcome::NoCredits => {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::PublishReject {
+                            id: pub_id,
+                            reason: "no publish credits; wait for CreditGrant".into(),
+                        },
+                    );
+                    self.stats.publish_rejects.add(1);
+                }
+            },
+            ClientFrame::Ack { through } => {
+                flow.on_ack(through);
+            }
+        }
+    }
+
+    /// Converts queued daemon events into frames: deliveries into the
+    /// window-gated pending queue, membership/network changes straight
+    /// to the write buffer, Ordered acks into credit grants (deferred
+    /// while the ring is congested).
+    fn pump_daemon_events(&mut self) {
+        let congested = self.pressure.send_queue_depth() > self.config.ring_high_watermark;
+        let mut deferred_delta: i64 = 0;
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            let ConnState::Active { client, flow } = &mut conn.state else {
+                continue;
+            };
+            let mut evict_reason = None;
+            for ev in client.drain() {
+                match ev {
+                    ClientEvent::Message {
+                        sender,
+                        groups,
+                        service,
+                        ring_seq,
+                        payload,
+                    } => {
+                        let body = DeliverBody {
+                            ring_seq,
+                            service,
+                            sender,
+                            groups,
+                            payload,
+                        };
+                        if let Err(reason) = flow.queue_delivery(body) {
+                            evict_reason = Some(reason);
+                            break;
+                        }
+                    }
+                    ClientEvent::Ordered { .. } => {
+                        let before = flow.deferred_len();
+                        if let Some(acked_id) = flow.on_ordered(congested) {
+                            push_frame(
+                                &mut conn.wbuf,
+                                &ServerFrame::CreditGrant {
+                                    acked_id,
+                                    credits: 1,
+                                },
+                            );
+                            self.stats.credit_grants.add(1);
+                        }
+                        deferred_delta += (flow.deferred_len() - before) as i64;
+                    }
+                    ClientEvent::Membership { group, members } => {
+                        push_frame(&mut conn.wbuf, &ServerFrame::Membership { group, members });
+                    }
+                    ClientEvent::NetworkChange { daemons } => {
+                        push_frame(
+                            &mut conn.wbuf,
+                            &ServerFrame::NetworkChange {
+                                daemons: daemons.iter().map(|d| d.as_u16()).collect(),
+                            },
+                        );
+                    }
+                }
+            }
+            // Congestion cleared: release withheld credits.
+            if !congested && flow.deferred_len() > 0 {
+                let ids = flow.flush_deferred();
+                deferred_delta -= ids.len() as i64;
+                for acked_id in ids {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::CreditGrant {
+                            acked_id,
+                            credits: 1,
+                        },
+                    );
+                    self.stats.credit_grants.add(1);
+                }
+            }
+            if let Some(reason) = evict_reason {
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Evicted {
+                        reason: reason.as_str().into(),
+                    },
+                );
+                conn.dead = true;
+                self.stats.evicted.add(1);
+            }
+        }
+        if deferred_delta != 0 {
+            self.stats.deferred_grants.add(deferred_delta);
+        }
+    }
+
+    /// Moves window-eligible deliveries into write buffers.
+    fn fill_windows(&mut self) {
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            let ConnState::Active { flow, .. } = &mut conn.state else {
+                continue;
+            };
+            let mut sent = 0u64;
+            while let Some(p) = flow.next_sendable() {
+                let b = p.item;
+                push_frame(
+                    &mut conn.wbuf,
+                    &ServerFrame::Deliver {
+                        seq: p.seq,
+                        ring_seq: b.ring_seq,
+                        service: b.service,
+                        sender: b.sender,
+                        groups: b.groups,
+                        payload: b.payload,
+                    },
+                );
+                sent += 1;
+            }
+            if sent > 0 {
+                self.stats.deliveries.add(sent);
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for conn in self.conns.values_mut() {
+            if conn.wbuf.len() == 0 {
+                continue;
+            }
+            match conn.wbuf.flush(&mut conn.sock) {
+                Ok(_) => {
+                    if conn.dead {
+                        continue;
+                    }
+                    let overflow = match &conn.state {
+                        ConnState::Active { flow, .. } => {
+                            flow.check_write_buffer(conn.wbuf.len()).err()
+                        }
+                        ConnState::Handshaking => None,
+                    };
+                    if let Some(reason) = overflow {
+                        push_frame(
+                            &mut conn.wbuf,
+                            &ServerFrame::Evicted {
+                                reason: reason.as_str().into(),
+                            },
+                        );
+                        conn.dead = true;
+                        self.stats.evicted.add(1);
+                    }
+                }
+                Err(_) => conn.dead = true,
+            }
+        }
+    }
+
+    /// Closes dead sessions. Dropping the [`DaemonClient`] unregisters
+    /// at the daemon, which submits ordered leaves for every group the
+    /// client was in — other members see a clean membership change.
+    fn reap(&mut self) {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dead)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            if let Some(mut conn) = self.conns.remove(&id) {
+                // Last chance for the Evicted frame to reach the peer.
+                let _ = conn.wbuf.flush(&mut conn.sock);
+                conn.sock.shutdown();
+                if matches!(conn.state, ConnState::Active { .. }) {
+                    self.stats.connected.add(-1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! The versioned client service-tier wire protocol.
+//!
+//! Frames are length-prefixed: a `u32` big-endian length, then a kind
+//! byte and fields. Strings carry a `u16` length and must be valid
+//! UTF-8. The codec is total: any byte sequence either decodes to a
+//! frame or returns an error — it never panics, no matter how the
+//! input was truncated or flipped (property-tested in
+//! `tests/svc_wire_props.rs`).
+//!
+//! Unlike the legacy session protocol (`ar_daemon::session`), this
+//! protocol is explicitly versioned (Hello/Welcome exchange a version
+//! number) and carries the flow-control machinery: client-assigned
+//! publish ids, per-connection delivery sequence numbers for window
+//! acking, credit grants, and eviction notices.
+
+use std::io;
+
+use ar_core::ServiceType;
+use ar_daemon::proto::{MAX_GROUPS, MAX_NAME};
+use ar_daemon::MemberId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Current protocol version, exchanged in Hello/Welcome.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frames larger than this are rejected (16 MiB; large application
+/// messages are fragmented by the daemon, not by this tier).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take_str(buf: &mut &[u8]) -> io::Result<String> {
+    if buf.len() < 2 {
+        return Err(bad("truncated string length"));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.len() < len {
+        return Err(bad("truncated string"));
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| bad("invalid utf-8"))?;
+    let out = s.to_string();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn take_groups(buf: &mut &[u8]) -> io::Result<Vec<String>> {
+    if buf.len() < 2 {
+        return Err(bad("truncated group count"));
+    }
+    let n = buf.get_u16() as usize;
+    if n > MAX_GROUPS {
+        return Err(bad("too many groups"));
+    }
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let g = take_str(buf)?;
+        if g.is_empty() || g.len() > MAX_NAME {
+            return Err(bad("bad group name"));
+        }
+        groups.push(g);
+    }
+    Ok(groups)
+}
+
+fn take_payload(buf: &mut &[u8]) -> io::Result<Bytes> {
+    if buf.len() < 4 {
+        return Err(bad("truncated payload length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.len() < len {
+        return Err(bad("truncated payload"));
+    }
+    let payload = Bytes::copy_from_slice(&buf[..len]);
+    buf.advance(len);
+    Ok(payload)
+}
+
+fn take_u64(buf: &mut &[u8]) -> io::Result<u64> {
+    if buf.len() < 8 {
+        return Err(bad("truncated u64"));
+    }
+    Ok(buf.get_u64())
+}
+
+fn take_u32(buf: &mut &[u8]) -> io::Result<u32> {
+    if buf.len() < 4 {
+        return Err(bad("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn take_u16(buf: &mut &[u8]) -> io::Result<u16> {
+    if buf.len() < 2 {
+        return Err(bad("truncated u16"));
+    }
+    Ok(buf.get_u16())
+}
+
+/// Client → server frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// Handshake: protocol version and requested private name.
+    Hello {
+        /// The client's protocol version ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// Requested private name (1..=[`MAX_NAME`] bytes).
+        name: String,
+    },
+    /// Join a group.
+    JoinGroup {
+        /// Group name.
+        group: String,
+    },
+    /// Leave a group.
+    LeaveGroup {
+        /// Group name.
+        group: String,
+    },
+    /// Multicast to groups. Consumes one publish credit; the server
+    /// echoes `id` back in the matching [`ServerFrame::CreditGrant`]
+    /// (or [`ServerFrame::PublishReject`]).
+    Publish {
+        /// Client-assigned id, strictly increasing per connection.
+        id: u64,
+        /// Delivery service level.
+        service: ServiceType,
+        /// Target groups.
+        groups: Vec<String>,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Consumer progress: every delivery with `seq <= through` has
+    /// been consumed, opening delivery-window space.
+    Ack {
+        /// Highest consumed per-connection delivery sequence.
+        through: u64,
+    },
+}
+
+/// Server → client frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// Handshake accepted; flow-control parameters for this session.
+    Welcome {
+        /// The server's protocol version.
+        version: u16,
+        /// The daemon id the client is attached to.
+        daemon: u16,
+        /// Initial publish credits.
+        publish_credits: u32,
+        /// Delivery window: maximum unacked deliveries in flight.
+        delivery_window: u32,
+    },
+    /// Handshake rejected.
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A totally ordered message.
+    Deliver {
+        /// Per-connection delivery sequence (1-based, contiguous),
+        /// acked with [`ClientFrame::Ack`].
+        seq: u64,
+        /// The ring sequence the message was ordered at (the global
+        /// total-order position; bundled messages share it).
+        ring_seq: u64,
+        /// Delivery service level.
+        service: ServiceType,
+        /// The sending client.
+        sender: MemberId,
+        /// The groups the message was addressed to.
+        groups: Vec<String>,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Group membership changed.
+    Membership {
+        /// The group.
+        group: String,
+        /// Complete new membership, canonical order.
+        members: Vec<MemberId>,
+    },
+    /// Ring configuration changed.
+    NetworkChange {
+        /// Daemons in the new regular configuration.
+        daemons: Vec<u16>,
+    },
+    /// One publish reached Agreed order; its credit is returned.
+    CreditGrant {
+        /// The client-assigned id of the publish that completed.
+        acked_id: u64,
+        /// Credits returned (usually 1; more after a backpressure
+        /// episode drains).
+        credits: u32,
+    },
+    /// A publish was refused (no credits / invalid); no credit was
+    /// consumed and the message was not sent.
+    PublishReject {
+        /// The client-assigned id of the rejected publish.
+        id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server is closing this session (slow consumer, shutdown).
+    Evicted {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Encodes a client frame (without the length prefix).
+pub fn encode_client(frame: &ClientFrame) -> Bytes {
+    let mut buf = BytesMut::new();
+    match frame {
+        ClientFrame::Hello { version, name } => {
+            buf.put_u8(1);
+            buf.put_u16(*version);
+            put_str(&mut buf, name);
+        }
+        ClientFrame::JoinGroup { group } => {
+            buf.put_u8(2);
+            put_str(&mut buf, group);
+        }
+        ClientFrame::LeaveGroup { group } => {
+            buf.put_u8(3);
+            put_str(&mut buf, group);
+        }
+        ClientFrame::Publish {
+            id,
+            service,
+            groups,
+            payload,
+        } => {
+            buf.put_u8(4);
+            buf.put_u64(*id);
+            buf.put_u8(service.as_u8());
+            buf.put_u16(groups.len() as u16);
+            for g in groups {
+                put_str(&mut buf, g);
+            }
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        ClientFrame::Ack { through } => {
+            buf.put_u8(5);
+            buf.put_u64(*through);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a client frame.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed input (never panics).
+pub fn decode_client(mut buf: &[u8]) -> io::Result<ClientFrame> {
+    if buf.is_empty() {
+        return Err(bad("empty frame"));
+    }
+    match buf.get_u8() {
+        1 => {
+            let version = take_u16(&mut buf)?;
+            let name = take_str(&mut buf)?;
+            if name.is_empty() || name.len() > MAX_NAME {
+                return Err(bad("bad client name"));
+            }
+            Ok(ClientFrame::Hello { version, name })
+        }
+        2 => Ok(ClientFrame::JoinGroup {
+            group: take_str(&mut buf)?,
+        }),
+        3 => Ok(ClientFrame::LeaveGroup {
+            group: take_str(&mut buf)?,
+        }),
+        4 => {
+            let id = take_u64(&mut buf)?;
+            if buf.is_empty() {
+                return Err(bad("truncated service"));
+            }
+            let service = ServiceType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad service"))?;
+            let groups = take_groups(&mut buf)?;
+            let payload = take_payload(&mut buf)?;
+            Ok(ClientFrame::Publish {
+                id,
+                service,
+                groups,
+                payload,
+            })
+        }
+        5 => Ok(ClientFrame::Ack {
+            through: take_u64(&mut buf)?,
+        }),
+        _ => Err(bad("unknown client frame kind")),
+    }
+}
+
+/// Encodes a server frame (without the length prefix).
+pub fn encode_server(frame: &ServerFrame) -> Bytes {
+    let mut buf = BytesMut::new();
+    match frame {
+        ServerFrame::Welcome {
+            version,
+            daemon,
+            publish_credits,
+            delivery_window,
+        } => {
+            buf.put_u8(1);
+            buf.put_u16(*version);
+            buf.put_u16(*daemon);
+            buf.put_u32(*publish_credits);
+            buf.put_u32(*delivery_window);
+        }
+        ServerFrame::Refused { reason } => {
+            buf.put_u8(2);
+            put_str(&mut buf, reason);
+        }
+        ServerFrame::Deliver {
+            seq,
+            ring_seq,
+            service,
+            sender,
+            groups,
+            payload,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64(*seq);
+            buf.put_u64(*ring_seq);
+            buf.put_u8(service.as_u8());
+            buf.put_u16(sender.daemon.as_u16());
+            put_str(&mut buf, &sender.client);
+            buf.put_u16(groups.len() as u16);
+            for g in groups {
+                put_str(&mut buf, g);
+            }
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        ServerFrame::Membership { group, members } => {
+            buf.put_u8(4);
+            put_str(&mut buf, group);
+            buf.put_u16(members.len() as u16);
+            for m in members {
+                buf.put_u16(m.daemon.as_u16());
+                put_str(&mut buf, &m.client);
+            }
+        }
+        ServerFrame::NetworkChange { daemons } => {
+            buf.put_u8(5);
+            buf.put_u16(daemons.len() as u16);
+            for d in daemons {
+                buf.put_u16(*d);
+            }
+        }
+        ServerFrame::CreditGrant { acked_id, credits } => {
+            buf.put_u8(6);
+            buf.put_u64(*acked_id);
+            buf.put_u32(*credits);
+        }
+        ServerFrame::PublishReject { id, reason } => {
+            buf.put_u8(7);
+            buf.put_u64(*id);
+            put_str(&mut buf, reason);
+        }
+        ServerFrame::Evicted { reason } => {
+            buf.put_u8(8);
+            put_str(&mut buf, reason);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a server frame.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed input (never panics).
+pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
+    use ar_core::ParticipantId;
+    if buf.is_empty() {
+        return Err(bad("empty frame"));
+    }
+    match buf.get_u8() {
+        1 => Ok(ServerFrame::Welcome {
+            version: take_u16(&mut buf)?,
+            daemon: take_u16(&mut buf)?,
+            publish_credits: take_u32(&mut buf)?,
+            delivery_window: take_u32(&mut buf)?,
+        }),
+        2 => Ok(ServerFrame::Refused {
+            reason: take_str(&mut buf)?,
+        }),
+        3 => {
+            let seq = take_u64(&mut buf)?;
+            let ring_seq = take_u64(&mut buf)?;
+            if buf.is_empty() {
+                return Err(bad("truncated service"));
+            }
+            let service = ServiceType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad service"))?;
+            let daemon = ParticipantId::new(take_u16(&mut buf)?);
+            let client = take_str(&mut buf)?;
+            let groups = take_groups(&mut buf)?;
+            let payload = take_payload(&mut buf)?;
+            Ok(ServerFrame::Deliver {
+                seq,
+                ring_seq,
+                service,
+                sender: MemberId::new(daemon, client),
+                groups,
+                payload,
+            })
+        }
+        4 => {
+            let group = take_str(&mut buf)?;
+            let n = take_u16(&mut buf)? as usize;
+            let mut members = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let d = ParticipantId::new(take_u16(&mut buf)?);
+                let c = take_str(&mut buf)?;
+                members.push(MemberId::new(d, c));
+            }
+            Ok(ServerFrame::Membership { group, members })
+        }
+        5 => {
+            let n = take_u16(&mut buf)? as usize;
+            let mut daemons = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                daemons.push(take_u16(&mut buf)?);
+            }
+            Ok(ServerFrame::NetworkChange { daemons })
+        }
+        6 => Ok(ServerFrame::CreditGrant {
+            acked_id: take_u64(&mut buf)?,
+            credits: take_u32(&mut buf)?,
+        }),
+        7 => Ok(ServerFrame::PublishReject {
+            id: take_u64(&mut buf)?,
+            reason: take_str(&mut buf)?,
+        }),
+        8 => Ok(ServerFrame::Evicted {
+            reason: take_str(&mut buf)?,
+        }),
+        _ => Err(bad("unknown server frame kind")),
+    }
+}
+
+/// Prepends the `u32` big-endian length prefix to an encoded frame.
+pub fn frame(body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Incremental frame extraction from a growing byte stream.
+///
+/// Feed raw socket bytes with [`extend`](FrameBuf::extend); pop
+/// complete frames (length prefix stripped) with
+/// [`next_frame`](FrameBuf::next_frame). Oversized length prefixes are
+/// an error so a corrupt peer cannot make the buffer grow unboundedly.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted lazily to amortise the memmove.
+    head: usize,
+}
+
+impl FrameBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete frame tail).
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops the next complete frame, or `None` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when the length prefix exceeds
+    /// [`MAX_FRAME`].
+    pub fn next_frame(&mut self) -> io::Result<Option<Bytes>> {
+        let avail = &self.buf[self.head..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(bad("frame too large"));
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = Bytes::copy_from_slice(&avail[4..4 + len]);
+        self.head += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.head > 0 && self.head >= self.buf.len() / 2 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_core::ParticipantId;
+
+    fn client_frames() -> Vec<ClientFrame> {
+        vec![
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+                name: "alice".into(),
+            },
+            ClientFrame::JoinGroup { group: "g".into() },
+            ClientFrame::LeaveGroup { group: "g".into() },
+            ClientFrame::Publish {
+                id: 9,
+                service: ServiceType::Agreed,
+                groups: vec!["a".into(), "b".into()],
+                payload: Bytes::from_static(b"payload"),
+            },
+            ClientFrame::Ack { through: 1234 },
+        ]
+    }
+
+    fn server_frames() -> Vec<ServerFrame> {
+        vec![
+            ServerFrame::Welcome {
+                version: PROTOCOL_VERSION,
+                daemon: 3,
+                publish_credits: 64,
+                delivery_window: 256,
+            },
+            ServerFrame::Refused {
+                reason: "nope".into(),
+            },
+            ServerFrame::Deliver {
+                seq: 1,
+                ring_seq: 77,
+                service: ServiceType::Safe,
+                sender: MemberId::new(ParticipantId::new(1), "bob"),
+                groups: vec!["g".into()],
+                payload: Bytes::from_static(b"hi"),
+            },
+            ServerFrame::Membership {
+                group: "g".into(),
+                members: vec![
+                    MemberId::new(ParticipantId::new(0), "a"),
+                    MemberId::new(ParticipantId::new(1), "b"),
+                ],
+            },
+            ServerFrame::NetworkChange {
+                daemons: vec![0, 1, 2],
+            },
+            ServerFrame::CreditGrant {
+                acked_id: 9,
+                credits: 1,
+            },
+            ServerFrame::PublishReject {
+                id: 10,
+                reason: "no credits".into(),
+            },
+            ServerFrame::Evicted {
+                reason: "slow consumer".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn client_frames_roundtrip() {
+        for f in client_frames() {
+            let enc = encode_client(&f);
+            assert_eq!(decode_client(&enc).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        for f in server_frames() {
+            let enc = encode_server(&f);
+            assert_eq!(decode_server(&enc).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        for f in client_frames() {
+            let enc = encode_client(&f);
+            for cut in 0..enc.len() {
+                assert!(decode_client(&enc[..cut]).is_err(), "client cut {cut}");
+            }
+        }
+        for f in server_frames() {
+            let enc = encode_server(&f);
+            for cut in 0..enc.len() {
+                assert!(decode_server(&enc[..cut]).is_err(), "server cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_frames() {
+        let a = encode_client(&ClientFrame::Ack { through: 5 });
+        let b = encode_client(&ClientFrame::JoinGroup { group: "g".into() });
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&frame(&a));
+        stream.extend_from_slice(&frame(&b));
+        // Feed one byte at a time: frames pop exactly at boundaries.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            fb.extend(&[byte]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], a);
+        assert_eq!(got[1], b);
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn frame_buf_rejects_oversized_prefix() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&u32::MAX.to_be_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+}

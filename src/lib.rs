@@ -35,6 +35,11 @@
 //!   deterministic state-space explorer with DPOR-style pruning over
 //!   the sans-io core, and a structure-aware seeded fuzzer for the
 //!   wire codec (`cargo run -p ar-explore`).
+//! * [`svc`] ([`ar_svc`]) — the client service tier: a versioned
+//!   length-prefixed client protocol over TCP and Unix sockets, one
+//!   thread multiplexing thousands of flow-controlled client
+//!   connections, publish credits and delivery windows, and
+//!   slow-consumer eviction (the `ard`/`arclient` binaries live here).
 //!
 //! ## Quickstart
 //!
@@ -60,4 +65,5 @@ pub use ar_explore as explore;
 pub use ar_log as log;
 pub use ar_net as net;
 pub use ar_sim as sim;
+pub use ar_svc as svc;
 pub use ar_telemetry as telemetry;

@@ -180,3 +180,131 @@ fn daemon_ring_serves_metrics_snapshot_and_flight() {
         d.shutdown().expect("clean shutdown");
     }
 }
+
+#[test]
+fn service_tier_metrics_are_exported() {
+    use accelerated_ring::svc::{serve_clients, SvcClient, SvcConfig, SvcEvent, SvcListeners};
+
+    let net = LoopbackNet::new();
+    let members = vec![ParticipantId::new(0)];
+    let ring_id = RingId::new(members[0], 1);
+    let part = Participant::new(
+        members[0],
+        ProtocolConfig::accelerated(),
+        ring_id,
+        members.clone(),
+    )
+    .unwrap();
+    let hub = TelemetryHub::shared();
+    let config = DaemonConfig {
+        telemetry: Some(hub.clone()),
+        ..Default::default()
+    };
+    let daemon = spawn_daemon_with(part, net.endpoint(members[0]), config);
+    let server = accelerated_ring::daemon::serve_metrics("127.0.0.1:0", hub.clone())
+        .expect("bind metrics endpoint");
+    let addr = server.local_addr();
+
+    let mut svc_config = SvcConfig::default();
+    svc_config.flow.publish_credits = 2;
+    svc_config.telemetry = Some(hub.clone());
+    let svc = serve_clients(
+        &daemon,
+        SvcListeners {
+            tcp: Some("127.0.0.1:0".parse().unwrap()),
+            uds: None,
+        },
+        svc_config,
+    )
+    .expect("service tier");
+    let svc_addr = svc.tcp_addr().unwrap();
+
+    // Real tier traffic: a consumer joins, a publisher exhausts its
+    // credits (forcing at least one reject) and a delivery lands.
+    let mut consumer = SvcClient::connect_tcp(svc_addr, "cons").expect("connect");
+    consumer.join("g").expect("join");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut joined = false;
+    while !joined && Instant::now() < deadline {
+        if let Some(SvcEvent::Membership { .. }) = consumer.recv(Duration::from_millis(50)) {
+            joined = true;
+        }
+    }
+    assert!(joined, "svc group join did not complete");
+    let mut publisher = SvcClient::connect_tcp(svc_addr, "pub").expect("connect");
+    for _ in 0..2 {
+        publisher
+            .try_publish(&["g"], ServiceType::Agreed, Bytes::from_static(b"m"))
+            .expect("publish within credits");
+    }
+    // A third publish with zero client-side credits never leaves the
+    // client; hand-roll the frame to make the *server* reject it.
+    use accelerated_ring::svc::wire::{encode_client, frame, ClientFrame};
+    publisher
+        .send_raw(&frame(&encode_client(&ClientFrame::Publish {
+            id: 999,
+            service: ServiceType::Agreed,
+            groups: vec!["g".into()],
+            payload: Bytes::from_static(b"over"),
+        })))
+        .expect("raw publish");
+    let mut delivered = 0;
+    let mut rejected = false;
+    while (delivered < 2 || !rejected) && Instant::now() < deadline {
+        if let Some(SvcEvent::Deliver { .. }) = consumer.recv(Duration::from_millis(20)) {
+            delivered += 1;
+        }
+        for ev in publisher.drain() {
+            if let SvcEvent::PublishRejected { .. } = ev {
+                rejected = true;
+            }
+        }
+    }
+    assert!(delivered >= 2, "svc deliveries did not land");
+    assert!(rejected, "credit-less publish was not rejected");
+
+    // /metrics: the tier's series are present in the exposition.
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_valid_exposition(&body);
+    for series in [
+        "ar_svc_clients_connected",
+        "ar_svc_clients_evicted_total",
+        "ar_svc_publish_rejects_total",
+        "ar_svc_credit_grants_total",
+        "ar_svc_credits_deferred",
+        "ar_svc_publishes_total",
+        "ar_svc_deliveries_total",
+        "ar_svc_refused_total",
+    ] {
+        assert!(body.contains(series), "missing {series} in:\n{body}");
+    }
+    let sample = |name: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit_once(' '))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample for {name}"))
+    };
+    assert_eq!(sample("ar_svc_clients_connected"), 2.0);
+    assert!(sample("ar_svc_publishes_total") >= 2.0);
+    assert!(sample("ar_svc_deliveries_total") >= 2.0);
+    assert!(sample("ar_svc_publish_rejects_total") >= 1.0);
+
+    // /snapshot: the same series ride in the JSON metrics dump.
+    let (head, body) = http_get(addr, "/snapshot");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let v = Value::parse(&body).expect("snapshot is valid JSON");
+    let metrics = v.get("metrics").expect("snapshot carries metrics");
+    for key in ["ar_svc_clients_connected", "ar_svc_publishes_total"] {
+        assert!(
+            metrics.get(key).and_then(Value::as_f64).is_some(),
+            "missing {key} in snapshot metrics: {body}"
+        );
+    }
+
+    drop(consumer);
+    drop(publisher);
+    svc.shutdown().expect("svc shutdown");
+    daemon.shutdown().expect("clean shutdown");
+}

@@ -1,0 +1,284 @@
+//! Property tests for the service-tier client protocol: byte-exact
+//! round trips for arbitrary well-formed frames, and robustness (clean
+//! errors, never panics) under truncation, bit flips, and structure-
+//! aware mutation of valid encodings (the ar-explore mutator style).
+
+use accelerated_ring::core::ServiceType;
+use accelerated_ring::daemon::MemberId;
+use accelerated_ring::svc::wire::{
+    decode_client, decode_server, encode_client, encode_server, frame, ClientFrame, FrameBuf,
+    ServerFrame, PROTOCOL_VERSION,
+};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,30}"
+}
+
+fn arb_group() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,15}"
+}
+
+fn arb_groups() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_group(), 1..5)
+}
+
+fn arb_service() -> impl Strategy<Value = ServiceType> {
+    prop_oneof![
+        Just(ServiceType::Reliable),
+        Just(ServiceType::Fifo),
+        Just(ServiceType::Causal),
+        Just(ServiceType::Agreed),
+        Just(ServiceType::Safe),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from)
+}
+
+fn arb_member() -> impl Strategy<Value = MemberId> {
+    (any::<u16>(), arb_name()).prop_map(|(d, c)| MemberId {
+        daemon: accelerated_ring::core::ParticipantId::new(d),
+        client: c,
+    })
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        arb_name().prop_map(|name| ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            name,
+        }),
+        arb_group().prop_map(|group| ClientFrame::JoinGroup { group }),
+        arb_group().prop_map(|group| ClientFrame::LeaveGroup { group }),
+        (any::<u64>(), arb_service(), arb_groups(), arb_payload()).prop_map(
+            |(id, service, groups, payload)| ClientFrame::Publish {
+                id,
+                service,
+                groups,
+                payload,
+            }
+        ),
+        any::<u64>().prop_map(|through| ClientFrame::Ack { through }),
+    ]
+}
+
+fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(daemon, c, w)| {
+            ServerFrame::Welcome {
+                version: PROTOCOL_VERSION,
+                daemon,
+                publish_credits: c,
+                delivery_window: w,
+            }
+        }),
+        ".{0,60}".prop_map(|reason| ServerFrame::Refused { reason }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_service(),
+            arb_member(),
+            arb_groups(),
+            arb_payload()
+        )
+            .prop_map(|(seq, ring_seq, service, sender, groups, payload)| {
+                ServerFrame::Deliver {
+                    seq,
+                    ring_seq,
+                    service,
+                    sender,
+                    groups,
+                    payload,
+                }
+            }),
+        (arb_group(), prop::collection::vec(arb_member(), 0..6))
+            .prop_map(|(group, members)| ServerFrame::Membership { group, members }),
+        prop::collection::vec(any::<u16>(), 0..6)
+            .prop_map(|daemons| ServerFrame::NetworkChange { daemons }),
+        (any::<u64>(), 1..64u32)
+            .prop_map(|(acked_id, credits)| ServerFrame::CreditGrant { acked_id, credits }),
+        (any::<u64>(), ".{0,60}")
+            .prop_map(|(id, reason)| ServerFrame::PublishReject { id, reason }),
+        ".{0,60}".prop_map(|reason| ServerFrame::Evicted { reason }),
+    ]
+}
+
+proptest! {
+    /// Client frames survive an encode/decode round trip byte-exactly.
+    #[test]
+    fn client_frames_roundtrip(f in arb_client_frame()) {
+        let bytes = encode_client(&f);
+        let back = decode_client(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(&back, &f);
+        // Deterministic encoding: re-encoding is byte-identical.
+        prop_assert_eq!(encode_client(&back), bytes);
+    }
+
+    /// Server frames survive an encode/decode round trip byte-exactly.
+    #[test]
+    fn server_frames_roundtrip(f in arb_server_frame()) {
+        let bytes = encode_server(&f);
+        let back = decode_server(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(&back, &f);
+        prop_assert_eq!(encode_server(&back), bytes);
+    }
+
+    /// Every truncation of a valid frame errors instead of panicking
+    /// (and never misdecodes into a "success").
+    #[test]
+    fn truncated_frames_error_cleanly(f in arb_client_frame(), g in arb_server_frame()) {
+        let c = encode_client(&f);
+        for cut in 0..c.len() {
+            prop_assert!(decode_client(&c[..cut]).is_err());
+        }
+        let s = encode_server(&g);
+        for cut in 0..s.len() {
+            prop_assert!(decode_server(&s[..cut]).is_err());
+        }
+    }
+
+    /// Single-bit flips of a valid frame never panic the decoders
+    /// (they may decode to a different valid frame; they must not
+    /// crash or hang).
+    #[test]
+    fn bit_flips_never_panic(f in arb_client_frame(), g in arb_server_frame()) {
+        let c = encode_client(&f);
+        for i in 0..c.len().min(128) {
+            for bit in 0..8 {
+                let mut m = c.to_vec();
+                m[i] ^= 1 << bit;
+                let _ = decode_client(&m);
+                let _ = decode_server(&m);
+            }
+        }
+        let s = encode_server(&g);
+        for i in 0..s.len().min(128) {
+            for bit in 0..8 {
+                let mut m = s.to_vec();
+                m[i] ^= 1 << bit;
+                let _ = decode_server(&m);
+                let _ = decode_client(&m);
+            }
+        }
+    }
+
+    /// Arbitrary byte soup never panics either decoder or the frame
+    /// extractor.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_client(&bytes);
+        let _ = decode_server(&bytes);
+        let mut fb = FrameBuf::new();
+        fb.extend(&bytes);
+        // Drain until the extractor stalls or rejects; must terminate.
+        while let Ok(Some(_)) = fb.next_frame() {}
+    }
+}
+
+/// Structure-aware mutation in the ar-explore style: a deterministic
+/// SplitMix64 stream drives splice/duplicate/overwrite mutations of
+/// valid frames, stressing the decoders well past single-bit damage.
+#[test]
+fn mutated_frames_never_panic() {
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+    let seeds: Vec<Vec<u8>> = vec![
+        encode_client(&ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "fuzz".into(),
+        })
+        .to_vec(),
+        encode_client(&ClientFrame::Publish {
+            id: 7,
+            service: ServiceType::Safe,
+            groups: vec!["a".into(), "b".into()],
+            payload: Bytes::from_static(b"payload-bytes"),
+        })
+        .to_vec(),
+        encode_server(&ServerFrame::Deliver {
+            seq: 3,
+            ring_seq: 99,
+            service: ServiceType::Agreed,
+            sender: MemberId {
+                daemon: accelerated_ring::core::ParticipantId::new(2),
+                client: "c".into(),
+            },
+            groups: vec!["g".into()],
+            payload: Bytes::from_static(b"x"),
+        })
+        .to_vec(),
+        encode_server(&ServerFrame::CreditGrant {
+            acked_id: 12,
+            credits: 1,
+        })
+        .to_vec(),
+    ];
+    let mut rng = SplitMix64(0xa5c3_1e60_0000_0001);
+    for round in 0..20_000u32 {
+        let mut m = seeds[(rng.next() as usize) % seeds.len()].clone();
+        // 1-4 mutations per round.
+        for _ in 0..=(rng.next() % 4) {
+            if m.is_empty() {
+                break;
+            }
+            match rng.next() % 5 {
+                0 => {
+                    // Overwrite a byte.
+                    let i = (rng.next() as usize) % m.len();
+                    m[i] = rng.next() as u8;
+                }
+                1 => {
+                    // Truncate.
+                    m.truncate((rng.next() as usize) % (m.len() + 1));
+                }
+                2 => {
+                    // Duplicate a slice onto the end.
+                    let i = (rng.next() as usize) % m.len();
+                    let j = i + ((rng.next() as usize) % (m.len() - i));
+                    let slice = m[i..j].to_vec();
+                    m.extend_from_slice(&slice);
+                }
+                3 => {
+                    // Splice a chunk from another seed.
+                    let other = &seeds[(rng.next() as usize) % seeds.len()];
+                    let i = (rng.next() as usize) % other.len();
+                    let at = (rng.next() as usize) % (m.len() + 1);
+                    let tail = m.split_off(at);
+                    m.extend_from_slice(&other[i..]);
+                    m.extend_from_slice(&tail);
+                }
+                _ => {
+                    // Blast a u64 over a random offset (length-field
+                    // style damage).
+                    let i = (rng.next() as usize) % m.len();
+                    let v = rng.next().to_be_bytes();
+                    for (k, b) in v.iter().enumerate() {
+                        if i + k < m.len() {
+                            m[i + k] = *b;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = decode_client(&m);
+        let _ = decode_server(&m);
+        let mut fb = FrameBuf::new();
+        fb.extend(&frame(&Bytes::from(m)));
+        while let Ok(Some(f)) = fb.next_frame() {
+            let _ = decode_client(&f);
+            let _ = decode_server(&f);
+        }
+        let _ = round;
+    }
+}
