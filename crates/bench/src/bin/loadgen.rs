@@ -34,12 +34,13 @@ use std::time::{Duration, Instant};
 
 use ar_bench::{write_bench_json, BenchPoint};
 use ar_core::{Participant, ParticipantId, ProtocolConfig, RingId, ServiceType};
-use ar_daemon::{spawn_daemon, DaemonHandle};
+use ar_daemon::{serve_metrics, spawn_daemon_with, DaemonConfig, DaemonHandle, TelemetryHub};
 use ar_net::LoopbackNet;
 use ar_svc::{
     serve_clients, FlowConfig, PublishError, SvcClient, SvcConfig, SvcEvent, SvcHandle,
     SvcListeners,
 };
+use ar_telemetry::json::Value;
 use bytes::Bytes;
 
 const GROUPS: usize = 64;
@@ -102,7 +103,10 @@ impl Zipf {
     }
 }
 
-fn single_daemon() -> (LoopbackNet, DaemonHandle) {
+/// One loopback daemon with telemetry served on an ephemeral port, so
+/// the run can pull real token-rotation stats from `/snapshot` exactly
+/// as an operator would against `ard --metrics-addr`.
+fn single_daemon() -> (LoopbackNet, DaemonHandle, ar_daemon::MetricsServer) {
     let net = LoopbackNet::new();
     let members = vec![ParticipantId::new(0)];
     let ring_id = RingId::new(members[0], 1);
@@ -113,8 +117,44 @@ fn single_daemon() -> (LoopbackNet, DaemonHandle) {
         members.clone(),
     )
     .expect("participant");
-    let handle = spawn_daemon(part, net.endpoint(members[0]));
-    (net, handle)
+    let hub = TelemetryHub::shared();
+    let config = DaemonConfig {
+        telemetry: Some(hub.clone()),
+        ..DaemonConfig::default()
+    };
+    let handle = spawn_daemon_with(part, net.endpoint(members[0]), config);
+    let metrics = serve_metrics("127.0.0.1:0", hub).expect("metrics endpoint");
+    (net, handle, metrics)
+}
+
+/// Total tokens handled so far, scraped from the daemon's `/snapshot`
+/// JSON endpoint. Sampled before and after a run, the delta is the
+/// token rotations the run drove (single-member ring: one handling
+/// per rotation).
+fn snapshot_rotations(addr: std::net::SocketAddr) -> u64 {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect /snapshot");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /snapshot HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read /snapshot");
+    let (_, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    Value::parse(body)
+        .expect("snapshot is valid JSON")
+        .get("stats")
+        .and_then(|s| s.get("tokens_handled_total"))
+        .and_then(Value::as_f64)
+        .expect("stats carry tokens_handled_total") as u64
 }
 
 fn start_tier(daemon: &DaemonHandle, max_clients: usize, flow: FlowConfig) -> SvcHandle {
@@ -244,6 +284,7 @@ fn run_scale(
                                     Err(PublishError::NoCredits) => {
                                         stalls.fetch_add(1, Ordering::Relaxed);
                                     }
+                                    Err(PublishError::TooLarge) => unreachable!(),
                                     Err(PublishError::Io(_)) => {}
                                 }
                             }
@@ -305,7 +346,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-fn to_point(curve: &str, r: &ScaleResult, evictions: u64) -> BenchPoint {
+fn to_point(curve: &str, r: &ScaleResult, evictions: u64, rotations: u64) -> BenchPoint {
     let mut lat = r.latencies_us.clone();
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = if lat.is_empty() {
@@ -323,8 +364,12 @@ fn to_point(curve: &str, r: &ScaleResult, evictions: u64) -> BenchPoint {
         p90_us: percentile(&lat, 0.90),
         p99_us: percentile(&lat, 0.99),
         p999_us: percentile(&lat, 0.999),
-        rotation_us: 0.0,
-        token_rotations: 0,
+        rotation_us: if rotations == 0 {
+            0.0
+        } else {
+            r.elapsed.as_secs_f64() * 1e6 / rotations as f64
+        },
+        token_rotations: rotations,
         drops: evictions,
         rtx: 0,
     }
@@ -341,11 +386,13 @@ fn main() -> ExitCode {
 
     let mut points = Vec::new();
     for (k, &clients) in scales.iter().enumerate() {
-        let (_net, daemon) = single_daemon();
+        let (_net, daemon, metrics) = single_daemon();
         let svc = start_tier(&daemon, clients + 64, FlowConfig::default());
         let addr = svc.tcp_addr().unwrap();
         eprintln!("loadgen: open-loop, {clients} clients, {OFFERED_MSGS_PER_SEC} msg/s offered");
+        let rotations_before = snapshot_rotations(metrics.local_addr());
         let r = run_scale(addr, &svc, clients, 0, measure, 0x10ad_0000 + k as u64);
+        let rotations = snapshot_rotations(metrics.local_addr()).saturating_sub(rotations_before);
         eprintln!(
             "loadgen:   published {} delivered {} stalls {} samples {} p99 {:.0} us",
             r.published,
@@ -366,6 +413,7 @@ fn main() -> ExitCode {
             &format!("tier/open-loop/clients-{clients}"),
             &r,
             0,
+            rotations,
         ));
         svc.shutdown().expect("svc shutdown");
         daemon.shutdown().expect("daemon shutdown");
@@ -376,7 +424,7 @@ fn main() -> ExitCode {
     // ones (drops column) while healthy latency stays finite.
     {
         let clients = 100;
-        let (_net, daemon) = single_daemon();
+        let (_net, daemon, metrics) = single_daemon();
         // A tight delivery window and pending bound so unacking
         // subscribers of the hot group trip the eviction policy within
         // the measurement window; acking clients keep their backlog
@@ -389,7 +437,9 @@ fn main() -> ExitCode {
         let svc = start_tier(&daemon, clients + 64, flow);
         let addr = svc.tcp_addr().unwrap();
         eprintln!("loadgen: slow-consumer scenario, {clients} healthy + 4 unacking");
+        let rotations_before = snapshot_rotations(metrics.local_addr());
         let r = run_scale(addr, &svc, clients, 4, measure, 0x510c_0de5);
+        let rotations = snapshot_rotations(metrics.local_addr()).saturating_sub(rotations_before);
         eprintln!(
             "loadgen:   published {} delivered {} evicted {} samples {}",
             r.published,
@@ -409,6 +459,7 @@ fn main() -> ExitCode {
             &format!("tier/slow-consumer/clients-{clients}"),
             &r,
             r.evicted,
+            rotations,
         ));
         svc.shutdown().expect("svc shutdown");
         daemon.shutdown().expect("daemon shutdown");

@@ -32,6 +32,11 @@ pub enum ClientEvent {
         /// The ring sequence number the message was ordered at (the
         /// position in the total order; bundled messages share it).
         ring_seq: u64,
+        /// The sender's per-publisher sequence stamp, or 0 when the
+        /// sender does not stamp (see [`Envelope::Data`]'s field).
+        ///
+        /// [`Envelope::Data`]: crate::Envelope::Data
+        stamp: u64,
         /// The application payload.
         payload: Bytes,
     },
@@ -56,6 +61,11 @@ pub enum ClientEvent {
     Ordered {
         /// The ring sequence number the message was ordered at.
         ring_seq: u64,
+        /// The stamp the message carried (0 when unstamped). With
+        /// several ring shards per daemon, acks from different shards
+        /// interleave arbitrarily; the stamp lets the service tier
+        /// credit the right in-flight publish instead of assuming FIFO.
+        stamp: u64,
     },
 }
 
@@ -175,6 +185,26 @@ impl DaemonClient {
         service: ServiceType,
         payload: Bytes,
     ) -> Result<(), ClientError> {
+        self.multicast_stamped(groups, service, 0, payload)
+    }
+
+    /// [`multicast`](Self::multicast) carrying a per-publisher sequence
+    /// stamp. The stamp travels in the ordered envelope and comes back
+    /// on every recipient's [`ClientEvent::Message`] and the sender's
+    /// [`ClientEvent::Ordered`]; the service tier uses it to keep a
+    /// publisher's messages FIFO across ring shards. Stamp 0 means
+    /// "unstamped" (plain multicast behaviour).
+    ///
+    /// # Errors
+    ///
+    /// As for [`multicast`](Self::multicast).
+    pub fn multicast_stamped(
+        &self,
+        groups: &[&str],
+        service: ServiceType,
+        stamp: u64,
+        payload: Bytes,
+    ) -> Result<(), ClientError> {
         if groups.len() > MAX_GROUPS {
             return Err(ClientError::TooManyGroups);
         }
@@ -186,6 +216,7 @@ impl DaemonClient {
                 client: self.me.client.clone(),
                 groups: groups.iter().map(|g| g.to_string()).collect(),
                 service,
+                stamp,
                 payload,
             })
             .map_err(|_| ClientError::DaemonDown)

@@ -60,6 +60,9 @@ pub(crate) enum Command {
         client: String,
         groups: Vec<String>,
         service: ServiceType,
+        /// Per-publisher sequence stamp (0 = unstamped); travels in the
+        /// ordered envelope for cross-shard FIFO restoration.
+        stamp: u64,
         payload: Bytes,
     },
 }
@@ -164,6 +167,11 @@ pub struct DaemonConfig {
     /// When set, deliveries are persisted to a segmented on-disk log
     /// and recovered (ring identity, cursor, group state) on restart.
     pub log: Option<DaemonLogConfig>,
+    /// Ring shard index this daemon serves, when it is one of several
+    /// rings hosted by a [`ShardedDaemon`](crate::ShardedDaemon).
+    /// Telemetry series and stats snapshots are labelled with it so N
+    /// shards sharing one hub export side by side.
+    pub shard: Option<usize>,
 }
 
 impl Default for DaemonConfig {
@@ -173,6 +181,7 @@ impl Default for DaemonConfig {
             drain_timeout: Duration::from_millis(500),
             telemetry: None,
             log: None,
+            shard: None,
         }
     }
 }
@@ -459,6 +468,8 @@ struct DaemonLoop<T: Transport> {
     event_overflow: Counter,
     /// Shared backpressure gauge, refreshed every loop iteration.
     pressure: Arc<RingPressure>,
+    /// Shard index for telemetry labelling (0 when unsharded).
+    shard: usize,
 }
 
 impl<T: Transport> DaemonLoop<T> {
@@ -472,20 +483,26 @@ impl<T: Transport> DaemonLoop<T> {
     ) -> io::Result<DaemonLoop<T>> {
         let pid = part.pid();
         let mut rt = Runtime::new(part, transport);
+        let labels = config
+            .shard
+            .map(ar_net::NetMetrics::shard_labels)
+            .unwrap_or_default();
         if let Some(hub) = &config.telemetry {
-            rt.set_metrics(ar_net::NetMetrics::register(&hub.registry));
+            rt.set_metrics(ar_net::NetMetrics::register_labeled(&hub.registry, &labels));
             rt.set_observer(hub.flight.clone());
         }
         let log_tail_dropped = match &config.telemetry {
-            Some(hub) => hub.registry.counter(
+            Some(hub) => hub.registry.counter_labeled(
                 "ar_daemon_log_tail_dropped_total",
+                &labels,
                 "Buffered durable-log records dropped because the shutdown flush failed",
             ),
             None => Counter::default(),
         };
         let event_overflow = match &config.telemetry {
-            Some(hub) => hub.registry.counter(
+            Some(hub) => hub.registry.counter_labeled(
                 "ar_daemon_client_event_overflow_total",
+                &labels,
                 "Client events dropped because a session's bounded event queue was full",
             ),
             None => Counter::default(),
@@ -533,6 +550,7 @@ impl<T: Transport> DaemonLoop<T> {
             log_tail_dropped,
             event_overflow,
             pressure,
+            shard: config.shard.unwrap_or(0),
         })
     }
 
@@ -569,7 +587,7 @@ impl<T: Transport> DaemonLoop<T> {
             self.pressure
                 .set_send_queue_depth(self.rt.participant().pending_len() + self.outbox.len());
             if let Some(hub) = &self.telemetry {
-                hub.update_stats(*self.rt.participant().stats());
+                hub.update_shard_stats(self.shard, *self.rt.participant().stats());
             }
         }
     }
@@ -714,13 +732,14 @@ impl<T: Transport> DaemonLoop<T> {
                 client,
                 groups,
                 service,
+                stamp,
                 payload,
             } => {
                 let sender = MemberId::new(self.pid, client);
                 let msg_id = self.next_msg_id;
                 self.next_msg_id += 1;
                 self.packer(service)
-                    .push_data(sender, groups, payload, msg_id);
+                    .push_data(sender, groups, payload, msg_id, stamp);
             }
         }
     }
@@ -739,10 +758,13 @@ impl<T: Transport> DaemonLoop<T> {
                                 self.apply_envelope(env, d.service, ring_seq);
                             }
                             BundleEntry::Fragment(f) => {
-                                if let Some((sender, groups, payload)) = self.reassembler.feed(f) {
+                                if let Some((sender, stamp, groups, payload)) =
+                                    self.reassembler.feed(f)
+                                {
                                     self.apply_envelope(
                                         Envelope::Data {
                                             sender,
+                                            stamp,
                                             groups,
                                             payload,
                                         },
@@ -789,21 +811,18 @@ impl<T: Transport> DaemonLoop<T> {
         match env {
             Envelope::Data {
                 sender,
+                stamp,
                 groups,
                 payload,
             } => {
-                // The sender's session learns its multicast reached
-                // Agreed order, if it opted into send acks (the
-                // service tier's publish-credit replenishment; FIFO
-                // correlation works because a client's own messages
-                // are applied in submission order).
-                if sender.daemon == self.pid {
-                    if let Some(s) = self.sessions.get(&sender.client) {
-                        if s.wants_send_acks {
-                            s.push(ClientEvent::Ordered { ring_seq }, &self.event_overflow);
-                        }
-                    }
-                }
+                // Recipients' Message events are pushed BEFORE the
+                // sender's Ordered ack. The cross-shard hold-back in
+                // the service tier depends on this order: once it
+                // observes Ordered{stamp}, every local recipient's
+                // queue already holds the matching Message, so a
+                // hold-back floor computed from observed acks can
+                // never release a stamp whose message has not been
+                // enqueued yet.
                 let recipients = self.groups.local_recipients(self.pid, &groups);
                 for r in recipients {
                     if let Some(s) = self.sessions.get(&r.client) {
@@ -813,10 +832,27 @@ impl<T: Transport> DaemonLoop<T> {
                                 groups: groups.clone(),
                                 service,
                                 ring_seq,
+                                stamp,
                                 payload: payload.clone(),
                             },
                             &self.event_overflow,
                         );
+                    }
+                }
+                // The sender's session learns its multicast reached
+                // Agreed order, if it opted into send acks (the
+                // service tier's publish-credit replenishment; the
+                // stamp correlates acks to sends across shards, and a
+                // client's own messages are applied in submission
+                // order within one shard).
+                if sender.daemon == self.pid {
+                    if let Some(s) = self.sessions.get(&sender.client) {
+                        if s.wants_send_acks {
+                            s.push(
+                                ClientEvent::Ordered { ring_seq, stamp },
+                                &self.event_overflow,
+                            );
+                        }
                     }
                 }
             }

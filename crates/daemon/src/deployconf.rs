@@ -201,6 +201,31 @@ impl Deployment {
         }
         map
     }
+
+    /// The peer map for ring shard `shard` of a multi-ring daemon:
+    /// every token and data port in the file is offset by
+    /// `shard * stride`, so each shard gets its own sockets from one
+    /// deployment file. Shard 0 is the file's own addresses. The
+    /// operator picks a stride wider than the port span the file uses
+    /// on any one host so shards never collide.
+    ///
+    /// Returns `None` when an offset port would overflow the 16-bit
+    /// port space.
+    pub fn peer_map_for_shard(&self, shard: usize, stride: u16) -> Option<PeerMap> {
+        let offset = u16::try_from(shard).ok()?.checked_mul(stride)?;
+        let mut map = PeerMap::new();
+        for d in self.daemons.values() {
+            let mut addrs = d.addrs;
+            let mut token = addrs.token;
+            token.set_port(token.port().checked_add(offset)?);
+            let mut data = addrs.data;
+            data.set_port(data.port().checked_add(offset)?);
+            addrs.token = token;
+            addrs.data = data;
+            map.insert(d.pid, addrs);
+        }
+        Some(map)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +255,25 @@ daemon 1 token=127.0.0.1:7402 data=127.0.0.1:7403   # trailing comment
         assert_eq!(d1.client_addr, None);
         let map = d.peer_map();
         assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn shard_peer_maps_offset_ports() {
+        let d = Deployment::parse(SAMPLE).unwrap();
+        let m0 = d.peer_map_for_shard(0, 100).unwrap();
+        for pid in d.members() {
+            assert_eq!(m0.get(pid), d.peer_map().get(pid));
+        }
+        let m2 = d.peer_map_for_shard(2, 100).unwrap();
+        let a = m2.get(ParticipantId::new(0)).unwrap();
+        assert_eq!(a.token.port(), 7600);
+        assert_eq!(a.data.port(), 7601);
+        assert_eq!(
+            a.token.ip(),
+            "127.0.0.1".parse::<std::net::IpAddr>().unwrap()
+        );
+        // Port overflow is a clean None, not a wrap.
+        assert!(d.peer_map_for_shard(600, 100).is_none());
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub mod metrics;
 pub mod packing;
 pub mod proto;
 pub mod session;
+pub mod shard;
+pub mod sharded;
 
 pub use client::{ClientError, ClientEvent, DaemonClient, DEFAULT_EVENT_CAPACITY};
 pub use daemon::{
@@ -80,3 +82,5 @@ pub use group::GroupTable;
 pub use metrics::{serve_metrics, MetricsServer, TelemetryHub};
 pub use proto::{Envelope, MemberId};
 pub use session::{ListenerHandle, ReconnectPolicy, RemoteClient};
+pub use shard::ShardMap;
+pub use sharded::ShardedDaemon;

@@ -19,6 +19,7 @@
 //! curl http://127.0.0.1:9464/metrics
 //! ```
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,15 +36,20 @@ use parking_lot::Mutex;
 const FLIGHT_CAPACITY: usize = 512;
 
 /// One daemon's complete telemetry state.
+///
+/// A sharded daemon's N ring loops share one hub: each refreshes its
+/// own per-shard stats slot (keyed by shard index) and registers
+/// shard-labelled series, so `/metrics` and `/snapshot` expose every
+/// ring side by side while [`stats`](TelemetryHub::stats) aggregates.
 #[derive(Debug)]
 pub struct TelemetryHub {
     /// The registry the runtime's [`ar_net::NetMetrics`] record into.
     pub registry: MetricsRegistry,
     /// The flight recorder attached to the participant.
     pub flight: Arc<FlightRecorder>,
-    /// Latest copy of the participant's protocol counters (refreshed by
-    /// the daemon loop).
-    stats: Mutex<ParticipantStats>,
+    /// Latest protocol-counter snapshot per shard (refreshed by each
+    /// daemon loop; unsharded daemons use slot 0).
+    stats: Mutex<BTreeMap<usize, ParticipantStats>>,
 }
 
 impl Default for TelemetryHub {
@@ -58,7 +64,7 @@ impl TelemetryHub {
         TelemetryHub {
             registry: MetricsRegistry::new(),
             flight: FlightRecorder::shared(FLIGHT_CAPACITY),
-            stats: Mutex::new(ParticipantStats::default()),
+            stats: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -68,14 +74,32 @@ impl TelemetryHub {
         Arc::new(TelemetryHub::new())
     }
 
-    /// Replaces the stats snapshot (called by the daemon loop).
+    /// Replaces the stats snapshot (called by an unsharded daemon
+    /// loop; shorthand for shard slot 0).
     pub fn update_stats(&self, stats: ParticipantStats) {
-        *self.stats.lock() = stats;
+        self.update_shard_stats(0, stats);
     }
 
-    /// The latest protocol-counter snapshot.
+    /// Replaces one shard's stats snapshot (called by that shard's
+    /// daemon loop).
+    pub fn update_shard_stats(&self, shard: usize, stats: ParticipantStats) {
+        self.stats.lock().insert(shard, stats);
+    }
+
+    /// The latest protocol-counter snapshot, aggregated (field-wise
+    /// sum) over every shard slot.
     pub fn stats(&self) -> ParticipantStats {
-        *self.stats.lock()
+        let m = self.stats.lock();
+        let mut total = ParticipantStats::default();
+        for s in m.values() {
+            add_stats(&mut total, s);
+        }
+        total
+    }
+
+    /// One shard's latest snapshot, if that shard has reported.
+    pub fn shard_stats(&self, shard: usize) -> Option<ParticipantStats> {
+        self.stats.lock().get(&shard).copied()
     }
 
     /// Renders the Prometheus exposition: the registry plus the
@@ -139,6 +163,34 @@ impl TelemetryHub {
         w.end_array();
         w.finish()
     }
+}
+
+/// Field-wise sum of two counter snapshots (aggregating shards).
+fn add_stats(into: &mut ParticipantStats, s: &ParticipantStats) {
+    into.tokens_handled += s.tokens_handled;
+    into.tokens_dropped += s.tokens_dropped;
+    into.tokens_retransmitted += s.tokens_retransmitted;
+    into.messages_initiated += s.messages_initiated;
+    into.messages_sent_before_token += s.messages_sent_before_token;
+    into.messages_sent_after_token += s.messages_sent_after_token;
+    into.retransmissions_sent += s.retransmissions_sent;
+    into.retransmissions_requested += s.retransmissions_requested;
+    into.messages_received += s.messages_received;
+    into.duplicates_dropped += s.duplicates_dropped;
+    into.foreign_dropped += s.foreign_dropped;
+    into.messages_delivered += s.messages_delivered;
+    into.safe_delivered += s.safe_delivered;
+    into.messages_discarded += s.messages_discarded;
+    into.config_changes += s.config_changes;
+    into.gathers_started += s.gathers_started;
+    into.timeouts_adapted += s.timeouts_adapted;
+    into.members_quarantined += s.members_quarantined;
+    into.members_reinstated += s.members_reinstated;
+    into.joins_suppressed += s.joins_suppressed;
+    into.accel_window_shrinks += s.accel_window_shrinks;
+    into.accel_window_grows += s.accel_window_grows;
+    into.recovery_burst_truncated += s.recovery_burst_truncated;
+    into.recovery_pending_dropped += s.recovery_pending_dropped;
 }
 
 /// The participant counters in exposition order, as

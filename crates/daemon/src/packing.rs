@@ -40,6 +40,10 @@ pub struct Fragment {
     pub sender: MemberId,
     /// Sender-local identifier of the original message.
     pub msg_id: u64,
+    /// The sender's per-publisher sequence stamp (see
+    /// [`Envelope::Data`]); replicated on each fragment so the
+    /// reassembled message keeps it.
+    pub stamp: u64,
     /// This fragment's index, `0..total`.
     pub idx: u32,
     /// Total number of fragments of the message.
@@ -77,6 +81,7 @@ pub fn encode_bundle(entries: &[BundleEntry]) -> Bytes {
                 buf.put_u8(f.sender.client.len() as u8);
                 buf.put_slice(f.sender.client.as_bytes());
                 buf.put_u64(f.msg_id);
+                buf.put_u64(f.stamp);
                 buf.put_u32(f.idx);
                 buf.put_u32(f.total);
                 buf.put_u16(f.groups.len() as u16);
@@ -137,10 +142,11 @@ pub fn decode_bundle(mut buf: &[u8]) -> Result<Vec<BundleEntry>, EnvelopeError> 
                     .map_err(|_| EnvelopeError::BadName)?
                     .to_string();
                 buf.advance(name_len);
-                if buf.len() < 8 + 4 + 4 + 2 {
+                if buf.len() < 8 + 8 + 4 + 4 + 2 {
                     return Err(EnvelopeError::Truncated);
                 }
                 let msg_id = buf.get_u64();
+                let stamp = buf.get_u64();
                 let idx = buf.get_u32();
                 let total = buf.get_u32();
                 let n_groups = buf.get_u16() as usize;
@@ -175,6 +181,7 @@ pub fn decode_bundle(mut buf: &[u8]) -> Result<Vec<BundleEntry>, EnvelopeError> 
                 out.push(BundleEntry::Fragment(Fragment {
                     sender: MemberId { daemon, client },
                     msg_id,
+                    stamp,
                     idx,
                     total,
                     groups,
@@ -221,12 +228,14 @@ impl Packer {
         groups: Vec<String>,
         payload: Bytes,
         msg_id: u64,
+        stamp: u64,
     ) {
         // Leave room for the envelope framing within a bundle.
         let max_whole = self.budget.saturating_sub(96).max(64);
         if payload.len() <= max_whole {
             self.push(Envelope::Data {
                 sender,
+                stamp,
                 groups,
                 payload,
             });
@@ -238,6 +247,7 @@ impl Packer {
             self.queue.push_back(BundleEntry::Fragment(Fragment {
                 sender: sender.clone(),
                 msg_id,
+                stamp,
                 idx: idx as u32,
                 total,
                 groups: groups.clone(),
@@ -283,8 +293,9 @@ fn approx_entry_len(e: &BundleEntry) -> usize {
                 sender,
                 groups,
                 payload,
+                ..
             } => {
-                16 + sender.client.len()
+                24 + sender.client.len()
                     + groups.iter().map(|g| g.len() + 1).sum::<usize>()
                     + payload.len()
             }
@@ -293,7 +304,7 @@ fn approx_entry_len(e: &BundleEntry) -> usize {
             }
         },
         BundleEntry::Fragment(f) => {
-            32 + f.sender.client.len()
+            40 + f.sender.client.len()
                 + f.groups.iter().map(|g| g.len() + 1).sum::<usize>()
                 + f.chunk.len()
         }
@@ -310,6 +321,7 @@ pub struct Reassembler {
 struct PartialMessage {
     next_idx: u32,
     total: u32,
+    stamp: u64,
     groups: Vec<String>,
     buf: BytesMut,
 }
@@ -326,12 +338,12 @@ impl Reassembler {
     }
 
     /// Feeds one fragment; returns the completed message (sender,
-    /// groups, payload) when the last fragment arrives.
+    /// stamp, groups, payload) when the last fragment arrives.
     ///
     /// Fragments travel in the total order, so they arrive in index
     /// order; out-of-order or inconsistent fragments (only possible
     /// through a bug or corruption) drop the partial message.
-    pub fn feed(&mut self, f: Fragment) -> Option<(MemberId, Vec<String>, Bytes)> {
+    pub fn feed(&mut self, f: Fragment) -> Option<(MemberId, u64, Vec<String>, Bytes)> {
         let key = (f.sender.clone(), f.msg_id);
         if f.idx == 0 {
             self.partial.insert(
@@ -339,6 +351,7 @@ impl Reassembler {
                 PartialMessage {
                     next_idx: 0,
                     total: f.total,
+                    stamp: f.stamp,
                     groups: f.groups.clone(),
                     buf: BytesMut::new(),
                 },
@@ -347,7 +360,7 @@ impl Reassembler {
         let Some(p) = self.partial.get_mut(&key) else {
             return None; // never saw fragment 0: drop
         };
-        if f.idx != p.next_idx || f.total != p.total {
+        if f.idx != p.next_idx || f.total != p.total || f.stamp != p.stamp {
             self.partial.remove(&key);
             return None;
         }
@@ -355,7 +368,7 @@ impl Reassembler {
         p.next_idx += 1;
         if p.next_idx == p.total {
             let done = self.partial.remove(&key).expect("present");
-            Some((f.sender, done.groups, done.buf.freeze()))
+            Some((f.sender, done.stamp, done.groups, done.buf.freeze()))
         } else {
             None
         }
@@ -380,6 +393,7 @@ mod tests {
     fn data(n: usize) -> Envelope {
         Envelope::Data {
             sender: member(),
+            stamp: 0,
             groups: vec!["g".into()],
             payload: Bytes::from(vec![7u8; n]),
         }
@@ -403,6 +417,7 @@ mod tests {
         let entries = vec![BundleEntry::Fragment(Fragment {
             sender: member(),
             msg_id: 42,
+            stamp: 7,
             idx: 1,
             total: 3,
             groups: vec!["a".into(), "b".into()],
@@ -456,7 +471,7 @@ mod tests {
     fn push_data_fragments_large_messages() {
         let mut p = Packer::new(1350);
         let payload = Bytes::from(vec![3u8; 5000]);
-        p.push_data(member(), vec!["g".into()], payload.clone(), 77);
+        p.push_data(member(), vec!["g".into()], payload.clone(), 77, 9);
         let mut frags = Vec::new();
         while let Some(b) = p.next_bundle() {
             for e in decode_bundle(&b).unwrap() {
@@ -475,8 +490,9 @@ mod tests {
                 done = Some(d);
             }
         }
-        let (sender, groups, rebuilt) = done.expect("reassembled");
+        let (sender, stamp, groups, rebuilt) = done.expect("reassembled");
         assert_eq!(sender, member());
+        assert_eq!(stamp, 9, "stamp survives fragmentation");
         assert_eq!(groups, vec!["g".to_string()]);
         assert_eq!(rebuilt, payload);
         assert_eq!(r.in_progress(), 0);
@@ -485,7 +501,13 @@ mod tests {
     #[test]
     fn small_push_data_stays_whole() {
         let mut p = Packer::new(1350);
-        p.push_data(member(), vec!["g".into()], Bytes::from_static(b"tiny"), 1);
+        p.push_data(
+            member(),
+            vec!["g".into()],
+            Bytes::from_static(b"tiny"),
+            1,
+            0,
+        );
         let entries = decode_bundle(&p.next_bundle().unwrap()).unwrap();
         assert!(matches!(entries[0], BundleEntry::Whole(_)));
     }
@@ -498,6 +520,7 @@ mod tests {
         let frag = |m: &MemberId, idx, total, byte: u8| Fragment {
             sender: m.clone(),
             msg_id: 1,
+            stamp: 0,
             idx,
             total,
             groups: vec!["g".into()],
@@ -506,9 +529,9 @@ mod tests {
         assert!(r.feed(frag(&a, 0, 2, 1)).is_none());
         assert!(r.feed(frag(&b, 0, 2, 2)).is_none());
         let done_a = r.feed(frag(&a, 1, 2, 1)).unwrap();
-        assert_eq!(done_a.2, Bytes::from(vec![1u8; 8]));
+        assert_eq!(done_a.3, Bytes::from(vec![1u8; 8]));
         let done_b = r.feed(frag(&b, 1, 2, 2)).unwrap();
-        assert_eq!(done_b.2, Bytes::from(vec![2u8; 8]));
+        assert_eq!(done_b.3, Bytes::from(vec![2u8; 8]));
     }
 
     #[test]
@@ -517,6 +540,7 @@ mod tests {
         let f = Fragment {
             sender: member(),
             msg_id: 9,
+            stamp: 0,
             idx: 1, // never saw 0
             total: 2,
             groups: vec![],
@@ -549,6 +573,7 @@ mod tests {
         let f0 = Fragment {
             sender: member(), // daemon 1
             msg_id: 5,
+            stamp: 0,
             idx: 0,
             total: 2,
             groups: vec![],

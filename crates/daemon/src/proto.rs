@@ -52,6 +52,12 @@ pub enum Envelope {
     Data {
         /// The sending client.
         sender: MemberId,
+        /// The sender's per-publisher sequence number (1-based), or 0
+        /// when the publisher does not participate in cross-shard
+        /// ordering. The service tier stamps each publish so a
+        /// subscriber can restore the publisher's FIFO order across
+        /// messages ordered on different ring shards.
+        stamp: u64,
         /// Target groups.
         groups: Vec<String>,
         /// The application payload.
@@ -111,12 +117,14 @@ pub fn encode(env: &Envelope) -> Bytes {
     match env {
         Envelope::Data {
             sender,
+            stamp,
             groups,
             payload,
         } => {
             assert!(groups.len() <= MAX_GROUPS, "too many groups");
             buf.put_u8(1);
             put_member(&mut buf, sender);
+            buf.put_u64(*stamp);
             buf.put_u16(groups.len() as u16);
             for g in groups {
                 put_name(&mut buf, g);
@@ -148,6 +156,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Envelope, EnvelopeError> {
     match kind {
         1 => {
             let sender = take_member(&mut buf)?;
+            let stamp = take_u64(&mut buf)?;
             let n = take_u16(&mut buf)? as usize;
             if n > MAX_GROUPS {
                 return Err(EnvelopeError::LimitExceeded("groups"));
@@ -163,6 +172,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Envelope, EnvelopeError> {
             let payload = Bytes::copy_from_slice(&buf[..len]);
             Ok(Envelope::Data {
                 sender,
+                stamp,
                 groups,
                 payload,
             })
@@ -231,6 +241,13 @@ fn take_u32(buf: &mut &[u8]) -> Result<u32, EnvelopeError> {
     Ok(buf.get_u32())
 }
 
+fn take_u64(buf: &mut &[u8]) -> Result<u64, EnvelopeError> {
+    if buf.len() < 8 {
+        return Err(EnvelopeError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,12 +258,15 @@ mod tests {
 
     #[test]
     fn data_roundtrip() {
-        let env = Envelope::Data {
-            sender: member(),
-            groups: vec!["chat".into(), "audit".into()],
-            payload: Bytes::from_static(b"hello"),
-        };
-        assert_eq!(decode(&encode(&env)).unwrap(), env);
+        for stamp in [0u64, 1, 42, u64::MAX] {
+            let env = Envelope::Data {
+                sender: member(),
+                stamp,
+                groups: vec!["chat".into(), "audit".into()],
+                payload: Bytes::from_static(b"hello"),
+            };
+            assert_eq!(decode(&encode(&env)).unwrap(), env);
+        }
     }
 
     #[test]
@@ -269,6 +289,7 @@ mod tests {
     fn empty_groups_and_payload_roundtrip() {
         let env = Envelope::Data {
             sender: member(),
+            stamp: 0,
             groups: vec![],
             payload: Bytes::new(),
         };
@@ -280,6 +301,17 @@ mod tests {
         let enc = encode(&Envelope::Join {
             member: member(),
             group: "g".into(),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // Data envelopes too — every cut through the stamp and group
+        // fields must fail cleanly.
+        let enc = encode(&Envelope::Data {
+            sender: member(),
+            stamp: 7,
+            groups: vec!["g".into()],
+            payload: Bytes::from_static(b"p"),
         });
         for cut in 0..enc.len() {
             assert!(decode(&enc[..cut]).is_err(), "cut at {cut}");

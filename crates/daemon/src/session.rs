@@ -206,6 +206,7 @@ pub fn encode_reply(reply: &ServerReply) -> Bytes {
                     groups,
                     service,
                     ring_seq,
+                    stamp,
                     payload,
                 } => {
                     buf.put_u8(1);
@@ -213,6 +214,7 @@ pub fn encode_reply(reply: &ServerReply) -> Bytes {
                     put_str(&mut buf, &sender.client);
                     buf.put_u8(service.as_u8());
                     buf.put_u64(*ring_seq);
+                    buf.put_u64(*stamp);
                     buf.put_u16(groups.len() as u16);
                     for g in groups {
                         put_str(&mut buf, g);
@@ -236,9 +238,10 @@ pub fn encode_reply(reply: &ServerReply) -> Bytes {
                         buf.put_u16(d.as_u16());
                     }
                 }
-                ClientEvent::Ordered { ring_seq } => {
+                ClientEvent::Ordered { ring_seq, stamp } => {
                     buf.put_u8(4);
                     buf.put_u64(*ring_seq);
+                    buf.put_u64(*stamp);
                 }
             }
         }
@@ -288,6 +291,10 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                         return Err(bad("truncated ring seq"));
                     }
                     let ring_seq = buf.get_u64();
+                    if buf.len() < 8 {
+                        return Err(bad("truncated stamp"));
+                    }
+                    let stamp = buf.get_u64();
                     if buf.len() < 2 {
                         return Err(bad("truncated groups"));
                     }
@@ -308,6 +315,7 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                         groups,
                         service,
                         ring_seq,
+                        stamp,
                         payload: Bytes::copy_from_slice(&buf[..len]),
                     }))
                 }
@@ -346,11 +354,12 @@ pub fn decode_reply(mut buf: &[u8]) -> io::Result<ServerReply> {
                     Ok(ServerReply::Event(ClientEvent::NetworkChange { daemons }))
                 }
                 4 => {
-                    if buf.len() < 8 {
+                    if buf.len() < 16 {
                         return Err(bad("truncated ring seq"));
                     }
                     Ok(ServerReply::Event(ClientEvent::Ordered {
                         ring_seq: buf.get_u64(),
+                        stamp: buf.get_u64(),
                     }))
                 }
                 _ => Err(bad("unknown event kind")),
@@ -564,6 +573,9 @@ fn serve_session(mut stream: TcpStream, cmd_tx: Sender<Command>, daemon_id: u16)
                         client: name.clone(),
                         groups,
                         service,
+                        // Remote sessions do not participate in
+                        // cross-shard publisher ordering.
+                        stamp: 0,
                         payload,
                     });
                 }
@@ -894,9 +906,13 @@ mod tests {
                 groups: vec!["g".into()],
                 service: ServiceType::Agreed,
                 ring_seq: 42,
+                stamp: 5,
                 payload: Bytes::from_static(b"hi"),
             }),
-            ServerReply::Event(ClientEvent::Ordered { ring_seq: 7 }),
+            ServerReply::Event(ClientEvent::Ordered {
+                ring_seq: 7,
+                stamp: 3,
+            }),
             ServerReply::Event(ClientEvent::Membership {
                 group: "g".into(),
                 members: vec![

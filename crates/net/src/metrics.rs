@@ -54,58 +54,89 @@ impl NetMetrics {
     /// Registers the standard node metric set (names prefixed
     /// `ar_node_`) and returns the handles.
     pub fn register(reg: &MetricsRegistry) -> NetMetrics {
+        NetMetrics::register_labeled(reg, "")
+    }
+
+    /// Registers the node metric set with every series carrying a
+    /// label set (e.g. `shard="2"`), so several runtimes hosted by one
+    /// process export side by side instead of silently sharing
+    /// counters. An empty label set is the plain [`register`] shape.
+    ///
+    /// [`register`]: NetMetrics::register
+    pub fn register_labeled(reg: &MetricsRegistry, labels: &str) -> NetMetrics {
         NetMetrics {
-            token_rotation_ns: reg.histogram(
+            token_rotation_ns: reg.histogram_labeled(
                 "ar_node_token_rotation_ns",
+                labels,
                 "Time between consecutive token receipts (ns)",
             ),
-            token_hop_ns: reg.histogram(
+            token_hop_ns: reg.histogram_labeled(
                 "ar_node_token_hop_ns",
+                labels,
                 "Local token processing time, receipt to sends complete (ns)",
             ),
-            delivery_latency_ns: reg.histogram(
+            delivery_latency_ns: reg.histogram_labeled(
                 "ar_node_delivery_latency_ns",
+                labels,
                 "Submission-to-delivery latency for locally initiated messages (ns)",
             ),
-            queue_depth: reg.gauge(
+            queue_depth: reg.gauge_labeled(
                 "ar_node_queue_depth",
+                labels,
                 "Pending application messages awaiting ordering",
             ),
-            tokens_rx: reg.counter("ar_node_tokens_rx_total", "Tokens received"),
-            deliveries: reg.counter("ar_node_deliveries_total", "Messages delivered"),
-            wire_decode_drops: reg.counter(
+            tokens_rx: reg.counter_labeled("ar_node_tokens_rx_total", labels, "Tokens received"),
+            deliveries: reg.counter_labeled(
+                "ar_node_deliveries_total",
+                labels,
+                "Messages delivered",
+            ),
+            wire_decode_drops: reg.counter_labeled(
                 "ar_node_wire_decode_drops_total",
+                labels,
                 "Inbound datagrams dropped (decode failure)",
             ),
-            adaptive_token_loss_ns: reg.gauge(
+            adaptive_token_loss_ns: reg.gauge_labeled(
                 "ar_node_adaptive_token_loss_timeout_ns",
+                labels,
                 "Token-loss timeout currently in force (ns)",
             ),
-            effective_accel_window: reg.gauge(
+            effective_accel_window: reg.gauge_labeled(
                 "ar_node_effective_accelerated_window",
+                labels,
                 "Accelerated window currently in force (0 = original Ring)",
             ),
-            quarantined_members: reg.gauge(
+            quarantined_members: reg.gauge_labeled(
                 "ar_node_quarantined_members",
+                labels,
                 "Members currently quarantined by flap damping",
             ),
-            log_appends: reg.counter(
+            log_appends: reg.counter_labeled(
                 "ar_node_log_appends_total",
+                labels,
                 "Records appended to the durable log",
             ),
-            log_syncs: reg.counter(
+            log_syncs: reg.counter_labeled(
                 "ar_node_log_syncs_total",
+                labels,
                 "fsync calls issued by the durable log",
             ),
-            log_held_safe: reg.gauge(
+            log_held_safe: reg.gauge_labeled(
                 "ar_node_log_held_safe",
+                labels,
                 "Safe deliveries held back awaiting local durability",
             ),
-            log_recovered_records: reg.gauge(
+            log_recovered_records: reg.gauge_labeled(
                 "ar_node_log_recovered_records",
+                labels,
                 "Records recovered from disk at the last log attach",
             ),
         }
+    }
+
+    /// The canonical label set for ring shard `k`: `shard="k"`.
+    pub fn shard_labels(shard: usize) -> String {
+        format!("shard=\"{shard}\"")
     }
 
     /// Unregistered handles (recordings are kept but not exported);
@@ -133,6 +164,26 @@ impl NetMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_labeled_sets_are_independent() {
+        let reg = MetricsRegistry::new();
+        let s0 = NetMetrics::register_labeled(&reg, &NetMetrics::shard_labels(0));
+        let s1 = NetMetrics::register_labeled(&reg, &NetMetrics::shard_labels(1));
+        s0.tokens_rx.add(2);
+        s1.tokens_rx.add(9);
+        assert_eq!(s0.tokens_rx.get(), 2);
+        assert_eq!(s1.tokens_rx.get(), 9);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("ar_node_tokens_rx_total{shard=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ar_node_tokens_rx_total{shard=\"1\"} 9"),
+            "{text}"
+        );
+    }
 
     #[test]
     fn register_is_idempotent_per_registry() {

@@ -409,12 +409,35 @@ impl<T: Transport> Runtime<T> {
     ///
     /// Returns an I/O error from the transport.
     pub fn step(&mut self) -> io::Result<Vec<AppEvent>> {
+        self.step_with_wait(MAX_POLL)
+    }
+
+    /// The earliest pending timer deadline, if any. A driver hosting
+    /// several runtimes on one poll loop uses this to budget each
+    /// instance's [`step_with_wait`] so no ring's timer fires late.
+    ///
+    /// [`step_with_wait`]: Runtime::step_with_wait
+    pub fn next_timer_deadline(&self) -> Option<Instant> {
+        self.timers.iter().flatten().min().copied()
+    }
+
+    /// [`step`](Runtime::step) with an explicit cap on the transport
+    /// wait. This is the factoring that lets one thread drive N
+    /// runtime instances round-robin: give each instance a slice of
+    /// the poll budget (e.g. `MAX_POLL / n`, or `Duration::ZERO` for
+    /// every instance but the one with the nearest timer deadline) and
+    /// no ring stalls behind another ring's quiet socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the transport.
+    pub fn step_with_wait(&mut self, max_wait: Duration) -> io::Result<Vec<AppEvent>> {
         let now = Instant::now();
         let next_deadline = self.timers.iter().flatten().min().copied();
         let wait = match next_deadline {
             Some(d) if d <= now => Duration::ZERO,
-            Some(d) => (d - now).min(MAX_POLL),
-            None => MAX_POLL,
+            Some(d) => (d - now).min(max_wait),
+            None => max_wait,
         };
         let prefer_token = self.part.priority_mode() == PriorityMode::TokenHigh;
         // Drain everything the transport already has ready (one batched
@@ -721,6 +744,47 @@ mod tests {
         assert!(flight.total() > 0, "observer events recorded");
         // The participant's own stats invariant holds under the real loop.
         assert!(ring[0].participant().stats().send_split_consistent());
+    }
+
+    /// Two independent rings make progress when a single thread
+    /// interleaves all their runtimes through `step_with_wait`, each
+    /// instance getting a slice of the poll budget — the factoring the
+    /// sharded daemon relies on to host N rings in one process.
+    #[test]
+    fn two_rings_interleave_on_one_poll_loop() {
+        let mut rings = [build_ring(2), build_ring(2)];
+        for (r, ring) in rings.iter_mut().enumerate() {
+            // Submit from the non-representative member: the
+            // representative's own pre-start submission surfaces its
+            // delivery in start() events, which this loop discards.
+            ring[1]
+                .submit(Bytes::from(format!("ring-{r}")), ServiceType::Agreed)
+                .unwrap();
+            for rt in ring.iter_mut() {
+                rt.start().unwrap();
+            }
+        }
+        let slice = MAX_POLL / 4;
+        let mut delivered = [Vec::new(), Vec::new()];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while delivered.iter().any(|log| log.len() < 2) && Instant::now() < deadline {
+            for (r, ring) in rings.iter_mut().enumerate() {
+                for rt in ring.iter_mut() {
+                    for ev in rt.step_with_wait(slice).unwrap() {
+                        if let AppEvent::Delivered(d) = ev {
+                            delivered[r].push(d.payload.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // Each ring delivered its own message to both members, and the
+        // rings stayed isolated (no cross-ring payloads).
+        for (r, log) in delivered.iter().enumerate() {
+            let want = Bytes::from(format!("ring-{r}"));
+            assert_eq!(log.len(), 2, "ring {r}: {log:?}");
+            assert!(log.iter().all(|p| *p == want), "ring {r}: {log:?}");
+        }
     }
 
     #[test]

@@ -300,6 +300,14 @@ fn print_svc_event(ev: &SvcEvent) {
         SvcEvent::PublishRejected { id, reason } => {
             eprintln!("[rejected #{id}: {reason}]");
         }
+        SvcEvent::GroupRejected {
+            join,
+            group,
+            reason,
+        } => {
+            let verb = if *join { "join" } else { "leave" };
+            eprintln!("[{verb} {group} rejected: {reason}]");
+        }
         SvcEvent::Evicted { reason } => {
             eprintln!("[evicted: {reason}]");
         }
@@ -314,6 +322,7 @@ fn print_legacy_event(ev: &ClientEvent) {
             service,
             ring_seq,
             payload,
+            ..
         } => {
             println!(
                 "[{service} @{ring_seq}] {sender} -> {}: {}",
@@ -321,7 +330,7 @@ fn print_legacy_event(ev: &ClientEvent) {
                 String::from_utf8_lossy(payload)
             );
         }
-        ClientEvent::Ordered { ring_seq } => {
+        ClientEvent::Ordered { ring_seq, .. } => {
             println!("[ordered @{ring_seq}]");
         }
         ClientEvent::Membership { group, members } => {

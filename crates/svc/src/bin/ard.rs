@@ -8,7 +8,8 @@
 //! file still serves the legacy line protocol.
 //!
 //! ```text
-//! usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY]
+//! usage: ard [--rings N] [--ring-port-stride P]
+//!            [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY]
 //!            [--no-safe-durable] [--loss P] [--loss-seed N]
 //!            [--client-addr ADDR] [--client-uds PATH]
 //!            [--max-clients N] [--publish-credits N]
@@ -28,21 +29,28 @@
 //! # segmented log and recover them after kill -9
 //! # (POLICY: always | never | every:<n> | interval:<ms>):
 //! ard --log-dir /var/lib/ard/0 --fsync every:64 ar.conf 0
+//!
+//! # sharded scale-out: one process, 4 independent rings; groups are
+//! # placed on rings by consistent hashing, shard k's protocol
+//! # sockets are the file's ports + k * stride (default 100), and
+//! # clients keep per-publisher FIFO across rings:
+//! ard --rings 4 --client-addr 127.0.0.1:4804 ar.conf 0
 //! ```
 
 use std::process::ExitCode;
 
 use ar_core::Participant;
 use ar_daemon::{
-    serve_metrics, spawn_daemon_with, DaemonConfig, DaemonLogConfig, Deployment, TelemetryHub,
+    serve_metrics, DaemonConfig, DaemonLogConfig, Deployment, ShardedDaemon, TelemetryHub,
 };
 use ar_log::FsyncPolicy;
-use ar_net::{LossyTransport, UdpTransport};
-use ar_svc::{serve_clients, SvcConfig, SvcListeners};
+use ar_net::{LossyTransport, NetMetrics, UdpTransport};
+use ar_svc::{serve_clients_sharded, SvcConfig, SvcListeners};
 
-const USAGE: &str = "usage: ard [--metrics-addr ADDR] [--log-dir DIR] [--fsync POLICY] \
-[--no-safe-durable] [--loss P] [--loss-seed N] [--client-addr ADDR] [--client-uds PATH] \
-[--max-clients N] [--publish-credits N] <config-file> <daemon-id>";
+const USAGE: &str = "usage: ard [--rings N] [--ring-port-stride P] [--metrics-addr ADDR] \
+[--log-dir DIR] [--fsync POLICY] [--no-safe-durable] [--loss P] [--loss-seed N] \
+[--client-addr ADDR] [--client-uds PATH] [--max-clients N] [--publish-credits N] \
+<config-file> <daemon-id>";
 
 fn main() -> ExitCode {
     let mut metrics_addr: Option<String> = None;
@@ -55,6 +63,8 @@ fn main() -> ExitCode {
     let mut client_uds: Option<String> = None;
     let mut max_clients: Option<usize> = None;
     let mut publish_credits: Option<u32> = None;
+    let mut rings: usize = 1;
+    let mut ring_port_stride: u16 = 100;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     // Flags take a value either as the next argument or after `=`.
@@ -105,6 +115,22 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => publish_credits = Some(n),
                 _ => {
                     eprintln!("ard: --publish-credits wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--rings") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=64).contains(&n) => rings = n,
+                _ => {
+                    eprintln!("ard: --rings wants an integer in 1..=64");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = take(&mut args, &arg, "--ring-port-stride") {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => ring_port_stride = n,
+                _ => {
+                    eprintln!("ard: --ring-port-stride wants a positive integer");
                     return ExitCode::from(2);
                 }
             }
@@ -162,29 +188,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let mut transport = match UdpTransport::bind(pid, deployment.peer_map()) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("ard: cannot bind protocol sockets: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let members = deployment.members();
-    let ring_seq = 1;
-    let ring_id = ar_core::RingId::new(members[0], ring_seq);
-    let participant = match Participant::new(pid, deployment.protocol, ring_id, members.clone()) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("ard: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     println!(
-        "ard: daemon {pid} on ring of {} ({} protocol, token {}, data {})",
+        "ard: daemon {pid} on ring of {} ({} protocol, token {}, data {}{})",
         members.len(),
         deployment.protocol.variant,
         entry.addrs.token,
         entry.addrs.data,
+        if rings > 1 {
+            format!(", {rings} ring shards, port stride {ring_port_stride}")
+        } else {
+            String::new()
+        },
     );
 
     let mut config = DaemonConfig::default();
@@ -208,12 +223,6 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    // Export the transport's counters (e.g. decode drops from garbage
-    // datagrams) through the same registry the daemon loop registers
-    // the runtime metrics into; `register` hands back shared handles.
-    if let Some(hub) = &config.telemetry {
-        transport.set_metrics(&ar_net::NetMetrics::register(&hub.registry));
-    }
     if let Some(dir) = &log_dir {
         config.log = Some(
             DaemonLogConfig::new(dir)
@@ -221,7 +230,8 @@ fn main() -> ExitCode {
                 .with_gate_safe(gate_safe),
         );
         println!(
-            "ard: durable log in {dir} (fsync {fsync}, safe delivery {})",
+            "ard: durable log in {dir}{} (fsync {fsync}, safe delivery {})",
+            if rings > 1 { "/shard-<k>" } else { "" },
             if gate_safe {
                 "gated on durability"
             } else {
@@ -230,16 +240,64 @@ fn main() -> ExitCode {
         );
     }
     let telemetry = config.telemetry.clone();
-
-    let handle = if loss > 0.0 {
+    if loss > 0.0 {
         println!("ard: injecting seeded datagram loss p={loss} seed={loss_seed}");
-        spawn_daemon_with(
-            participant,
-            LossyTransport::new(transport, loss, loss_seed),
-            config,
-        )
+    }
+
+    // One protocol participant + bound transport per ring shard.
+    // Shard k's sockets are the deployment file's ports offset by
+    // k * stride; shard 0 is the file verbatim.
+    let mut parts: Vec<Option<(Participant, UdpTransport)>> = Vec::with_capacity(rings);
+    for k in 0..rings {
+        let Some(map) = deployment.peer_map_for_shard(k, ring_port_stride) else {
+            eprintln!("ard: shard {k} port offset overflows (lower --ring-port-stride?)");
+            return ExitCode::FAILURE;
+        };
+        let mut transport = match UdpTransport::bind(pid, map) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ard: cannot bind protocol sockets for shard {k}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Export the transport's counters (e.g. decode drops from
+        // garbage datagrams) through the same registry the daemon
+        // loops use; shard-labelled when there is more than one ring.
+        if let Some(hub) = &telemetry {
+            let m = if rings > 1 {
+                NetMetrics::register_labeled(&hub.registry, &NetMetrics::shard_labels(k))
+            } else {
+                NetMetrics::register(&hub.registry)
+            };
+            transport.set_metrics(&m);
+        }
+        // Each shard is its own ring: same membership, distinct id.
+        let shard_ring = ar_core::RingId::new(members[0], 1 + k as u64);
+        let participant =
+            match Participant::new(pid, deployment.protocol, shard_ring, members.clone()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("ard: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        parts.push(Some((participant, transport)));
+    }
+
+    let sharded = if loss > 0.0 {
+        ShardedDaemon::spawn(rings, |k| {
+            let (part, transport) = parts[k].take().expect("each shard built once");
+            (
+                part,
+                LossyTransport::new(transport, loss, loss_seed ^ k as u64),
+                config.clone(),
+            )
+        })
     } else {
-        spawn_daemon_with(participant, transport, config)
+        ShardedDaemon::spawn(rings, |k| {
+            let (part, transport) = parts[k].take().expect("each shard built once");
+            (part, transport, config.clone())
+        })
     };
 
     // The flow-controlled service tier (the new client protocol).
@@ -265,7 +323,7 @@ fn main() -> ExitCode {
             svc_config.flow.publish_credits = n;
         }
         svc_config.telemetry = telemetry;
-        match serve_clients(&handle, listeners, svc_config) {
+        match serve_clients_sharded(&sharded, listeners, svc_config) {
             Ok(svc) => {
                 if let Some(addr) = svc.tcp_addr() {
                     println!("ard: service tier on tcp {addr}");
@@ -284,9 +342,10 @@ fn main() -> ExitCode {
         None
     };
 
-    // The legacy line-protocol listener from the deployment file.
+    // The legacy line-protocol listener from the deployment file
+    // (attached to shard 0; legacy clients see a single ring).
     let listener = match entry.client_addr {
-        Some(addr) => match handle.listen(addr) {
+        Some(addr) => match sharded.shard(0).listen(addr) {
             Ok(l) => {
                 println!("ard: accepting legacy clients on {}", l.local_addr());
                 Some(l)

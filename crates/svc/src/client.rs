@@ -26,7 +26,8 @@ use ar_daemon::MemberId;
 use bytes::Bytes;
 
 use crate::wire::{
-    decode_server, encode_client, frame, ClientFrame, FrameBuf, ServerFrame, PROTOCOL_VERSION,
+    decode_server, encode_client, frame, ClientFrame, FrameBuf, ServerFrame, MAX_PUBLISH_BODY,
+    PROTOCOL_VERSION,
 };
 
 /// Events surfaced to the application.
@@ -36,8 +37,10 @@ pub enum SvcEvent {
     Deliver {
         /// Per-connection delivery sequence.
         seq: u64,
-        /// Global ring sequence (total-order position).
+        /// Ring sequence: the total-order position within `shard`.
         ring_seq: u64,
+        /// The ring shard that ordered the message.
+        shard: u16,
         /// Delivery service level.
         service: ServiceType,
         /// The sending client.
@@ -76,6 +79,15 @@ pub enum SvcEvent {
         /// Server's reason.
         reason: String,
     },
+    /// A join or leave request failed; the session stays open.
+    GroupRejected {
+        /// True for a failed join, false for a failed leave.
+        join: bool,
+        /// The group the request named.
+        group: String,
+        /// Server's reason.
+        reason: String,
+    },
 }
 
 /// Why [`SvcClient::try_publish`] declined.
@@ -84,6 +96,11 @@ pub enum PublishError {
     /// No credits available; pump until a
     /// [`SvcEvent::PublishOrdered`] arrives.
     NoCredits,
+    /// The encoded publish exceeds
+    /// [`MAX_PUBLISH_BODY`](crate::wire::MAX_PUBLISH_BODY); it was not
+    /// sent (a frame that size would be rejected by the server and
+    /// its delivery would overflow the frame cap).
+    TooLarge,
     /// Socket error.
     Io(io::Error),
 }
@@ -92,6 +109,7 @@ impl core::fmt::Display for PublishError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PublishError::NoCredits => f.write_str("no publish credits available"),
+            PublishError::TooLarge => f.write_str("publish exceeds the maximum frame size"),
             PublishError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -145,6 +163,7 @@ pub struct SvcClient {
     rbuf: FrameBuf,
     queue: VecDeque<SvcEvent>,
     daemon: u16,
+    rings: u16,
     credits: u32,
     initial_credits: u32,
     delivery_window: u32,
@@ -206,6 +225,7 @@ impl SvcClient {
         match reply {
             ServerFrame::Welcome {
                 daemon,
+                rings,
                 publish_credits,
                 delivery_window,
                 ..
@@ -216,6 +236,7 @@ impl SvcClient {
                     rbuf,
                     queue: VecDeque::new(),
                     daemon,
+                    rings,
                     credits: publish_credits,
                     initial_credits: publish_credits,
                     delivery_window,
@@ -239,6 +260,11 @@ impl SvcClient {
     /// The daemon id this client is attached to.
     pub fn daemon(&self) -> u16 {
         self.daemon
+    }
+
+    /// Ring shards the daemon drives (from Welcome; 1 = unsharded).
+    pub fn rings(&self) -> u16 {
+        self.rings
     }
 
     /// Remaining publish credits.
@@ -307,14 +333,19 @@ impl SvcClient {
         if self.credits == 0 {
             return Err(PublishError::NoCredits);
         }
-        self.next_publish_id += 1;
-        let id = self.next_publish_id;
-        self.send(&ClientFrame::Publish {
-            id,
+        let req = ClientFrame::Publish {
+            id: self.next_publish_id + 1,
             service,
             groups: groups.iter().map(|g| g.to_string()).collect(),
             payload,
-        })?;
+        };
+        let body = encode_client(&req);
+        if body.len() > MAX_PUBLISH_BODY {
+            return Err(PublishError::TooLarge);
+        }
+        self.next_publish_id += 1;
+        let id = self.next_publish_id;
+        self.send_raw(&frame(&body))?;
         self.credits -= 1;
         Ok(id)
     }
@@ -404,6 +435,7 @@ impl SvcClient {
             ServerFrame::Deliver {
                 seq,
                 ring_seq,
+                shard,
                 service,
                 sender,
                 groups,
@@ -413,6 +445,7 @@ impl SvcClient {
                 SvcEvent::Deliver {
                     seq,
                     ring_seq,
+                    shard,
                     service,
                     sender,
                     groups,
@@ -435,6 +468,15 @@ impl SvcClient {
                 self.evicted = Some(reason.clone());
                 SvcEvent::Evicted { reason }
             }
+            ServerFrame::GroupRejected {
+                join,
+                group,
+                reason,
+            } => SvcEvent::GroupRejected {
+                join,
+                group,
+                reason,
+            },
             ServerFrame::Welcome { .. } | ServerFrame::Refused { .. } => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,

@@ -66,15 +66,6 @@ impl EvictReason {
     }
 }
 
-/// Outcome of [`FlowState::try_consume_credit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PublishOutcome {
-    /// Credit consumed; forward the publish to the daemon.
-    Accepted,
-    /// No credits left; reject without forwarding.
-    NoCredits,
-}
-
 /// A delivery waiting for window space, with the per-connection
 /// sequence already assigned.
 #[derive(Debug)]
@@ -85,15 +76,36 @@ pub struct Pending<T> {
     pub item: T,
 }
 
+/// One forwarded publish awaiting its Ordered acks. With a sharded
+/// daemon a multi-group publish becomes one ordered message per shard
+/// it touches, so the entry completes only when every copy has been
+/// agreed (`copies_left` reaches zero).
+#[derive(Debug)]
+struct Inflight {
+    /// Client-assigned publish id (echoed in the credit grant).
+    id: u64,
+    /// Per-publisher stamp assigned at submission (1-based,
+    /// strictly increasing per connection).
+    stamp: u64,
+    /// Shard copies still awaiting their Ordered ack.
+    copies_left: u32,
+}
+
 /// Flow-control state for one session.
 #[derive(Debug)]
 pub struct FlowState<T> {
     cfg: FlowConfig,
     /// Remaining publish credits (server-authoritative).
     credits: u32,
-    /// Client-assigned ids of publishes forwarded to the daemon, in
-    /// submission order, awaiting their Ordered ack.
-    inflight: VecDeque<u64>,
+    /// Publishes forwarded to the daemon(s), in submission (= stamp)
+    /// order, awaiting their Ordered acks.
+    inflight: VecDeque<Inflight>,
+    /// Stamp assigned to the most recent publish (0 = none yet).
+    last_stamp: u64,
+    /// Highest stamp `s` such that every publish stamped `<= s` has
+    /// been fully agreed on every shard it touched — the publisher
+    /// floor the cross-shard hold-back layer releases against.
+    ordered_through: u64,
     /// Credits owed but withheld because the ring was backpressured
     /// when the ack arrived; flushed when pressure clears.
     deferred_grants: VecDeque<u64>,
@@ -114,6 +126,8 @@ impl<T> FlowState<T> {
             cfg,
             credits: cfg.publish_credits,
             inflight: VecDeque::new(),
+            last_stamp: 0,
+            ordered_through: 0,
             deferred_grants: VecDeque::new(),
             next_seq: 0,
             sent: 0,
@@ -137,32 +151,62 @@ impl<T> FlowState<T> {
         self.pending.len()
     }
 
-    /// Tries to consume one publish credit for client-assigned `id`.
-    pub fn try_consume_credit(&mut self, id: u64) -> PublishOutcome {
+    /// Tries to consume one publish credit for client-assigned `id`,
+    /// expanded to `copies` per-shard ordered messages. On success the
+    /// assigned per-publisher stamp is returned; the caller must send
+    /// every copy carrying it.
+    ///
+    /// One publish costs one credit however many shards it fans out
+    /// to — credits meter client publishes, not ring messages.
+    pub fn try_consume_credit(&mut self, id: u64, copies: u32) -> Option<u64> {
         if self.credits == 0 {
-            return PublishOutcome::NoCredits;
+            return None;
         }
         self.credits -= 1;
-        self.inflight.push_back(id);
-        PublishOutcome::Accepted
+        self.last_stamp += 1;
+        self.inflight.push_back(Inflight {
+            id,
+            stamp: self.last_stamp,
+            copies_left: copies.max(1),
+        });
+        Some(self.last_stamp)
     }
 
-    /// One of this session's publishes reached Agreed order. FIFO
-    /// correlation: a client's own messages are applied in submission
-    /// order, so the oldest in-flight id is the one that completed.
+    /// One shard copy of the publish stamped `stamp` reached Agreed
+    /// order. With several shards the acks interleave arbitrarily, so
+    /// completion is matched by stamp rather than assumed FIFO; the
+    /// credit returns (and [`ordered_through`](Self::ordered_through)
+    /// advances) only when the *contiguous prefix* of in-flight
+    /// publishes is fully agreed, which keeps grants in submission
+    /// order.
     ///
-    /// Returns the id to grant now, or defers it when `ring_congested`
-    /// (the grant — and thus the client's next publish — waits until
-    /// the ring send queue drains below its watermark).
-    pub fn on_ordered(&mut self, ring_congested: bool) -> Option<u64> {
-        let id = self.inflight.pop_front()?;
-        if ring_congested {
-            self.deferred_grants.push_back(id);
-            None
-        } else {
-            self.credits += 1;
-            Some(id)
+    /// Returns the ids to grant now; grants are deferred instead when
+    /// `ring_congested` (the grant — and thus the client's next
+    /// publish — waits until the ring send queue drains below its
+    /// watermark). Unknown stamps (duplicates, pre-restart stragglers)
+    /// are ignored.
+    pub fn on_ordered(&mut self, stamp: u64, ring_congested: bool) -> Vec<u64> {
+        if let Some(entry) = self.inflight.iter_mut().find(|e| e.stamp == stamp) {
+            entry.copies_left = entry.copies_left.saturating_sub(1);
         }
+        let mut granted = Vec::new();
+        while self.inflight.front().is_some_and(|e| e.copies_left == 0) {
+            let e = self.inflight.pop_front().expect("front checked");
+            self.ordered_through = e.stamp;
+            if ring_congested {
+                self.deferred_grants.push_back(e.id);
+            } else {
+                self.credits += 1;
+                granted.push(e.id);
+            }
+        }
+        granted
+    }
+
+    /// The publisher floor: every publish stamped at or below this has
+    /// been fully agreed on every shard it touched.
+    pub fn ordered_through(&self) -> u64 {
+        self.ordered_through
     }
 
     /// Releases grants deferred during a congestion episode. Call when
@@ -239,29 +283,54 @@ mod tests {
     #[test]
     fn credits_deplete_and_replenish_in_fifo_order() {
         let mut fs: FlowState<()> = FlowState::new(cfg());
-        assert_eq!(fs.try_consume_credit(10), PublishOutcome::Accepted);
-        assert_eq!(fs.try_consume_credit(11), PublishOutcome::Accepted);
-        assert_eq!(fs.try_consume_credit(12), PublishOutcome::NoCredits);
+        assert_eq!(fs.try_consume_credit(10, 1), Some(1));
+        assert_eq!(fs.try_consume_credit(11, 1), Some(2));
+        assert_eq!(fs.try_consume_credit(12, 1), None);
         assert_eq!(fs.credits(), 0);
-        // Acks come back oldest-first.
-        assert_eq!(fs.on_ordered(false), Some(10));
+        // Acks come back oldest-first on a single ring.
+        assert_eq!(fs.on_ordered(1, false), vec![10]);
+        assert_eq!(fs.ordered_through(), 1);
         assert_eq!(fs.credits(), 1);
-        assert_eq!(fs.try_consume_credit(12), PublishOutcome::Accepted);
-        assert_eq!(fs.on_ordered(false), Some(11));
-        assert_eq!(fs.on_ordered(false), Some(12));
-        assert_eq!(fs.on_ordered(false), None);
+        assert_eq!(fs.try_consume_credit(12, 1), Some(3));
+        assert_eq!(fs.on_ordered(2, false), vec![11]);
+        assert_eq!(fs.on_ordered(3, false), vec![12]);
+        assert_eq!(fs.on_ordered(99, false), Vec::<u64>::new());
+        assert_eq!(fs.ordered_through(), 3);
+        assert_eq!(fs.credits(), 2);
+    }
+
+    #[test]
+    fn multi_shard_publishes_complete_by_stamp_not_arrival() {
+        let mut fs: FlowState<()> = FlowState::new(cfg());
+        let s1 = fs.try_consume_credit(10, 2).unwrap(); // spans two shards
+        let s2 = fs.try_consume_credit(11, 1).unwrap();
+        // The later publish agrees first: no grant, the prefix is
+        // still incomplete.
+        assert_eq!(fs.on_ordered(s2, false), Vec::<u64>::new());
+        assert_eq!(fs.ordered_through(), 0);
+        // First shard copy of the first publish: one copy remains.
+        assert_eq!(fs.on_ordered(s1, false), Vec::<u64>::new());
+        // Final copy completes the prefix: both grants, in submission
+        // order, and the floor jumps over both stamps.
+        assert_eq!(fs.on_ordered(s1, false), vec![10, 11]);
+        assert_eq!(fs.ordered_through(), s2);
         assert_eq!(fs.credits(), 2);
     }
 
     #[test]
     fn congestion_defers_grants_until_flushed() {
         let mut fs: FlowState<()> = FlowState::new(cfg());
-        fs.try_consume_credit(1);
-        fs.try_consume_credit(2);
-        assert_eq!(fs.on_ordered(true), None);
-        assert_eq!(fs.on_ordered(true), None);
+        fs.try_consume_credit(1, 1).unwrap();
+        fs.try_consume_credit(2, 1).unwrap();
+        assert!(fs.on_ordered(1, true).is_empty());
+        assert!(fs.on_ordered(2, true).is_empty());
         assert_eq!(fs.credits(), 0, "no credits while the ring is congested");
         assert_eq!(fs.deferred_len(), 2);
+        assert_eq!(
+            fs.ordered_through(),
+            2,
+            "the publisher floor advances even while grants are deferred"
+        );
         assert_eq!(fs.flush_deferred(), vec![1, 2]);
         assert_eq!(fs.credits(), 2);
         assert_eq!(fs.deferred_len(), 0);

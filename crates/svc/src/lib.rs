@@ -15,6 +15,11 @@
 //!   the ring send queue is backpressured), and delivery windows so a
 //!   slow consumer buffers boundedly and is evicted by policy rather
 //!   than stalling the daemon or its neighbours;
+//! * cross-shard per-publisher ordering ([`order`]) for sharded
+//!   multi-ring daemons: publishes carry a per-publisher stamp and a
+//!   subscriber's stamped deliveries are held back until the
+//!   publisher's earlier publishes are agreed on every shard, so
+//!   per-publisher FIFO survives group placement across rings;
 //! * a client library ([`client`]) used by `arclient`, the tests, and
 //!   `ar-bench loadgen`.
 //!
@@ -24,10 +29,14 @@
 
 pub mod client;
 pub mod credit;
+pub mod order;
 pub mod server;
 pub mod wire;
 
 pub use client::{PublishError, SvcClient, SvcEvent};
-pub use credit::{EvictReason, FlowConfig, FlowState, PublishOutcome};
-pub use server::{serve_clients, SvcConfig, SvcHandle, SvcListeners, SvcStats};
+pub use credit::{EvictReason, FlowConfig, FlowState};
+pub use order::HoldBack;
+pub use server::{
+    serve_clients, serve_clients_sharded, SvcConfig, SvcHandle, SvcListeners, SvcStats,
+};
 pub use wire::{ClientFrame, ServerFrame, PROTOCOL_VERSION};

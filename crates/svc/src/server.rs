@@ -1,5 +1,6 @@
 //! The service-tier server: one thread multiplexing thousands of
-//! client sockets onto one daemon.
+//! client sockets onto one daemon — or onto the N ring shards of a
+//! [`ShardedDaemon`].
 //!
 //! Each accepted connection (TCP or Unix-domain) is set non-blocking
 //! and registered with an [`ar_net::PollSet`] — the same ppoll loop
@@ -13,11 +14,22 @@
 //!    queues and credit grants;
 //! 5. flushes write buffers and evicts slow consumers per policy.
 //!
-//! Backpressure is end-to-end: the daemon loop publishes its ring
-//! send-queue depth into [`ar_daemon::RingPressure`]; while it is
-//! above the configured watermark, credit grants are withheld
-//! ([`FlowState::on_ordered`]), so offered load backs off at the
-//! clients instead of queueing in the daemon.
+//! Backpressure is end-to-end: each daemon loop publishes its ring
+//! send-queue depth into [`ar_daemon::RingPressure`]; while *any*
+//! shard is above the configured watermark, credit grants are
+//! withheld ([`FlowState::on_ordered`]), so offered load backs off at
+//! the clients instead of queueing in the daemon.
+//!
+//! ## Sharded mode
+//!
+//! With [`serve_clients_sharded`], each session registers on every
+//! ring shard; joins route to the shard that owns the group
+//! ([`ar_daemon::ShardMap`]), publishes are stamped with a
+//! per-publisher sequence and split into one ordered message per
+//! shard touched, and stamped deliveries from local publishers pass
+//! through a per-connection hold-back queue ([`crate::order`]) so
+//! subscribers observe each publisher's messages in publish order even
+//! when consecutive publishes were ordered on different rings.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -30,15 +42,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ar_core::ParticipantId;
 use ar_daemon::daemon::RingPressure;
-use ar_daemon::{ClientEvent, DaemonClient, DaemonConnector, DaemonHandle, TelemetryHub};
+use ar_daemon::{
+    ClientEvent, DaemonClient, DaemonConnector, DaemonHandle, ShardMap, ShardedDaemon, TelemetryHub,
+};
 use ar_net::PollSet;
 use ar_telemetry::{Counter, Gauge};
 use bytes::Bytes;
 
-use crate::credit::{FlowConfig, FlowState, PublishOutcome};
+use crate::credit::{EvictReason, FlowConfig, FlowState};
+use crate::order::HoldBack;
 use crate::wire::{
-    decode_client, encode_server, frame, ClientFrame, FrameBuf, ServerFrame, PROTOCOL_VERSION,
+    decode_client, encode_server, frame, try_frame, ClientFrame, FrameBuf, ServerFrame,
+    PROTOCOL_VERSION,
 };
 
 /// Service-tier tuning.
@@ -90,6 +107,11 @@ pub struct SvcStats {
     pub deliveries: Counter,
     /// Handshakes refused (capacity, bad name, version mismatch).
     pub refused: Counter,
+    /// Join/leave requests rejected (reported via GroupRejected).
+    pub join_rejected: Counter,
+    /// Stamped deliveries currently held back awaiting their
+    /// publisher's cross-shard floor.
+    pub holdback_held: Gauge,
 }
 
 impl SvcStats {
@@ -126,6 +148,14 @@ impl SvcStats {
             refused: hub.registry.counter(
                 "ar_svc_refused_total",
                 "Handshakes refused (capacity, duplicate or invalid name, version mismatch)",
+            ),
+            join_rejected: hub.registry.counter(
+                "ar_svc_join_rejected_total",
+                "Join/leave requests rejected (GroupRejected frames sent)",
+            ),
+            holdback_held: hub.registry.gauge(
+                "ar_svc_holdback_held",
+                "Deliveries held back awaiting a publisher's cross-shard floor",
             ),
         }
     }
@@ -199,7 +229,8 @@ impl Drop for SvcHandle {
     }
 }
 
-/// Starts the service tier for `daemon` on the given listeners.
+/// Starts the service tier for a single (unsharded) `daemon` on the
+/// given listeners.
 ///
 /// # Errors
 ///
@@ -209,6 +240,47 @@ pub fn serve_clients(
     listeners: SvcListeners,
     config: SvcConfig,
 ) -> io::Result<SvcHandle> {
+    serve_shards(
+        vec![daemon.connector()],
+        vec![daemon.ring_pressure()],
+        listeners,
+        config,
+    )
+}
+
+/// Starts the service tier for every ring shard of a
+/// [`ShardedDaemon`]: sessions register on all shards, joins and
+/// publishes route by the shard map, and the cross-shard hold-back
+/// layer preserves per-publisher FIFO for locally connected
+/// publishers.
+///
+/// # Errors
+///
+/// Returns binding errors. Requires at least one listener.
+pub fn serve_clients_sharded(
+    sharded: &ShardedDaemon,
+    listeners: SvcListeners,
+    config: SvcConfig,
+) -> io::Result<SvcHandle> {
+    serve_shards(
+        sharded.connectors(),
+        sharded
+            .shards()
+            .iter()
+            .map(DaemonHandle::ring_pressure)
+            .collect(),
+        listeners,
+        config,
+    )
+}
+
+fn serve_shards(
+    connectors: Vec<DaemonConnector>,
+    pressures: Vec<Arc<RingPressure>>,
+    listeners: SvcListeners,
+    config: SvcConfig,
+) -> io::Result<SvcHandle> {
+    assert_eq!(connectors.len(), pressures.len());
     let tcp = match listeners.tcp {
         Some(addr) => {
             let l = TcpListener::bind(addr)?;
@@ -242,8 +314,10 @@ pub fn serve_clients(
     };
     let stop = Arc::new(AtomicBool::new(false));
     let mut server = Server {
-        connector: daemon.connector(),
-        pressure: daemon.ring_pressure(),
+        pid: connectors[0].pid(),
+        map: ShardMap::new(connectors.len()),
+        connectors,
+        pressures,
         config,
         tcp,
         #[cfg(unix)]
@@ -370,6 +444,7 @@ impl WriteBuf {
 #[derive(Debug)]
 struct DeliverBody {
     ring_seq: u64,
+    shard: u16,
     service: ar_core::ServiceType,
     sender: ar_daemon::MemberId,
     groups: Vec<String>,
@@ -379,11 +454,18 @@ struct DeliverBody {
 enum ConnState {
     /// Waiting for Hello.
     Handshaking,
-    /// Registered with the daemon. The flow state is boxed to keep the
-    /// per-connection enum small while handshaking sockets dominate.
+    /// Registered with every shard daemon. The flow state is boxed to
+    /// keep the per-connection enum small while handshaking sockets
+    /// dominate.
     Active {
-        client: DaemonClient,
+        /// The session's private name (hold-back floors are looked up
+        /// by publisher name).
+        name: String,
+        /// One registered client per ring shard, index = shard.
+        clients: Vec<DaemonClient>,
         flow: Box<FlowState<DeliverBody>>,
+        /// Cross-shard per-publisher reorder queue.
+        hold: HoldBack<DeliverBody>,
     },
 }
 
@@ -407,8 +489,15 @@ fn push_frame(wbuf: &mut WriteBuf, frame_body: &ServerFrame) {
 // ---- server loop ----------------------------------------------------------
 
 struct Server {
-    connector: DaemonConnector,
-    pressure: Arc<RingPressure>,
+    /// The participant id all shards present (locality test for
+    /// hold-back: only locally connected publishers have floors).
+    pid: ParticipantId,
+    /// Group → shard placement.
+    map: ShardMap,
+    /// One connector per ring shard, index = shard.
+    connectors: Vec<DaemonConnector>,
+    /// One backpressure gauge per shard.
+    pressures: Vec<Arc<RingPressure>>,
     config: SvcConfig,
     tcp: Option<TcpListener>,
     #[cfg(unix)]
@@ -604,40 +693,48 @@ impl Server {
                 self.stats.refused.add(1);
                 return;
             }
-            match self
-                .connector
-                .connect_service(&name, self.config.event_capacity)
-            {
-                Ok(client) => {
+            // Register on every shard under the same name; dropping
+            // partially connected clients unregisters them cleanly.
+            let mut clients = Vec::with_capacity(self.connectors.len());
+            let mut refuse = None;
+            for connector in &self.connectors {
+                match connector.connect_service(&name, self.config.event_capacity) {
+                    Ok(client) => clients.push(client),
+                    Err(e) => {
+                        refuse = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            match refuse {
+                None => {
                     push_frame(
                         &mut conn.wbuf,
                         &ServerFrame::Welcome {
                             version: PROTOCOL_VERSION,
-                            daemon: self.connector.pid().as_u16(),
+                            daemon: self.pid.as_u16(),
+                            rings: self.connectors.len() as u16,
                             publish_credits: self.config.flow.publish_credits,
                             delivery_window: self.config.flow.delivery_window,
                         },
                     );
                     conn.state = ConnState::Active {
-                        client,
+                        name,
+                        clients,
                         flow: Box::new(FlowState::new(self.config.flow)),
+                        hold: HoldBack::new(),
                     };
                     self.stats.connected.add(1);
                 }
-                Err(e) => {
-                    push_frame(
-                        &mut conn.wbuf,
-                        &ServerFrame::Refused {
-                            reason: e.to_string(),
-                        },
-                    );
+                Some(reason) => {
+                    push_frame(&mut conn.wbuf, &ServerFrame::Refused { reason });
                     conn.dead = true;
                     self.stats.refused.add(1);
                 }
             }
             return;
         }
-        let ConnState::Active { client, flow } = &mut conn.state else {
+        let ConnState::Active { clients, flow, .. } = &mut conn.state else {
             return;
         };
         match req {
@@ -651,13 +748,31 @@ impl Server {
                 conn.dead = true;
             }
             ClientFrame::JoinGroup { group } => {
-                if client.join(&group).is_err() {
-                    conn.dead = true;
+                let shard = self.map.shard_of(&group);
+                if let Err(e) = clients[shard].join(&group) {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::GroupRejected {
+                            join: true,
+                            group,
+                            reason: e.to_string(),
+                        },
+                    );
+                    self.stats.join_rejected.add(1);
                 }
             }
             ClientFrame::LeaveGroup { group } => {
-                if client.leave(&group).is_err() {
-                    conn.dead = true;
+                let shard = self.map.shard_of(&group);
+                if let Err(e) = clients[shard].leave(&group) {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::GroupRejected {
+                            join: false,
+                            group,
+                            reason: e.to_string(),
+                        },
+                    );
+                    self.stats.join_rejected.add(1);
                 }
             }
             ClientFrame::Publish {
@@ -665,33 +780,45 @@ impl Server {
                 service,
                 groups,
                 payload,
-            } => match flow.try_consume_credit(pub_id) {
-                PublishOutcome::Accepted => {
-                    let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
-                    match client.multicast(&refs, service, payload) {
-                        Ok(()) => self.stats.publishes.add(1),
-                        Err(e) => {
-                            push_frame(
-                                &mut conn.wbuf,
-                                &ServerFrame::Evicted {
-                                    reason: e.to_string(),
-                                },
-                            );
-                            conn.dead = true;
+            } => {
+                // One ordered message per shard the group list touches;
+                // one credit and one stamp per publish regardless.
+                let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                let parts = self.map.partition(&refs);
+                match flow.try_consume_credit(pub_id, parts.len() as u32) {
+                    Some(stamp) => {
+                        let mut failed = None;
+                        for (shard, part) in &parts {
+                            if let Err(e) = clients[*shard].multicast_stamped(
+                                part,
+                                service,
+                                stamp,
+                                payload.clone(),
+                            ) {
+                                failed = Some(e.to_string());
+                                break;
+                            }
+                        }
+                        match failed {
+                            None => self.stats.publishes.add(1),
+                            Some(reason) => {
+                                push_frame(&mut conn.wbuf, &ServerFrame::Evicted { reason });
+                                conn.dead = true;
+                            }
                         }
                     }
+                    None => {
+                        push_frame(
+                            &mut conn.wbuf,
+                            &ServerFrame::PublishReject {
+                                id: pub_id,
+                                reason: "no publish credits; wait for CreditGrant".into(),
+                            },
+                        );
+                        self.stats.publish_rejects.add(1);
+                    }
                 }
-                PublishOutcome::NoCredits => {
-                    push_frame(
-                        &mut conn.wbuf,
-                        &ServerFrame::PublishReject {
-                            id: pub_id,
-                            reason: "no publish credits; wait for CreditGrant".into(),
-                        },
-                    );
-                    self.stats.publish_rejects.add(1);
-                }
-            },
+            }
             ClientFrame::Ack { through } => {
                 flow.on_ack(through);
             }
@@ -703,64 +830,122 @@ impl Server {
     /// to the write buffer, Ordered acks into credit grants (deferred
     /// while the ring is congested).
     fn pump_daemon_events(&mut self) {
-        let congested = self.pressure.send_queue_depth() > self.config.ring_high_watermark;
+        let congested = self
+            .pressures
+            .iter()
+            .any(|p| p.send_queue_depth() > self.config.ring_high_watermark);
+        // Publisher floors are snapshotted BEFORE the drain pass: a
+        // floor observed now is only safe to release against once all
+        // shard queues that could hold earlier stamps are drained (see
+        // `crate::order` for the invariant).
+        let mut floors: HashMap<String, u64> = HashMap::new();
+        for conn in self.conns.values() {
+            if conn.dead {
+                continue;
+            }
+            if let ConnState::Active { name, flow, .. } = &conn.state {
+                floors.insert(name.clone(), flow.ordered_through());
+            }
+        }
+        let single_ring = self.connectors.len() == 1;
         let mut deferred_delta: i64 = 0;
+        let mut held_delta: i64 = 0;
         for conn in self.conns.values_mut() {
             if conn.dead {
                 continue;
             }
-            let ConnState::Active { client, flow } = &mut conn.state else {
+            let ConnState::Active {
+                clients,
+                flow,
+                hold,
+                ..
+            } = &mut conn.state
+            else {
                 continue;
             };
+            let held_before = hold.held_len() as i64;
             let mut evict_reason = None;
-            for ev in client.drain() {
-                match ev {
-                    ClientEvent::Message {
-                        sender,
-                        groups,
-                        service,
-                        ring_seq,
-                        payload,
-                    } => {
-                        let body = DeliverBody {
-                            ring_seq,
-                            service,
+            'shards: for (shard, client) in clients.iter_mut().enumerate() {
+                for ev in client.drain() {
+                    match ev {
+                        ClientEvent::Message {
                             sender,
                             groups,
+                            service,
+                            ring_seq,
+                            stamp,
                             payload,
-                        };
-                        if let Err(reason) = flow.queue_delivery(body) {
-                            evict_reason = Some(reason);
-                            break;
+                        } => {
+                            let body = DeliverBody {
+                                shard: shard as u16,
+                                ring_seq,
+                                service,
+                                sender,
+                                groups,
+                                payload,
+                            };
+                            // Hold back only stamped traffic from
+                            // publishers connected to this tier: only
+                            // they have a floor that will advance.
+                            // Single-ring mode needs no hold-back at
+                            // all — one ring is already an order.
+                            let local = body.sender.daemon == self.pid
+                                && floors.contains_key(&body.sender.client);
+                            if single_ring || stamp == 0 || !local {
+                                if let Err(reason) = flow.queue_delivery(body) {
+                                    evict_reason = Some(reason);
+                                    break 'shards;
+                                }
+                            } else {
+                                let publisher = body.sender.client.clone();
+                                if hold.insert(&publisher, stamp, body)
+                                    && hold.held_len() + flow.pending_len()
+                                        > self.config.flow.max_pending
+                                {
+                                    evict_reason = Some(EvictReason::PendingOverflow);
+                                    break 'shards;
+                                }
+                            }
                         }
-                    }
-                    ClientEvent::Ordered { .. } => {
-                        let before = flow.deferred_len();
-                        if let Some(acked_id) = flow.on_ordered(congested) {
+                        ClientEvent::Ordered { stamp, .. } => {
+                            let before = flow.deferred_len() as i64;
+                            for acked_id in flow.on_ordered(stamp, congested) {
+                                push_frame(
+                                    &mut conn.wbuf,
+                                    &ServerFrame::CreditGrant {
+                                        acked_id,
+                                        credits: 1,
+                                    },
+                                );
+                                self.stats.credit_grants.add(1);
+                            }
+                            deferred_delta += flow.deferred_len() as i64 - before;
+                        }
+                        ClientEvent::Membership { group, members } => {
+                            push_frame(&mut conn.wbuf, &ServerFrame::Membership { group, members });
+                        }
+                        ClientEvent::NetworkChange { daemons } => {
                             push_frame(
                                 &mut conn.wbuf,
-                                &ServerFrame::CreditGrant {
-                                    acked_id,
-                                    credits: 1,
+                                &ServerFrame::NetworkChange {
+                                    daemons: daemons.iter().map(|d| d.as_u16()).collect(),
                                 },
                             );
-                            self.stats.credit_grants.add(1);
                         }
-                        deferred_delta += (flow.deferred_len() - before) as i64;
-                    }
-                    ClientEvent::Membership { group, members } => {
-                        push_frame(&mut conn.wbuf, &ServerFrame::Membership { group, members });
-                    }
-                    ClientEvent::NetworkChange { daemons } => {
-                        push_frame(
-                            &mut conn.wbuf,
-                            &ServerFrame::NetworkChange {
-                                daemons: daemons.iter().map(|d| d.as_u16()).collect(),
-                            },
-                        );
                     }
                 }
             }
+            // Every shard queue drained: release what the snapshotted
+            // floors cover, in per-publisher stamp order.
+            if evict_reason.is_none() && !single_ring {
+                for body in hold.release(|publisher| floors.get(publisher).copied()) {
+                    if let Err(reason) = flow.queue_delivery(body) {
+                        evict_reason = Some(reason);
+                        break;
+                    }
+                }
+            }
+            held_delta += hold.held_len() as i64 - held_before;
             // Congestion cleared: release withheld credits.
             if !congested && flow.deferred_len() > 0 {
                 let ids = flow.flush_deferred();
@@ -790,6 +975,9 @@ impl Server {
         if deferred_delta != 0 {
             self.stats.deferred_grants.add(deferred_delta);
         }
+        if held_delta != 0 {
+            self.stats.holdback_held.add(held_delta);
+        }
     }
 
     /// Moves window-eligible deliveries into write buffers.
@@ -804,18 +992,32 @@ impl Server {
             let mut sent = 0u64;
             while let Some(p) = flow.next_sendable() {
                 let b = p.item;
-                push_frame(
-                    &mut conn.wbuf,
-                    &ServerFrame::Deliver {
-                        seq: p.seq,
-                        ring_seq: b.ring_seq,
-                        service: b.service,
-                        sender: b.sender,
-                        groups: b.groups,
-                        payload: b.payload,
-                    },
-                );
-                sent += 1;
+                let body = encode_server(&ServerFrame::Deliver {
+                    seq: p.seq,
+                    ring_seq: b.ring_seq,
+                    shard: b.shard,
+                    service: b.service,
+                    sender: b.sender,
+                    groups: b.groups,
+                    payload: b.payload,
+                });
+                match try_frame(&body) {
+                    Ok(framed) => {
+                        conn.wbuf.push(framed);
+                        sent += 1;
+                    }
+                    Err(e) => {
+                        push_frame(
+                            &mut conn.wbuf,
+                            &ServerFrame::Evicted {
+                                reason: e.to_string(),
+                            },
+                        );
+                        conn.dead = true;
+                        self.stats.evicted.add(1);
+                        break;
+                    }
+                }
             }
             if sent > 0 {
                 self.stats.deliveries.add(sent);
@@ -870,8 +1072,12 @@ impl Server {
                 // Last chance for the Evicted frame to reach the peer.
                 let _ = conn.wbuf.flush(&mut conn.sock);
                 conn.sock.shutdown();
-                if matches!(conn.state, ConnState::Active { .. }) {
+                if let ConnState::Active { hold, .. } = &conn.state {
                     self.stats.connected.add(-1);
+                    let held = hold.held_len() as i64;
+                    if held != 0 {
+                        self.stats.holdback_held.add(-held);
+                    }
                 }
             }
         }

@@ -21,11 +21,21 @@ use ar_daemon::MemberId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current protocol version, exchanged in Hello/Welcome.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 (sharded multi-ring): `Welcome` carries the ring count,
+/// `Deliver` carries the ordering shard, and `GroupRejected` reports
+/// failed join/leave requests instead of silently dropping them.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frames larger than this are rejected (16 MiB; large application
 /// messages are fragmented by the daemon, not by this tier).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Largest encoded Publish body a client may send. Strictly below
+/// [`MAX_FRAME`]: the matching Deliver re-frames the same payload with
+/// sender, groups, and sequencing headers on top, and must itself stay
+/// under the frame cap.
+pub const MAX_PUBLISH_BODY: usize = MAX_FRAME - 4096;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -153,6 +163,8 @@ pub enum ServerFrame {
         version: u16,
         /// The daemon id the client is attached to.
         daemon: u16,
+        /// Ring shards the daemon drives (1 = unsharded).
+        rings: u16,
         /// Initial publish credits.
         publish_credits: u32,
         /// Delivery window: maximum unacked deliveries in flight.
@@ -168,9 +180,14 @@ pub enum ServerFrame {
         /// Per-connection delivery sequence (1-based, contiguous),
         /// acked with [`ClientFrame::Ack`].
         seq: u64,
-        /// The ring sequence the message was ordered at (the global
-        /// total-order position; bundled messages share it).
+        /// The ring sequence the message was ordered at (the
+        /// total-order position *within its shard*; bundled messages
+        /// share it).
         ring_seq: u64,
+        /// The ring shard that ordered the message. `(shard,
+        /// ring_seq)` is the message's global position coordinate;
+        /// ring sequences from different shards are not comparable.
+        shard: u16,
         /// Delivery service level.
         service: ServiceType,
         /// The sending client.
@@ -210,6 +227,16 @@ pub enum ServerFrame {
     },
     /// The server is closing this session (slow consumer, shutdown).
     Evicted {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A join or leave request failed; the session stays open and the
+    /// group state is unchanged.
+    GroupRejected {
+        /// True for a failed join, false for a failed leave.
+        join: bool,
+        /// The group the request named.
+        group: String,
         /// Human-readable reason.
         reason: String,
     },
@@ -309,12 +336,14 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
         ServerFrame::Welcome {
             version,
             daemon,
+            rings,
             publish_credits,
             delivery_window,
         } => {
             buf.put_u8(1);
             buf.put_u16(*version);
             buf.put_u16(*daemon);
+            buf.put_u16(*rings);
             buf.put_u32(*publish_credits);
             buf.put_u32(*delivery_window);
         }
@@ -325,6 +354,7 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
         ServerFrame::Deliver {
             seq,
             ring_seq,
+            shard,
             service,
             sender,
             groups,
@@ -333,6 +363,7 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
             buf.put_u8(3);
             buf.put_u64(*seq);
             buf.put_u64(*ring_seq);
+            buf.put_u16(*shard);
             buf.put_u8(service.as_u8());
             buf.put_u16(sender.daemon.as_u16());
             put_str(&mut buf, &sender.client);
@@ -373,6 +404,16 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
             buf.put_u8(8);
             put_str(&mut buf, reason);
         }
+        ServerFrame::GroupRejected {
+            join,
+            group,
+            reason,
+        } => {
+            buf.put_u8(9);
+            buf.put_u8(u8::from(*join));
+            put_str(&mut buf, group);
+            put_str(&mut buf, reason);
+        }
     }
     buf.freeze()
 }
@@ -391,6 +432,7 @@ pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
         1 => Ok(ServerFrame::Welcome {
             version: take_u16(&mut buf)?,
             daemon: take_u16(&mut buf)?,
+            rings: take_u16(&mut buf)?,
             publish_credits: take_u32(&mut buf)?,
             delivery_window: take_u32(&mut buf)?,
         }),
@@ -400,6 +442,7 @@ pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
         3 => {
             let seq = take_u64(&mut buf)?;
             let ring_seq = take_u64(&mut buf)?;
+            let shard = take_u16(&mut buf)?;
             if buf.is_empty() {
                 return Err(bad("truncated service"));
             }
@@ -411,6 +454,7 @@ pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
             Ok(ServerFrame::Deliver {
                 seq,
                 ring_seq,
+                shard,
                 service,
                 sender: MemberId::new(daemon, client),
                 groups,
@@ -447,16 +491,51 @@ pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
         8 => Ok(ServerFrame::Evicted {
             reason: take_str(&mut buf)?,
         }),
+        9 => {
+            if buf.is_empty() {
+                return Err(bad("truncated rejection"));
+            }
+            let join = buf.get_u8() != 0;
+            Ok(ServerFrame::GroupRejected {
+                join,
+                group: take_str(&mut buf)?,
+                reason: take_str(&mut buf)?,
+            })
+        }
         _ => Err(bad("unknown server frame kind")),
     }
 }
 
 /// Prepends the `u32` big-endian length prefix to an encoded frame.
+///
+/// Debug builds assert the [`MAX_FRAME`] bound — a frame above it
+/// would be rejected by every peer's [`FrameBuf`] (and a body above
+/// `u32::MAX` would silently truncate the prefix). Callers that can
+/// legitimately see oversized bodies (payloads near the cap plus
+/// header overhead) must use [`try_frame`] instead.
 pub fn frame(body: &[u8]) -> Bytes {
+    debug_assert!(
+        body.len() <= MAX_FRAME,
+        "frame body {} exceeds MAX_FRAME {MAX_FRAME}",
+        body.len()
+    );
     let mut buf = BytesMut::with_capacity(4 + body.len());
     buf.put_u32(body.len() as u32);
     buf.put_slice(body);
     buf.freeze()
+}
+
+/// As [`frame`], but returns an error for bodies above [`MAX_FRAME`]
+/// instead of producing a frame every peer rejects.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the body exceeds the bound.
+pub fn try_frame(body: &[u8]) -> io::Result<Bytes> {
+    if body.len() > MAX_FRAME {
+        return Err(bad("frame body exceeds MAX_FRAME"));
+    }
+    Ok(frame(body))
 }
 
 /// Incremental frame extraction from a growing byte stream.
@@ -556,6 +635,7 @@ mod tests {
             ServerFrame::Welcome {
                 version: PROTOCOL_VERSION,
                 daemon: 3,
+                rings: 4,
                 publish_credits: 64,
                 delivery_window: 256,
             },
@@ -565,6 +645,7 @@ mod tests {
             ServerFrame::Deliver {
                 seq: 1,
                 ring_seq: 77,
+                shard: 2,
                 service: ServiceType::Safe,
                 sender: MemberId::new(ParticipantId::new(1), "bob"),
                 groups: vec!["g".into()],
@@ -590,6 +671,11 @@ mod tests {
             },
             ServerFrame::Evicted {
                 reason: "slow consumer".into(),
+            },
+            ServerFrame::GroupRejected {
+                join: true,
+                group: "g".into(),
+                reason: "daemon down".into(),
             },
         ]
     }
@@ -653,5 +739,12 @@ mod tests {
         let mut fb = FrameBuf::new();
         fb.extend(&u32::MAX.to_be_bytes());
         assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn try_frame_enforces_the_bound() {
+        assert!(try_frame(&[0u8; 16]).is_ok());
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(try_frame(&big).is_err());
     }
 }

@@ -95,15 +95,38 @@ impl Histogram {
 }
 
 enum Metric {
-    Counter { help: String, v: Counter },
-    Gauge { help: String, v: Gauge },
-    Histogram { help: String, v: Histogram },
+    Counter { v: Counter },
+    Gauge { v: Gauge },
+    Histogram { v: Histogram },
+}
+
+/// One registered series: the family name, an optional label set
+/// (rendered inside `{...}`), and the metric itself.
+struct Entry {
+    base: String,
+    labels: String,
+    help: String,
+    metric: Metric,
 }
 
 /// The registry: a named set of counters, gauges, and histograms.
+/// Series within one family are distinguished by a label set (e.g.
+/// `shard="0"`), so N ring shards can export the same metric names
+/// side by side.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: Mutex<BTreeMap<String, Entry>>,
+}
+
+/// The BTreeMap key for a series: `name` or `name{labels}`. Sorted
+/// iteration keeps every series of one family adjacent, so the
+/// renderers emit `# HELP`/`# TYPE` once per family.
+fn series_key(name: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{labels}}}")
+    }
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -126,14 +149,31 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_labeled(name, "", help)
+    }
+
+    /// Registers (or retrieves) a counter named `name` carrying a
+    /// label set, e.g. `counter_labeled("ar_x_total", "shard=\"2\"", …)`
+    /// renders as `ar_x_total{shard="2"}`.
+    ///
+    /// # Panics
+    /// If the series is already registered as a different metric kind.
+    pub fn counter_labeled(&self, name: &str, labels: &str, help: &str) -> Counter {
         let mut m = self.metrics.lock();
-        match m
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter {
+        let key = series_key(name, labels);
+        match &m
+            .entry(key)
+            .or_insert_with(|| Entry {
+                base: name.to_string(),
+                labels: labels.to_string(),
                 help: help.to_string(),
-                v: Counter::default(),
-            }) {
-            Metric::Counter { v, .. } => v.clone(),
+                metric: Metric::Counter {
+                    v: Counter::default(),
+                },
+            })
+            .metric
+        {
+            Metric::Counter { v } => v.clone(),
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -143,12 +183,30 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_labeled(name, "", help)
+    }
+
+    /// Registers (or retrieves) a gauge carrying a label set (see
+    /// [`counter_labeled`](MetricsRegistry::counter_labeled)).
+    ///
+    /// # Panics
+    /// If the series is already registered as a different metric kind.
+    pub fn gauge_labeled(&self, name: &str, labels: &str, help: &str) -> Gauge {
         let mut m = self.metrics.lock();
-        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge {
-            help: help.to_string(),
-            v: Gauge::default(),
-        }) {
-            Metric::Gauge { v, .. } => v.clone(),
+        let key = series_key(name, labels);
+        match &m
+            .entry(key)
+            .or_insert_with(|| Entry {
+                base: name.to_string(),
+                labels: labels.to_string(),
+                help: help.to_string(),
+                metric: Metric::Gauge {
+                    v: Gauge::default(),
+                },
+            })
+            .metric
+        {
+            Metric::Gauge { v } => v.clone(),
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -158,14 +216,32 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_labeled(name, "", help)
+    }
+
+    /// Registers (or retrieves) a histogram carrying a label set (see
+    /// [`counter_labeled`](MetricsRegistry::counter_labeled)). The
+    /// exported quantile series merge the label set with the
+    /// `quantile` label.
+    ///
+    /// # Panics
+    /// If the series is already registered as a different metric kind.
+    pub fn histogram_labeled(&self, name: &str, labels: &str, help: &str) -> Histogram {
         let mut m = self.metrics.lock();
-        match m
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram {
+        let key = series_key(name, labels);
+        match &m
+            .entry(key)
+            .or_insert_with(|| Entry {
+                base: name.to_string(),
+                labels: labels.to_string(),
                 help: help.to_string(),
-                v: Histogram::default(),
-            }) {
-            Metric::Histogram { v, .. } => v.clone(),
+                metric: Metric::Histogram {
+                    v: Histogram::default(),
+                },
+            })
+            .metric
+        {
+            Metric::Histogram { v } => v.clone(),
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -177,31 +253,49 @@ impl MetricsRegistry {
         use std::fmt::Write;
         let m = self.metrics.lock();
         let mut out = String::new();
-        for (name, metric) in m.iter() {
-            match metric {
-                Metric::Counter { help, v } => {
-                    let _ = writeln!(out, "# HELP {name} {help}");
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{name} {}", v.get());
-                }
-                Metric::Gauge { help, v } => {
-                    let _ = writeln!(out, "# HELP {name} {help}");
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{name} {}", v.get());
-                }
-                Metric::Histogram { help, v } => {
-                    let snap = v.snapshot();
-                    let _ = writeln!(out, "# HELP {name} {help}");
-                    let _ = writeln!(out, "# TYPE {name} summary");
-                    for (q, label, _) in EXPORT_QUANTILES {
-                        let _ = writeln!(
-                            out,
-                            "{name}{{quantile=\"{label}\"}} {}",
-                            snap.value_at_quantile(q)
-                        );
+        let mut last_family = String::new();
+        for (key, entry) in m.iter() {
+            let name = &entry.base;
+            let labels = &entry.labels;
+            let help = &entry.help;
+            // Sorted keys keep a family's labelled series adjacent;
+            // emit the HELP/TYPE header once per family.
+            let header = *name != last_family;
+            if header {
+                last_family = name.clone();
+            }
+            match &entry.metric {
+                Metric::Counter { v } => {
+                    if header {
+                        let _ = writeln!(out, "# HELP {name} {help}");
+                        let _ = writeln!(out, "# TYPE {name} counter");
                     }
-                    let _ = writeln!(out, "{name}_count {}", snap.count());
-                    let _ = writeln!(out, "{name}_sum {}", snap.sum());
+                    let _ = writeln!(out, "{key} {}", v.get());
+                }
+                Metric::Gauge { v } => {
+                    if header {
+                        let _ = writeln!(out, "# HELP {name} {help}");
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                    }
+                    let _ = writeln!(out, "{key} {}", v.get());
+                }
+                Metric::Histogram { v } => {
+                    let snap = v.snapshot();
+                    if header {
+                        let _ = writeln!(out, "# HELP {name} {help}");
+                        let _ = writeln!(out, "# TYPE {name} summary");
+                    }
+                    for (q, label, _) in EXPORT_QUANTILES {
+                        let qlabels = if labels.is_empty() {
+                            format!("quantile=\"{label}\"")
+                        } else {
+                            format!("{labels},quantile=\"{label}\"")
+                        };
+                        let _ = writeln!(out, "{name}{{{qlabels}}} {}", snap.value_at_quantile(q));
+                    }
+                    let suffix = series_key("", labels);
+                    let _ = writeln!(out, "{name}_count{suffix} {}", snap.count());
+                    let _ = writeln!(out, "{name}_sum{suffix} {}", snap.sum());
                 }
             }
         }
@@ -215,12 +309,12 @@ impl MetricsRegistry {
         let m = self.metrics.lock();
         let mut w = JsonWriter::new();
         w.begin_object();
-        for (name, metric) in m.iter() {
-            w.key(name);
-            match metric {
-                Metric::Counter { v, .. } => w.num_u64(v.get()),
-                Metric::Gauge { v, .. } => w.num_i64(v.get()),
-                Metric::Histogram { v, .. } => {
+        for (key, entry) in m.iter() {
+            w.key(key);
+            match &entry.metric {
+                Metric::Counter { v } => w.num_u64(v.get()),
+                Metric::Gauge { v } => w.num_i64(v.get()),
+                Metric::Histogram { v } => {
                     let snap = v.snapshot();
                     w.begin_object();
                     w.key("count");
@@ -298,6 +392,60 @@ mod tests {
             assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
             assert!(parts.next().is_some(), "missing name in {line:?}");
         }
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_render_with_labels() {
+        let r = MetricsRegistry::new();
+        let s0 = r.counter_labeled("ar_shard_msgs_total", "shard=\"0\"", "Msgs");
+        let s1 = r.counter_labeled("ar_shard_msgs_total", "shard=\"1\"", "Msgs");
+        s0.add(3);
+        s1.add(5);
+        // Distinct series despite the shared family name.
+        assert_eq!(s0.get(), 3);
+        assert_eq!(s1.get(), 5);
+        let g = r.gauge_labeled("ar_shard_depth", "shard=\"1\"", "Depth");
+        g.set(-2);
+        let h = r.histogram_labeled("ar_shard_lat_ns", "shard=\"0\"", "Lat");
+        h.record(7);
+
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("ar_shard_msgs_total{shard=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ar_shard_msgs_total{shard=\"1\"} 5"),
+            "{text}"
+        );
+        assert!(text.contains("ar_shard_depth{shard=\"1\"} -2"), "{text}");
+        assert!(
+            text.contains("ar_shard_lat_ns{shard=\"0\",quantile=\"0.5\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ar_shard_lat_ns_count{shard=\"0\"} 1"),
+            "{text}"
+        );
+        // One HELP/TYPE header per family, not per series.
+        assert_eq!(
+            text.matches("# TYPE ar_shard_msgs_total counter").count(),
+            1,
+            "{text}"
+        );
+        // Every non-comment line still parses as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+
+        let v = crate::json::Value::parse(&r.render_json()).expect("valid json");
+        assert_eq!(
+            v.get("ar_shard_msgs_total{shard=\"1\"}")
+                .and_then(crate::json::Value::as_f64),
+            Some(5.0)
+        );
     }
 
     #[test]

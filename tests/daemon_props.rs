@@ -86,11 +86,13 @@ proptest! {
         groups in prop::collection::vec(arb_group(), 0..5),
         payload in prop::collection::vec(any::<u8>(), 0..512),
         kind in 0u8..3,
+        stamp in any::<u64>(),
     ) {
         let env = match kind {
             0 => Envelope::Data {
                 sender: member,
                 groups,
+                stamp,
                 payload: Bytes::from(payload),
             },
             1 => Envelope::Join {
@@ -118,6 +120,7 @@ proptest! {
                 BundleEntry::Whole(Envelope::Data {
                     sender: MemberId::new(ParticipantId::new(0), format!("c{i}")),
                     groups: vec!["g".into()],
+                    stamp: i as u64,
                     payload: Bytes::from(p),
                 })
             })
@@ -138,21 +141,23 @@ proptest! {
         let payload = Bytes::from(payload);
         let sender = MemberId::new(ParticipantId::new(1), "frag");
         let mut p = Packer::new(budget);
-        p.push_data(sender.clone(), vec!["g".into()], payload.clone(), 5);
+        p.push_data(sender.clone(), vec!["g".into()], payload.clone(), 5, 7);
         let mut r = Reassembler::new();
         let mut whole: Option<Bytes> = None;
         let mut got_whole_envelope = false;
         while let Some(b) = p.next_bundle() {
             for e in decode_bundle(&b).unwrap() {
                 match e {
-                    BundleEntry::Whole(Envelope::Data { payload, .. }) => {
+                    BundleEntry::Whole(Envelope::Data { payload, stamp, .. }) => {
+                        prop_assert_eq!(stamp, 7);
                         whole = Some(payload);
                         got_whole_envelope = true;
                     }
                     BundleEntry::Whole(_) => unreachable!("only data queued"),
                     BundleEntry::Fragment(f) => {
-                        if let Some((s, gs, rebuilt)) = r.feed(f) {
+                        if let Some((s, stamp, gs, rebuilt)) = r.feed(f) {
                             prop_assert_eq!(&s, &sender);
+                            prop_assert_eq!(stamp, 7);
                             prop_assert_eq!(gs, vec!["g".to_string()]);
                             whole = Some(rebuilt);
                         }
@@ -180,11 +185,13 @@ fn service_levels_keep_separate_bundles() {
     agreed.push(Envelope::Data {
         sender: m.clone(),
         groups: vec!["g".into()],
+        stamp: 0,
         payload: Bytes::from_static(b"a"),
     });
     safe.push(Envelope::Data {
         sender: m,
         groups: vec!["g".into()],
+        stamp: 0,
         payload: Bytes::from_static(b"s"),
     });
     assert_eq!(

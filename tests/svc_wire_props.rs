@@ -67,27 +67,32 @@ fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
 
 fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
     prop_oneof![
-        (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(daemon, c, w)| {
-            ServerFrame::Welcome {
-                version: PROTOCOL_VERSION,
-                daemon,
-                publish_credits: c,
-                delivery_window: w,
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>()).prop_map(
+            |(daemon, rings, c, w)| {
+                ServerFrame::Welcome {
+                    version: PROTOCOL_VERSION,
+                    daemon,
+                    rings,
+                    publish_credits: c,
+                    delivery_window: w,
+                }
             }
-        }),
+        ),
         ".{0,60}".prop_map(|reason| ServerFrame::Refused { reason }),
         (
             any::<u64>(),
             any::<u64>(),
+            any::<u16>(),
             arb_service(),
             arb_member(),
             arb_groups(),
             arb_payload()
         )
-            .prop_map(|(seq, ring_seq, service, sender, groups, payload)| {
+            .prop_map(|(seq, ring_seq, shard, service, sender, groups, payload)| {
                 ServerFrame::Deliver {
                     seq,
                     ring_seq,
+                    shard,
                     service,
                     sender,
                     groups,
@@ -209,6 +214,7 @@ fn mutated_frames_never_panic() {
         encode_server(&ServerFrame::Deliver {
             seq: 3,
             ring_seq: 99,
+            shard: 1,
             service: ServiceType::Agreed,
             sender: MemberId {
                 daemon: accelerated_ring::core::ParticipantId::new(2),
