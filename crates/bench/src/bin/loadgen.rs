@@ -20,6 +20,11 @@
 //!   unacking subscribers to the most popular group and requires the
 //!   tier to evict them (`drops` column = evictions) while the healthy
 //!   population keeps a finite p99.
+//! * **Reconnect churn** — the `reconnect-churn` curve severs one
+//!   client connection every `CHURN_EVERY` while the load runs; every
+//!   severed session must resume (`rtx` column = sessions resumed,
+//!   `drops` must stay 0) and the healthy p99 must survive the
+//!   retained-delivery replay traffic.
 //!
 //! ```text
 //! usage: loadgen [--quick]
@@ -51,6 +56,8 @@ const WORKERS: usize = 8;
 /// client counts (the sweep varies concurrency, not demand).
 const OFFERED_MSGS_PER_SEC: f64 = 500.0;
 const BURST: u64 = 4;
+/// Aggregate connection-kill period for the reconnect-churn scenario.
+const CHURN_EVERY: Duration = Duration::from_millis(100);
 
 struct ScaleResult {
     latencies_us: Vec<f64>,
@@ -190,6 +197,7 @@ fn run_scale(
     svc: &SvcHandle,
     clients: usize,
     slow: usize,
+    churn_every: Option<Duration>,
     measure: Duration,
     seed: u64,
 ) -> ScaleResult {
@@ -258,8 +266,22 @@ fn run_scale(
                 let warmup = epoch + Duration::from_millis(500);
                 let deadline = epoch + measure;
                 let mut payload = vec![0u8; PAYLOAD];
+                // Each worker churns at 1/WORKERS of the aggregate
+                // kill rate, phase-staggered so severs spread out.
+                let worker_churn = churn_every.map(|p| p * WORKERS as u32);
+                let mut next_churn =
+                    worker_churn.map(|p| epoch + Duration::from_millis(500) + p.mul_f64(rng.f64()));
+                let mut churn_idx = w;
                 while Instant::now() < deadline {
                     let now = Instant::now();
+                    if let (Some(due), Some(period)) = (next_churn, worker_churn) {
+                        if due <= now && !mine.is_empty() {
+                            let victim = churn_idx % mine.len();
+                            mine[victim].client.sever();
+                            churn_idx += 1;
+                            next_churn = Some(due + period);
+                        }
+                    }
                     for gc in &mut mine {
                         // Open-loop: fire every due burst, whether or
                         // not the last one completed.
@@ -391,7 +413,15 @@ fn main() -> ExitCode {
         let addr = svc.tcp_addr().unwrap();
         eprintln!("loadgen: open-loop, {clients} clients, {OFFERED_MSGS_PER_SEC} msg/s offered");
         let rotations_before = snapshot_rotations(metrics.local_addr());
-        let r = run_scale(addr, &svc, clients, 0, measure, 0x10ad_0000 + k as u64);
+        let r = run_scale(
+            addr,
+            &svc,
+            clients,
+            0,
+            None,
+            measure,
+            0x10ad_0000 + k as u64,
+        );
         let rotations = snapshot_rotations(metrics.local_addr()).saturating_sub(rotations_before);
         eprintln!(
             "loadgen:   published {} delivered {} stalls {} samples {} p99 {:.0} us",
@@ -438,7 +468,7 @@ fn main() -> ExitCode {
         let addr = svc.tcp_addr().unwrap();
         eprintln!("loadgen: slow-consumer scenario, {clients} healthy + 4 unacking");
         let rotations_before = snapshot_rotations(metrics.local_addr());
-        let r = run_scale(addr, &svc, clients, 4, measure, 0x510c_0de5);
+        let r = run_scale(addr, &svc, clients, 4, None, measure, 0x510c_0de5);
         let rotations = snapshot_rotations(metrics.local_addr()).saturating_sub(rotations_before);
         eprintln!(
             "loadgen:   published {} delivered {} evicted {} samples {}",
@@ -461,6 +491,63 @@ fn main() -> ExitCode {
             r.evicted,
             rotations,
         ));
+        svc.shutdown().expect("svc shutdown");
+        daemon.shutdown().expect("daemon shutdown");
+    }
+
+    // Reconnect-churn scenario: the same 100-client open-loop load,
+    // but one connection is severed every CHURN_EVERY. Every kill must
+    // resume its parked session (replaying retained deliveries); churn
+    // must cause zero evictions and the healthy p99 must stay finite.
+    {
+        let clients = 100;
+        let (_net, daemon, metrics) = single_daemon();
+        let svc = start_tier(&daemon, clients + 64, FlowConfig::default());
+        let addr = svc.tcp_addr().unwrap();
+        eprintln!(
+            "loadgen: reconnect-churn scenario, {clients} clients, one sever per {CHURN_EVERY:?}"
+        );
+        let rotations_before = snapshot_rotations(metrics.local_addr());
+        let resumed_before = svc.stats().sessions_resumed.get();
+        let r = run_scale(
+            addr,
+            &svc,
+            clients,
+            0,
+            Some(CHURN_EVERY),
+            measure,
+            0xc4c4_0000,
+        );
+        let rotations = snapshot_rotations(metrics.local_addr()).saturating_sub(rotations_before);
+        let resumed = svc.stats().sessions_resumed.get() - resumed_before;
+        eprintln!(
+            "loadgen:   published {} delivered {} resumed {} evicted {} samples {}",
+            r.published,
+            r.delivered,
+            resumed,
+            r.evicted,
+            r.latencies_us.len()
+        );
+        if resumed == 0 {
+            eprintln!("loadgen: churn never resumed a session");
+            return ExitCode::FAILURE;
+        }
+        if r.evicted > 0 {
+            eprintln!("loadgen: reconnect churn evicted {} clients", r.evicted);
+            return ExitCode::FAILURE;
+        }
+        if r.latencies_us.is_empty() {
+            eprintln!("loadgen: no latency samples under reconnect churn");
+            return ExitCode::FAILURE;
+        }
+        let mut point = to_point(
+            &format!("tier/reconnect-churn/clients-{clients}"),
+            &r,
+            r.evicted,
+            rotations,
+        );
+        point.rtx = resumed;
+        points.push(point);
         svc.shutdown().expect("svc shutdown");
         daemon.shutdown().expect("daemon shutdown");
     }

@@ -59,6 +59,7 @@
 
 pub mod actions;
 pub mod adaptive;
+pub mod backoff;
 pub mod checker;
 pub mod config;
 pub mod fault;
@@ -80,6 +81,7 @@ pub use actions::{Action, ConfigChange, ConfigChangeKind, TimerKind};
 pub use adaptive::{
     derive_timeouts, AdaptiveConfig, AdaptiveConfigError, AdaptiveInitError, AdaptiveTimeouts,
 };
+pub use backoff::{Backoff, BackoffConfig, ExpShift};
 pub use checker::{DurabilityChecker, EvsChecker, SendSplitChecker, TokenRuleMonitor};
 pub use config::{
     AimdConfig, ConfigError, FlapDampingConfig, PriorityMethod, ProtocolConfig, ProtocolVariant,

@@ -597,15 +597,16 @@ fn serve_session(mut stream: TcpStream, cmd_tx: Sender<Command>, daemon_id: u16)
 // ---- client side ----------------------------------------------------------------
 
 /// Reconnection policy for a [`RemoteClient`]: bounded attempts with
-/// exponential backoff. After a detected disconnect (the daemon
-/// restarted, or the socket died), the next operation transparently
-/// redials, re-runs the handshake, and re-joins every group the client
-/// was in.
+/// exponential backoff and decorrelated jitter (the shared
+/// [`ar_core::backoff`] schedule). After a detected disconnect (the
+/// daemon restarted, or the socket died), the next operation
+/// transparently redials, re-runs the handshake, and re-joins every
+/// group the client was in.
 #[derive(Debug, Clone, Copy)]
 pub struct ReconnectPolicy {
     /// Maximum dial attempts per recovery (0 disables reconnection).
     pub max_attempts: u32,
-    /// Delay before the second attempt; doubles per attempt.
+    /// Lower bound on the per-attempt delay (the jitter floor).
     pub initial_backoff: Duration,
     /// Upper bound on the per-attempt delay.
     pub max_backoff: Duration,
@@ -769,17 +770,31 @@ impl RemoteClient {
         Ok(())
     }
 
-    /// Redials with bounded exponential backoff.
+    /// Redials with bounded exponential backoff + decorrelated jitter
+    /// (seeded by the client name, so a herd of clients redialling a
+    /// restarted daemon fans out instead of thundering in lockstep).
     fn reconnect(&mut self) -> io::Result<()> {
-        let mut backoff = self.policy.initial_backoff;
+        let seed = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut backoff = ar_core::backoff::Backoff::new(
+            ar_core::backoff::BackoffConfig {
+                base: self.policy.initial_backoff,
+                cap: self.policy.max_backoff,
+                max_attempts: self.policy.max_attempts,
+            },
+            seed,
+        );
         let mut last_err = io::Error::new(
             io::ErrorKind::NotConnected,
             "connection lost and reconnection is disabled",
         );
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(self.policy.max_backoff);
+                match backoff.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => break,
+                }
             }
             match self.try_reestablish() {
                 Ok(()) => return Ok(()),

@@ -39,6 +39,8 @@ const RECV_BATCH_MAX: usize = 32;
 /// interval; the token-loss timeout clamps the result anyway).
 const MAX_RETRANSMIT_SHIFT: u32 = 6;
 
+use ar_core::backoff::ExpShift;
+
 /// Surfaced deliveries between persisted cursor records. A cursor is a
 /// redelivery watermark, not a correctness requirement (replaying a
 /// suffix twice is idempotent for the daemon), so it is amortized.
@@ -75,8 +77,8 @@ pub struct Runtime<T: Transport> {
     /// token. Each firing doubles the retransmit interval (capped by
     /// the token-loss timeout) so a long outage does not flood a
     /// recovering peer with duplicate tokens; any received token or
-    /// commit resets the backoff.
-    retransmit_shift: u32,
+    /// commit resets the backoff (shared [`ExpShift`] machinery).
+    retransmit_backoff: ExpShift,
     /// Metric handles, when instrumented via
     /// [`set_metrics`](Runtime::set_metrics).
     metrics: Option<NetMetrics>,
@@ -142,7 +144,7 @@ impl<T: Transport> Runtime<T> {
             transport,
             timers: [None; 5],
             events: Vec::new(),
-            retransmit_shift: 0,
+            retransmit_backoff: ExpShift::new(MAX_RETRANSMIT_SHIFT),
             metrics: None,
             epoch: Instant::now(),
             last_token_at: None,
@@ -468,7 +470,7 @@ impl<T: Transport> Runtime<T> {
             if matches!(self.timers[idx], Some(d) if d <= now) {
                 self.timers[idx] = None;
                 if kind == TimerKind::TokenRetransmit {
-                    self.retransmit_shift = (self.retransmit_shift + 1).min(MAX_RETRANSMIT_SHIFT);
+                    self.retransmit_backoff.step();
                 }
                 self.sync_observer_clock();
                 let actions = self.part.handle_timer(kind);
@@ -519,7 +521,7 @@ impl<T: Transport> Runtime<T> {
     /// and hop metrics, protocol handling, action execution.
     fn handle_incoming(&mut self, msg: Message) -> io::Result<()> {
         if matches!(msg, Message::Token(_) | Message::Commit(_)) {
-            self.retransmit_shift = 0;
+            self.retransmit_backoff.reset();
         }
         let is_token = matches!(msg, Message::Token(_));
         let hop_start = if is_token && (self.metrics.is_some() || self.adaptive.is_some()) {
@@ -640,11 +642,9 @@ impl<T: Transport> Runtime<T> {
         let t = self.part.timeouts();
         Duration::from_nanos(match kind {
             TimerKind::TokenLoss => t.token_loss,
-            TimerKind::TokenRetransmit => t
-                .token_retransmit
-                .checked_shl(self.retransmit_shift)
-                .unwrap_or(u64::MAX)
-                .min(t.token_loss),
+            TimerKind::TokenRetransmit => self
+                .retransmit_backoff
+                .scale(t.token_retransmit, t.token_loss),
             TimerKind::Join => t.join,
             TimerKind::ConsensusTimeout => t.consensus,
             TimerKind::CommitTimeout => t.commit,
@@ -795,12 +795,14 @@ mod tests {
         let base = Duration::from_nanos(t.token_retransmit);
         let cap = Duration::from_nanos(t.token_loss);
         assert_eq!(rt.timer_duration(TimerKind::TokenRetransmit), base);
-        rt.retransmit_shift = 1;
+        rt.retransmit_backoff.step();
         assert_eq!(
             rt.timer_duration(TimerKind::TokenRetransmit),
             (base * 2).min(cap)
         );
-        rt.retransmit_shift = MAX_RETRANSMIT_SHIFT;
+        for _ in 0..MAX_RETRANSMIT_SHIFT {
+            rt.retransmit_backoff.step();
+        }
         let backed_off = rt.timer_duration(TimerKind::TokenRetransmit);
         assert!(backed_off <= cap, "{backed_off:?} > {cap:?}");
         assert!(backed_off >= base * 2);
@@ -1040,13 +1042,15 @@ mod tests {
         .unwrap();
         let mut rt = Runtime::new(part, net.endpoint(members[1]));
         let mut peer = net.endpoint(members[0]);
-        rt.retransmit_shift = 4;
+        for _ in 0..4 {
+            rt.retransmit_backoff.step();
+        }
         peer.send_to(
             members[1],
             &Message::Token(ar_core::Token::initial(ring_id, ar_core::Seq::ZERO)),
         )
         .unwrap();
         rt.step().unwrap();
-        assert_eq!(rt.retransmit_shift, 0);
+        assert_eq!(rt.retransmit_backoff.shift(), 0);
     }
 }

@@ -4,8 +4,12 @@
 //! Speaks the flow-controlled service-tier protocol by default;
 //! `--legacy` falls back to the original line protocol.
 //!
+//! Dropped connections are redialed automatically with jittered
+//! backoff and the session resumed (exactly-once delivery across the
+//! seam); `--no-resume` restores the old exit-on-disconnect behavior.
+//!
 //! ```text
-//! usage: arclient [--legacy] [--uds PATH] [<daemon-host:port>] <name>
+//! usage: arclient [--legacy] [--no-resume] [--uds PATH] [<daemon-host:port>] <name>
 //!
 //! commands:
 //!   join <group>
@@ -25,19 +29,23 @@ use std::time::Duration;
 
 use ar_core::ServiceType;
 use ar_daemon::{ClientEvent, RemoteClient};
-use ar_svc::{PublishError, SvcClient, SvcEvent};
+use ar_svc::{PublishError, ResumePolicy, SvcClient, SvcEvent};
 use bytes::Bytes;
 
-const USAGE: &str = "usage: arclient [--legacy] [--uds PATH] [<daemon-host:port>] <name>";
+const USAGE: &str =
+    "usage: arclient [--legacy] [--no-resume] [--uds PATH] [<daemon-host:port>] <name>";
 
 fn main() -> ExitCode {
     let mut legacy = false;
+    let mut no_resume = false;
     let mut uds: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--legacy" {
             legacy = true;
+        } else if arg == "--no-resume" {
+            no_resume = true;
         } else if arg == "--uds" {
             match args.next() {
                 Some(p) => uds = Some(p),
@@ -88,13 +96,16 @@ fn main() -> ExitCode {
         };
         SvcClient::connect_tcp(addr, &name)
     };
-    let client = match client {
+    let mut client = match client {
         Ok(c) => c,
         Err(e) => {
             eprintln!("arclient: cannot connect: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if no_resume {
+        client.set_resume_policy(ResumePolicy::disabled());
+    }
     run_svc(client, &name)
 }
 
@@ -310,6 +321,13 @@ fn print_svc_event(ev: &SvcEvent) {
         }
         SvcEvent::Evicted { reason } => {
             eprintln!("[evicted: {reason}]");
+        }
+        SvcEvent::Reconnected { resumed } => {
+            if *resumed {
+                println!("[reconnected: session resumed]");
+            } else {
+                println!("[reconnected: session lost, started fresh (groups re-joined)]");
+            }
         }
     }
 }

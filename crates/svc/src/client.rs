@@ -12,22 +12,43 @@
 //! [`set_auto_ack`](SvcClient::set_auto_ack) to exercise the server's
 //! delivery window and eviction policy (as the load generator's
 //! deliberately slow consumers do).
+//!
+//! ## Automatic session resumption
+//!
+//! When the connection drops without a server-initiated eviction, the
+//! client redials with capped exponential backoff (decorrelated
+//! jitter, seeded from the client name so a reconnecting fleet fans
+//! out) and presents its [`ResumeToken`]. On a successful resume the
+//! delivery stream continues exactly where it left off — the server
+//! replays retained deliveries above the client's cursor — and every
+//! publish whose grant never arrived is re-sent (the server's dedup
+//! window makes that idempotent). If the server no longer has the
+//! session, the client falls back to a fresh session: it re-joins its
+//! groups and reports every outcome-unknown publish as rejected so
+//! the application decides their fate (a restarted daemon replays its
+//! durable log *before* accepting sessions, so a fresh session never
+//! sees old traffic again). Either way the
+//! application sees one [`SvcEvent::Reconnected`] marking the seam —
+//! deliveries remain exactly-once and gap-free per publisher across
+//! any number of reconnects. Disable with
+//! [`ResumePolicy::disabled`] to get the old fail-fast behavior.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use ar_core::backoff::{Backoff, BackoffConfig};
 use ar_core::ServiceType;
 use ar_daemon::MemberId;
 use bytes::Bytes;
 
 use crate::wire::{
-    decode_server, encode_client, frame, ClientFrame, FrameBuf, ServerFrame, MAX_PUBLISH_BODY,
-    PROTOCOL_VERSION,
+    decode_server, encode_client, frame, ClientFrame, FrameBuf, ResumeToken, ServerFrame,
+    MAX_PUBLISH_BODY, PROTOCOL_VERSION,
 };
 
 /// Events surfaced to the application.
@@ -88,6 +109,15 @@ pub enum SvcEvent {
         /// Server's reason.
         reason: String,
     },
+    /// The connection dropped and was re-established.
+    Reconnected {
+        /// True when the session was resumed (delivery stream
+        /// continues seamlessly). False when the server no longer had
+        /// the session and a fresh one was started: groups were
+        /// re-joined, and every outcome-unknown publish was reported
+        /// via [`SvcEvent::PublishRejected`] just before this event.
+        resumed: bool,
+    },
 }
 
 /// Why [`SvcClient::try_publish`] declined.
@@ -123,6 +153,51 @@ impl From<io::Error> for PublishError {
     }
 }
 
+/// Reconnect-and-resume tuning. The backoff's `max_attempts` is the
+/// redial budget per disconnect; zero disables reconnecting entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumePolicy {
+    /// Redial schedule (decorrelated jitter; see
+    /// [`ar_core::backoff::Backoff`]).
+    pub backoff: BackoffConfig,
+}
+
+impl Default for ResumePolicy {
+    fn default() -> Self {
+        ResumePolicy {
+            backoff: BackoffConfig {
+                base: Duration::from_millis(25),
+                cap: Duration::from_secs(1),
+                max_attempts: 10,
+            },
+        }
+    }
+}
+
+impl ResumePolicy {
+    /// Never reconnect: the first disconnect surfaces as
+    /// [`SvcEvent::Evicted`] (the pre-resumption behavior).
+    pub fn disabled() -> ResumePolicy {
+        ResumePolicy {
+            backoff: BackoffConfig {
+                max_attempts: 0,
+                ..BackoffConfig::default()
+            },
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.backoff.max_attempts > 0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
 #[derive(Debug)]
 enum Sock {
     Tcp(TcpStream),
@@ -154,6 +229,39 @@ impl Sock {
             Sock::Uds(s) => s.set_nonblocking(on),
         }
     }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Sock::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Sock::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Sock::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Handshake result: the connected socket plus the Welcome fields.
+struct Handshake {
+    sock: Sock,
+    rbuf: FrameBuf,
+    daemon: u16,
+    rings: u16,
+    publish_credits: u32,
+    delivery_window: u32,
+    session: u64,
+    epoch: u64,
+    resumed: bool,
 }
 
 /// A connected service-tier client.
@@ -162,6 +270,9 @@ pub struct SvcClient {
     sock: Sock,
     rbuf: FrameBuf,
     queue: VecDeque<SvcEvent>,
+    target: Target,
+    name: String,
+    policy: ResumePolicy,
     daemon: u16,
     rings: u16,
     credits: u32,
@@ -174,19 +285,31 @@ pub struct SvcClient {
     acked: u64,
     auto_ack: bool,
     evicted: Option<String>,
+    /// Resume-token identity from the last Welcome.
+    session: u64,
+    epoch: u64,
+    /// Groups joined (and not left) — re-joined after a session reset.
+    joined: BTreeSet<String>,
+    /// Framed Publish bytes awaiting their grant or rejection, by id —
+    /// re-sent verbatim after a resume (the server deduplicates).
+    unacked_pubs: BTreeMap<u64, Bytes>,
+    /// Successful reconnects over this client's lifetime.
+    reconnects: u64,
+    /// Deliveries suppressed as duplicates.
+    duplicates_suppressed: u64,
 }
 
 impl SvcClient {
     /// Connects over TCP and performs the versioned handshake.
+    /// Automatic reconnect-and-resume is on by default; see
+    /// [`set_resume_policy`](Self::set_resume_policy).
     ///
     /// # Errors
     ///
     /// Connection errors; `ConnectionRefused` with the server's reason
     /// when the handshake is refused.
     pub fn connect_tcp(addr: SocketAddr, name: &str) -> io::Result<SvcClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Self::handshake(Sock::Tcp(stream), name)
+        Self::connect(Target::Tcp(addr), name)
     }
 
     /// Connects over a Unix-domain socket.
@@ -196,65 +319,36 @@ impl SvcClient {
     /// As for [`connect_tcp`](Self::connect_tcp).
     #[cfg(unix)]
     pub fn connect_uds(path: impl AsRef<Path>, name: &str) -> io::Result<SvcClient> {
-        let stream = UnixStream::connect(path)?;
-        Self::handshake(Sock::Uds(stream), name)
+        Self::connect(Target::Uds(path.as_ref().to_path_buf()), name)
     }
 
-    fn handshake(mut sock: Sock, name: &str) -> io::Result<SvcClient> {
-        // Blocking for the handshake, non-blocking after.
-        sock.set_nonblocking(false)?;
-        sock.write_all(&frame(&encode_client(&ClientFrame::Hello {
-            version: PROTOCOL_VERSION,
+    fn connect(target: Target, name: &str) -> io::Result<SvcClient> {
+        let sock = dial(&target)?;
+        let h = handshake(sock, name, None)?;
+        Ok(SvcClient {
+            sock: h.sock,
+            rbuf: h.rbuf,
+            queue: VecDeque::new(),
+            target,
             name: name.to_string(),
-        })))?;
-        let mut rbuf = FrameBuf::new();
-        let reply = loop {
-            let mut chunk = [0u8; 4096];
-            let n = sock.read(&mut chunk)?;
-            if n == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed during handshake",
-                ));
-            }
-            rbuf.extend(&chunk[..n]);
-            if let Some(f) = rbuf.next_frame()? {
-                break decode_server(&f)?;
-            }
-        };
-        match reply {
-            ServerFrame::Welcome {
-                daemon,
-                rings,
-                publish_credits,
-                delivery_window,
-                ..
-            } => {
-                sock.set_nonblocking(true)?;
-                Ok(SvcClient {
-                    sock,
-                    rbuf,
-                    queue: VecDeque::new(),
-                    daemon,
-                    rings,
-                    credits: publish_credits,
-                    initial_credits: publish_credits,
-                    delivery_window,
-                    next_publish_id: 0,
-                    unacked: 0,
-                    acked: 0,
-                    auto_ack: true,
-                    evicted: None,
-                })
-            }
-            ServerFrame::Refused { reason } => {
-                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
-            }
-            _ => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "unexpected frame before welcome",
-            )),
-        }
+            policy: ResumePolicy::default(),
+            daemon: h.daemon,
+            rings: h.rings,
+            credits: h.publish_credits,
+            initial_credits: h.publish_credits,
+            delivery_window: h.delivery_window,
+            next_publish_id: 0,
+            unacked: 0,
+            acked: 0,
+            auto_ack: true,
+            evicted: None,
+            session: h.session,
+            epoch: h.epoch,
+            joined: BTreeSet::new(),
+            unacked_pubs: BTreeMap::new(),
+            reconnects: 0,
+            duplicates_suppressed: 0,
+        })
     }
 
     /// The daemon id this client is attached to.
@@ -282,9 +376,36 @@ impl SvcClient {
         self.delivery_window
     }
 
+    /// The server-assigned session id (half of the resume token).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The session's attach generation (bumped per resume).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Successful reconnects over this client's lifetime.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Deliveries suppressed as resume-replay overlap (the retained
+    /// range the server replayed reached at or below our cursor).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
     /// The server's eviction reason, once evicted.
     pub fn evicted_reason(&self) -> Option<&str> {
         self.evicted.as_deref()
+    }
+
+    /// Replaces the reconnect-and-resume policy
+    /// ([`ResumePolicy::disabled`] restores fail-fast).
+    pub fn set_resume_policy(&mut self, policy: ResumePolicy) {
+        self.policy = policy;
     }
 
     /// Enables or disables automatic delivery acking (on by default).
@@ -295,12 +416,20 @@ impl SvcClient {
         self.auto_ack = on;
     }
 
+    /// Test hook: kills the transport underneath the session without a
+    /// Goodbye, as a crashed link would. The next [`pump`](Self::pump)
+    /// or send notices and reconnects per policy.
+    pub fn sever(&mut self) {
+        self.sock.shutdown();
+    }
+
     /// Joins a group.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn join(&mut self, group: &str) -> io::Result<()> {
+        self.joined.insert(group.to_string());
         self.send(&ClientFrame::JoinGroup {
             group: group.to_string(),
         })
@@ -312,6 +441,7 @@ impl SvcClient {
     ///
     /// Propagates socket errors.
     pub fn leave(&mut self, group: &str) -> io::Result<()> {
+        self.joined.remove(group);
         self.send(&ClientFrame::LeaveGroup {
             group: group.to_string(),
         })
@@ -345,7 +475,11 @@ impl SvcClient {
         }
         self.next_publish_id += 1;
         let id = self.next_publish_id;
-        self.send_raw(&frame(&body))?;
+        let framed = frame(&body);
+        // Track before sending: if the connection dies mid-flight the
+        // publish is re-sent on resume (the server deduplicates).
+        self.unacked_pubs.insert(id, framed.clone());
+        self.send_raw(&framed)?;
         self.credits -= 1;
         Ok(id)
     }
@@ -393,7 +527,9 @@ impl SvcClient {
         self.send(&ClientFrame::Ack { through: seq })
     }
 
-    /// Drains the socket into the event queue without blocking.
+    /// Drains the socket into the event queue without blocking,
+    /// transparently reconnecting (per policy) when the connection has
+    /// dropped.
     ///
     /// # Errors
     ///
@@ -401,25 +537,47 @@ impl SvcClient {
     pub fn pump(&mut self) -> io::Result<()> {
         let mut chunk = [0u8; 64 * 1024];
         loop {
-            match self.sock.read(&mut chunk) {
-                Ok(0) => {
-                    if self.evicted.is_none() {
-                        self.evicted = Some("connection closed".into());
-                        self.queue.push_back(SvcEvent::Evicted {
-                            reason: "connection closed".into(),
-                        });
+            let mut lost = false;
+            loop {
+                match self.sock.read(&mut chunk) {
+                    Ok(0) => {
+                        lost = true;
+                        break;
                     }
+                    Ok(n) => self.rbuf.extend(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        lost = true;
+                        break;
+                    }
+                }
+            }
+            // Process buffered frames before reacting to the EOF: an
+            // Evicted frame just before the close is terminal and must
+            // not trigger a reconnect.
+            while let Some(f) = self.rbuf.next_frame()? {
+                if let Some(ev) = self.on_frame(&f)? {
+                    self.queue.push_back(ev);
+                }
+            }
+            if !lost {
+                break;
+            }
+            if self.evicted.is_some() {
+                break;
+            }
+            if !self.policy.is_enabled() {
+                self.mark_lost("connection closed");
+                break;
+            }
+            match self.reconnect() {
+                // Loop: drain the fresh socket (resume replay).
+                Ok(_) => continue,
+                Err(e) => {
+                    self.mark_lost(&format!("connection lost: {e}"));
                     break;
                 }
-                Ok(n) => self.rbuf.extend(&chunk[..n]),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        while let Some(f) = self.rbuf.next_frame()? {
-            if let Some(ev) = self.on_frame(&f)? {
-                self.queue.push_back(ev);
             }
         }
         if self.auto_ack && self.unacked > self.acked && self.evicted.is_none() {
@@ -430,8 +588,101 @@ impl SvcClient {
         Ok(())
     }
 
+    fn mark_lost(&mut self, reason: &str) {
+        if self.evicted.is_none() {
+            self.evicted = Some(reason.to_string());
+            self.queue.push_back(SvcEvent::Evicted {
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// Redials with backoff and resumes (or restarts) the session.
+    fn reconnect(&mut self) -> io::Result<bool> {
+        let seed = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut backoff = Backoff::new(self.policy.backoff, seed);
+        let mut last_err = io::Error::new(io::ErrorKind::NotConnected, "reconnect disabled");
+        for attempt in 0..self.policy.backoff.max_attempts {
+            if attempt > 0 {
+                match backoff.next_delay() {
+                    Some(d) => std::thread::sleep(d),
+                    None => break,
+                }
+            }
+            match self.try_reconnect_once() {
+                Ok(resumed) => {
+                    self.reconnects += 1;
+                    self.queue.push_back(SvcEvent::Reconnected { resumed });
+                    return Ok(resumed);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_reconnect_once(&mut self) -> io::Result<bool> {
+        let token = ResumeToken {
+            session: self.session,
+            epoch: self.epoch,
+            // The cursor is everything *consumed*, not merely acked:
+            // replaying a consumed-but-unacked delivery would duplicate
+            // it at the application.
+            acked_through: self.unacked,
+        };
+        let sock = dial(&self.target)?;
+        let h = handshake(sock, &self.name, Some(token))?;
+        self.sock = h.sock;
+        // Partial frame bytes from the dead socket are garbage;
+        // complete frames were already processed.
+        self.rbuf = h.rbuf;
+        self.daemon = h.daemon;
+        self.rings = h.rings;
+        self.session = h.session;
+        self.epoch = h.epoch;
+        if h.resumed {
+            // Continuity holds: the server accepted our cursor and
+            // replays everything above it. Re-send every publish whose
+            // grant never arrived — the server's dedup window drops
+            // already-forwarded copies and re-grants already-ordered
+            // ones.
+            self.acked = self.unacked;
+            let frames: Vec<Bytes> = self.unacked_pubs.values().cloned().collect();
+            for framed in frames {
+                self.write_now(&framed)?;
+            }
+        } else {
+            // The session is gone (grace expired, server restarted, or
+            // parking disabled): start over. Outcome of in-flight
+            // publishes is unknowable — surface each as rejected so
+            // the application decides, then restore the invariants a
+            // fresh session expects.
+            let lost: Vec<u64> = self.unacked_pubs.keys().copied().collect();
+            self.unacked_pubs.clear();
+            for id in lost {
+                self.queue.push_back(SvcEvent::PublishRejected {
+                    id,
+                    reason: "session lost on reconnect; publish outcome unknown".into(),
+                });
+            }
+            self.credits = h.publish_credits;
+            self.initial_credits = h.publish_credits;
+            self.delivery_window = h.delivery_window;
+            self.unacked = 0;
+            self.acked = 0;
+            let groups: Vec<String> = self.joined.iter().cloned().collect();
+            for group in groups {
+                let body = encode_client(&ClientFrame::JoinGroup { group });
+                self.write_now(&frame(&body))?;
+            }
+        }
+        Ok(h.resumed)
+    }
+
     fn on_frame(&mut self, bytes: &[u8]) -> io::Result<Option<SvcEvent>> {
-        Ok(Some(match decode_server(bytes)? {
+        Ok(match decode_server(bytes)? {
             ServerFrame::Deliver {
                 seq,
                 ring_seq,
@@ -441,49 +692,68 @@ impl SvcClient {
                 groups,
                 payload,
             } => {
+                // The delivery seq is per-session monotone; a frame at
+                // or below our consume cursor is resume-replay overlap.
+                // Suppressed frames still occupy delivery-window space
+                // server-side: always advance the ack cursor.
+                let dup = seq <= self.unacked && seq != 0;
                 self.unacked = self.unacked.max(seq);
-                SvcEvent::Deliver {
-                    seq,
-                    ring_seq,
-                    shard,
-                    service,
-                    sender,
-                    groups,
-                    payload,
+                if dup {
+                    self.duplicates_suppressed += 1;
+                    None
+                } else {
+                    Some(SvcEvent::Deliver {
+                        seq,
+                        ring_seq,
+                        shard,
+                        service,
+                        sender,
+                        groups,
+                        payload,
+                    })
                 }
             }
-            ServerFrame::Membership { group, members } => SvcEvent::Membership { group, members },
-            ServerFrame::NetworkChange { daemons } => SvcEvent::NetworkChange { daemons },
+            ServerFrame::Membership { group, members } => {
+                Some(SvcEvent::Membership { group, members })
+            }
+            ServerFrame::NetworkChange { daemons } => Some(SvcEvent::NetworkChange { daemons }),
             ServerFrame::CreditGrant { acked_id, credits } => {
                 self.credits += credits;
-                SvcEvent::PublishOrdered { id: acked_id }
+                self.unacked_pubs.remove(&acked_id);
+                Some(SvcEvent::PublishOrdered { id: acked_id })
             }
             ServerFrame::PublishReject { id, reason } => {
                 // The rejected publish consumed no server-side credit;
                 // restore the local count so the client can retry.
                 self.credits += 1;
-                SvcEvent::PublishRejected { id, reason }
+                self.unacked_pubs.remove(&id);
+                Some(SvcEvent::PublishRejected { id, reason })
             }
             ServerFrame::Evicted { reason } => {
                 self.evicted = Some(reason.clone());
-                SvcEvent::Evicted { reason }
+                Some(SvcEvent::Evicted { reason })
             }
             ServerFrame::GroupRejected {
                 join,
                 group,
                 reason,
-            } => SvcEvent::GroupRejected {
-                join,
-                group,
-                reason,
-            },
+            } => {
+                if join {
+                    self.joined.remove(&group);
+                }
+                Some(SvcEvent::GroupRejected {
+                    join,
+                    group,
+                    reason,
+                })
+            }
             ServerFrame::Welcome { .. } | ServerFrame::Refused { .. } => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "handshake frame after welcome",
                 ))
             }
-        }))
+        })
     }
 
     /// Pops an already-pumped event without touching the socket.
@@ -515,24 +785,125 @@ impl SvcClient {
 
     /// Writes raw bytes to the socket, bypassing client-side credit
     /// accounting — for exercising the server's protocol handling
-    /// (malformed frames, credit violations) from tests.
+    /// (malformed frames, credit violations) from tests. Reconnects
+    /// (per policy) when the connection has dropped; the write is
+    /// retried only if the session was *resumed* — after a session
+    /// reset the bytes may reference stale state, so the caller gets
+    /// `ConnectionReset` instead.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.write_now(bytes) {
+            Ok(()) => Ok(()),
+            Err(_) if self.policy.is_enabled() && self.evicted.is_none() => {
+                let resumed = self.reconnect()?;
+                if resumed {
+                    self.write_now(bytes)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "session was reset during reconnect",
+                    ))
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn send(&mut self, f: &ClientFrame) -> io::Result<()> {
+        self.send_raw(&frame(&encode_client(f)))
+    }
+
+    fn write_now(&mut self, bytes: &[u8]) -> io::Result<()> {
+        // Client-side frames are small; a blocking write keeps the API
+        // simple (the kernel buffer absorbs them).
         self.sock.set_nonblocking(false)?;
         let result = self.sock.write_all(bytes);
         let _ = self.sock.set_nonblocking(true);
         result
     }
+}
 
-    fn send(&mut self, f: &ClientFrame) -> io::Result<()> {
-        // Client-side frames are small; a blocking write keeps the API
-        // simple (the kernel buffer absorbs them).
-        self.sock.set_nonblocking(false)?;
-        let result = self.sock.write_all(&frame(&encode_client(f)));
-        let _ = self.sock.set_nonblocking(true);
-        result
+impl Drop for SvcClient {
+    fn drop(&mut self) {
+        // A deliberate close must not leave a parked session pinning
+        // group memberships for the grace period.
+        if self.evicted.is_none() {
+            let _ = self.write_now(&frame(&encode_client(&ClientFrame::Goodbye)));
+        }
+    }
+}
+
+fn dial(target: &Target) -> io::Result<Sock> {
+    match target {
+        Target::Tcp(addr) => {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            Ok(Sock::Tcp(s))
+        }
+        #[cfg(unix)]
+        Target::Uds(path) => Ok(Sock::Uds(UnixStream::connect(path)?)),
+    }
+}
+
+fn handshake(mut sock: Sock, name: &str, resume: Option<ResumeToken>) -> io::Result<Handshake> {
+    // Blocking for the handshake (with a bounded wait for the
+    // Welcome), non-blocking after.
+    sock.set_nonblocking(false)?;
+    sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+    sock.write_all(&frame(&encode_client(&ClientFrame::Hello {
+        version: PROTOCOL_VERSION,
+        name: name.to_string(),
+        resume,
+    })))?;
+    let mut rbuf = FrameBuf::new();
+    let reply = loop {
+        let mut chunk = [0u8; 4096];
+        let n = sock.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during handshake",
+            ));
+        }
+        rbuf.extend(&chunk[..n]);
+        if let Some(f) = rbuf.next_frame()? {
+            break decode_server(&f)?;
+        }
+    };
+    match reply {
+        ServerFrame::Welcome {
+            daemon,
+            rings,
+            publish_credits,
+            delivery_window,
+            session,
+            epoch,
+            resumed,
+            ..
+        } => {
+            sock.set_read_timeout(None)?;
+            sock.set_nonblocking(true)?;
+            Ok(Handshake {
+                sock,
+                rbuf,
+                daemon,
+                rings,
+                publish_credits,
+                delivery_window,
+                session,
+                epoch,
+                resumed,
+            })
+        }
+        ServerFrame::Refused { reason } => {
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected frame before welcome",
+        )),
     }
 }

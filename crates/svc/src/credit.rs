@@ -258,12 +258,123 @@ impl<T> FlowState<T> {
         self.acked = self.acked.max(through.min(self.sent));
     }
 
+    /// Highest delivery sequence sent to the socket.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Highest delivery sequence the consumer acked.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
     /// Checks the write buffer size against its limit.
     pub fn check_write_buffer(&self, buffered_bytes: usize) -> Result<(), EvictReason> {
         if buffered_bytes > self.cfg.max_write_buffer {
             return Err(EvictReason::WriteBufferOverflow);
         }
         Ok(())
+    }
+}
+
+/// What [`DedupWindow::offer`] says about a publish id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Never seen: forward to the daemon normally.
+    Fresh,
+    /// Already forwarded, grant still pending: drop the duplicate —
+    /// the grant (or rejection) for the first copy is on its way.
+    InFlight,
+    /// Already granted: the original `CreditGrant` was lost with the
+    /// old connection. Re-send the grant without forwarding or
+    /// consuming a credit.
+    Granted,
+}
+
+/// Publish-id deduplication across reconnects.
+///
+/// A client that loses its connection after sending `Publish{id}` but
+/// before seeing the matching `CreditGrant` must re-send the publish on
+/// resume — but the first copy may already be ordered. The server
+/// tracks recently seen publish ids per session so re-sent publishes
+/// are idempotent: at most one copy of each id ever reaches the ring.
+///
+/// The window is bounded: once it holds `cap` ids, offering a fresh id
+/// evicts the oldest *granted* entry. In-flight entries are never
+/// evicted (they are separately bounded by publish credits), so the
+/// window can transiently exceed `cap` by at most the credit limit.
+#[derive(Debug)]
+pub struct DedupWindow {
+    cap: usize,
+    /// id → granted? (false while the grant is still pending).
+    states: std::collections::HashMap<u64, bool>,
+    /// Eviction order, oldest first. In-flight ids rotate to the back
+    /// when they block an eviction.
+    order: VecDeque<u64>,
+}
+
+impl DedupWindow {
+    /// A window remembering up to `cap` granted publish ids.
+    pub fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            cap: cap.max(1),
+            states: std::collections::HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Classifies `id`, recording it as in-flight when fresh.
+    pub fn offer(&mut self, id: u64) -> Offer {
+        match self.states.get(&id) {
+            Some(true) => Offer::Granted,
+            Some(false) => Offer::InFlight,
+            None => {
+                self.states.insert(id, false);
+                self.order.push_back(id);
+                if self.states.len() > self.cap {
+                    self.evict_one_granted();
+                }
+                Offer::Fresh
+            }
+        }
+    }
+
+    /// Marks `id` granted (its credit came back). Unknown ids — evicted
+    /// or never offered — are ignored.
+    pub fn grant(&mut self, id: u64) {
+        if let Some(state) = self.states.get_mut(&id) {
+            *state = true;
+        }
+    }
+
+    /// Forgets `id` entirely (the publish was rejected, so a re-sent
+    /// copy should be re-attempted rather than treated as a duplicate).
+    pub fn forget(&mut self, id: u64) {
+        if self.states.remove(&id).is_some() {
+            self.order.retain(|&x| x != id);
+        }
+    }
+
+    /// Ids currently remembered.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    fn evict_one_granted(&mut self) {
+        for _ in 0..self.order.len() {
+            let id = self.order.pop_front().expect("len checked");
+            if self.states.get(&id) == Some(&true) {
+                self.states.remove(&id);
+                return;
+            }
+            self.order.push_back(id);
+        }
+        // Everything is in-flight: keep them all (bounded by credits).
     }
 }
 
@@ -388,5 +499,54 @@ mod tests {
             fs.check_write_buffer(101).unwrap_err(),
             EvictReason::WriteBufferOverflow
         );
+    }
+
+    #[test]
+    fn dedup_classifies_fresh_inflight_granted() {
+        let mut w = DedupWindow::new(8);
+        assert_eq!(w.offer(1), Offer::Fresh);
+        assert_eq!(w.offer(1), Offer::InFlight, "resend before the grant");
+        w.grant(1);
+        assert_eq!(w.offer(1), Offer::Granted, "resend after the grant");
+        assert_eq!(w.offer(2), Offer::Fresh);
+    }
+
+    #[test]
+    fn dedup_forget_reopens_rejected_ids() {
+        let mut w = DedupWindow::new(8);
+        assert_eq!(w.offer(5), Offer::Fresh);
+        w.forget(5);
+        assert_eq!(w.offer(5), Offer::Fresh, "rejected publish retries");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn dedup_evicts_oldest_granted_not_inflight() {
+        let mut w = DedupWindow::new(3);
+        for id in 1..=3 {
+            assert_eq!(w.offer(id), Offer::Fresh);
+        }
+        w.grant(1);
+        w.grant(3);
+        // Window full: a fresh id evicts the *oldest granted* (1),
+        // skipping the still-in-flight 2.
+        assert_eq!(w.offer(4), Offer::Fresh);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.offer(2), Offer::InFlight, "in-flight survived");
+        assert_eq!(w.offer(3), Offer::Granted, "younger grant survived");
+        assert_eq!(w.offer(1), Offer::Fresh, "oldest grant was evicted");
+    }
+
+    #[test]
+    fn dedup_tolerates_all_inflight_overflow() {
+        let mut w = DedupWindow::new(2);
+        for id in 1..=5 {
+            assert_eq!(w.offer(id), Offer::Fresh);
+        }
+        // Nothing granted, nothing evictable: all five retained.
+        assert_eq!(w.len(), 5);
+        for id in 1..=5 {
+            assert_eq!(w.offer(id), Offer::InFlight);
+        }
     }
 }

@@ -21,7 +21,12 @@
 //!   publisher's earlier publishes are agreed on every shard, so
 //!   per-publisher FIFO survives group placement across rings;
 //! * a client library ([`client`]) used by `arclient`, the tests, and
-//!   `ar-bench loadgen`.
+//!   `ar-bench loadgen` — with automatic reconnect-and-resume: the
+//!   server parks a disconnected session for a grace period and the
+//!   client redials with jittered backoff, presents a resume token,
+//!   replays unacked publishes (deduplicated server-side), and
+//!   suppresses re-delivered duplicates, keeping delivery exactly-once
+//!   and gap-free per publisher across connection and daemon chaos.
 //!
 //! [`DaemonClient`]: ar_daemon::DaemonClient
 
@@ -33,10 +38,10 @@ pub mod order;
 pub mod server;
 pub mod wire;
 
-pub use client::{PublishError, SvcClient, SvcEvent};
-pub use credit::{EvictReason, FlowConfig, FlowState};
+pub use client::{PublishError, ResumePolicy, SvcClient, SvcEvent};
+pub use credit::{DedupWindow, EvictReason, FlowConfig, FlowState, Offer};
 pub use order::HoldBack;
 pub use server::{
     serve_clients, serve_clients_sharded, SvcConfig, SvcHandle, SvcListeners, SvcStats,
 };
-pub use wire::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
+pub use wire::{ClientFrame, ResumeToken, ServerFrame, PROTOCOL_VERSION};

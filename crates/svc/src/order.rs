@@ -34,6 +34,7 @@
 //! single-ring multi-group delivery semantics.
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Per-publisher hold-back state for one subscriber connection.
 ///
@@ -45,11 +46,18 @@ pub struct HoldBack<T> {
 }
 
 #[derive(Debug)]
+struct Held<T> {
+    item: T,
+    /// When the entry was inserted — drives the stall watchdog.
+    since: Instant,
+}
+
+#[derive(Debug)]
 struct PubQueue<T> {
     /// Stamps at or below this have been released (or were covered by
     /// an already-released floor) — later copies are duplicates.
     released_to: u64,
-    held: BTreeMap<u64, T>,
+    held: BTreeMap<u64, Held<T>>,
 }
 
 impl<T> Default for PubQueue<T> {
@@ -73,11 +81,17 @@ impl<T> HoldBack<T> {
     /// (and drops the item) when it is a duplicate shard copy — the
     /// stamp is already held or already released.
     pub fn insert(&mut self, publisher: &str, stamp: u64, item: T) -> bool {
+        self.insert_at(publisher, stamp, item, Instant::now())
+    }
+
+    /// As [`insert`](Self::insert) with an explicit insertion time, so
+    /// the stall watchdog is testable without sleeping.
+    pub fn insert_at(&mut self, publisher: &str, stamp: u64, item: T, now: Instant) -> bool {
         let q = self.queues.entry(publisher.to_string()).or_default();
         if stamp <= q.released_to || q.held.contains_key(&stamp) {
             return false;
         }
-        q.held.insert(stamp, item);
+        q.held.insert(stamp, Held { item, since: now });
         true
     }
 
@@ -95,16 +109,63 @@ impl<T> HoldBack<T> {
                     if *entry.key() > floor {
                         break;
                     }
-                    out.push(entry.remove());
+                    out.push(entry.remove().item);
                 }
                 q.released_to = q.released_to.max(floor);
                 true
             }
             None => {
-                out.extend(std::mem::take(&mut q.held).into_values());
+                out.extend(std::mem::take(&mut q.held).into_values().map(|h| h.item));
                 false
             }
         });
+        out
+    }
+
+    /// Publishers whose *oldest* held delivery has waited at least
+    /// `timeout` — their floor has stopped advancing (publisher parked
+    /// mid-publish, shard ack lost). The caller escalates: force-release
+    /// to restore liveness, count the stall, evict the culprit.
+    pub fn stalled(&self, now: Instant, timeout: Duration) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| {
+                q.held
+                    .values()
+                    .next()
+                    .is_some_and(|h| now.duration_since(h.since) >= timeout)
+            })
+            .map(|(p, _)| p.clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Age of the oldest held delivery across all publishers (drives
+    /// the held-duration gauge). `None` when nothing is held.
+    pub fn oldest_held_age(&self, now: Instant) -> Option<Duration> {
+        self.queues
+            .values()
+            .flat_map(|q| q.held.values())
+            .map(|h| now.duration_since(h.since))
+            .max()
+    }
+
+    /// Gives up on `publisher`'s floor: releases everything held from
+    /// it in ascending stamp order and bumps `released_to` past the
+    /// highest released stamp, so late shard copies of the released
+    /// stamps are dropped as duplicates. Per-publisher FIFO is traded
+    /// for liveness — documented escalation, counted by the caller.
+    pub fn force_release(&mut self, publisher: &str) -> Vec<T> {
+        let Some(q) = self.queues.get_mut(publisher) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (stamp, held) in std::mem::take(&mut q.held) {
+            q.released_to = q.released_to.max(stamp);
+            out.push(held.item);
+        }
         out
     }
 
@@ -162,6 +223,40 @@ mod tests {
         let released = hb.release(|p| if p == "bob" { Some(1) } else { Some(0) });
         assert_eq!(released, vec!["b1"]);
         assert_eq!(hb.held_len(), 1);
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_publishers_only() {
+        let t0 = Instant::now();
+        let timeout = Duration::from_millis(500);
+        let mut hb = HoldBack::new();
+        hb.insert_at("alice", 4, "a4", t0);
+        hb.insert_at("bob", 1, "b1", t0 + Duration::from_millis(400));
+        let now = t0 + timeout;
+        assert_eq!(hb.stalled(now, timeout), vec!["alice".to_string()]);
+        assert_eq!(hb.oldest_held_age(now), Some(timeout));
+        // Alice's floor advances in time: no longer stalled.
+        assert_eq!(
+            hb.release(|p| Some(if p == "alice" { 4 } else { 0 })),
+            vec!["a4"]
+        );
+        assert!(hb.stalled(now, timeout).is_empty());
+    }
+
+    #[test]
+    fn force_release_restores_liveness_and_drops_stragglers() {
+        let mut hb = HoldBack::new();
+        hb.insert("alice", 4, "a4");
+        hb.insert("alice", 7, "a7");
+        hb.insert("bob", 1, "b1");
+        assert_eq!(hb.force_release("alice"), vec!["a4", "a7"]);
+        assert_eq!(hb.held_len(), 1, "bob untouched");
+        // Late shard copies of the force-released stamps are duplicates.
+        assert!(!hb.insert("alice", 7, "late"));
+        assert!(!hb.insert("alice", 5, "later"));
+        // New stamps above the bumped floor flow again.
+        assert!(hb.insert("alice", 8, "a8"));
+        assert_eq!(hb.force_release("nobody"), Vec::<&str>::new());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! 1. polls listeners + client sockets for readability (short
 //!    timeout, since daemon events arrive on channels, not fds);
 //! 2. accepts new connections (refusing past `max_clients`);
-//! 3. reads frames, handling Hello/Join/Leave/Publish/Ack;
+//! 3. reads frames, handling Hello/Join/Leave/Publish/Ack/Goodbye;
 //! 4. drains each session's daemon events into window-gated delivery
 //!    queues and credit grants;
 //! 5. flushes write buffers and evicts slow consumers per policy.
@@ -20,6 +20,25 @@
 //! withheld ([`FlowState::on_ordered`]), so offered load backs off at
 //! the clients instead of queueing in the daemon.
 //!
+//! ## Sessions outlive connections
+//!
+//! A *session* (name, daemon registrations, flow state, hold-back
+//! queue) is decoupled from the socket that carries it. When a socket
+//! dies without a [`ClientFrame::Goodbye`], the session is **parked**
+//! for a grace period instead of torn down: group memberships stay,
+//! deliveries keep queueing behind the frozen window, and sent-but-
+//! unacked Deliver frames are retained. A client reconnecting with the
+//! session's [`ResumeToken`] (and the matching epoch) reattaches:
+//! the server replays cached memberships and every retained delivery
+//! above the client's cursor, and a per-session publish-id dedup
+//! window ([`DedupWindow`]) makes re-sent `Publish` frames idempotent
+//! — at most one copy of each publish ever reaches the ring, and a
+//! lost `CreditGrant` is re-sent instead of re-ordering the message.
+//! Parked sessions that exceed the grace period or the retained-bytes
+//! budget are evicted (ordered leaves, like a clean close). Policy
+//! evictions — slow consumer, protocol error — never park: the
+//! session dies with the connection, exactly as before.
+//!
 //! ## Sharded mode
 //!
 //! With [`serve_clients_sharded`], each session registers on every
@@ -29,9 +48,12 @@
 //! shard touched, and stamped deliveries from local publishers pass
 //! through a per-connection hold-back queue ([`crate::order`]) so
 //! subscribers observe each publisher's messages in publish order even
-//! when consecutive publishes were ordered on different rings.
+//! when consecutive publishes were ordered on different rings. A
+//! watchdog force-releases hold-back queues whose publisher floor has
+//! stopped advancing (trading per-publisher FIFO for liveness) and
+//! evicts the stalled publisher's session if it is parked.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -40,22 +62,23 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ar_core::ParticipantId;
 use ar_daemon::daemon::RingPressure;
 use ar_daemon::{
-    ClientEvent, DaemonClient, DaemonConnector, DaemonHandle, ShardMap, ShardedDaemon, TelemetryHub,
+    ClientEvent, DaemonClient, DaemonConnector, DaemonHandle, MemberId, ShardMap, ShardedDaemon,
+    TelemetryHub,
 };
 use ar_net::PollSet;
 use ar_telemetry::{Counter, Gauge};
 use bytes::Bytes;
 
-use crate::credit::{EvictReason, FlowConfig, FlowState};
+use crate::credit::{DedupWindow, EvictReason, FlowConfig, FlowState, Offer};
 use crate::order::HoldBack;
 use crate::wire::{
-    decode_client, encode_server, frame, try_frame, ClientFrame, FrameBuf, ServerFrame,
-    PROTOCOL_VERSION,
+    decode_client, encode_server, frame, try_frame, ClientFrame, FrameBuf, ResumeToken,
+    ServerFrame, PROTOCOL_VERSION,
 };
 
 /// Service-tier tuning.
@@ -71,6 +94,19 @@ pub struct SvcConfig {
     pub ring_high_watermark: usize,
     /// Capacity of each session's daemon event queue.
     pub event_capacity: usize,
+    /// How long a session whose socket died stays parked awaiting a
+    /// resume before it is evicted. Zero disables parking entirely
+    /// (every disconnect tears the session down immediately).
+    pub park_grace: Duration,
+    /// Eviction budget for a parked session's retained (sent but
+    /// unacked) delivery frames.
+    pub park_max_bytes: usize,
+    /// Hold-back stall watchdog: a publisher whose oldest held
+    /// delivery has waited this long is force-released.
+    pub holdback_stall_timeout: Duration,
+    /// Publish-id dedup window per session (granted ids remembered
+    /// across reconnects).
+    pub dedup_window: usize,
     /// When set, per-tier counters and gauges are registered here
     /// (exported via `/metrics` and `/snapshot`).
     pub telemetry: Option<Arc<TelemetryHub>>,
@@ -83,6 +119,10 @@ impl Default for SvcConfig {
             flow: FlowConfig::default(),
             ring_high_watermark: 512,
             event_capacity: ar_daemon::DEFAULT_EVENT_CAPACITY,
+            park_grace: Duration::from_secs(30),
+            park_max_bytes: 4 << 20,
+            holdback_stall_timeout: Duration::from_secs(10),
+            dedup_window: 1024,
             telemetry: None,
         }
     }
@@ -112,6 +152,22 @@ pub struct SvcStats {
     /// Stamped deliveries currently held back awaiting their
     /// publisher's cross-shard floor.
     pub holdback_held: Gauge,
+    /// Sessions successfully resumed after a connection drop.
+    pub sessions_resumed: Counter,
+    /// Sessions currently parked (disconnected, awaiting resume).
+    pub sessions_parked: Gauge,
+    /// Resume attempts rejected (bad token, stale epoch, cursor out of
+    /// range); the client fell back to a fresh session.
+    pub resume_rejected: Counter,
+    /// Bytes of sent-but-unacked Deliver frames retained for replay.
+    pub retained_bytes: Gauge,
+    /// Hold-back stalls: publishers force-released by the watchdog.
+    pub holdback_stalled: Counter,
+    /// Age of the oldest held-back delivery, milliseconds.
+    pub holdback_held_ms: Gauge,
+    /// Publishes dropped as duplicates of an in-flight or granted id
+    /// (re-sent across a reconnect).
+    pub dedup_hits: Counter,
 }
 
 impl SvcStats {
@@ -156,6 +212,34 @@ impl SvcStats {
             holdback_held: hub.registry.gauge(
                 "ar_svc_holdback_held",
                 "Deliveries held back awaiting a publisher's cross-shard floor",
+            ),
+            sessions_resumed: hub.registry.counter(
+                "ar_svc_sessions_resumed_total",
+                "Sessions successfully resumed after a connection drop",
+            ),
+            sessions_parked: hub.registry.gauge(
+                "ar_svc_sessions_parked",
+                "Sessions currently parked (disconnected, awaiting resume)",
+            ),
+            resume_rejected: hub.registry.counter(
+                "ar_svc_resume_rejected_total",
+                "Resume attempts rejected; the client fell back to a fresh session",
+            ),
+            retained_bytes: hub.registry.gauge(
+                "ar_svc_retained_bytes",
+                "Bytes of sent-but-unacked Deliver frames retained for resume replay",
+            ),
+            holdback_stalled: hub.registry.counter(
+                "ar_svc_holdback_stalled_total",
+                "Publishers force-released by the hold-back stall watchdog",
+            ),
+            holdback_held_ms: hub.registry.gauge(
+                "ar_svc_holdback_held_ms",
+                "Age of the oldest held-back delivery, milliseconds",
+            ),
+            dedup_hits: hub.registry.counter(
+                "ar_svc_publish_dedup_total",
+                "Publishes dropped as duplicates of an in-flight or granted id",
             ),
         }
     }
@@ -326,6 +410,9 @@ fn serve_shards(
         stats: stats.clone(),
         conns: HashMap::new(),
         next_conn: 0,
+        sessions: HashMap::new(),
+        by_name: HashMap::new(),
+        session_seed: session_salt(),
         poll: PollSet::new(),
     };
     let join = std::thread::spawn(move || server.run());
@@ -339,6 +426,16 @@ fn serve_shards(
         stats,
         join: Some(join),
     })
+}
+
+/// Seeds the session-id stream from wall clock and pid so tokens from
+/// a previous server incarnation never validate against this one.
+fn session_salt() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ (u64::from(std::process::id()) << 32)
 }
 
 // ---- connection state -----------------------------------------------------
@@ -400,7 +497,7 @@ impl Sock {
 /// Bounded outgoing byte queue with partial-write tracking.
 #[derive(Debug, Default)]
 struct WriteBuf {
-    queue: std::collections::VecDeque<Bytes>,
+    queue: VecDeque<Bytes>,
     /// Bytes of the front chunk already written.
     offset: usize,
     total: usize,
@@ -446,42 +543,71 @@ struct DeliverBody {
     ring_seq: u64,
     shard: u16,
     service: ar_core::ServiceType,
-    sender: ar_daemon::MemberId,
+    sender: MemberId,
     groups: Vec<String>,
     payload: Bytes,
 }
 
-enum ConnState {
-    /// Waiting for Hello.
-    Handshaking,
-    /// Registered with every shard daemon. The flow state is boxed to
-    /// keep the per-connection enum small while handshaking sockets
-    /// dominate.
-    Active {
-        /// The session's private name (hold-back floors are looked up
-        /// by publisher name).
-        name: String,
-        /// One registered client per ring shard, index = shard.
-        clients: Vec<DaemonClient>,
-        flow: Box<FlowState<DeliverBody>>,
-        /// Cross-shard per-publisher reorder queue.
-        hold: HoldBack<DeliverBody>,
-    },
+/// One registered client identity: daemon registrations, flow state,
+/// ordering state, and the resume machinery. Outlives the socket that
+/// carries it (see the module docs).
+struct Session {
+    /// Resume-token identity (returned in Welcome).
+    id: u64,
+    /// Attach generation; bumped on every successful resume so a stale
+    /// token cannot hijack a re-attached session.
+    epoch: u64,
+    /// The session's private name (hold-back floors are looked up by
+    /// publisher name).
+    name: String,
+    /// One registered client per ring shard, index = shard.
+    clients: Vec<DaemonClient>,
+    flow: Box<FlowState<DeliverBody>>,
+    /// Cross-shard per-publisher reorder queue.
+    hold: HoldBack<DeliverBody>,
+    /// Publish-id dedup across reconnects.
+    dedup: DedupWindow,
+    /// Last membership snapshot per joined group, replayed on resume.
+    memberships: HashMap<String, Vec<MemberId>>,
+    /// Sent-but-unacked Deliver frames, `(seq, framed bytes)`, oldest
+    /// first — replayed above the client's cursor on resume.
+    retained: VecDeque<(u64, Bytes)>,
+    retained_bytes: usize,
+    /// The attached connection, `None` while parked.
+    conn: Option<u64>,
+    /// When the session was parked (socket died without Goodbye).
+    parked_since: Option<Instant>,
+    /// Condemned: torn down at the next reap, never parked.
+    dead: bool,
+}
+
+impl Session {
+    /// Drops retained frames the client has acked.
+    fn drop_retained(&mut self, through: u64) {
+        while self
+            .retained
+            .front()
+            .is_some_and(|(seq, _)| *seq <= through)
+        {
+            let (_, bytes) = self.retained.pop_front().expect("front checked");
+            self.retained_bytes -= bytes.len();
+        }
+    }
 }
 
 struct Conn {
     sock: Sock,
     rbuf: FrameBuf,
     wbuf: WriteBuf,
-    state: ConnState,
-    /// Set when the session must close (after flushing `wbuf` best
+    /// The session this socket carries (`None` while handshaking).
+    session: Option<u64>,
+    /// Set when the socket must close (after flushing `wbuf` best
     /// effort).
     dead: bool,
 }
 
 /// Queues a frame on a write buffer (free function so callers holding
-/// a borrow of `conn.state` can still reach the disjoint `wbuf`
-/// field).
+/// other borrows can still reach the disjoint `wbuf` field).
 fn push_frame(wbuf: &mut WriteBuf, frame_body: &ServerFrame) {
     wbuf.push(frame(&encode_server(frame_body)));
 }
@@ -506,6 +632,11 @@ struct Server {
     stats: SvcStats,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
+    sessions: HashMap<u64, Session>,
+    /// Name → session id (names are unique across the tier).
+    by_name: HashMap<String, u64>,
+    /// SplitMix64 state for session-id generation.
+    session_seed: u64,
     poll: PollSet,
 }
 
@@ -516,9 +647,11 @@ impl Server {
             self.accept_new();
             self.read_all();
             self.pump_daemon_events();
+            self.watchdog();
             self.fill_windows();
             self.flush_all();
-            self.reap();
+            self.park_and_reap();
+            self.refresh_gauges();
         }
         // Graceful stop: tell every client and close.
         for (_, conn) in self.conns.iter_mut() {
@@ -532,6 +665,8 @@ impl Server {
             conn.sock.shutdown();
         }
         self.stats.connected.set(0);
+        self.stats.sessions_parked.set(0);
+        self.stats.retained_bytes.set(0);
         Ok(())
     }
 
@@ -600,7 +735,7 @@ impl Server {
                     sock,
                     rbuf: FrameBuf::new(),
                     wbuf: WriteBuf::default(),
-                    state: ConnState::Handshaking,
+                    session: None,
                     dead: false,
                 },
             );
@@ -639,7 +774,14 @@ impl Server {
                         Ok(Some(f)) => frames.push(f),
                         Ok(None) => break,
                         Err(_) => {
-                            conn.dead = true; // oversized frame: cut loose
+                            // Oversized frame: protocol error, the
+                            // session dies with the socket.
+                            conn.dead = true;
+                            if let Some(sid) = conn.session {
+                                if let Some(sess) = self.sessions.get_mut(&sid) {
+                                    sess.dead = true;
+                                }
+                            }
                             break;
                         }
                     }
@@ -651,25 +793,51 @@ impl Server {
         }
     }
 
-    fn handle_frame(&mut self, id: u64, bytes: &[u8]) {
-        let Ok(req) = decode_client(bytes) else {
-            // Malformed frame: protocol error, close the session.
-            if let Some(conn) = self.conns.get_mut(&id) {
-                push_frame(
-                    &mut conn.wbuf,
-                    &ServerFrame::Evicted {
-                        reason: "protocol error".into(),
-                    },
-                );
-                conn.dead = true;
-            }
-            return;
-        };
+    /// Condemns a connection *and its session* — used for protocol
+    /// errors, where parking would reward a corrupt peer.
+    fn kill_conn(&mut self, id: u64, reason: &str) {
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
-        if matches!(conn.state, ConnState::Handshaking) {
-            let ClientFrame::Hello { version, name } = req else {
+        push_frame(
+            &mut conn.wbuf,
+            &ServerFrame::Evicted {
+                reason: reason.into(),
+            },
+        );
+        conn.dead = true;
+        if let Some(sid) = conn.session {
+            if let Some(sess) = self.sessions.get_mut(&sid) {
+                sess.dead = true;
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, id: u64, bytes: &[u8]) {
+        let Ok(req) = decode_client(bytes) else {
+            self.kill_conn(id, "protocol error");
+            return;
+        };
+        let sid = match self.conns.get(&id) {
+            Some(conn) => conn.session,
+            None => return,
+        };
+        match sid {
+            None => self.handle_hello(id, req),
+            Some(sid) => self.handle_active(id, sid, req),
+        }
+    }
+
+    // ---- handshake --------------------------------------------------------
+
+    fn handle_hello(&mut self, id: u64, req: ClientFrame) {
+        let ClientFrame::Hello {
+            version,
+            name,
+            resume,
+        } = req
+        else {
+            if let Some(conn) = self.conns.get_mut(&id) {
                 push_frame(
                     &mut conn.wbuf,
                     &ServerFrame::Refused {
@@ -677,10 +845,12 @@ impl Server {
                     },
                 );
                 conn.dead = true;
-                self.stats.refused.add(1);
-                return;
-            };
-            if version != PROTOCOL_VERSION {
+            }
+            self.stats.refused.add(1);
+            return;
+        };
+        if version != PROTOCOL_VERSION {
+            if let Some(conn) = self.conns.get_mut(&id) {
                 push_frame(
                     &mut conn.wbuf,
                     &ServerFrame::Refused {
@@ -690,51 +860,207 @@ impl Server {
                     },
                 );
                 conn.dead = true;
+            }
+            self.stats.refused.add(1);
+            return;
+        }
+        if let Some(token) = resume {
+            if self.try_resume(id, &name, token) {
+                return;
+            }
+            // Invalid token (unknown session, stale epoch, cursor out
+            // of range, or parking disabled): fall back to a fresh
+            // session. `resumed: false` in the Welcome tells the
+            // client its delivery continuity is lost.
+            self.stats.resume_rejected.add(1);
+        }
+        self.fresh_session(id, name);
+    }
+
+    /// Validates a resume token and reattaches the parked session.
+    /// Returns false when the token does not check out.
+    fn try_resume(&mut self, conn_id: u64, name: &str, token: ResumeToken) -> bool {
+        if self.config.park_grace.is_zero() {
+            return false;
+        }
+        let valid = self.sessions.get(&token.session).is_some_and(|sess| {
+            !sess.dead
+                && sess.name == name
+                && sess.epoch == token.epoch
+                // The cursor must lie in the retained range: at or
+                // above what was already acked, at or below what was
+                // actually sent.
+                && token.acked_through >= sess.flow.acked()
+                && token.acked_through <= sess.flow.sent()
+        });
+        if !valid {
+            return false;
+        }
+        // Supersede a half-dead socket still nominally attached: the
+        // client holding the live token wins.
+        let old_conn = self
+            .sessions
+            .get(&token.session)
+            .and_then(|s| s.conn)
+            .filter(|old| *old != conn_id);
+        if let Some(old) = old_conn {
+            if let Some(conn) = self.conns.get_mut(&old) {
+                conn.session = None;
+                conn.dead = true;
+            }
+            self.stats.connected.add(-1);
+        }
+        let sess = self.sessions.get_mut(&token.session).expect("validated");
+        sess.epoch += 1;
+        sess.conn = Some(conn_id);
+        sess.parked_since = None;
+        sess.flow.on_ack(token.acked_through);
+        sess.drop_retained(token.acked_through);
+        let conn = self.conns.get_mut(&conn_id).expect("caller held it");
+        conn.session = Some(token.session);
+        push_frame(
+            &mut conn.wbuf,
+            &ServerFrame::Welcome {
+                version: PROTOCOL_VERSION,
+                daemon: self.pid.as_u16(),
+                rings: self.connectors.len() as u16,
+                publish_credits: self.config.flow.publish_credits,
+                delivery_window: self.config.flow.delivery_window,
+                session: sess.id,
+                epoch: sess.epoch,
+                resumed: true,
+                retained_lo: sess.flow.acked() + 1,
+                retained_hi: sess.flow.sent(),
+            },
+        );
+        // Replay: memberships first (so the application's view of who
+        // is in each group is restored before deliveries resume), then
+        // every retained delivery above the cursor.
+        for (group, members) in &sess.memberships {
+            push_frame(
+                &mut conn.wbuf,
+                &ServerFrame::Membership {
+                    group: group.clone(),
+                    members: members.clone(),
+                },
+            );
+        }
+        let replayed = sess.retained.len() as u64;
+        for (_, framed) in &sess.retained {
+            conn.wbuf.push(framed.clone());
+        }
+        if replayed > 0 {
+            self.stats.deliveries.add(replayed);
+        }
+        self.stats.connected.add(1);
+        self.stats.sessions_resumed.add(1);
+        true
+    }
+
+    fn fresh_session(&mut self, conn_id: u64, name: String) {
+        // The name may be held by a *parked* session (the client lost
+        // its token, or chose not to resume): evict it first. The
+        // daemon Unregister (from dropping the old DaemonClients) and
+        // the Register below share one command channel, so ordering is
+        // FIFO — no duplicate-name race. A name held by a live
+        // attached connection refuses as before.
+        if let Some(&sid) = self.by_name.get(&name) {
+            let attached = self
+                .sessions
+                .get(&sid)
+                .is_some_and(|s| !s.dead && s.conn.is_some());
+            if attached {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::Refused {
+                            reason: format!("name '{name}' is already connected"),
+                        },
+                    );
+                    conn.dead = true;
+                }
                 self.stats.refused.add(1);
                 return;
             }
-            // Register on every shard under the same name; dropping
-            // partially connected clients unregisters them cleanly.
-            let mut clients = Vec::with_capacity(self.connectors.len());
-            let mut refuse = None;
-            for connector in &self.connectors {
-                match connector.connect_service(&name, self.config.event_capacity) {
-                    Ok(client) => clients.push(client),
-                    Err(e) => {
-                        refuse = Some(e.to_string());
-                        break;
-                    }
+            self.remove_session(sid);
+        }
+        let mut clients = Vec::with_capacity(self.connectors.len());
+        let mut refuse = None;
+        for connector in &self.connectors {
+            match connector.connect_service(&name, self.config.event_capacity) {
+                Ok(client) => clients.push(client),
+                Err(e) => {
+                    refuse = Some(e.to_string());
+                    break;
                 }
             }
-            match refuse {
-                None => {
-                    push_frame(
-                        &mut conn.wbuf,
-                        &ServerFrame::Welcome {
-                            version: PROTOCOL_VERSION,
-                            daemon: self.pid.as_u16(),
-                            rings: self.connectors.len() as u16,
-                            publish_credits: self.config.flow.publish_credits,
-                            delivery_window: self.config.flow.delivery_window,
-                        },
-                    );
-                    conn.state = ConnState::Active {
-                        name,
-                        clients,
-                        flow: Box::new(FlowState::new(self.config.flow)),
-                        hold: HoldBack::new(),
-                    };
-                    self.stats.connected.add(1);
-                }
-                Some(reason) => {
-                    push_frame(&mut conn.wbuf, &ServerFrame::Refused { reason });
-                    conn.dead = true;
-                    self.stats.refused.add(1);
-                }
+        }
+        if let Some(reason) = refuse {
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                push_frame(&mut conn.wbuf, &ServerFrame::Refused { reason });
+                conn.dead = true;
             }
+            self.stats.refused.add(1);
             return;
         }
-        let ConnState::Active { clients, flow, .. } = &mut conn.state else {
+        let sid = self.fresh_session_id();
+        let sess = Session {
+            id: sid,
+            epoch: 1,
+            name: name.clone(),
+            clients,
+            flow: Box::new(FlowState::new(self.config.flow)),
+            hold: HoldBack::new(),
+            dedup: DedupWindow::new(self.config.dedup_window),
+            memberships: HashMap::new(),
+            retained: VecDeque::new(),
+            retained_bytes: 0,
+            conn: Some(conn_id),
+            parked_since: None,
+            dead: false,
+        };
+        let conn = self.conns.get_mut(&conn_id).expect("caller held it");
+        conn.session = Some(sid);
+        push_frame(
+            &mut conn.wbuf,
+            &ServerFrame::Welcome {
+                version: PROTOCOL_VERSION,
+                daemon: self.pid.as_u16(),
+                rings: self.connectors.len() as u16,
+                publish_credits: self.config.flow.publish_credits,
+                delivery_window: self.config.flow.delivery_window,
+                session: sid,
+                epoch: 1,
+                resumed: false,
+                retained_lo: 1,
+                retained_hi: 0,
+            },
+        );
+        self.sessions.insert(sid, sess);
+        self.by_name.insert(name, sid);
+        self.stats.connected.add(1);
+    }
+
+    fn fresh_session_id(&mut self) -> u64 {
+        loop {
+            self.session_seed = self.session_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.session_seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            if z != 0 && !self.sessions.contains_key(&z) {
+                return z;
+            }
+        }
+    }
+
+    // ---- active sessions --------------------------------------------------
+
+    fn handle_active(&mut self, conn_id: u64, sid: u64, req: ClientFrame) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some(sess) = self.sessions.get_mut(&sid) else {
             return;
         };
         match req {
@@ -746,10 +1072,17 @@ impl Server {
                     },
                 );
                 conn.dead = true;
+                sess.dead = true;
+            }
+            ClientFrame::Goodbye => {
+                // Clean close: tear the session down now (ordered
+                // leaves for every joined group) instead of parking.
+                conn.dead = true;
+                sess.dead = true;
             }
             ClientFrame::JoinGroup { group } => {
                 let shard = self.map.shard_of(&group);
-                if let Err(e) = clients[shard].join(&group) {
+                if let Err(e) = sess.clients[shard].join(&group) {
                     push_frame(
                         &mut conn.wbuf,
                         &ServerFrame::GroupRejected {
@@ -763,7 +1096,7 @@ impl Server {
             }
             ClientFrame::LeaveGroup { group } => {
                 let shard = self.map.shard_of(&group);
-                if let Err(e) = clients[shard].leave(&group) {
+                if let Err(e) = sess.clients[shard].leave(&group) {
                     push_frame(
                         &mut conn.wbuf,
                         &ServerFrame::GroupRejected {
@@ -773,6 +1106,10 @@ impl Server {
                         },
                     );
                     self.stats.join_rejected.add(1);
+                } else {
+                    // No further Membership event will arrive for this
+                    // group; don't replay a stale snapshot on resume.
+                    sess.memberships.remove(&group);
                 }
             }
             ClientFrame::Publish {
@@ -781,15 +1118,40 @@ impl Server {
                 groups,
                 payload,
             } => {
+                match sess.dedup.offer(pub_id) {
+                    Offer::InFlight => {
+                        // Re-sent across a reconnect; the first copy is
+                        // still working through the ring. Its grant (or
+                        // rejection) will answer this copy too.
+                        self.stats.dedup_hits.add(1);
+                        return;
+                    }
+                    Offer::Granted => {
+                        // The first copy was ordered but its grant died
+                        // with the old connection: re-send the grant,
+                        // don't re-order the message.
+                        self.stats.dedup_hits.add(1);
+                        push_frame(
+                            &mut conn.wbuf,
+                            &ServerFrame::CreditGrant {
+                                acked_id: pub_id,
+                                credits: 1,
+                            },
+                        );
+                        self.stats.credit_grants.add(1);
+                        return;
+                    }
+                    Offer::Fresh => {}
+                }
                 // One ordered message per shard the group list touches;
                 // one credit and one stamp per publish regardless.
                 let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
                 let parts = self.map.partition(&refs);
-                match flow.try_consume_credit(pub_id, parts.len() as u32) {
+                match sess.flow.try_consume_credit(pub_id, parts.len() as u32) {
                     Some(stamp) => {
                         let mut failed = None;
                         for (shard, part) in &parts {
-                            if let Err(e) = clients[*shard].multicast_stamped(
+                            if let Err(e) = sess.clients[*shard].multicast_stamped(
                                 part,
                                 service,
                                 stamp,
@@ -804,10 +1166,14 @@ impl Server {
                             Some(reason) => {
                                 push_frame(&mut conn.wbuf, &ServerFrame::Evicted { reason });
                                 conn.dead = true;
+                                sess.dead = true;
                             }
                         }
                     }
                     None => {
+                        // No credit consumed, nothing forwarded: a
+                        // retry of this id must be treated as fresh.
+                        sess.dedup.forget(pub_id);
                         push_frame(
                             &mut conn.wbuf,
                             &ServerFrame::PublishReject {
@@ -820,7 +1186,8 @@ impl Server {
                 }
             }
             ClientFrame::Ack { through } => {
-                flow.on_ack(through);
+                sess.flow.on_ack(through);
+                sess.drop_retained(sess.flow.acked());
             }
         }
     }
@@ -828,7 +1195,9 @@ impl Server {
     /// Converts queued daemon events into frames: deliveries into the
     /// window-gated pending queue, membership/network changes straight
     /// to the write buffer, Ordered acks into credit grants (deferred
-    /// while the ring is congested).
+    /// while the ring is congested). Runs for parked sessions too —
+    /// their queues keep filling and their grants are recorded in the
+    /// dedup window for recovery via republish.
     fn pump_daemon_events(&mut self) {
         let congested = self
             .pressures
@@ -837,35 +1206,35 @@ impl Server {
         // Publisher floors are snapshotted BEFORE the drain pass: a
         // floor observed now is only safe to release against once all
         // shard queues that could hold earlier stamps are drained (see
-        // `crate::order` for the invariant).
+        // `crate::order` for the invariant). Parked sessions keep
+        // their floors — their in-flight publishes still complete.
         let mut floors: HashMap<String, u64> = HashMap::new();
-        for conn in self.conns.values() {
-            if conn.dead {
-                continue;
-            }
-            if let ConnState::Active { name, flow, .. } = &conn.state {
-                floors.insert(name.clone(), flow.ordered_through());
+        for sess in self.sessions.values() {
+            if !sess.dead {
+                floors.insert(sess.name.clone(), sess.flow.ordered_through());
             }
         }
         let single_ring = self.connectors.len() == 1;
+        let pid = self.pid;
+        let max_pending = self.config.flow.max_pending;
         let mut deferred_delta: i64 = 0;
-        let mut held_delta: i64 = 0;
-        for conn in self.conns.values_mut() {
-            if conn.dead {
+        let Server {
+            sessions,
+            conns,
+            stats,
+            ..
+        } = self;
+        for sess in sessions.values_mut() {
+            if sess.dead {
                 continue;
             }
-            let ConnState::Active {
-                clients,
-                flow,
-                hold,
-                ..
-            } = &mut conn.state
-            else {
-                continue;
-            };
-            let held_before = hold.held_len() as i64;
+            let mut wbuf = sess
+                .conn
+                .and_then(|cid| conns.get_mut(&cid))
+                .filter(|c| !c.dead)
+                .map(|c| &mut c.wbuf);
             let mut evict_reason = None;
-            'shards: for (shard, client) in clients.iter_mut().enumerate() {
+            'shards: for (shard, client) in sess.clients.iter_mut().enumerate() {
                 for ev in client.drain() {
                     match ev {
                         ClientEvent::Message {
@@ -889,18 +1258,17 @@ impl Server {
                             // they have a floor that will advance.
                             // Single-ring mode needs no hold-back at
                             // all — one ring is already an order.
-                            let local = body.sender.daemon == self.pid
+                            let local = body.sender.daemon == pid
                                 && floors.contains_key(&body.sender.client);
                             if single_ring || stamp == 0 || !local {
-                                if let Err(reason) = flow.queue_delivery(body) {
+                                if let Err(reason) = sess.flow.queue_delivery(body) {
                                     evict_reason = Some(reason);
                                     break 'shards;
                                 }
                             } else {
                                 let publisher = body.sender.client.clone();
-                                if hold.insert(&publisher, stamp, body)
-                                    && hold.held_len() + flow.pending_len()
-                                        > self.config.flow.max_pending
+                                if sess.hold.insert(&publisher, stamp, body)
+                                    && sess.hold.held_len() + sess.flow.pending_len() > max_pending
                                 {
                                     evict_reason = Some(EvictReason::PendingOverflow);
                                     break 'shards;
@@ -908,29 +1276,40 @@ impl Server {
                             }
                         }
                         ClientEvent::Ordered { stamp, .. } => {
-                            let before = flow.deferred_len() as i64;
-                            for acked_id in flow.on_ordered(stamp, congested) {
-                                push_frame(
-                                    &mut conn.wbuf,
-                                    &ServerFrame::CreditGrant {
-                                        acked_id,
-                                        credits: 1,
-                                    },
-                                );
-                                self.stats.credit_grants.add(1);
+                            let before = sess.flow.deferred_len() as i64;
+                            for acked_id in sess.flow.on_ordered(stamp, congested) {
+                                sess.dedup.grant(acked_id);
+                                if let Some(w) = wbuf.as_deref_mut() {
+                                    push_frame(
+                                        w,
+                                        &ServerFrame::CreditGrant {
+                                            acked_id,
+                                            credits: 1,
+                                        },
+                                    );
+                                    stats.credit_grants.add(1);
+                                }
+                                // Parked: the grant frame is lost with
+                                // the socket; the dedup window re-sends
+                                // it when the client republishes.
                             }
-                            deferred_delta += flow.deferred_len() as i64 - before;
+                            deferred_delta += sess.flow.deferred_len() as i64 - before;
                         }
                         ClientEvent::Membership { group, members } => {
-                            push_frame(&mut conn.wbuf, &ServerFrame::Membership { group, members });
+                            sess.memberships.insert(group.clone(), members.clone());
+                            if let Some(w) = wbuf.as_deref_mut() {
+                                push_frame(w, &ServerFrame::Membership { group, members });
+                            }
                         }
                         ClientEvent::NetworkChange { daemons } => {
-                            push_frame(
-                                &mut conn.wbuf,
-                                &ServerFrame::NetworkChange {
-                                    daemons: daemons.iter().map(|d| d.as_u16()).collect(),
-                                },
-                            );
+                            if let Some(w) = wbuf.as_deref_mut() {
+                                push_frame(
+                                    w,
+                                    &ServerFrame::NetworkChange {
+                                        daemons: daemons.iter().map(|d| d.as_u16()).collect(),
+                                    },
+                                );
+                            }
                         }
                     }
                 }
@@ -938,59 +1317,145 @@ impl Server {
             // Every shard queue drained: release what the snapshotted
             // floors cover, in per-publisher stamp order.
             if evict_reason.is_none() && !single_ring {
-                for body in hold.release(|publisher| floors.get(publisher).copied()) {
-                    if let Err(reason) = flow.queue_delivery(body) {
+                for body in sess
+                    .hold
+                    .release(|publisher| floors.get(publisher).copied())
+                {
+                    if let Err(reason) = sess.flow.queue_delivery(body) {
                         evict_reason = Some(reason);
                         break;
                     }
                 }
             }
-            held_delta += hold.held_len() as i64 - held_before;
             // Congestion cleared: release withheld credits.
-            if !congested && flow.deferred_len() > 0 {
-                let ids = flow.flush_deferred();
+            if !congested && sess.flow.deferred_len() > 0 {
+                let ids = sess.flow.flush_deferred();
                 deferred_delta -= ids.len() as i64;
                 for acked_id in ids {
-                    push_frame(
-                        &mut conn.wbuf,
-                        &ServerFrame::CreditGrant {
-                            acked_id,
-                            credits: 1,
-                        },
-                    );
-                    self.stats.credit_grants.add(1);
+                    sess.dedup.grant(acked_id);
+                    if let Some(w) = wbuf.as_deref_mut() {
+                        push_frame(
+                            w,
+                            &ServerFrame::CreditGrant {
+                                acked_id,
+                                credits: 1,
+                            },
+                        );
+                        stats.credit_grants.add(1);
+                    }
                 }
             }
             if let Some(reason) = evict_reason {
-                push_frame(
-                    &mut conn.wbuf,
-                    &ServerFrame::Evicted {
-                        reason: reason.as_str().into(),
-                    },
-                );
-                conn.dead = true;
-                self.stats.evicted.add(1);
+                if let Some(w) = wbuf {
+                    push_frame(
+                        w,
+                        &ServerFrame::Evicted {
+                            reason: reason.as_str().into(),
+                        },
+                    );
+                }
+                sess.dead = true;
+                if let Some(cid) = sess.conn {
+                    if let Some(conn) = conns.get_mut(&cid) {
+                        conn.dead = true;
+                    }
+                }
+                stats.evicted.add(1);
             }
         }
         if deferred_delta != 0 {
             self.stats.deferred_grants.add(deferred_delta);
         }
-        if held_delta != 0 {
-            self.stats.holdback_held.add(held_delta);
+    }
+
+    /// The hold-back stall watchdog: a publisher whose floor has
+    /// stopped advancing (evicted mid-publish with a shard copy lost,
+    /// or any ack path failure) would otherwise hold its subscribers'
+    /// deliveries forever. Force-release trades that publisher's FIFO
+    /// for liveness; if the stalled publisher's own session is parked,
+    /// it is evicted — its floor can no longer be trusted to advance.
+    fn watchdog(&mut self) {
+        let timeout = self.config.holdback_stall_timeout;
+        if timeout.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let mut stalled_publishers: Vec<String> = Vec::new();
+        let Server {
+            sessions,
+            conns,
+            stats,
+            ..
+        } = self;
+        for sess in sessions.values_mut() {
+            if sess.dead {
+                continue;
+            }
+            let stalled = sess.hold.stalled(now, timeout);
+            if stalled.is_empty() {
+                continue;
+            }
+            let mut evict_reason = None;
+            for publisher in stalled {
+                stats.holdback_stalled.add(1);
+                for body in sess.hold.force_release(&publisher) {
+                    if let Err(reason) = sess.flow.queue_delivery(body) {
+                        evict_reason = Some(reason);
+                        break;
+                    }
+                }
+                stalled_publishers.push(publisher);
+            }
+            if let Some(reason) = evict_reason {
+                if let Some(conn) = sess.conn.and_then(|cid| conns.get_mut(&cid)) {
+                    push_frame(
+                        &mut conn.wbuf,
+                        &ServerFrame::Evicted {
+                            reason: reason.as_str().into(),
+                        },
+                    );
+                    conn.dead = true;
+                }
+                sess.dead = true;
+                stats.evicted.add(1);
+            }
+        }
+        stalled_publishers.sort_unstable();
+        stalled_publishers.dedup();
+        for name in stalled_publishers {
+            if let Some(&sid) = self.by_name.get(&name) {
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    if sess.conn.is_none() {
+                        sess.dead = true;
+                    }
+                }
+            }
         }
     }
 
-    /// Moves window-eligible deliveries into write buffers.
+    /// Moves window-eligible deliveries into write buffers, retaining
+    /// a copy of every sent frame until the client acks it.
     fn fill_windows(&mut self) {
-        for conn in self.conns.values_mut() {
+        let Server {
+            sessions,
+            conns,
+            stats,
+            ..
+        } = self;
+        for sess in sessions.values_mut() {
+            if sess.dead {
+                continue;
+            }
+            // Parked: the window is frozen (nothing to send a frame
+            // to); deliveries keep queueing in `flow.pending`.
+            let Some(conn) = sess.conn.and_then(|cid| conns.get_mut(&cid)) else {
+                continue;
+            };
             if conn.dead {
                 continue;
             }
-            let ConnState::Active { flow, .. } = &mut conn.state else {
-                continue;
-            };
             let mut sent = 0u64;
-            while let Some(p) = flow.next_sendable() {
+            while let Some(p) = sess.flow.next_sendable() {
                 let b = p.item;
                 let body = encode_server(&ServerFrame::Deliver {
                     seq: p.seq,
@@ -1003,7 +1468,9 @@ impl Server {
                 });
                 match try_frame(&body) {
                     Ok(framed) => {
-                        conn.wbuf.push(framed);
+                        conn.wbuf.push(framed.clone());
+                        sess.retained_bytes += framed.len();
+                        sess.retained.push_back((p.seq, framed));
                         sent += 1;
                     }
                     Err(e) => {
@@ -1014,19 +1481,26 @@ impl Server {
                             },
                         );
                         conn.dead = true;
-                        self.stats.evicted.add(1);
+                        sess.dead = true;
+                        stats.evicted.add(1);
                         break;
                     }
                 }
             }
             if sent > 0 {
-                self.stats.deliveries.add(sent);
+                stats.deliveries.add(sent);
             }
         }
     }
 
     fn flush_all(&mut self) {
-        for conn in self.conns.values_mut() {
+        let Server {
+            sessions,
+            conns,
+            stats,
+            ..
+        } = self;
+        for conn in conns.values_mut() {
             if conn.wbuf.len() == 0 {
                 continue;
             }
@@ -1035,12 +1509,10 @@ impl Server {
                     if conn.dead {
                         continue;
                     }
-                    let overflow = match &conn.state {
-                        ConnState::Active { flow, .. } => {
-                            flow.check_write_buffer(conn.wbuf.len()).err()
-                        }
-                        ConnState::Handshaking => None,
-                    };
+                    let sess = conn.session.and_then(|sid| sessions.get_mut(&sid));
+                    let overflow = sess
+                        .as_ref()
+                        .and_then(|s| s.flow.check_write_buffer(conn.wbuf.len()).err());
                     if let Some(reason) = overflow {
                         push_frame(
                             &mut conn.wbuf,
@@ -1049,7 +1521,10 @@ impl Server {
                             },
                         );
                         conn.dead = true;
-                        self.stats.evicted.add(1);
+                        if let Some(s) = sess {
+                            s.dead = true;
+                        }
+                        stats.evicted.add(1);
                     }
                 }
                 Err(_) => conn.dead = true,
@@ -1057,29 +1532,105 @@ impl Server {
         }
     }
 
-    /// Closes dead sessions. Dropping the [`DaemonClient`] unregisters
-    /// at the daemon, which submits ordered leaves for every group the
-    /// client was in — other members see a clean membership change.
-    fn reap(&mut self) {
-        let dead: Vec<u64> = self
+    /// Closes dead connections — parking their sessions unless the
+    /// session is condemned — then evicts parked sessions past the
+    /// grace period or the retained-bytes budget, and finally tears
+    /// down condemned sessions. Dropping a session's [`DaemonClient`]s
+    /// unregisters at the daemon, which submits ordered leaves for
+    /// every group the client was in — other members see a clean
+    /// membership change.
+    fn park_and_reap(&mut self) {
+        let now = Instant::now();
+        let dead_conns: Vec<u64> = self
             .conns
             .iter()
             .filter(|(_, c)| c.dead)
             .map(|(id, _)| *id)
             .collect();
-        for id in dead {
-            if let Some(mut conn) = self.conns.remove(&id) {
-                // Last chance for the Evicted frame to reach the peer.
-                let _ = conn.wbuf.flush(&mut conn.sock);
-                conn.sock.shutdown();
-                if let ConnState::Active { hold, .. } = &conn.state {
-                    self.stats.connected.add(-1);
-                    let held = hold.held_len() as i64;
-                    if held != 0 {
-                        self.stats.holdback_held.add(-held);
-                    }
+        for id in dead_conns {
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            // Last chance for the Evicted frame to reach the peer.
+            let _ = conn.wbuf.flush(&mut conn.sock);
+            conn.sock.shutdown();
+            let Some(sid) = conn.session else { continue };
+            let Some(sess) = self.sessions.get_mut(&sid) else {
+                continue;
+            };
+            if sess.conn != Some(id) {
+                // Superseded during resume; the gauge was already
+                // adjusted there.
+                continue;
+            }
+            sess.conn = None;
+            self.stats.connected.add(-1);
+            if !sess.dead {
+                if self.config.park_grace.is_zero() {
+                    sess.dead = true;
+                } else {
+                    sess.parked_since = Some(now);
                 }
             }
         }
+        // Parked sessions past the grace period or over the retained
+        // budget are done waiting.
+        for sess in self.sessions.values_mut() {
+            if sess.dead || sess.conn.is_some() {
+                continue;
+            }
+            let expired = sess
+                .parked_since
+                .is_some_and(|t| now.duration_since(t) > self.config.park_grace);
+            if expired || sess.retained_bytes > self.config.park_max_bytes {
+                sess.dead = true;
+            }
+        }
+        let dead_sessions: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.dead && s.conn.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for sid in dead_sessions {
+            self.remove_session(sid);
+        }
+    }
+
+    /// Removes a session outright; dropping its [`DaemonClient`]s
+    /// queues the daemon Unregisters (ordered leaves).
+    fn remove_session(&mut self, sid: u64) {
+        if let Some(sess) = self.sessions.remove(&sid) {
+            if self.by_name.get(&sess.name) == Some(&sid) {
+                self.by_name.remove(&sess.name);
+            }
+        }
+    }
+
+    /// Recomputes the absolute gauges each tick — cheaper to re-derive
+    /// than to thread deltas through every park/resume/evict path.
+    fn refresh_gauges(&mut self) {
+        let now = Instant::now();
+        let mut parked = 0i64;
+        let mut retained = 0i64;
+        let mut held = 0i64;
+        let mut oldest_ms = 0i64;
+        for sess in self.sessions.values() {
+            if sess.dead {
+                continue;
+            }
+            if sess.conn.is_none() {
+                parked += 1;
+            }
+            retained += sess.retained_bytes as i64;
+            held += sess.hold.held_len() as i64;
+            if let Some(age) = sess.hold.oldest_held_age(now) {
+                oldest_ms = oldest_ms.max(age.as_millis() as i64);
+            }
+        }
+        self.stats.sessions_parked.set(parked);
+        self.stats.retained_bytes.set(retained);
+        self.stats.holdback_held.set(held);
+        self.stats.holdback_held_ms.set(oldest_ms);
     }
 }

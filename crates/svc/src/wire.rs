@@ -25,7 +25,15 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Version 2 (sharded multi-ring): `Welcome` carries the ring count,
 /// `Deliver` carries the ordering shard, and `GroupRejected` reports
 /// failed join/leave requests instead of silently dropping them.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3 (session resumption): `Hello` optionally carries a
+/// [`ResumeToken`] (session id + epoch + last-acked delivery cursor),
+/// `Welcome` returns the session identity, whether the resume was
+/// honoured, and the server's retained-delivery range; `Goodbye`
+/// distinguishes a deliberate close (session torn down immediately)
+/// from a connection drop (session parked for the resume grace
+/// period).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frames larger than this are rejected (16 MiB; large application
 /// messages are fragmented by the daemon, not by this tier).
@@ -113,6 +121,27 @@ fn take_u16(buf: &mut &[u8]) -> io::Result<u16> {
     Ok(buf.get_u16())
 }
 
+/// Proof of a previous session, presented in
+/// [`ClientFrame::Hello`] to resume it after a connection drop.
+///
+/// The server honours the token only while the session is parked (or
+/// still nominally attached to a half-dead socket) **and** the epoch
+/// matches the session's current attach generation — a stale token
+/// from an older connection cannot hijack a session that has since
+/// been resumed elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeToken {
+    /// Server-assigned session id (from [`ServerFrame::Welcome`]).
+    pub session: u64,
+    /// Attach generation; bumped by the server on every successful
+    /// attach and returned in the Welcome.
+    pub epoch: u64,
+    /// Highest delivery sequence the client has consumed — the
+    /// redelivery cursor. The server replays retained deliveries
+    /// strictly above it.
+    pub acked_through: u64,
+}
+
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientFrame {
@@ -122,6 +151,9 @@ pub enum ClientFrame {
         version: u16,
         /// Requested private name (1..=[`MAX_NAME`] bytes).
         name: String,
+        /// When set, resume the identified parked session instead of
+        /// starting fresh.
+        resume: Option<ResumeToken>,
     },
     /// Join a group.
     JoinGroup {
@@ -152,6 +184,10 @@ pub enum ClientFrame {
         /// Highest consumed per-connection delivery sequence.
         through: u64,
     },
+    /// Deliberate close: the server tears the session down immediately
+    /// (ordered leaves for every joined group) instead of parking it
+    /// for the resume grace period.
+    Goodbye,
 }
 
 /// Server → client frames.
@@ -169,6 +205,23 @@ pub enum ServerFrame {
         publish_credits: u32,
         /// Delivery window: maximum unacked deliveries in flight.
         delivery_window: u32,
+        /// Server-assigned session id — half of the resume token.
+        session: u64,
+        /// Attach generation (1 on a fresh session; bumped per
+        /// successful resume). The other half of the resume token.
+        epoch: u64,
+        /// True when a presented [`ResumeToken`] was honoured: the
+        /// delivery stream continues from the client's cursor. False
+        /// on a fresh session (including a rejected resume falling
+        /// back to fresh — the client must treat continuity as lost).
+        resumed: bool,
+        /// Lowest retained delivery sequence the server will replay
+        /// (`acked + 1`). On a fresh session this is 1.
+        retained_lo: u64,
+        /// Highest delivery sequence the server has sent (the top of
+        /// the retained range; `retained_hi < retained_lo` means
+        /// nothing is retained).
+        retained_hi: u64,
     },
     /// Handshake rejected.
     Refused {
@@ -246,10 +299,23 @@ pub enum ServerFrame {
 pub fn encode_client(frame: &ClientFrame) -> Bytes {
     let mut buf = BytesMut::new();
     match frame {
-        ClientFrame::Hello { version, name } => {
+        ClientFrame::Hello {
+            version,
+            name,
+            resume,
+        } => {
             buf.put_u8(1);
             buf.put_u16(*version);
             put_str(&mut buf, name);
+            match resume {
+                None => buf.put_u8(0),
+                Some(t) => {
+                    buf.put_u8(1);
+                    buf.put_u64(t.session);
+                    buf.put_u64(t.epoch);
+                    buf.put_u64(t.acked_through);
+                }
+            }
         }
         ClientFrame::JoinGroup { group } => {
             buf.put_u8(2);
@@ -279,6 +345,9 @@ pub fn encode_client(frame: &ClientFrame) -> Bytes {
             buf.put_u8(5);
             buf.put_u64(*through);
         }
+        ClientFrame::Goodbye => {
+            buf.put_u8(6);
+        }
     }
     buf.freeze()
 }
@@ -299,7 +368,23 @@ pub fn decode_client(mut buf: &[u8]) -> io::Result<ClientFrame> {
             if name.is_empty() || name.len() > MAX_NAME {
                 return Err(bad("bad client name"));
             }
-            Ok(ClientFrame::Hello { version, name })
+            if buf.is_empty() {
+                return Err(bad("truncated resume flag"));
+            }
+            let resume = match buf.get_u8() {
+                0 => None,
+                1 => Some(ResumeToken {
+                    session: take_u64(&mut buf)?,
+                    epoch: take_u64(&mut buf)?,
+                    acked_through: take_u64(&mut buf)?,
+                }),
+                _ => return Err(bad("bad resume flag")),
+            };
+            Ok(ClientFrame::Hello {
+                version,
+                name,
+                resume,
+            })
         }
         2 => Ok(ClientFrame::JoinGroup {
             group: take_str(&mut buf)?,
@@ -325,6 +410,7 @@ pub fn decode_client(mut buf: &[u8]) -> io::Result<ClientFrame> {
         5 => Ok(ClientFrame::Ack {
             through: take_u64(&mut buf)?,
         }),
+        6 => Ok(ClientFrame::Goodbye),
         _ => Err(bad("unknown client frame kind")),
     }
 }
@@ -339,6 +425,11 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
             rings,
             publish_credits,
             delivery_window,
+            session,
+            epoch,
+            resumed,
+            retained_lo,
+            retained_hi,
         } => {
             buf.put_u8(1);
             buf.put_u16(*version);
@@ -346,6 +437,11 @@ pub fn encode_server(frame: &ServerFrame) -> Bytes {
             buf.put_u16(*rings);
             buf.put_u32(*publish_credits);
             buf.put_u32(*delivery_window);
+            buf.put_u64(*session);
+            buf.put_u64(*epoch);
+            buf.put_u8(u8::from(*resumed));
+            buf.put_u64(*retained_lo);
+            buf.put_u64(*retained_hi);
         }
         ServerFrame::Refused { reason } => {
             buf.put_u8(2);
@@ -429,13 +525,31 @@ pub fn decode_server(mut buf: &[u8]) -> io::Result<ServerFrame> {
         return Err(bad("empty frame"));
     }
     match buf.get_u8() {
-        1 => Ok(ServerFrame::Welcome {
-            version: take_u16(&mut buf)?,
-            daemon: take_u16(&mut buf)?,
-            rings: take_u16(&mut buf)?,
-            publish_credits: take_u32(&mut buf)?,
-            delivery_window: take_u32(&mut buf)?,
-        }),
+        1 => {
+            let version = take_u16(&mut buf)?;
+            let daemon = take_u16(&mut buf)?;
+            let rings = take_u16(&mut buf)?;
+            let publish_credits = take_u32(&mut buf)?;
+            let delivery_window = take_u32(&mut buf)?;
+            let session = take_u64(&mut buf)?;
+            let epoch = take_u64(&mut buf)?;
+            if buf.is_empty() {
+                return Err(bad("truncated resumed flag"));
+            }
+            let resumed = buf.get_u8() != 0;
+            Ok(ServerFrame::Welcome {
+                version,
+                daemon,
+                rings,
+                publish_credits,
+                delivery_window,
+                session,
+                epoch,
+                resumed,
+                retained_lo: take_u64(&mut buf)?,
+                retained_hi: take_u64(&mut buf)?,
+            })
+        }
         2 => Ok(ServerFrame::Refused {
             reason: take_str(&mut buf)?,
         }),
@@ -617,6 +731,16 @@ mod tests {
             ClientFrame::Hello {
                 version: PROTOCOL_VERSION,
                 name: "alice".into(),
+                resume: None,
+            },
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+                name: "alice".into(),
+                resume: Some(ResumeToken {
+                    session: 0xdead_beef_cafe,
+                    epoch: 3,
+                    acked_through: 4096,
+                }),
             },
             ClientFrame::JoinGroup { group: "g".into() },
             ClientFrame::LeaveGroup { group: "g".into() },
@@ -627,6 +751,7 @@ mod tests {
                 payload: Bytes::from_static(b"payload"),
             },
             ClientFrame::Ack { through: 1234 },
+            ClientFrame::Goodbye,
         ]
     }
 
@@ -638,6 +763,11 @@ mod tests {
                 rings: 4,
                 publish_credits: 64,
                 delivery_window: 256,
+                session: 0x1122_3344_5566_7788,
+                epoch: 2,
+                resumed: true,
+                retained_lo: 17,
+                retained_hi: 40,
             },
             ServerFrame::Refused {
                 reason: "nope".into(),

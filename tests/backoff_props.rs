@@ -1,0 +1,123 @@
+//! Property tests for the shared backoff machinery
+//! ([`accelerated_ring::core::backoff`]): every delay a schedule
+//! produces is bounded on both sides for *arbitrary* configurations
+//! (including degenerate ones like `base > cap`), schedules are
+//! reproducible from their seed, and the deterministic [`ExpShift`]
+//! envelope is monotone and saturating.
+
+use std::time::Duration;
+
+use accelerated_ring::core::backoff::{Backoff, BackoffConfig, ExpShift};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every delay satisfies `min(base, cap) <= d <= cap`, the
+    /// schedule yields exactly `max_attempts` delays before `None`,
+    /// and `reset` restores the full budget — for arbitrary configs,
+    /// including base above cap and zero durations.
+    #[test]
+    fn delays_are_bounded_and_budgeted(
+        base_us in 0u64..5_000_000,
+        cap_us in 0u64..5_000_000,
+        max_attempts in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BackoffConfig {
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(cap_us),
+            max_attempts,
+        };
+        let lo = cfg.base.min(cfg.cap);
+        let mut b = Backoff::new(cfg, seed);
+        let mut drawn = 0u32;
+        while let Some(d) = b.next_delay() {
+            prop_assert!(d >= lo, "delay {d:?} below min(base, cap) {lo:?}");
+            prop_assert!(d <= cfg.cap, "delay {d:?} above cap {:?}", cfg.cap);
+            drawn += 1;
+            prop_assert!(drawn <= max_attempts, "yielded more than the budget");
+        }
+        prop_assert_eq!(drawn, max_attempts);
+        prop_assert!(b.next_delay().is_none(), "exhausted stays exhausted");
+        b.reset();
+        let mut again = 0u32;
+        while b.next_delay().is_some() {
+            again += 1;
+        }
+        prop_assert_eq!(again, max_attempts, "reset restores the budget");
+    }
+
+    /// The decorrelated-jitter envelope: each delay is at most three
+    /// times its predecessor (plus the one-nanosecond floor that keeps
+    /// the jitter range non-empty), so the schedule cannot explode
+    /// past geometric growth before the cap takes over.
+    #[test]
+    fn envelope_grows_at_most_geometrically(
+        base_ms in 1u64..50,
+        cap_ms in 1u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            max_attempts: 12,
+        };
+        let mut b = Backoff::new(cfg, seed);
+        let mut prev = cfg.base.min(cfg.cap);
+        while let Some(d) = b.next_delay() {
+            let limit = (prev * 3).max(cfg.base.min(cfg.cap) + Duration::from_nanos(1));
+            prop_assert!(
+                d <= limit.min(cfg.cap).max(cfg.base.min(cfg.cap)),
+                "delay {d:?} exceeds envelope {limit:?} (prev {prev:?})"
+            );
+            prev = d;
+        }
+    }
+
+    /// Schedules are pure functions of (config, seed): two instances
+    /// produce identical delay sequences, so chaos tests replay.
+    #[test]
+    fn schedules_replay_from_their_seed(seed in any::<u64>()) {
+        let cfg = BackoffConfig::default();
+        let mut a = Backoff::new(cfg, seed);
+        let mut b = Backoff::new(cfg, seed);
+        for _ in 0..cfg.max_attempts {
+            prop_assert_eq!(a.next_delay(), b.next_delay());
+        }
+        prop_assert!(a.next_delay().is_none());
+    }
+
+    /// ExpShift: the scaled interval never exceeds the cap, never
+    /// drops below `min(base, cap)`, is monotone non-decreasing under
+    /// `step`, and saturates at `max_shift` doublings.
+    #[test]
+    fn exp_shift_is_monotone_bounded_and_saturating(
+        base in 1u64..1_000_000,
+        cap in 1u64..u64::MAX,
+        max_shift in 0u32..80,
+        steps in 0usize..100,
+    ) {
+        let mut e = ExpShift::new(max_shift);
+        let mut prev = e.scale(base, cap);
+        prop_assert_eq!(prev, base.min(cap), "starts at the base");
+        for _ in 0..steps {
+            e.step();
+            let cur = e.scale(base, cap);
+            prop_assert!(cur >= prev, "scale regressed: {cur} < {prev}");
+            prop_assert!(cur <= cap, "scale {cur} above cap {cap}");
+            prop_assert!(cur >= base.min(cap));
+            prev = cur;
+        }
+        prop_assert!(e.shift() <= max_shift, "shift past saturation");
+        // Drive to saturation: once there, further failures cannot
+        // grow the interval.
+        for _ in 0..=max_shift {
+            e.step();
+        }
+        prop_assert_eq!(e.shift(), max_shift);
+        let at_sat = e.scale(base, cap);
+        e.step();
+        prop_assert_eq!(e.scale(base, cap), at_sat);
+        e.reset();
+        prop_assert_eq!(e.scale(base, cap), base.min(cap), "reset restores base");
+    }
+}

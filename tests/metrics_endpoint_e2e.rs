@@ -263,6 +263,19 @@ fn service_tier_metrics_are_exported() {
     assert!(delivered >= 2, "svc deliveries did not land");
     assert!(rejected, "credit-less publish was not rejected");
 
+    // Kill the consumer's connection and pump until the session
+    // resumes, so the resumption series carry real samples.
+    consumer.sever();
+    let mut resumed = false;
+    while !resumed && Instant::now() < deadline {
+        if let Some(SvcEvent::Reconnected { resumed: r }) = consumer.recv(Duration::from_millis(20))
+        {
+            assert!(r, "sever within grace must resume");
+            resumed = true;
+        }
+    }
+    assert!(resumed, "session did not resume after sever");
+
     // /metrics: the tier's series are present in the exposition.
     let (head, body) = http_get(addr, "/metrics");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
@@ -276,6 +289,11 @@ fn service_tier_metrics_are_exported() {
         "ar_svc_publishes_total",
         "ar_svc_deliveries_total",
         "ar_svc_refused_total",
+        "ar_svc_sessions_resumed_total",
+        "ar_svc_sessions_parked",
+        "ar_svc_resume_rejected_total",
+        "ar_svc_retained_bytes",
+        "ar_svc_holdback_stalled_total",
     ] {
         assert!(body.contains(series), "missing {series} in:\n{body}");
     }
@@ -290,13 +308,27 @@ fn service_tier_metrics_are_exported() {
     assert!(sample("ar_svc_publishes_total") >= 2.0);
     assert!(sample("ar_svc_deliveries_total") >= 2.0);
     assert!(sample("ar_svc_publish_rejects_total") >= 1.0);
+    assert!(sample("ar_svc_sessions_resumed_total") >= 1.0);
+    assert_eq!(
+        sample("ar_svc_sessions_parked"),
+        0.0,
+        "the severed session resumed, so nothing stays parked"
+    );
+    assert_eq!(sample("ar_svc_resume_rejected_total"), 0.0);
 
     // /snapshot: the same series ride in the JSON metrics dump.
     let (head, body) = http_get(addr, "/snapshot");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     let v = Value::parse(&body).expect("snapshot is valid JSON");
     let metrics = v.get("metrics").expect("snapshot carries metrics");
-    for key in ["ar_svc_clients_connected", "ar_svc_publishes_total"] {
+    for key in [
+        "ar_svc_clients_connected",
+        "ar_svc_publishes_total",
+        "ar_svc_sessions_resumed_total",
+        "ar_svc_sessions_parked",
+        "ar_svc_resume_rejected_total",
+        "ar_svc_retained_bytes",
+    ] {
         assert!(
             metrics.get(key).and_then(Value::as_f64).is_some(),
             "missing {key} in snapshot metrics: {body}"

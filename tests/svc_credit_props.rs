@@ -8,8 +8,10 @@
 //! property is the classic streaming invariant — how the byte stream
 //! is split across reads can never change which frames come out.
 
+use std::collections::HashMap;
+
 use accelerated_ring::svc::wire::{frame, FrameBuf};
-use accelerated_ring::svc::{FlowConfig, FlowState};
+use accelerated_ring::svc::{DedupWindow, FlowConfig, FlowState, Offer};
 use proptest::prelude::*;
 
 fn small_cfg(credits: u32, window: u32) -> FlowConfig {
@@ -240,5 +242,117 @@ proptest! {
         }
         prop_assert_eq!(out, bodies);
         prop_assert!(fb.is_empty(), "no bytes left after the final frame");
+    }
+
+    /// The publish dedup window never lies in the dangerous direction.
+    /// Against an arbitrary schedule of offers, grants, and forgets
+    /// over a small id space (so collisions are common) and a small
+    /// capacity (so eviction fires constantly):
+    ///
+    /// * an id the model knows is **in-flight** (offered, neither
+    ///   granted nor forgotten) is always classified `InFlight` — a
+    ///   re-sent publish whose outcome is still pending is *never*
+    ///   double-forwarded, because eviction refuses to drop in-flight
+    ///   entries;
+    /// * an id the model has never seen (or has forgotten) is always
+    ///   `Fresh` — the window never invents a duplicate;
+    /// * a granted id is `Granted` or — only after capacity eviction —
+    ///   `Fresh`, never `InFlight`;
+    /// * the window holds at most `max(cap, peak in-flight)` entries —
+    ///   in-flight ids are bounded by the session's publish credits,
+    ///   so parked sessions cannot pin unbounded dedup state.
+    ///   (Eviction runs at insert; a grant landing afterwards shrinks
+    ///   the in-flight count without shrinking the window, so the
+    ///   bound is against the peak, not the instant.)
+    #[test]
+    fn dedup_window_never_double_forwards_inflight_ids(
+        cap in 1usize..8,
+        ops in prop::collection::vec(
+            (0u8..3, 0u64..24u64),
+            0..200,
+        ),
+    ) {
+        let mut w = DedupWindow::new(cap);
+        // id → granted? mirror of what *must* still be protected.
+        let mut model: HashMap<u64, bool> = HashMap::new();
+        let mut peak_inflight = 0usize;
+        for (kind, id) in ops {
+            match kind {
+                0 => {
+                    let offer = w.offer(id);
+                    match model.get(&id) {
+                        Some(false) => {
+                            prop_assert_eq!(
+                                offer, Offer::InFlight,
+                                "in-flight id {} must never re-forward", id
+                            );
+                        }
+                        Some(true) => {
+                            // Granted entries may be evicted under
+                            // pressure; re-offering one is then Fresh
+                            // (forwarded again — harmless, the ring
+                            // orders it once more) but never InFlight.
+                            match offer {
+                                Offer::Granted => {}
+                                Offer::Fresh => {
+                                    model.insert(id, false);
+                                }
+                                Offer::InFlight => {
+                                    prop_assert!(false, "granted id {} became in-flight", id);
+                                }
+                            }
+                        }
+                        None => {
+                            prop_assert_eq!(
+                                offer, Offer::Fresh,
+                                "unseen id {} misclassified as a duplicate", id
+                            );
+                            model.insert(id, false);
+                        }
+                    }
+                }
+                1 => {
+                    w.grant(id);
+                    if let Some(g) = model.get_mut(&id) {
+                        *g = true;
+                    }
+                }
+                _ => {
+                    w.forget(id);
+                    model.remove(&id);
+                }
+            }
+            let inflight = model.values().filter(|g| !**g).count();
+            peak_inflight = peak_inflight.max(inflight);
+            prop_assert!(
+                w.len() <= cap.max(peak_inflight),
+                "window holds {} entries (cap {}, peak {} in flight)",
+                w.len(), cap, peak_inflight
+            );
+        }
+    }
+
+    /// Replaying the complete publish history of a resumed session —
+    /// every id re-offered in order after all were granted — forwards
+    /// nothing and re-grants everything still within the window's
+    /// capacity: the lost-CreditGrant recovery path is idempotent.
+    #[test]
+    fn dedup_window_replay_after_grant_is_idempotent(
+        cap in 1usize..32,
+        n in 1u64..48,
+    ) {
+        let mut w = DedupWindow::new(cap);
+        for id in 0..n {
+            prop_assert_eq!(w.offer(id), Offer::Fresh);
+            w.grant(id);
+        }
+        // The window keeps the newest `cap` granted ids; older ones
+        // were evicted and would be forwarded (and re-ordered) again.
+        for id in n.saturating_sub(cap as u64)..n {
+            prop_assert_eq!(
+                w.offer(id), Offer::Granted,
+                "retained id {} must re-grant, not re-forward", id
+            );
+        }
     }
 }

@@ -7,7 +7,7 @@ use accelerated_ring::core::ServiceType;
 use accelerated_ring::daemon::MemberId;
 use accelerated_ring::svc::wire::{
     decode_client, decode_server, encode_client, encode_server, frame, ClientFrame, FrameBuf,
-    ServerFrame, PROTOCOL_VERSION,
+    ResumeToken, ServerFrame, PROTOCOL_VERSION,
 };
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -45,11 +45,25 @@ fn arb_member() -> impl Strategy<Value = MemberId> {
     })
 }
 
+fn arb_resume() -> impl Strategy<Value = Option<ResumeToken>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(session, epoch, acked_through)| {
+            Some(ResumeToken {
+                session,
+                epoch,
+                acked_through,
+            })
+        }),
+    ]
+}
+
 fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
     prop_oneof![
-        arb_name().prop_map(|name| ClientFrame::Hello {
+        (arb_name(), arb_resume()).prop_map(|(name, resume)| ClientFrame::Hello {
             version: PROTOCOL_VERSION,
             name,
+            resume,
         }),
         arb_group().prop_map(|group| ClientFrame::JoinGroup { group }),
         arb_group().prop_map(|group| ClientFrame::LeaveGroup { group }),
@@ -62,22 +76,38 @@ fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
             }
         ),
         any::<u64>().prop_map(|through| ClientFrame::Ack { through }),
+        Just(ClientFrame::Goodbye),
     ]
 }
 
 fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
     prop_oneof![
-        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>()).prop_map(
-            |(daemon, rings, c, w)| {
-                ServerFrame::Welcome {
-                    version: PROTOCOL_VERSION,
-                    daemon,
-                    rings,
-                    publish_credits: c,
-                    delivery_window: w,
+        (
+            (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>()),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<bool>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
+        )
+            .prop_map(
+                |((daemon, rings, c, w), (session, epoch, resumed, retained_lo, retained_hi))| {
+                    ServerFrame::Welcome {
+                        version: PROTOCOL_VERSION,
+                        daemon,
+                        rings,
+                        publish_credits: c,
+                        delivery_window: w,
+                        session,
+                        epoch,
+                        resumed,
+                        retained_lo,
+                        retained_hi,
+                    }
                 }
-            }
-        ),
+            ),
         ".{0,60}".prop_map(|reason| ServerFrame::Refused { reason }),
         (
             any::<u64>(),
@@ -202,6 +232,31 @@ fn mutated_frames_never_panic() {
         encode_client(&ClientFrame::Hello {
             version: PROTOCOL_VERSION,
             name: "fuzz".into(),
+            resume: None,
+        })
+        .to_vec(),
+        encode_client(&ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "fuzz-resume".into(),
+            resume: Some(ResumeToken {
+                session: 0x1234_5678_9abc_def0,
+                epoch: 5,
+                acked_through: 4096,
+            }),
+        })
+        .to_vec(),
+        encode_client(&ClientFrame::Goodbye).to_vec(),
+        encode_server(&ServerFrame::Welcome {
+            version: PROTOCOL_VERSION,
+            daemon: 1,
+            rings: 2,
+            publish_credits: 64,
+            delivery_window: 1024,
+            session: 0xfeed_f00d,
+            epoch: 3,
+            resumed: true,
+            retained_lo: 17,
+            retained_hi: 40,
         })
         .to_vec(),
         encode_client(&ClientFrame::Publish {
