@@ -2,18 +2,26 @@
 //! (`ar-explore`) over the sans-io core — states visited per second
 //! and the effectiveness of the visited-state and sleep-set prunes.
 //!
-//! One curve per protocol variant, both run at 3 hosts with the
-//! standard two-submission workload and the full adversary (loss,
-//! duplication, timers), capped at a fixed state budget so the run is
-//! comparable across machines and finishes in CI time.
+//! Three curves, all at 3 hosts and capped at a fixed state budget so
+//! the run is comparable across machines and finishes in CI time:
+//!
+//! * `explore/accelerated`, `explore/original` — steady-state
+//!   interleavings of the two-submission workload under the full
+//!   adversary (loss, duplication, timers).
+//! * `explore/membership` — the membership-episode sweep: the same
+//!   adversary plus `Fail`/`Partition`/`Merge` moves (single-fault
+//!   budget), with the abstract ring-consensus model's invariants
+//!   checked at every expanded state. Its extra `model_checks` field
+//!   counts those oracle evaluations.
 //!
 //! The BENCH point format is throughput-oriented, so the
 //! network-specific required fields are reported as zero; the
 //! explorer's own measurements ride as extra per-point properties
-//! (`states_visited`, `transitions`, `pruned_visited`, `pruned_sleep`,
-//! `prune_ratio`, `states_per_sec`, `completed_paths`, `elapsed_ms`),
-//! which the schema checker permits. A violation found during the
-//! benchmark run is a hard failure: the binary panics so CI goes red.
+//! (`states_visited`, `model_checks`, `transitions`, `pruned_visited`,
+//! `pruned_sleep`, `prune_ratio`, `states_per_sec`, `completed_paths`,
+//! `elapsed_ms`), which the schema checker permits. A violation found
+//! during the benchmark run is a hard failure: the binary panics so CI
+//! goes red.
 
 use ar_explore::explorer::{default_submissions, ExploreConfig, Explorer};
 use ar_telemetry::json::JsonWriter;
@@ -23,20 +31,7 @@ const HOSTS: u16 = 3;
 const DEPTH: usize = 12;
 const MAX_STATES: u64 = 300_000;
 
-fn run_curve(variant: &str) -> (String, ar_explore::ExploreReport) {
-    let cfg = ExploreConfig {
-        hosts: HOSTS,
-        depth: DEPTH,
-        config: variant.to_owned(),
-        submissions: default_submissions(HOSTS, 2),
-        max_states: MAX_STATES,
-        time_box: Some(Duration::from_secs(120)),
-        drops: true,
-        dups: true,
-        timers: true,
-        max_violations: 8,
-        corpus_paths: 0,
-    };
+fn run_curve(label: &str, cfg: ExploreConfig) -> (String, ar_explore::ExploreReport) {
     let report = Explorer::new(cfg)
         .run()
         .expect("known config names always start");
@@ -45,14 +40,37 @@ fn run_curve(variant: &str) -> (String, ar_explore::ExploreReport) {
         "explorer found safety violations during the benchmark run: {:#?}",
         report.violations
     );
-    (format!("explore/{variant}"), report)
+    (format!("explore/{label}"), report)
+}
+
+fn steady_state(variant: &str) -> ExploreConfig {
+    ExploreConfig {
+        hosts: HOSTS,
+        depth: DEPTH,
+        config: variant.to_owned(),
+        submissions: default_submissions(HOSTS, 2),
+        max_states: MAX_STATES,
+        time_box: Some(Duration::from_secs(120)),
+        max_violations: 8,
+        ..ExploreConfig::default()
+    }
+}
+
+fn membership() -> ExploreConfig {
+    ExploreConfig {
+        membership: true,
+        max_faults: 1,
+        submissions: vec![],
+        ..steady_state("accelerated")
+    }
 }
 
 fn main() {
-    let curves: Vec<(String, ar_explore::ExploreReport)> = ["accelerated", "original"]
+    let mut curves: Vec<(String, ar_explore::ExploreReport)> = ["accelerated", "original"]
         .iter()
-        .map(|v| run_curve(v))
+        .map(|v| run_curve(v, steady_state(v)))
         .collect();
+    curves.push(run_curve("membership", membership()));
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -91,6 +109,8 @@ fn main() {
         // The explorer's actual measurements.
         w.key("states_visited");
         w.num_u64(report.states_visited);
+        w.key("model_checks");
+        w.num_u64(report.model_checks);
         w.key("transitions");
         w.num_u64(report.transitions);
         w.key("pruned_visited");
@@ -113,11 +133,12 @@ fn main() {
     std::fs::write("BENCH_explore.json", &text).expect("write BENCH_explore.json");
     for (curve, report) in &curves {
         println!(
-            "{curve}: {} states in {:?} ({:.0} states/s, prune ratio {:.2}, {} violations)",
+            "{curve}: {} states in {:?} ({:.0} states/s, prune ratio {:.2}, {} model checks, {} violations)",
             report.states_visited,
             report.elapsed,
             report.states_per_sec(),
             report.prune_ratio(),
+            report.model_checks,
             report.violations.len()
         );
     }

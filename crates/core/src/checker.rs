@@ -42,6 +42,10 @@ use crate::types::{ParticipantId, RingId, Seq};
 ///    transitional configuration.
 /// 5. **Self-delivery** (on demand) — every payload a surviving
 ///    process submitted appears in its own delivery log.
+/// 6. **Transitional-configuration agreement** — any two processes
+///    that deliver a transitional configuration with the same ring id
+///    deliver it with the same member list (the processes continuing
+///    together agree on who is continuing).
 #[derive(Debug, Clone)]
 pub struct EvsChecker {
     n: usize,
@@ -50,6 +54,9 @@ pub struct EvsChecker {
     /// Payload/sender agreed at each (ring, seq) and the first process
     /// that delivered it.
     content: HashMap<(RingId, u64), (Vec<u8>, ParticipantId, usize)>,
+    /// Members of each transitional configuration and the first process
+    /// that delivered it (for cross-process agreement).
+    trans_views: HashMap<RingId, (Vec<ParticipantId>, usize)>,
     violations: Vec<String>,
 }
 
@@ -83,8 +90,33 @@ impl EvsChecker {
             n,
             per_proc: (0..n).map(|_| ProcState::default()).collect(),
             content: HashMap::new(),
+            trans_views: HashMap::new(),
             violations: Vec::new(),
         }
+    }
+
+    /// Seeds process `i`'s installed view with the configuration it was
+    /// bootstrapped into, *without* counting it as an observed
+    /// configuration-change event.
+    ///
+    /// Statically bootstrapped rings never deliver a configuration
+    /// change for their initial view, so without seeding the checker
+    /// cannot judge same-view delivery before the first membership
+    /// episode, and the first transitional configuration has no
+    /// preceding regular view to be a subset of (and no `prev_ring` for
+    /// the old-ring leftover exception). Harnesses that build
+    /// participants via [`Participant::new`](crate::Participant::new)
+    /// should seed each process with the ring it was constructed on.
+    pub fn on_initial_config(&mut self, i: usize, ring_id: RingId, members: &[ParticipantId]) {
+        let st = &mut self.per_proc[i];
+        st.installed = Some(ConfigChange {
+            kind: ConfigChangeKind::Regular,
+            ring_id,
+            members: members.to_vec(),
+        });
+        st.last_kind = Some(ConfigChangeKind::Regular);
+        st.last_regular = Some(members.to_vec());
+        st.prev_ring = None;
     }
 
     /// Records that process `i` submitted `payload` for ordering.
@@ -183,6 +215,20 @@ impl EvsChecker {
                         "P{i}: two transitional configurations in a row at {:?}",
                         c.ring_id
                     ));
+                }
+                // 6. Cross-process agreement on who continues together.
+                match self.trans_views.get(&c.ring_id) {
+                    Some((members, first)) if members != &c.members => {
+                        self.violations.push(format!(
+                            "P{i}: transitional config {:?} members {:?} disagree \
+                             with P{first}'s {:?}",
+                            c.ring_id, c.members, members
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.trans_views.insert(c.ring_id, (c.members.clone(), i));
+                    }
                 }
             }
             ConfigChangeKind::Regular => {
@@ -748,6 +794,73 @@ mod tests {
         ck.on_submit(0, b"lost");
         let errs = ck.check_self_delivery(&[0]).unwrap_err();
         assert!(errs[0].contains("never self-delivered"), "{errs:?}");
+    }
+
+    #[test]
+    fn initial_config_seeding_enables_first_episode_checks() {
+        let members: Vec<ParticipantId> = (0..2).map(ParticipantId::new).collect();
+        // Without seeding, a first transitional view has no preceding
+        // regular view and no prev_ring: an old-ring leftover delivered
+        // during it is (wrongly) flagged.
+        let mut unseeded = EvsChecker::new(1);
+        unseeded.on_config(
+            0,
+            &ConfigChange {
+                kind: ConfigChangeKind::Transitional,
+                ring_id: ring(2),
+                members: members.clone(),
+            },
+        );
+        unseeded.on_delivery(0, &delivery(ring(1), 1, 0, b"leftover"));
+        assert!(unseeded.check().is_err());
+        // Seeded with the bootstrap ring, the same run is the
+        // legitimate EVS leftover case.
+        let mut seeded = EvsChecker::new(1);
+        seeded.on_initial_config(0, ring(1), &members);
+        seeded.on_config(
+            0,
+            &ConfigChange {
+                kind: ConfigChangeKind::Transitional,
+                ring_id: ring(2),
+                members: members.clone(),
+            },
+        );
+        seeded.on_delivery(0, &delivery(ring(1), 1, 0, b"leftover"));
+        seeded.check().unwrap();
+        // Seeding also arms the same-view check from step zero.
+        let mut strict = EvsChecker::new(1);
+        strict.on_initial_config(0, ring(1), &members);
+        strict.on_delivery(0, &delivery(ring(9), 1, 0, b"foreign"));
+        let errs = strict.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("installed view")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn transitional_config_disagreement_detected() {
+        let members: Vec<ParticipantId> = (0..3).map(ParticipantId::new).collect();
+        let trans = |m: &[ParticipantId]| ConfigChange {
+            kind: ConfigChangeKind::Transitional,
+            ring_id: ring(2),
+            members: m.to_vec(),
+        };
+        // Agreement: same transitional ring id, same members — green.
+        let mut ok = EvsChecker::new(2);
+        ok.on_initial_config(0, ring(1), &members);
+        ok.on_initial_config(1, ring(1), &members);
+        ok.on_config(0, &trans(&members[..2]));
+        ok.on_config(1, &trans(&members[..2]));
+        ok.check().unwrap();
+        // Disagreement: same transitional ring id, different members.
+        let mut bad = EvsChecker::new(2);
+        bad.on_initial_config(0, ring(1), &members);
+        bad.on_initial_config(1, ring(1), &members);
+        bad.on_config(0, &trans(&members[..2]));
+        bad.on_config(1, &trans(&members[1..]));
+        let errs = bad.check().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("disagree")), "{errs:?}");
     }
 
     fn safe_delivery(r: RingId, seq: u64, pid: u16, payload: &'static [u8]) -> Delivery {

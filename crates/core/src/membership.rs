@@ -88,6 +88,17 @@ pub struct MembershipState {
     pub(crate) fail_set: BTreeSet<ParticipantId>,
     pub(crate) joins: BTreeMap<ParticipantId, JoinMessage>,
     pub(crate) max_ring_seq: u64,
+    /// Highest ring seq of a commit token *we created* and later
+    /// abandoned. A commit for (us, seq) may have escaped and still
+    /// install at another member, so our next proposal as
+    /// representative must skip past it — one ring id must never name
+    /// two member sets. Tracked creator-locally (only `live[0]` ever
+    /// creates a token, so only the creator can collide with itself)
+    /// and deliberately *not* folded into `max_ring_seq`: burning the
+    /// shared counter on every abandoned attempt makes regathered
+    /// joins look newer to peers mid-commit, aborting their attempts
+    /// and ratcheting the whole component into livelock under churn.
+    pub(crate) my_abandoned_high: u64,
     pub(crate) commit_ring: Option<RingId>,
     pub(crate) last_commit_hop: u32,
     pub(crate) rec: Option<RecoveryState>,
@@ -113,6 +124,7 @@ impl MembershipState {
             fail_set: BTreeSet::new(),
             joins: BTreeMap::new(),
             max_ring_seq: 0,
+            my_abandoned_high: 0,
             commit_ring: None,
             last_commit_hop: 0,
             rec: None,
@@ -279,6 +291,17 @@ impl Participant {
 
     // ----- gather ---------------------------------------------------------
 
+    /// Environment-driven membership trigger: a freshly booted node (or
+    /// one told out-of-band that other rings exist) abandons normal
+    /// operation and seeks a configuration by multicasting its join
+    /// message. Equivalent to the token-loss escalation path, but
+    /// initiated by the embedding environment — deterministic test
+    /// worlds use it to model the "node join" transition without
+    /// waiting for foreign traffic.
+    pub fn initiate_gather(&mut self) -> Vec<Action> {
+        self.start_gather(Vec::new())
+    }
+
     /// Abandons normal operation and starts (or restarts) the gather
     /// phase, optionally merging a join message that triggered it.
     pub(crate) fn start_gather(&mut self, merge: Vec<JoinMessage>) -> Vec<Action> {
@@ -289,6 +312,15 @@ impl Participant {
             });
         self.mode = Mode::Gather;
         self.memb.max_ring_seq = self.memb.max_ring_seq.max(self.ring.id().ring_seq());
+        // Abandoning a commit token we created burns its ring seq (see
+        // `my_abandoned_high`): the token may already have escaped and
+        // install at another member, and our next proposal must not
+        // name a different member set under the same ring id.
+        if let Some(attempt) = self.memb.commit_ring {
+            if attempt.representative() == self.pid {
+                self.memb.my_abandoned_high = self.memb.my_abandoned_high.max(attempt.ring_seq());
+            }
+        }
         self.memb.proc_set = self.ring.members().iter().copied().collect();
         self.memb.proc_set.insert(self.pid);
         self.memb.fail_set.clear();
@@ -410,6 +442,37 @@ impl Participant {
                 if known && !newer {
                     return Vec::new();
                 }
+                if known {
+                    // The sender proposes a live set; compare it with
+                    // our attempt's.
+                    let join_live: Vec<ParticipantId> = j
+                        .proc_set
+                        .iter()
+                        .copied()
+                        .filter(|p| !j.fail_set.contains(p))
+                        .collect();
+                    let attempt_live: Vec<ParticipantId> = attempt_members
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.memb.fail_set.contains(p))
+                        .collect();
+                    if join_live == attempt_live {
+                        // Same live set, only a higher ring seq: the
+                        // echo of an abandoned attempt, not news. Every
+                        // consensus evaluation burns a ring seq, so in
+                        // a merge the members' regathered joins always
+                        // outnumber any single attempt; aborting on
+                        // each echo regathers, burns higher, and
+                        // ratchets every attempt in the component into
+                        // a livelock where no ring ever installs.
+                        // Absorb the seq (so a later gather starts
+                        // beyond the echo) and let our commit token
+                        // recapture the sender; if the sender really
+                        // moved on, the commit timeout regathers us.
+                        self.memb.max_ring_seq = self.memb.max_ring_seq.max(j.ring_seq);
+                        return Vec::new();
+                    }
+                }
                 self.start_gather(vec![j])
             }
         }
@@ -448,7 +511,15 @@ impl Participant {
             }
         }
         // Consensus. The smallest live identifier is the representative.
-        let ring_id = RingId::new(live[0], self.memb.max_ring_seq + 1);
+        // When that is us, the proposed seq additionally skips past any
+        // commit token we created and abandoned (see
+        // `my_abandoned_high`): an escaped copy of it may still install
+        // elsewhere, and one ring id must never name two member sets.
+        let mut next_seq = self.memb.max_ring_seq + 1;
+        if live[0] == self.pid {
+            next_seq = next_seq.max(self.memb.my_abandoned_high + 1);
+        }
+        let ring_id = RingId::new(live[0], next_seq);
         if live.len() == 1 {
             // We are alone: commit and recover synchronously, without
             // circulating anything.
@@ -535,6 +606,16 @@ impl Participant {
                 .find(|m| m.pid == self.pid)
                 .is_some_and(|m| m.filled && m.old_ring_id != self.ring.id());
             if stale_self {
+                return Vec::new();
+            }
+            // Freshness: the attempt must postdate our current ring.
+            // Any attempt that gathered *our* join saw a ring seq at
+            // least ours and proposed strictly above it; an equal-or-
+            // lower seq means the attempt predates a ring we have since
+            // installed (e.g. we concluded alone in between), and
+            // accepting it would move us onto a ring its own
+            // representative may never install.
+            if c.ring_id.ring_seq() <= self.ring.id().ring_seq() {
                 return Vec::new();
             }
         }
@@ -1593,6 +1674,81 @@ mod tests {
         let mut p = Participant::new_singleton(pid(0), cfg).unwrap();
         p.penalize(pid(7));
         assert!(!p.is_quarantined(pid(7)), "disabled damping never bites");
+    }
+
+    #[test]
+    fn abandoned_commit_attempt_burns_its_ring_seq() {
+        // P0 reaches consensus with P1 and sends a commit token for
+        // ring seq 2, but the token is lost and P0 eventually concludes
+        // it is alone. The singleton it installs must NOT reuse seq 2:
+        // the escaped commit token may still install (P0, 2) = [P0, P1]
+        // at P1, and one ring id must never name two member sets.
+        let cfg = ProtocolConfig::accelerated();
+        let ring = RingId::new(pid(0), 1);
+        let members = vec![pid(0), pid(1)];
+        let p0 = Participant::new(pid(0), cfg, ring, members.clone()).unwrap();
+        let p1 = Participant::new(pid(1), cfg, ring, members).unwrap();
+        let mut net = Net::new(vec![p0, p1]);
+        // P1 suspects token loss and gathers; its join pulls P0 into
+        // gather, and P0 (the representative) reaches consensus and
+        // emits the commit token for (P0, 2).
+        let a1 = net.parts[1].handle_timer(TimerKind::TokenLoss);
+        net.run_actions(1, a1);
+        while net.parts[0].mode() != Mode::Commit {
+            let (i, msg) = net.queue.pop_front().expect("episode stalled");
+            let actions = net.parts[i].handle_message(msg);
+            net.run_actions(i, actions);
+        }
+        // ... but every message from here on is lost.
+        net.queue.clear();
+        let a0 = net.parts[0].handle_timer(TimerKind::CommitTimeout);
+        net.run_actions(0, a0);
+        net.queue.clear();
+        let a0 = net.parts[0].handle_timer(TimerKind::ConsensusTimeout);
+        net.run_actions(0, a0);
+        net.queue.clear();
+        let installed = net.parts[0].ring().id();
+        assert_eq!(net.parts[0].ring().members(), &[pid(0)]);
+        assert!(
+            installed.ring_seq() >= 3,
+            "singleton reused the abandoned attempt's ring seq: {installed:?}"
+        );
+    }
+
+    #[test]
+    fn stale_commit_at_or_below_current_ring_seq_is_rejected() {
+        // P1 times out of the pair ring and installs singleton (P1, 2),
+        // then starts merging with P0. A leftover commit token from
+        // P0's abandoned attempt — ring (P0, 2), members [P0, P1],
+        // matching P1's current membership belief, P1's entry unfilled —
+        // must be rejected on freshness: its ring seq does not exceed
+        // P1's current seq, so its representative may never install it.
+        let cfg = ProtocolConfig::accelerated();
+        let ring = RingId::new(pid(0), 1);
+        let members = vec![pid(0), pid(1)];
+        let mut p1 = Participant::new(pid(1), cfg, ring, members.clone()).unwrap();
+        let _ = p1.handle_timer(TimerKind::TokenLoss);
+        let _ = p1.handle_timer(TimerKind::ConsensusTimeout);
+        assert_eq!(p1.mode(), Mode::Operational);
+        let singleton = p1.ring().id();
+        assert_eq!(singleton, RingId::new(pid(1), 2));
+        // P0's join restarts gather with belief {P0, P1}.
+        let j = JoinMessage {
+            sender: pid(0),
+            proc_set: vec![pid(0), pid(1)],
+            fail_set: vec![],
+            ring_seq: 1,
+        };
+        let _ = p1.handle_message(Message::Join(j));
+        assert_eq!(p1.mode(), Mode::Gather);
+        let mut stale = CommitToken::new(RingId::new(pid(0), 2), &members);
+        stale.memb[0].old_ring_id = ring;
+        stale.memb[0].filled = true;
+        stale.hop = 1;
+        let actions = p1.handle_message(Message::Commit(stale));
+        assert!(actions.is_empty(), "stale commit accepted: {actions:?}");
+        assert_eq!(p1.mode(), Mode::Gather, "must keep gathering");
+        assert_eq!(p1.ring().id(), singleton);
     }
 
     #[test]

@@ -476,6 +476,14 @@ impl Participant {
         self.recvbuf.delivered_up_to()
     }
 
+    /// The round of the last token this participant handled on its
+    /// current ring ([`Round::ZERO`] before any token). External
+    /// checkers use this to tell *live* in-flight tokens (rounds beyond
+    /// every member's frontier) from stale retransmitted copies.
+    pub fn current_round(&self) -> Round {
+        self.ord.round
+    }
+
     /// Number of application messages waiting to be ordered.
     pub fn pending_len(&self) -> usize {
         self.pending.len()

@@ -29,8 +29,11 @@
 
 pub mod explorer;
 pub mod fuzz;
+pub mod model;
 
 pub use explorer::{
-    default_submissions, minimize, minimize_with, ExploreConfig, ExploreReport, Explorer, Violation,
+    default_submissions, minimize, minimize_cached, minimize_cached_with, minimize_with,
+    ExploreConfig, ExploreReport, Explorer, MinimizeStats, Violation,
 };
 pub use fuzz::{FuzzConfig, FuzzFailure, FuzzReport, SplitMix64};
+pub use model::ModelChecker;

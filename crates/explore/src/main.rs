@@ -4,6 +4,7 @@
 //! ```text
 //! ar-explore explore [--hosts N] [--depth D] [--config NAME]
 //!                    [--subs N] [--max-states N] [--time-box SECS]
+//!                    [--membership] [--joiners N] [--max-faults N]
 //!                    [--no-drops] [--no-dups] [--no-timers]
 //!                    [--emit-corpus DIR] [--corpus-count K]
 //!                    [--emit-violations DIR] [--json]
@@ -47,6 +48,10 @@ ar-explore: systematic testing for the Accelerated Ring protocol core
 USAGE:
   ar-explore explore [--hosts N] [--depth D] [--config NAME] [--subs N]
                      [--max-states N] [--time-box SECS]
+                     [--membership]   (enable join/fail/partition/merge moves
+                                       and check the abstract membership model)
+                     [--joiners N]    (last N hosts start outside the ring)
+                     [--max-faults N] (fail/partition budget, default 1)
                      [--no-drops] [--no-dups] [--no-timers]
                      [--emit-corpus DIR] [--corpus-count K]
                      [--emit-violations DIR] [--json]
@@ -167,11 +172,23 @@ fn build_explore_config(flags: &Flags<'_>) -> Result<ExploreConfig, String> {
     let depth = flags.num("--depth", 10)? as usize;
     let subs = flags.num("--subs", 2)? as usize;
     let time_box = flags.num("--time-box", 120)?;
+    let joiner_count = flags.num("--joiners", 0)? as u16;
+    if joiner_count >= hosts {
+        return Err(format!(
+            "--joiners must leave at least one seed host, got {joiner_count} of {hosts}"
+        ));
+    }
+    // The last `--joiners N` hosts start outside the ring and join on
+    // demand; submissions go to the seed members only.
+    let joiners: Vec<u16> = (hosts - joiner_count..hosts).collect();
     Ok(ExploreConfig {
         hosts,
         depth,
         config: flags.value("--config").unwrap_or("accelerated").to_owned(),
-        submissions: default_submissions(hosts, subs),
+        submissions: default_submissions(hosts - joiner_count, subs),
+        joiners,
+        membership: flags.has("--membership"),
+        max_faults: flags.num("--max-faults", 1)? as u8,
         max_states: flags.num("--max-states", 2_000_000)?,
         time_box: if time_box == 0 {
             None
@@ -270,9 +287,13 @@ fn cmd_enabled(files: &[String]) -> ExitCode {
     let run = || -> Result<(), String> {
         let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
         let schedule = Schedule::from_json(&text).map_err(|e| e.to_string())?;
-        let mut world =
-            ar_net::replay::World::new(schedule.hosts, &schedule.config, &schedule.submissions)
-                .map_err(|e| e.to_string())?;
+        let mut world = ar_net::replay::World::new_with_joiners(
+            schedule.hosts,
+            &schedule.joiners,
+            &schedule.config,
+            &schedule.submissions,
+        )
+        .map_err(|e| e.to_string())?;
         for (i, step) in schedule.steps.iter().enumerate() {
             world
                 .apply_step(step)

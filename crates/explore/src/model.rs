@@ -1,0 +1,262 @@
+//! An executable abstract model of the token ring + membership
+//! consensus, in the style of a compact state-machine specification: a
+//! handful of per-node state variables, and a list of inductive-style
+//! invariants over them. The model is the **oracle list**; the
+//! explorer is the checker — at every explored node the concrete
+//! [`ar_net::replay::World`] is projected onto the model state and the
+//! invariants are evaluated.
+//!
+//! Model state (per node `n`, all read off the concrete world):
+//!
+//! | variable       | meaning                                         |
+//! |----------------|-------------------------------------------------|
+//! | `view[n]`      | the ring id `n` currently has installed         |
+//! | `members[n]`   | the member list of `view[n]`                    |
+//! | `frontier[n]`  | round of the last ring token `n` handled        |
+//! | `failed[n]`    | environment flag: `n` silently stopped          |
+//!
+//! Auxiliary (history) state the checker threads along each explored
+//! path: the previous `view[n]` per node, a global map from ring id to
+//! the member list it was first observed with, and each ring's highest
+//! observed `frontier` (so a member leaving a ring does not make that
+//! ring's stale tokens look live again).
+//!
+//! Invariants (checked at every explored state, over non-failed
+//! nodes):
+//!
+//! | id | property                    | statement                                                                  |
+//! |----|-----------------------------|----------------------------------------------------------------------------|
+//! | I1 | self-inclusion              | `n ∈ members[n]`                                                           |
+//! | I2 | ring freshness              | when `view[n]` changes, the new ring seq strictly exceeds the old          |
+//! | I3 | view agreement              | `view[a] = view[b] ⇒ members[a] = members[b]` (across nodes *and* history) |
+//! | I4 | at most one token per ring  | per ring, the in-flight tokens ahead of every member's frontier carry at most one distinct round |
+//!
+//! I3 is virtual synchrony's core agreement obligation restated over
+//! instantaneous state (the delivery-ordering half lives in
+//! `ar-core::checker::EvsChecker`, which the world already runs); I4
+//! is the "at most one token per component" safety property — a ring
+//! is exactly the consensus object a component installs, so two live
+//! tokens on one ring mean two interleaved total orders. Stale
+//! retransmitted copies are *not* live: a token round some member has
+//! already handled can only be dropped on receipt, so only rounds
+//! strictly beyond every member's frontier count. Rings no node has
+//! installed are skipped — during Recovery the forming ring's token
+//! legitimately circulates before anyone installs it.
+
+use std::collections::BTreeMap;
+
+use ar_core::{Message, ParticipantId, RingId};
+use ar_net::replay::World;
+
+/// Projects a concrete [`World`] onto the abstract model state and
+/// checks every model invariant; cloneable so the explorer can fork it
+/// along each DFS branch (I2/I3 need per-path history).
+#[derive(Debug, Clone, Default)]
+pub struct ModelChecker {
+    /// Last ring id seen installed at each node.
+    prev_view: Vec<Option<RingId>>,
+    /// First member list observed for each ring id, across nodes and
+    /// time along this path.
+    ring_members: BTreeMap<RingId, Vec<ParticipantId>>,
+    /// Highest token round any node was ever seen to have handled on
+    /// each ring. Persistent across observations: a member that moves
+    /// to a new ring (or fails) must not *lower* the old ring's
+    /// frontier, or its stale retransmitted tokens would look live.
+    ring_frontier: BTreeMap<RingId, u64>,
+    /// Invariant evaluations performed (for throughput reporting).
+    checks: u64,
+    violations: Vec<String>,
+}
+
+impl ModelChecker {
+    /// A checker primed with the world's initial views (so I2 catches
+    /// a non-fresh ring installed by the *first* episode).
+    pub fn new(world: &World) -> ModelChecker {
+        let mut c = ModelChecker {
+            prev_view: vec![None; world.hosts() as usize],
+            ..ModelChecker::default()
+        };
+        for h in 0..world.hosts() {
+            let ring = world.participant(h).ring();
+            c.prev_view[h as usize] = Some(ring.id());
+            c.ring_members
+                .entry(ring.id())
+                .or_insert_with(|| ring.members().to_vec());
+        }
+        c
+    }
+
+    /// Checks every invariant against `world`, records and returns the
+    /// violations found by *this* observation (empty when green).
+    pub fn observe(&mut self, world: &World) -> Vec<String> {
+        let mut found = Vec::new();
+        let n = world.hosts();
+        // I1 + I2 + I3 per node.
+        for h in 0..n {
+            if world.is_failed(h) {
+                continue;
+            }
+            self.checks += 1;
+            let ring = world.participant(h).ring();
+            let (view, members) = (ring.id(), ring.members());
+            if !members.contains(&ParticipantId::new(h)) {
+                found.push(format!(
+                    "model I1 (self-inclusion): P{h} installed ring {view:?} \
+                     without itself: {members:?}"
+                ));
+            }
+            let slot = &mut self.prev_view[h as usize];
+            if let Some(prev) = *slot {
+                if prev != view && view.ring_seq() <= prev.ring_seq() {
+                    found.push(format!(
+                        "model I2 (ring freshness): P{h} moved from {prev:?} to \
+                         {view:?} without a strictly larger ring seq"
+                    ));
+                }
+            }
+            *slot = Some(view);
+            match self.ring_members.get(&view) {
+                Some(known) if known != members => {
+                    found.push(format!(
+                        "model I3 (view agreement): ring {view:?} observed with \
+                         members {members:?} at P{h} but {known:?} elsewhere"
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    self.ring_members.insert(view, members.to_vec());
+                }
+            }
+        }
+        // I4: at most one live token per ring.
+        for h in 0..n {
+            if world.is_failed(h) {
+                continue;
+            }
+            let p = world.participant(h);
+            let e = self.ring_frontier.entry(p.ring().id()).or_insert(0);
+            *e = (*e).max(p.current_round().as_u64());
+        }
+        let mut live: BTreeMap<RingId, Vec<u64>> = BTreeMap::new();
+        for m in world.inflight() {
+            let Message::Token(ref tok) = m.msg else {
+                continue;
+            };
+            // Skip rings nobody has ever installed (forming rings) and
+            // stale copies at or behind the ring's frontier.
+            let Some(&f) = self.ring_frontier.get(&tok.ring_id) else {
+                continue;
+            };
+            let round = tok.round.as_u64();
+            if round > f {
+                let rounds = live.entry(tok.ring_id).or_default();
+                if !rounds.contains(&round) {
+                    rounds.push(round);
+                }
+            }
+        }
+        for (ring, rounds) in live {
+            self.checks += 1;
+            if rounds.len() > 1 {
+                found.push(format!(
+                    "model I4 (one token per ring): ring {ring:?} has {} live \
+                     token rounds in flight: {rounds:?}",
+                    rounds.len()
+                ));
+            }
+        }
+        self.violations.extend(found.iter().cloned());
+        found
+    }
+
+    /// Every violation accumulated along this path.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Invariant evaluations performed so far (throughput metric).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_net::replay::Step;
+
+    #[test]
+    fn fresh_world_satisfies_every_invariant() {
+        let w = World::new(3, "accelerated", &[]).unwrap();
+        let mut m = ModelChecker::new(&w);
+        assert!(m.observe(&w).is_empty());
+        assert!(m.violations().is_empty());
+        assert!(m.checks() > 0);
+    }
+
+    #[test]
+    fn clean_circulation_stays_green() {
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        let mut m = ModelChecker::new(&w);
+        for _ in 0..30 {
+            let Some(first) = w.inflight().first().map(|x| x.id) else {
+                break;
+            };
+            w.apply_step(&Step::Deliver { msg: first }).unwrap();
+            assert!(m.observe(&w).is_empty(), "{:?}", m.violations());
+        }
+    }
+
+    #[test]
+    fn duplicated_token_is_not_a_live_second_token() {
+        // A duplicate shares the original's round: I4 must not fire on
+        // bounded duplication, only on genuinely distinct live rounds.
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        let mut m = ModelChecker::new(&w);
+        let id = w.inflight()[0].id;
+        w.apply_step(&Step::Duplicate { msg: id }).unwrap();
+        assert!(m.observe(&w).is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn failed_hosts_are_exempt_from_node_invariants() {
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        w.set_fault_budget(1);
+        w.apply_step(&Step::Fail { host: 2 }).unwrap();
+        let mut m = ModelChecker::new(&w);
+        assert!(m.observe(&w).is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn join_episode_keeps_invariants_and_updates_history() {
+        let mut w = World::new_with_joiners(3, &[2], "accelerated", &[]).unwrap();
+        let mut m = ModelChecker::new(&w);
+        assert!(m.observe(&w).is_empty());
+        w.apply_step(&Step::Join { host: 2 }).unwrap();
+        for _ in 0..400 {
+            let next = w
+                .inflight()
+                .first()
+                .map(|x| Step::Deliver { msg: x.id })
+                .or_else(|| {
+                    w.enabled().into_iter().find(|s| {
+                        matches!(
+                            s,
+                            Step::Timer {
+                                kind: ar_core::TimerKind::Join
+                                    | ar_core::TimerKind::ConsensusTimeout
+                                    | ar_core::TimerKind::CommitTimeout,
+                                ..
+                            }
+                        )
+                    })
+                });
+            let Some(step) = next else { break };
+            w.apply_step(&step).unwrap();
+            assert!(m.observe(&w).is_empty(), "{:?}", m.violations());
+        }
+        // The episode advanced at least one node past its bootstrap
+        // ring, so the history map saw more than the initial views.
+        assert!(m.ring_members.len() > 2, "{:?}", m.ring_members);
+    }
+}

@@ -116,16 +116,47 @@ pub enum Step {
         /// Which timer fires.
         kind: TimerKind,
     },
+    /// A host that started outside the initial ring boots and seeks a
+    /// configuration: it multicasts its join message and enters Gather
+    /// (the membership "node join" transition).
+    Join {
+        /// The joining host (must be listed in the schedule's
+        /// `joiners`).
+        host: u16,
+    },
+    /// Silent stop: `host` ceases to process or send anything, its
+    /// timers disarm, and messages addressed to it vanish. Spends one
+    /// unit of the world's fault budget.
+    Fail {
+        /// The host that fails.
+        host: u16,
+    },
+    /// Split the network into two components: hosts with bit `i` set in
+    /// `mask` form one component, the rest the other. In-flight
+    /// messages crossing the cut are discarded and later sends across
+    /// it are silently dropped. Canonical form keeps host 0's bit
+    /// clear. Spends one unit of the fault budget.
+    Partition {
+        /// Component bitmask (bit per host; bit 0 must be clear).
+        mask: u8,
+    },
+    /// Heal the partition: all hosts are mutually reachable again.
+    Merge,
 }
 
 impl Step {
-    /// Short human-readable rendering (`deliver#4`, `timer@2:join`).
+    /// Short human-readable rendering (`deliver#4`, `timer@2:join`,
+    /// `partition:0b110`).
     pub fn describe(&self) -> String {
         match self {
             Step::Deliver { msg } => format!("deliver#{msg}"),
             Step::Duplicate { msg } => format!("duplicate#{msg}"),
             Step::Drop { msg } => format!("drop#{msg}"),
             Step::Timer { host, kind } => format!("timer@{host}:{}", kind_name(*kind)),
+            Step::Join { host } => format!("join@{host}"),
+            Step::Fail { host } => format!("fail@{host}"),
+            Step::Partition { mask } => format!("partition:{mask:#05b}"),
+            Step::Merge => "merge".into(),
         }
     }
 }
@@ -153,10 +184,14 @@ pub enum Expectation {
 /// A replayable counterexample (or regression) schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
-    /// Number of hosts (`ParticipantId` 0..hosts), all starting on one
-    /// established ring.
+    /// Number of hosts (`ParticipantId` 0..hosts). Hosts not listed in
+    /// `joiners` start on one established ring.
     pub hosts: u16,
-    /// Named protocol configuration: `"accelerated"` or `"original"`.
+    /// Hosts that start *outside* the initial ring as idle singletons;
+    /// each enters the world only when its [`Step::Join`] fires.
+    pub joiners: Vec<u16>,
+    /// Named protocol configuration: `"accelerated"`, `"original"`, or
+    /// `"damped"` (accelerated + flap damping).
     pub config: String,
     /// Payloads submitted (in order) before the ring starts.
     pub submissions: Vec<Submission>,
@@ -192,6 +227,23 @@ pub enum ScheduleError {
     HostOutOfRange(u16),
     /// The `config` name is not a known protocol configuration.
     UnknownConfig(String),
+    /// A `Join` step targeted a host that is not a joiner or already
+    /// joined.
+    CannotJoin(u16),
+    /// A step targeted a host that already failed (or tried to fail it
+    /// twice).
+    HostAlreadyFailed(u16),
+    /// A `Fail` or `Partition` step arrived with the fault budget
+    /// spent.
+    FaultBudgetExhausted,
+    /// A `Partition` mask was non-canonical (zero, host 0 set, or bits
+    /// beyond the host count), or the world is already partitioned.
+    BadPartition(u8),
+    /// A `Merge` step arrived with no partition in force.
+    NotPartitioned,
+    /// The `joiners` list was invalid (out of range, duplicated, or no
+    /// host left on the initial ring).
+    BadJoiners(String),
 }
 
 impl core::fmt::Display for ScheduleError {
@@ -210,6 +262,16 @@ impl core::fmt::Display for ScheduleError {
             }
             ScheduleError::HostOutOfRange(h) => write!(f, "host {h} out of range"),
             ScheduleError::UnknownConfig(c) => write!(f, "unknown protocol config {c:?}"),
+            ScheduleError::CannotJoin(h) => {
+                write!(f, "host {h} is not an unjoined joiner")
+            }
+            ScheduleError::HostAlreadyFailed(h) => write!(f, "host {h} already failed"),
+            ScheduleError::FaultBudgetExhausted => write!(f, "fault budget exhausted"),
+            ScheduleError::BadPartition(m) => {
+                write!(f, "partition mask {m:#b} is not applicable here")
+            }
+            ScheduleError::NotPartitioned => write!(f, "no partition in force to merge"),
+            ScheduleError::BadJoiners(e) => write!(f, "bad joiners list: {e}"),
         }
     }
 }
@@ -222,11 +284,19 @@ impl Schedule {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema");
-        w.num_u64(1);
+        w.num_u64(2);
         w.key("kind");
         w.str("ar-explore-schedule");
         w.key("hosts");
         w.num_u64(u64::from(self.hosts));
+        if !self.joiners.is_empty() {
+            w.key("joiners");
+            w.begin_array();
+            for &j in &self.joiners {
+                w.num_u64(u64::from(j));
+            }
+            w.end_array();
+        }
         w.key("config");
         w.str(&self.config);
         w.key("note");
@@ -279,6 +349,28 @@ impl Schedule {
                     w.num_u64(u64::from(*host));
                     w.key("kind");
                     w.str(kind_name(*kind));
+                }
+                Step::Join { host } => {
+                    w.key("op");
+                    w.str("join");
+                    w.key("host");
+                    w.num_u64(u64::from(*host));
+                }
+                Step::Fail { host } => {
+                    w.key("op");
+                    w.str("fail");
+                    w.key("host");
+                    w.num_u64(u64::from(*host));
+                }
+                Step::Partition { mask } => {
+                    w.key("op");
+                    w.str("partition");
+                    w.key("mask");
+                    w.num_u64(u64::from(*mask));
+                }
+                Step::Merge => {
+                    w.key("op");
+                    w.str("merge");
                 }
             }
             w.end_object();
@@ -403,6 +495,25 @@ impl Schedule {
                     })?;
                     Step::Timer { host, kind }
                 }
+                "join" | "fail" => {
+                    let host =
+                        s.get("host").and_then(Value::as_f64).ok_or_else(|| {
+                            ScheduleError::Malformed(format!("step {i} missing host"))
+                        })? as u16;
+                    if op == "join" {
+                        Step::Join { host }
+                    } else {
+                        Step::Fail { host }
+                    }
+                }
+                "partition" => {
+                    let mask =
+                        s.get("mask").and_then(Value::as_f64).ok_or_else(|| {
+                            ScheduleError::Malformed(format!("step {i} missing mask"))
+                        })? as u8;
+                    Step::Partition { mask }
+                }
+                "merge" => Step::Merge,
                 other => {
                     return Err(ScheduleError::Malformed(format!(
                         "step {i}: unknown op {other:?}"
@@ -410,8 +521,24 @@ impl Schedule {
                 }
             });
         }
+        // `joiners` is optional: schema-1 schedules (all hosts on one
+        // ring) omit it.
+        let mut joiners = Vec::new();
+        if let Some(list) = v.get("joiners") {
+            for (i, j) in list
+                .as_array()
+                .ok_or_else(|| ScheduleError::Malformed("joiners must be an array".into()))?
+                .iter()
+                .enumerate()
+            {
+                joiners.push(j.as_f64().ok_or_else(|| {
+                    ScheduleError::Malformed(format!("joiner {i} must be a number"))
+                })? as u16);
+            }
+        }
         Ok(Schedule {
             hosts,
+            joiners,
             config: text_field("config")?,
             submissions,
             steps,
@@ -425,6 +552,13 @@ fn config_by_name(name: &str) -> Result<ProtocolConfig, ScheduleError> {
     match name {
         "accelerated" => Ok(ProtocolConfig::accelerated()),
         "original" => Ok(ProtocolConfig::original()),
+        // Accelerated plus membership flap damping at its default
+        // policy — the configuration the quarantine-war regression
+        // schedules replay under.
+        "damped" => {
+            Ok(ProtocolConfig::accelerated()
+                .with_flap_damping(ar_core::FlapDampingConfig::enabled()))
+        }
         other => Err(ScheduleError::UnknownConfig(other.to_owned())),
     }
 }
@@ -434,6 +568,8 @@ fn config_by_name(name: &str) -> Result<ProtocolConfig, ScheduleError> {
 pub struct Inflight {
     /// Stable identifier, assigned in send order.
     pub id: u64,
+    /// Sending host (used to cut messages crossing a partition).
+    pub from: u16,
     /// Destination host.
     pub to: u16,
     /// The message itself.
@@ -461,6 +597,18 @@ pub struct World {
     next_msg_id: u64,
     /// Per-host armed flags, indexed by [`TIMER_KINDS`] position.
     armed: Vec<[bool; 5]>,
+    /// True for hosts that start outside the initial ring.
+    joiner: Vec<bool>,
+    /// True once a joiner's [`Step::Join`] has fired.
+    joined: Vec<bool>,
+    /// True for silently stopped hosts.
+    failed: Vec<bool>,
+    /// Partition component per host (all equal = no partition).
+    component: Vec<u8>,
+    /// Remaining `Fail`/`Partition` steps the adversary may take. Part
+    /// of the state fingerprint: two otherwise-identical worlds with
+    /// different remaining budgets have different futures.
+    fault_budget: u8,
     checker: EvsChecker,
     monitor: TokenRuleMonitor,
     split: SendSplitChecker,
@@ -485,12 +633,55 @@ impl World {
         config: &str,
         submissions: &[Submission],
     ) -> Result<World, ScheduleError> {
+        World::new_with_joiners(hosts, &[], config, submissions)
+    }
+
+    /// Like [`World::new`], but hosts listed in `joiners` start outside
+    /// the initial ring as idle singletons (ring seq 0): they arm no
+    /// timers, hold no token, and enter the world only when their
+    /// [`Step::Join`] fires. The remaining hosts form the initial ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BadJoiners`] when a joiner is out of
+    /// range, duplicated, or no host is left on the initial ring, plus
+    /// everything [`World::new`] reports.
+    pub fn new_with_joiners(
+        hosts: u16,
+        joiners: &[u16],
+        config: &str,
+        submissions: &[Submission],
+    ) -> Result<World, ScheduleError> {
         let cfg = config_by_name(config)?;
-        let members: Vec<ParticipantId> = (0..hosts).map(ParticipantId::new).collect();
+        let mut joiner = vec![false; hosts as usize];
+        for &j in joiners {
+            if j >= hosts {
+                return Err(ScheduleError::BadJoiners(format!("host {j} out of range")));
+            }
+            if joiner[j as usize] {
+                return Err(ScheduleError::BadJoiners(format!("host {j} listed twice")));
+            }
+            joiner[j as usize] = true;
+        }
+        let members: Vec<ParticipantId> = (0..hosts)
+            .filter(|&h| !joiner[h as usize])
+            .map(ParticipantId::new)
+            .collect();
+        if members.is_empty() {
+            return Err(ScheduleError::BadJoiners(
+                "every host is a joiner; the initial ring would be empty".into(),
+            ));
+        }
         let ring_id = RingId::new(members[0], 1);
-        let parts: Vec<Participant> = members
-            .iter()
-            .map(|&p| Participant::new(p, cfg, ring_id, members.clone()).expect("valid ring"))
+        let parts: Vec<Participant> = (0..hosts)
+            .map(|h| {
+                let p = ParticipantId::new(h);
+                if joiner[h as usize] {
+                    Participant::new_singleton(p, cfg).expect("valid singleton")
+                } else {
+                    Participant::new(p, cfg, ring_id, members.clone()).expect("valid ring")
+                }
+            })
             .collect();
         let mut world = World {
             n: hosts,
@@ -498,6 +689,11 @@ impl World {
             inflight: Vec::new(),
             next_msg_id: 0,
             armed: vec![[false; 5]; hosts as usize],
+            joiner,
+            joined: vec![false; hosts as usize],
+            failed: vec![false; hosts as usize],
+            component: vec![0; hosts as usize],
+            fault_budget: u8::MAX,
             checker: EvsChecker::new(hosts as usize),
             monitor: TokenRuleMonitor::new(),
             split: SendSplitChecker::new(Some(cfg.accelerated_window)),
@@ -506,6 +702,15 @@ impl World {
             dropped: 0,
             duplicated: 0,
         };
+        // Seed the checker with each host's bootstrap view so same-view
+        // and transitional-subset checks are live from the first
+        // membership episode (bootstrapped rings never deliver their
+        // initial configuration).
+        for i in 0..hosts as usize {
+            let ring = world.parts[i].ring();
+            let (id, members) = (ring.id(), ring.members().to_vec());
+            world.checker.on_initial_config(i, id, &members);
+        }
         for s in submissions {
             if s.host >= hosts {
                 return Err(ScheduleError::HostOutOfRange(s.host));
@@ -517,10 +722,43 @@ impl World {
                 .expect("exploration workloads fit the send queue");
         }
         for i in 0..hosts as usize {
+            if world.joiner[i] {
+                continue;
+            }
             let actions = world.parts[i].start();
             world.ingest(i, actions);
         }
         Ok(world)
+    }
+
+    /// Caps the number of `Fail`/`Partition` steps the adversary may
+    /// still take (replay defaults to effectively unlimited). The
+    /// explorer sets this from its configuration; the budget is part of
+    /// [`World::state_hash`].
+    pub fn set_fault_budget(&mut self, budget: u8) {
+        self.fault_budget = budget;
+    }
+
+    /// True when `host` has silently stopped.
+    pub fn is_failed(&self, host: u16) -> bool {
+        self.failed[host as usize]
+    }
+
+    /// True when `host` started outside the initial ring and has not
+    /// joined yet.
+    pub fn is_unjoined(&self, host: u16) -> bool {
+        self.joiner[host as usize] && !self.joined[host as usize]
+    }
+
+    /// The partition component `host` currently sits in (all equal
+    /// when no partition is in force).
+    pub fn component_of(&self, host: u16) -> u8 {
+        self.component[host as usize]
+    }
+
+    /// True while a partition is in force.
+    pub fn is_partitioned(&self) -> bool {
+        self.component.iter().any(|&c| c != self.component[0])
     }
 
     /// Number of hosts.
@@ -549,10 +787,15 @@ impl World {
     }
 
     /// Every step the adversary may take from this state, in canonical
-    /// order: delivers (ascending message id), duplicates, drops, then
-    /// timer firings (host-major, [`TIMER_KINDS`] order).
+    /// order: delivers (ascending message id), duplicates, drops, timer
+    /// firings (host-major, [`TIMER_KINDS`] order), then membership
+    /// transitions (joins, fails, partitions, merge).
+    ///
+    /// Partitions are enumerated as every canonical two-component split
+    /// (host 0's bit clear) and only while no partition is in force;
+    /// fails and partitions require remaining fault budget.
     pub fn enabled(&self) -> Vec<Step> {
-        let mut steps = Vec::with_capacity(self.inflight.len() * 3 + 4);
+        let mut steps = Vec::with_capacity(self.inflight.len() * 3 + 8);
         for m in &self.inflight {
             steps.push(Step::Deliver { msg: m.id });
         }
@@ -574,12 +817,34 @@ impl World {
                 }
             }
         }
+        for h in 0..self.n {
+            if self.is_unjoined(h) && !self.failed[h as usize] {
+                steps.push(Step::Join { host: h });
+            }
+        }
+        if self.fault_budget > 0 {
+            for h in 0..self.n {
+                if !self.failed[h as usize] {
+                    steps.push(Step::Fail { host: h });
+                }
+            }
+            if !self.is_partitioned() {
+                for mask in 1u16..(1u16 << self.n.min(7)) {
+                    if mask & 1 == 0 {
+                        steps.push(Step::Partition { mask: mask as u8 });
+                    }
+                }
+            }
+        }
+        if self.is_partitioned() {
+            steps.push(Step::Merge);
+        }
         steps
     }
 
     /// The destination host a step acts on (`None` for `Drop`, which
-    /// touches no participant). Used by the explorer's commutation
-    /// test.
+    /// touches no participant, and for the global `Partition`/`Merge`
+    /// transitions). Used by the explorer's commutation test.
     pub fn step_target(&self, step: &Step) -> Option<u16> {
         match step {
             Step::Deliver { msg } | Step::Duplicate { msg } => {
@@ -587,6 +852,8 @@ impl World {
             }
             Step::Drop { .. } => None,
             Step::Timer { host, .. } => Some(*host),
+            Step::Join { host } | Step::Fail { host } => Some(*host),
+            Step::Partition { .. } | Step::Merge => None,
         }
     }
 
@@ -639,6 +906,63 @@ impl World {
                 let actions = self.parts[h].handle_timer(*kind);
                 self.ingest(h, actions);
             }
+            Step::Join { host } => {
+                if *host >= self.n {
+                    return Err(ScheduleError::HostOutOfRange(*host));
+                }
+                let h = *host as usize;
+                if !self.joiner[h] || self.joined[h] || self.failed[h] {
+                    return Err(ScheduleError::CannotJoin(*host));
+                }
+                self.joined[h] = true;
+                let actions = self.parts[h].initiate_gather();
+                self.ingest(h, actions);
+            }
+            Step::Fail { host } => {
+                if *host >= self.n {
+                    return Err(ScheduleError::HostOutOfRange(*host));
+                }
+                let h = *host as usize;
+                if self.failed[h] {
+                    return Err(ScheduleError::HostAlreadyFailed(*host));
+                }
+                if self.fault_budget == 0 {
+                    return Err(ScheduleError::FaultBudgetExhausted);
+                }
+                self.fault_budget -= 1;
+                self.failed[h] = true;
+                // Silent stop: timers disarm, messages addressed to the
+                // host will never be processed. Messages it already
+                // sent stay in flight — packets survive their sender.
+                self.armed[h] = [false; 5];
+                self.inflight.retain(|m| m.to != *host);
+            }
+            Step::Partition { mask } => {
+                if self.fault_budget == 0 {
+                    return Err(ScheduleError::FaultBudgetExhausted);
+                }
+                let full = if self.n >= 8 {
+                    u8::MAX
+                } else {
+                    (1u8 << self.n) - 1
+                };
+                if *mask == 0 || mask & 1 != 0 || mask & !full != 0 || self.is_partitioned() {
+                    return Err(ScheduleError::BadPartition(*mask));
+                }
+                self.fault_budget -= 1;
+                for h in 0..self.n as usize {
+                    self.component[h] = (mask >> h) & 1;
+                }
+                let component = self.component.clone();
+                self.inflight
+                    .retain(|m| component[m.from as usize] == component[m.to as usize]);
+            }
+            Step::Merge => {
+                if !self.is_partitioned() {
+                    return Err(ScheduleError::NotPartitioned);
+                }
+                self.component.iter_mut().for_each(|c| *c = 0);
+            }
         }
         self.steps_applied += 1;
         Ok(())
@@ -651,11 +975,25 @@ impl World {
             .ok_or(ScheduleError::UnknownMessage(id))
     }
 
-    fn push_msg(&mut self, to: u16, msg: Message) {
+    /// Whether a message sent by `from` can reach `to` right now: the
+    /// destination must be alive, in the sender's partition component,
+    /// and (for joiners) already booted into the world.
+    fn reachable(&self, from: usize, to: u16) -> bool {
+        let t = to as usize;
+        !self.failed[t]
+            && self.component[from] == self.component[t]
+            && (!self.joiner[t] || self.joined[t])
+    }
+
+    fn push_msg(&mut self, from: usize, to: u16, msg: Message) {
+        if !self.reachable(from, to) {
+            return;
+        }
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         self.inflight.push(Inflight {
             id,
+            from: from as u16,
             to,
             msg,
             dup_left: 1,
@@ -669,22 +1007,22 @@ impl World {
             match action {
                 Action::SendToken { to, token } => {
                     self.monitor.on_token(&token);
-                    self.push_msg(to.as_u16(), Message::Token(token));
+                    self.push_msg(from, to.as_u16(), Message::Token(token));
                 }
                 Action::SendCommit { to, token } => {
-                    self.push_msg(to.as_u16(), Message::Commit(token));
+                    self.push_msg(from, to.as_u16(), Message::Commit(token));
                 }
                 Action::Multicast(m) => {
                     for to in 0..self.n {
                         if to as usize != from {
-                            self.push_msg(to, Message::Data(m.clone()));
+                            self.push_msg(from, to, Message::Data(m.clone()));
                         }
                     }
                 }
                 Action::MulticastJoin(j) => {
                     for to in 0..self.n {
                         if to as usize != from {
-                            self.push_msg(to, Message::Join(j.clone()));
+                            self.push_msg(from, to, Message::Join(j.clone()));
                         }
                     }
                 }
@@ -706,12 +1044,14 @@ impl World {
     }
 
     /// Fingerprint of the global state: every participant's protocol
-    /// state, the armed-timer matrix, and the in-flight pool hashed as
-    /// an order-insensitive multiset of `(destination, bytes,
-    /// duplication budget)` — message identifiers are deliberately
-    /// excluded so that commuting interleavings which reach the same
-    /// configuration collide (the visited-set prune in the explorer
-    /// depends on this).
+    /// state, the armed-timer matrix, the membership environment
+    /// (joined/failed flags, partition components, remaining fault
+    /// budget — all of which shape the enabled futures), and the
+    /// in-flight pool hashed as an order-insensitive multiset of
+    /// `(sender, destination, bytes, duplication budget)` — message
+    /// identifiers are deliberately excluded so that commuting
+    /// interleavings which reach the same configuration collide (the
+    /// visited-set prune in the explorer depends on this).
     pub fn state_hash(&self) -> u64 {
         let mut h = StateHasher::new();
         h.write_len(self.parts.len());
@@ -723,11 +1063,18 @@ impl World {
                 h.write_bool(a);
             }
         }
+        for i in 0..self.n as usize {
+            h.write_bool(self.joined[i]);
+            h.write_bool(self.failed[i]);
+            h.write_u8(self.component[i]);
+        }
+        h.write_u8(self.fault_budget);
         let mut msg_digests: Vec<u64> = self
             .inflight
             .iter()
             .map(|m| {
                 let mut mh = StateHasher::new();
+                mh.write_u16(m.from);
                 mh.write_u16(m.to);
                 mh.write_u8(m.dup_left);
                 mh.write(&wire::encode(&m.msg));
@@ -804,7 +1151,12 @@ impl ReplayOutcome {
 /// step is not applicable in the state it is reached in (which means
 /// the schedule does not match the code under test anymore).
 pub fn replay_schedule(schedule: &Schedule) -> Result<ReplayOutcome, ScheduleError> {
-    let mut world = World::new(schedule.hosts, &schedule.config, &schedule.submissions)?;
+    let mut world = World::new_with_joiners(
+        schedule.hosts,
+        &schedule.joiners,
+        &schedule.config,
+        &schedule.submissions,
+    )?;
     for step in &schedule.steps {
         world.apply_step(step)?;
     }
@@ -850,6 +1202,7 @@ mod tests {
     fn demo_schedule(steps: Vec<Step>) -> Schedule {
         Schedule {
             hosts: 3,
+            joiners: vec![],
             config: "accelerated".into(),
             submissions: vec![
                 Submission {
@@ -1056,6 +1409,232 @@ mod tests {
             ba.state_hash(),
             "deliveries to distinct hosts must commute"
         );
+    }
+
+    #[test]
+    fn membership_ops_roundtrip_with_joiners() {
+        let mut s = demo_schedule(vec![
+            Step::Join { host: 2 },
+            Step::Fail { host: 1 },
+            Step::Partition { mask: 0b100 },
+            Step::Merge,
+        ]);
+        s.joiners = vec![2];
+        let text = s.to_json();
+        assert!(text.contains("\"schema\":2"), "{text}");
+        let back = Schedule::from_json(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn schema_one_schedules_without_joiners_still_parse() {
+        // A pre-membership schedule has no `joiners` field at all.
+        let text = r#"{"schema":1,"kind":"ar-explore-schedule","hosts":2,
+            "config":"accelerated","note":"","expect":"clean",
+            "submissions":[],"steps":[{"op":"deliver","msg":0}]}"#;
+        let s = Schedule::from_json(text).unwrap();
+        assert!(s.joiners.is_empty());
+        assert_eq!(s.steps, vec![Step::Deliver { msg: 0 }]);
+    }
+
+    #[test]
+    fn joiners_start_idle_and_join_on_demand() {
+        let mut w = World::new_with_joiners(3, &[2], "accelerated", &[]).unwrap();
+        assert!(w.is_unjoined(2));
+        // The initial ring is hosts {0, 1}; nothing targets host 2 and
+        // host 2 has no armed timers.
+        assert!(w.inflight().iter().all(|m| m.to != 2));
+        assert!(!w
+            .enabled()
+            .iter()
+            .any(|s| matches!(s, Step::Timer { host: 2, .. })));
+        assert!(w.enabled().contains(&Step::Join { host: 2 }));
+        w.apply_step(&Step::Join { host: 2 }).unwrap();
+        assert!(!w.is_unjoined(2));
+        // The join multicast is now in flight to both ring members.
+        let join_targets: Vec<u16> = w
+            .inflight()
+            .iter()
+            .filter(|m| matches!(m.msg, Message::Join(_)))
+            .map(|m| m.to)
+            .collect();
+        assert_eq!(join_targets, vec![0, 1]);
+        // A second join of the same host is rejected.
+        assert_eq!(
+            w.apply_step(&Step::Join { host: 2 }),
+            Err(ScheduleError::CannotJoin(2))
+        );
+    }
+
+    #[test]
+    fn bad_joiner_lists_are_rejected() {
+        assert!(matches!(
+            World::new_with_joiners(3, &[7], "accelerated", &[]),
+            Err(ScheduleError::BadJoiners(_))
+        ));
+        assert!(matches!(
+            World::new_with_joiners(3, &[2, 2], "accelerated", &[]),
+            Err(ScheduleError::BadJoiners(_))
+        ));
+        assert!(matches!(
+            World::new_with_joiners(2, &[0, 1], "accelerated", &[]),
+            Err(ScheduleError::BadJoiners(_))
+        ));
+    }
+
+    #[test]
+    fn failed_host_stops_receiving_and_disarms() {
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        w.set_fault_budget(1);
+        w.apply_step(&Step::Fail { host: 1 }).unwrap();
+        assert!(w.is_failed(1));
+        assert!(w.inflight().iter().all(|m| m.to != 1));
+        assert!(!w
+            .enabled()
+            .iter()
+            .any(|s| matches!(s, Step::Timer { host: 1, .. })));
+        // Budget spent: no further fail or partition is enabled.
+        assert!(!w
+            .enabled()
+            .iter()
+            .any(|s| matches!(s, Step::Fail { .. } | Step::Partition { .. })));
+        assert_eq!(
+            w.apply_step(&Step::Fail { host: 0 }),
+            Err(ScheduleError::FaultBudgetExhausted)
+        );
+        assert_eq!(
+            w.apply_step(&Step::Fail { host: 1 }),
+            Err(ScheduleError::HostAlreadyFailed(1))
+        );
+    }
+
+    #[test]
+    fn partition_cuts_flight_and_blocks_cross_sends() {
+        let mut w = World::new(3, "accelerated", &[]).unwrap();
+        // Isolate host 2 from {0, 1}.
+        w.apply_step(&Step::Partition { mask: 0b100 }).unwrap();
+        assert!(w.is_partitioned());
+        assert_eq!(w.component_of(0), w.component_of(1));
+        assert_ne!(w.component_of(0), w.component_of(2));
+        // Every surviving in-flight message stays within one component,
+        // and so does everything sent from here on.
+        for _ in 0..40 {
+            let Some(first) = w.inflight().first().map(|m| m.id) else {
+                break;
+            };
+            w.apply_step(&Step::Deliver { msg: first }).unwrap();
+            assert!(w
+                .inflight()
+                .iter()
+                .all(|m| w.component_of(m.from) == w.component_of(m.to)));
+        }
+        // Only one partition at a time; merge restores reachability.
+        assert_eq!(
+            w.apply_step(&Step::Partition { mask: 0b010 }),
+            Err(ScheduleError::BadPartition(0b010))
+        );
+        w.apply_step(&Step::Merge).unwrap();
+        assert!(!w.is_partitioned());
+        assert_eq!(
+            w.apply_step(&Step::Merge),
+            Err(ScheduleError::NotPartitioned)
+        );
+    }
+
+    #[test]
+    fn non_canonical_partition_masks_are_rejected() {
+        let masks = [0b000, 0b001, 0b011, 0b1000];
+        for mask in masks {
+            let mut w = World::new(3, "accelerated", &[]).unwrap();
+            assert_eq!(
+                w.apply_step(&Step::Partition { mask }),
+                Err(ScheduleError::BadPartition(mask)),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn enabled_lists_membership_moves_under_budget() {
+        let mut w = World::new_with_joiners(3, &[2], "accelerated", &[]).unwrap();
+        w.set_fault_budget(1);
+        let steps = w.enabled();
+        assert!(steps.contains(&Step::Join { host: 2 }));
+        assert!(steps.contains(&Step::Fail { host: 0 }));
+        assert!(steps.contains(&Step::Partition { mask: 0b100 }));
+        assert!(!steps.contains(&Step::Merge));
+        // Masks with host 0's bit set never appear (canonical form).
+        assert!(!steps
+            .iter()
+            .any(|s| matches!(s, Step::Partition { mask } if mask & 1 != 0)));
+        w.set_fault_budget(0);
+        let steps = w.enabled();
+        assert!(!steps
+            .iter()
+            .any(|s| matches!(s, Step::Fail { .. } | Step::Partition { .. })));
+        assert!(steps.contains(&Step::Join { host: 2 }));
+    }
+
+    #[test]
+    fn state_hash_covers_membership_environment() {
+        let w = World::new(3, "accelerated", &[]).unwrap();
+        let mut failed = w.clone();
+        failed.set_fault_budget(1);
+        failed.apply_step(&Step::Fail { host: 2 }).unwrap();
+        assert_ne!(w.state_hash(), failed.state_hash());
+        // Same protocol state, different remaining budgets: the hash
+        // must diverge or the visited-prune would conflate futures.
+        let mut tight = w.clone();
+        tight.set_fault_budget(0);
+        assert_ne!(w.state_hash(), tight.state_hash());
+    }
+
+    #[test]
+    fn join_episode_converges_to_shared_ring() {
+        // Boot a 2-host ring plus one joiner, fire the join, then let
+        // the adversary play fair (deliver oldest, fire the oldest
+        // armed gather timer when flight empties). Every host must end
+        // on one common new ring that includes the joiner.
+        let mut w = World::new_with_joiners(3, &[2], "accelerated", &[]).unwrap();
+        w.apply_step(&Step::Join { host: 2 }).unwrap();
+        for _ in 0..400 {
+            let converged = (0..3).all(|h| {
+                let r = w.participant(h).ring();
+                r.id() == w.participant(0).ring().id() && r.members().len() == 3
+            });
+            if converged {
+                break;
+            }
+            if let Some(first) = w.inflight().first().map(|m| m.id) {
+                w.apply_step(&Step::Deliver { msg: first }).unwrap();
+            } else if let Some(t) = w.enabled().into_iter().find(|s| {
+                // Fire membership-advancing timers only — a TokenLoss
+                // here would start a *new* episode instead of finishing
+                // this one.
+                matches!(
+                    s,
+                    Step::Timer {
+                        kind: TimerKind::Join
+                            | TimerKind::ConsensusTimeout
+                            | TimerKind::CommitTimeout,
+                        ..
+                    }
+                )
+            }) {
+                w.apply_step(&t).unwrap();
+            } else {
+                break;
+            }
+        }
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        let rings: Vec<_> = (0..3).map(|h| w.participant(h).ring().id()).collect();
+        assert_eq!(rings[0], rings[1], "ring ids diverged: {rings:?}");
+        assert_eq!(rings[0], rings[2], "joiner left out: {rings:?}");
+        assert!(w
+            .participant(0)
+            .ring()
+            .members()
+            .contains(&ParticipantId::new(2)));
     }
 
     #[test]
